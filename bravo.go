@@ -1,0 +1,127 @@
+package bravo
+
+import (
+	"github.com/bravolock/bravo/internal/core"
+	"github.com/bravolock/bravo/internal/locks/cohort"
+	"github.com/bravolock/bravo/internal/locks/mutexrw"
+	"github.com/bravolock/bravo/internal/locks/percpu"
+	"github.com/bravolock/bravo/internal/locks/pfq"
+	"github.com/bravolock/bravo/internal/locks/pft"
+	"github.com/bravolock/bravo/internal/locks/ptl"
+	"github.com/bravolock/bravo/internal/locks/stdrw"
+	"github.com/bravolock/bravo/internal/rwl"
+	"github.com/bravolock/bravo/internal/topo"
+)
+
+// Token carries per-acquisition reader state from RLock to RUnlock.
+type Token = rwl.Token
+
+// RWLock is the reader-writer lock interface BRAVO wraps and implements.
+type RWLock = rwl.RWLock
+
+// TryRWLock extends RWLock with non-blocking acquisition attempts.
+type TryRWLock = rwl.TryRWLock
+
+// Lock is a BRAVO-transformed reader-writer lock (BRAVO-A, paper §3).
+type Lock = core.Lock
+
+// Table is a visible readers table; all locks in a process share one by
+// default (32KB for the paper's 4096 slots).
+type Table = core.Table
+
+// Option configures a Lock at construction.
+type Option = core.Option
+
+// Policy decides when slow-path readers may (re-)enable reader bias.
+type Policy = core.Policy
+
+// Stats counts BRAVO path events when attached with WithStats.
+type Stats = core.Stats
+
+// Snapshot is an immutable copy of Stats.
+type Snapshot = core.Snapshot
+
+// DefaultTableSize is the paper's visible-readers-table size (4096 slots).
+const DefaultTableSize = core.DefaultTableSize
+
+// DefaultInhibitN is the paper's revocation slow-down guard multiplier (9),
+// bounding writer slow-down to about 1/(N+1) ≈ 10%.
+const DefaultInhibitN = core.DefaultInhibitN
+
+// New wraps an existing reader-writer lock with the BRAVO transformation.
+// The result preserves the underlying lock's admission policy and adds the
+// biased reader fast path.
+func New(under RWLock, opts ...Option) *Lock { return core.New(under, opts...) }
+
+// NewTable allocates a private flat visible readers table (size must be a
+// power of two). Most programs should use the shared default instead.
+func NewTable(size int) *Table { return core.NewTable(size) }
+
+// NewTable2D allocates a BRAVO-2D sectored table: rows selected by thread,
+// columns by lock, with column-only revocation scans (paper §7).
+func NewTable2D(rows, rowLen int) *Table { return core.NewTable2D(rows, rowLen) }
+
+// SharedTable returns the process-wide default table.
+func SharedTable() *Table { return core.SharedTable() }
+
+// Configuration options (see the paper sections noted on each).
+var (
+	// WithTable directs the lock at a specific table (§5.1's idealized
+	// per-lock-table variant, or a 2D table).
+	WithTable = core.WithTable
+	// WithPolicy installs a bias-enabling policy.
+	WithPolicy = core.WithPolicy
+	// WithStats attaches event counters (adds probe traffic, like lockstat).
+	WithStats = core.WithStats
+	// WithInhibitN tunes the 1/(N+1) writer slow-down bound (§3).
+	WithInhibitN = core.WithInhibitN
+	// WithSecondProbe probes an alternate slot before diverting (§7).
+	WithSecondProbe = core.WithSecondProbe
+	// WithRandomizedIndex selects non-deterministic slot indices (§7).
+	WithRandomizedIndex = core.WithRandomizedIndex
+	// WithRevocationMutex lets readers progress during revocation (§7).
+	WithRevocationMutex = core.WithRevocationMutex
+)
+
+// NewInhibitPolicy returns the paper's default policy with multiplier n.
+func NewInhibitPolicy(n int64) Policy { return core.NewInhibitPolicy(n) }
+
+// Substrate locks. Each is usable on its own and as a New argument.
+
+// NewBA returns a Brandenburg–Anderson PF-Q phase-fair lock — the compact
+// centralized lock the paper calls "BA" and uses as BRAVO's main substrate.
+func NewBA() RWLock { return new(pfq.Lock) }
+
+// NewPFT returns the Brandenburg–Anderson phase-fair ticket lock (PF-T).
+func NewPFT() RWLock { return new(pft.Lock) }
+
+// NewPthread returns a POSIX-style reader-preference blocking lock.
+func NewPthread() RWLock { return ptl.New() }
+
+// NewGoRW adapts sync.RWMutex to the RWLock interface.
+func NewGoRW() RWLock { return new(stdrw.Lock) }
+
+// NewMutexRW presents a plain mutex as a degenerate reader-writer lock, for
+// the BRAVO-over-mutex variant (§7).
+func NewMutexRW() RWLock { return new(mutexrw.Lock) }
+
+// Topology describes a sockets × cores × SMT machine shape for the
+// topology-sized locks below. BRAVO itself is topology-oblivious.
+type Topology = topo.Topology
+
+// Reference topologies: the paper's user-space (X5-2) and kernel (X5-4)
+// machines, and the current host.
+var (
+	TopologyX52 = topo.X52
+	TopologyX54 = topo.X54
+)
+
+// HostTopology returns a topology sized to the running process.
+func HostTopology() Topology { return topo.Host() }
+
+// NewPerCPU returns a brlock-style per-CPU distributed lock (large
+// footprint, maximal read scalability, expensive writers).
+func NewPerCPU(t Topology) RWLock { return percpu.New(t) }
+
+// NewCohortRW returns the NUMA-aware C-RW-WP cohort reader-writer lock.
+func NewCohortRW(t Topology) RWLock { return cohort.New(t) }

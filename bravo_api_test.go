@@ -1,0 +1,122 @@
+package bravo_test
+
+import (
+	"sync"
+	"testing"
+
+	bravo "github.com/bravolock/bravo"
+)
+
+// These tests exercise the public facade: everything a downstream user
+// touches must work through the exported surface alone.
+
+func TestPublicAPIBasicRoundTrip(t *testing.T) {
+	substrates := map[string]func() bravo.RWLock{
+		"ba":      bravo.NewBA,
+		"pf-t":    bravo.NewPFT,
+		"pthread": bravo.NewPthread,
+		"go-rw":   bravo.NewGoRW,
+		"mutex":   bravo.NewMutexRW,
+		"per-cpu": func() bravo.RWLock { return bravo.NewPerCPU(bravo.HostTopology()) },
+		"cohort":  func() bravo.RWLock { return bravo.NewCohortRW(bravo.TopologyX52) },
+	}
+	for name, mk := range substrates {
+		t.Run(name, func(t *testing.T) {
+			l := bravo.New(mk(), bravo.WithTable(bravo.NewTable(64)))
+			tok := l.RLock()
+			l.RUnlock(tok)
+			l.Lock()
+			l.Unlock()
+			tok = l.RLock()
+			l.RUnlock(tok)
+		})
+	}
+}
+
+func TestPublicAPIOptionsCompose(t *testing.T) {
+	st := &bravo.Stats{}
+	l := bravo.New(bravo.NewBA(),
+		bravo.WithTable(bravo.NewTable2D(8, 32)),
+		bravo.WithPolicy(bravo.NewInhibitPolicy(bravo.DefaultInhibitN)),
+		bravo.WithStats(st),
+		bravo.WithSecondProbe(),
+		bravo.WithRevocationMutex(),
+	)
+	for i := 0; i < 100; i++ {
+		tok := l.RLock()
+		l.RUnlock(tok)
+	}
+	l.Lock()
+	l.Unlock()
+	if st.Snapshot().Reads() != 100 {
+		t.Fatalf("stats lost reads: %s", st.Snapshot())
+	}
+}
+
+func TestPublicAPIConcurrentSmoke(t *testing.T) {
+	l := bravo.New(bravo.NewBA())
+	var mu sync.Mutex
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if i%16 == 0 {
+					l.Lock()
+					mu.Lock()
+					counter++
+					mu.Unlock()
+					l.Unlock()
+				} else {
+					tok := l.RLock()
+					_ = counter
+					l.RUnlock(tok)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Each worker writes on i ∈ {0, 16, ..., 496}: 32 writes each.
+	if counter != 4*32 {
+		t.Fatalf("counter = %d, want 128", counter)
+	}
+}
+
+func TestSharedTableIsProcessWide(t *testing.T) {
+	a := bravo.New(bravo.NewBA())
+	b := bravo.New(bravo.NewPFT())
+	if a.TableInUse() != b.TableInUse() || a.TableInUse() != bravo.SharedTable() {
+		t.Fatal("locks do not share the default table")
+	}
+	if bravo.SharedTable().Size() != bravo.DefaultTableSize {
+		t.Fatalf("shared table size %d", bravo.SharedTable().Size())
+	}
+}
+
+func TestTryLocksThroughFacade(t *testing.T) {
+	l := bravo.New(bravo.NewBA(), bravo.WithTable(bravo.NewTable(64)))
+	var tl bravo.TryRWLock = l
+	tok, ok := tl.TryRLock()
+	if !ok {
+		t.Fatal("TryRLock failed on free lock")
+	}
+	l.RUnlock(tok)
+	if !tl.TryLock() {
+		t.Fatal("TryLock failed on free lock")
+	}
+	if _, ok := tl.TryRLock(); ok {
+		t.Fatal("TryRLock succeeded under writer")
+	}
+	l.Unlock()
+}
+
+func TestTopologyHelpers(t *testing.T) {
+	if bravo.TopologyX52.NumCPUs() != 72 || bravo.TopologyX54.NumCPUs() != 144 {
+		t.Fatal("reference topologies wrong")
+	}
+	if bravo.HostTopology().NumCPUs() < 1 {
+		t.Fatal("host topology empty")
+	}
+}

@@ -1,0 +1,81 @@
+// Command locktorture regenerates the paper's kernel torture experiments
+// (Figures 7–8, §6.1): readers and writers repeatedly acquiring an rwsem
+// and holding it for fixed critical sections.
+//
+// Modes:
+//
+//	-mode native   drive the real rwsem / BRAVO-rwsem implementations; the
+//	               paper's 50ms/10ms critical sections are scaled down by
+//	               default (flags restore them)
+//	-mode sim      the coherence-cost simulator on the X5-4 topology
+//
+// Examples:
+//
+//	locktorture -writers 1                       # Figure 7
+//	locktorture -writers 0                       # Figure 8a
+//	locktorture -writers 0 -readcs 5us           # Figure 8b
+//	locktorture -mode native -readcs 500us -writecs 100us -interval 3s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/bravolock/bravo/internal/bench"
+	"github.com/bravolock/bravo/internal/cliutil"
+	"github.com/bravolock/bravo/internal/sim"
+)
+
+var (
+	modeFlag     = flag.String("mode", "sim", "native or sim")
+	writersFlag  = flag.Int("writers", 1, "number of writer threads (paper: 1 for Fig 7, 0 for Fig 8)")
+	readCSFlag   = flag.Duration("readcs", 50*time.Millisecond, "reader critical section (paper: 50ms; Fig 8b: 5us)")
+	writeCSFlag  = flag.Duration("writecs", 10*time.Millisecond, "writer critical section (paper: 10ms)")
+	intervalFlag = flag.Duration("interval", time.Second, "native measurement interval (paper: 30s)")
+	threadsFlag  = flag.String("threads", "1,2,4,8,16,32,72,108,142", "reader thread counts")
+)
+
+func main() {
+	flag.Parse()
+	threads, err := cliutil.ParseInts(*threadsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "locktorture:", err)
+		os.Exit(1)
+	}
+	if *modeFlag == "sim" {
+		runSim(threads)
+		return
+	}
+	cfg := bench.Config{Interval: *intervalFlag, Runs: 1, Threads: threads}
+	fmt.Printf("# locktorture (native): writers=%d readcs=%v writecs=%v interval=%v\n",
+		*writersFlag, *readCSFlag, *writeCSFlag, *intervalFlag)
+	fmt.Printf("%-10s %14s %14s %14s %14s\n", "readers", "stock-reads", "bravo-reads", "stock-writes", "bravo-writes")
+	for _, tc := range threads {
+		s := bench.Locktorture(bench.Stock, tc, *writersFlag, *readCSFlag, *writeCSFlag, cfg)
+		b := bench.Locktorture(bench.Bravo, tc, *writersFlag, *readCSFlag, *writeCSFlag, cfg)
+		fmt.Printf("%-10d %14d %14d %14d %14d\n", tc, s.Reads, b.Reads, s.Writes, b.Writes)
+	}
+}
+
+func runSim(threads []int) {
+	if *writersFlag > 0 {
+		reads, writes := sim.Figure7Locktorture(threads)
+		writeKernelSeries("Figure 7a: locktorture reader ops, 1 writer (sim, X5-4, 30s)", threads, reads)
+		writeKernelSeries("Figure 7b: locktorture writer ops, 1 writer (sim, X5-4, 30s)", threads, writes)
+		return
+	}
+	s := sim.Figure8Locktorture(threads, float64(readCSFlag.Nanoseconds()))
+	title := fmt.Sprintf("Figure 8: locktorture reads, 0 writers, %v CS (sim, X5-4, 30s)", *readCSFlag)
+	writeKernelSeries(title, threads, s)
+}
+
+func writeKernelSeries(title string, threads []int, s sim.Series) {
+	fmt.Printf("# %s\n", title)
+	fmt.Printf("%-10s %16s %16s\n", "threads", "stock", "BRAVO")
+	for i, tc := range threads {
+		fmt.Printf("%-10d %16.0f %16.0f\n", tc, s["stock"][i].Value, s["BRAVO"][i].Value)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,70 @@
+// Command metisbench regenerates the paper's Metis experiments (Tables 1–2,
+// §6.3): the wc and wrmem MapReduce applications over an address space
+// whose mmap_sem is the stock or BRAVO rwsem. The metric is wall-clock
+// runtime, as in the paper's tables, with the speedup column
+// (stock − BRAVO)/stock.
+//
+// Examples:
+//
+//	metisbench -app wc
+//	metisbench -app wrmem -threads 1,2,4,8 -words 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/bravolock/bravo/internal/bench"
+	"github.com/bravolock/bravo/internal/cliutil"
+)
+
+var (
+	appFlag     = flag.String("app", "wc", "wc or wrmem")
+	threadsFlag = flag.String("threads", "1,2,4,8,16,32,72,108,142", "worker counts (paper's Table 1–2 rows)")
+	wordsFlag   = flag.Int("words", 200000, "wc corpus words / wrmem words per split")
+	runsFlag    = flag.Int("runs", 3, "runs per point; median reported")
+)
+
+func main() {
+	flag.Parse()
+	threads, err := cliutil.ParseInts(*threadsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metisbench:", err)
+		os.Exit(1)
+	}
+	run := func(k bench.Kernel, workers int) time.Duration {
+		best := make([]time.Duration, 0, *runsFlag)
+		for i := 0; i < *runsFlag; i++ {
+			var d time.Duration
+			switch *appFlag {
+			case "wc":
+				d = bench.MetisWC(k, workers, *wordsFlag)
+			case "wrmem":
+				d = bench.MetisWrmem(k, workers, *wordsFlag/10)
+			default:
+				fmt.Fprintf(os.Stderr, "metisbench: unknown app %q\n", *appFlag)
+				os.Exit(1)
+			}
+			best = append(best, d)
+		}
+		// Median.
+		for i := range best {
+			for j := i + 1; j < len(best); j++ {
+				if best[j] < best[i] {
+					best[i], best[j] = best[j], best[i]
+				}
+			}
+		}
+		return best[len(best)/2]
+	}
+	fmt.Printf("# Table %s: Metis %s runtime (native)\n", map[string]string{"wc": "1", "wrmem": "2"}[*appFlag], *appFlag)
+	fmt.Printf("%-10s %14s %14s %10s\n", "#threads", "stock", "BRAVO", "speedup")
+	for _, tc := range threads {
+		s := run(bench.Stock, tc)
+		b := run(bench.Bravo, tc)
+		fmt.Printf("%-10d %14v %14v %9.1f%%\n", tc, s.Round(time.Millisecond), b.Round(time.Millisecond),
+			100*bench.MetisSpeedup(s, b))
+	}
+}

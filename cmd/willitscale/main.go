@@ -1,0 +1,62 @@
+// Command willitscale regenerates the paper's will-it-scale experiments
+// (Figure 9, §6.2): page_fault1/2 and mmap1/2 over an address space whose
+// mmap_sem is either the stock rwsem or the BRAVO-augmented rwsem.
+//
+// Examples:
+//
+//	willitscale -test page_fault1                # Figure 9a, simulated X5-4
+//	willitscale -test mmap1 -mode native
+//	willitscale -test page_fault2 -mode native -chunk 4194304
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/bravolock/bravo/internal/bench"
+	"github.com/bravolock/bravo/internal/cliutil"
+	"github.com/bravolock/bravo/internal/sim"
+)
+
+var (
+	modeFlag     = flag.String("mode", "sim", "native or sim")
+	testFlag     = flag.String("test", "page_fault1", "page_fault1, page_fault2, mmap1 or mmap2")
+	threadsFlag  = flag.String("threads", "1,2,4,8,16,32,72,108,142", "thread counts")
+	chunkFlag    = flag.Uint64("chunk", 128<<20, "native mapping size in bytes (paper: 128MB)")
+	intervalFlag = flag.Duration("interval", 500*time.Millisecond, "native measurement interval")
+	runsFlag     = flag.Int("runs", 3, "native runs per point (median)")
+)
+
+func main() {
+	flag.Parse()
+	threads, err := cliutil.ParseInts(*threadsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "willitscale:", err)
+		os.Exit(1)
+	}
+	switch *testFlag {
+	case "page_fault1", "page_fault2", "mmap1", "mmap2":
+	default:
+		fmt.Fprintf(os.Stderr, "willitscale: unknown test %q\n", *testFlag)
+		os.Exit(1)
+	}
+	if *modeFlag == "sim" {
+		s := sim.Figure9WillItScale(threads, *testFlag)
+		fmt.Printf("# Figure 9: will-it-scale %s_threads (sim, X5-4)\n", *testFlag)
+		fmt.Printf("%-10s %16s %16s\n", "threads", "stock", "BRAVO")
+		for i, tc := range threads {
+			fmt.Printf("%-10d %16.0f %16.0f\n", tc, s["stock"][i].Value, s["BRAVO"][i].Value)
+		}
+		return
+	}
+	cfg := bench.Config{Interval: *intervalFlag, Runs: *runsFlag, Threads: threads}
+	fmt.Printf("# Figure 9: will-it-scale %s_threads (native, chunk=%d)\n", *testFlag, *chunkFlag)
+	fmt.Printf("%-10s %16s %16s\n", "threads", "stock", "BRAVO")
+	for _, tc := range threads {
+		s := bench.WillItScale(bench.Stock, *testFlag, tc, *chunkFlag, cfg)
+		b := bench.WillItScale(bench.Bravo, *testFlag, tc, *chunkFlag, cfg)
+		fmt.Printf("%-10d %16.0f %16.0f\n", tc, s, b)
+	}
+}

@@ -1,0 +1,27 @@
+// Package bravo implements BRAVO — Biased Locking for Reader-Writer Locks
+// (Dice & Kogan, USENIX ATC 2019) — as a composable Go library, together
+// with the reader-writer locks the paper evaluates it against.
+//
+// BRAVO is a transformation, not a lock: New wraps any existing
+// reader-writer lock A and yields BRAVO-A, a lock with the same admission
+// policy and write-side behaviour but scalable concurrent reading. Readers
+// publish themselves with a single CAS into a process-wide visible readers
+// table instead of updating A's central reader indicator; writers pass
+// through A and, when reader bias is set, revoke it by scanning the table.
+// A built-in policy bounds the worst-case writer slow-down to about
+// 1/(N+1) (N = 9 by default), the paper's primum-non-nocere guarantee.
+//
+// # Quick start
+//
+//	l := bravo.New(bravo.NewBA())     // BRAVO over a Brandenburg-Anderson lock
+//	tok := l.RLock()                  // fast path: one CAS, no shared counter
+//	defer l.RUnlock(tok)              // the token carries the table slot
+//
+// Writers use Lock/Unlock as usual. The token-passing read API mirrors the
+// paper's observation that "the slot value must be passed from the read
+// lock operator to the corresponding unlock".
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// reproduction of the paper's figures and tables, and the examples/
+// directory for runnable programs.
+package bravo

@@ -1,0 +1,26 @@
+// Package arch captures the machine geometry constants used throughout the
+// lock implementations.
+//
+// The paper's system under test is an Intel Xeon with 64-byte coherence
+// units and an adjacent-line prefetcher, so locks are padded to 128-byte
+// "sectors" to avoid false sharing (paper §5). We keep the same geometry:
+// it costs little on other machines and keeps footprint numbers comparable
+// with the paper's Table of lock sizes.
+package arch
+
+const (
+	// CacheLineSize is the unit of coherence.
+	CacheLineSize = 64
+
+	// SectorSize is the alignment quantum used to avoid false sharing.
+	// Intel's adjacent cache line prefetcher pulls lines in pairs, so
+	// independently-written fields are kept 128 bytes apart.
+	SectorSize = 128
+)
+
+// CacheLinePad occupies one cache line. Embed between fields that are
+// written by different threads.
+type CacheLinePad struct{ _ [CacheLineSize]byte }
+
+// SectorPad occupies one sector (two cache lines on Intel).
+type SectorPad struct{ _ [SectorSize]byte }

@@ -1,0 +1,18 @@
+package arch
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestPadSizes(t *testing.T) {
+	if unsafe.Sizeof(CacheLinePad{}) != CacheLineSize {
+		t.Fatalf("CacheLinePad is %d bytes", unsafe.Sizeof(CacheLinePad{}))
+	}
+	if unsafe.Sizeof(SectorPad{}) != SectorSize {
+		t.Fatalf("SectorPad is %d bytes", unsafe.Sizeof(SectorPad{}))
+	}
+	if SectorSize != 2*CacheLineSize {
+		t.Fatal("a sector must be an adjacent-prefetch pair of lines (paper §5)")
+	}
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bravolock/bravo/internal/clock"
+	"github.com/bravolock/bravo/internal/histogram"
+)
+
+// ReadLatency measures the distribution of read-acquisition latency for a
+// lock under a periodic writer — the experiment behind the §7 claim that
+// letting readers divert through the slow path during revocation "reduces
+// variance for the latency of read operations". Compare bravo-ba against
+// bravo-ba-revmu: the former's readers stall behind whole revocation scans,
+// fattening the tail.
+func ReadLatency(lockName string, readers int, writePeriod time.Duration, cfg Config) *histogram.Histogram {
+	l := mustLock(lockName)
+	out := &histogram.Histogram{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	wg.Add(1)
+	go func() { // periodic writer forces revocations
+		defer wg.Done()
+		for !stop.Load() {
+			l.Lock()
+			l.Unlock()
+			time.Sleep(writePeriod)
+		}
+	}()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := &histogram.Histogram{}
+			for !stop.Load() {
+				start := clock.Nanos()
+				tok := l.RLock()
+				h.Record(clock.Nanos() - start)
+				l.RUnlock(tok)
+			}
+			mu.Lock()
+			out.Merge(h)
+			mu.Unlock()
+		}()
+	}
+	time.Sleep(cfg.Interval)
+	stop.Store(true)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"time"
+
+	"github.com/bravolock/bravo/internal/metis"
+	"github.com/bravolock/bravo/internal/vm"
+)
+
+// MetisWC runs the Table 1 application (wc) once with the given kernel and
+// parallelism and returns its runtime, the paper's Table 1 metric.
+func MetisWC(k Kernel, workers, corpusWords int) time.Duration {
+	as := newMetisAS(k)
+	corpus := metis.GenerateCorpus(corpusWords, 1)
+	start := time.Now()
+	metis.WC(as, corpus, workers)
+	return time.Since(start)
+}
+
+// MetisWrmem runs the Table 2 application (wrmem) once and returns its
+// runtime.
+func MetisWrmem(k Kernel, workers, wordsPerSplit int) time.Duration {
+	as := newMetisAS(k)
+	start := time.Now()
+	metis.Wrmem(as, workers, workers*4, wordsPerSplit)
+	return time.Since(start)
+}
+
+func newMetisAS(k Kernel) *vm.AddressSpace {
+	return vm.NewAddressSpace(newMMapSem(k))
+}
+
+// MetisSpeedup formats the paper's speedup column: (stock−bravo)/stock.
+func MetisSpeedup(stock, bravo time.Duration) float64 {
+	if stock <= 0 {
+		return 0
+	}
+	return float64(stock-bravo) / float64(stock)
+}

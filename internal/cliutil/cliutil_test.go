@@ -1,0 +1,35 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts("1, 2,5,10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{1, 2, 5, 10}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParseIntsErrors(t *testing.T) {
+	for _, bad := range []string{"", "  ", "1,x", "1,,2"} {
+		if _, err := ParseInts(bad); err == nil {
+			t.Errorf("ParseInts(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseNames(t *testing.T) {
+	got := ParseNames(" ba, bravo-ba ,,per-cpu ")
+	want := []string{"ba", "bravo-ba", "per-cpu"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if ParseNames("") != nil {
+		t.Fatal("empty input should yield nil")
+	}
+}

@@ -1,0 +1,19 @@
+// Package clock provides a cheap monotonic nanosecond clock.
+//
+// BRAVO's InhibitUntil policy (paper §3) needs a "high-resolution low-latency
+// means of reading the system clock" whose concurrent readers do not
+// interfere with each other. The paper uses RDTSCP or the
+// clock_gettime(CLOCK_MONOTONIC) vDSO fast path; the Go equivalent is the
+// monotonic component of time.Time, read here as nanoseconds since an
+// arbitrary process epoch.
+package clock
+
+import "time"
+
+var epoch = time.Now()
+
+// Nanos returns monotonic nanoseconds since an arbitrary (per-process) epoch.
+// The value is strictly non-decreasing and safe for concurrent use.
+func Nanos() int64 {
+	return int64(time.Since(epoch))
+}

@@ -1,0 +1,26 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMonotonic(t *testing.T) {
+	prev := Nanos()
+	for i := 0; i < 10000; i++ {
+		now := Nanos()
+		if now < prev {
+			t.Fatalf("clock went backwards: %d < %d", now, prev)
+		}
+		prev = now
+	}
+}
+
+func TestAdvances(t *testing.T) {
+	a := Nanos()
+	time.Sleep(5 * time.Millisecond)
+	b := Nanos()
+	if b-a < int64(time.Millisecond) {
+		t.Fatalf("clock advanced only %dns across a 5ms sleep", b-a)
+	}
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"sync"
+	"unsafe"
+
+	"sync/atomic"
+
+	"github.com/bravolock/bravo/internal/clock"
+	"github.com/bravolock/bravo/internal/rwl"
+	"github.com/bravolock/bravo/internal/self"
+	"github.com/bravolock/bravo/internal/xrand"
+)
+
+// fastBit tags tokens of fast-path read acquisitions; the slot index lives
+// in the low bits. Substrate locks confine their tokens to the low 32 bits
+// (see rwl), so the encodings cannot collide.
+const fastBit rwl.Token = 1 << 63
+
+// Lock is a BRAVO-transformed reader-writer lock: BRAVO-A where A is the
+// underlying lock supplied to New. Per Listing 1, it extends A with an RBias
+// flag and (inside the default policy) an InhibitUntil timestamp. Reads have
+// dual paths: a fast path that publishes the reader in the visible readers
+// table without touching A, and the traditional slow path through A. Writers
+// always pass through A, revoking reader bias when it is set.
+//
+// BRAVO is transparent to A's admission policy: if A is reader-preference,
+// writer-preference, phase-fair or neutral, BRAVO-A is too.
+type Lock struct {
+	rbias atomic.Uint32
+	under rwl.RWLock
+	table *Table
+	// policy arbitrates bias (re-)enabling; the default is the paper's
+	// InhibitPolicy with N = 9.
+	policy Policy
+	stats  *Stats
+	// revMu, when non-nil, is the future-work variant (§7) that lets
+	// arriving readers divert through the slow path while a writer is mid
+	// revocation: writers serialize on revMu and revoke *before* acquiring
+	// the underlying write lock.
+	revMu *sync.Mutex
+	// probe2 enables the secondary-hash fast-path probe (§7).
+	probe2 bool
+	// randomized selects non-deterministic slot indices (§7: "using time or
+	// random numbers to form indices").
+	randomized bool
+}
+
+var (
+	_ rwl.RWLock    = (*Lock)(nil)
+	_ rwl.TryRWLock = (*Lock)(nil)
+)
+
+// Option configures a Lock.
+type Option func(*Lock)
+
+// WithTable directs the lock at a specific visible readers table — e.g. a
+// private per-lock table (the idealized interference-immune variant of
+// Figure 1) or a BRAVO-2D sectored table.
+func WithTable(t *Table) Option { return func(l *Lock) { l.table = t } }
+
+// WithPolicy installs a bias-enabling policy.
+func WithPolicy(p Policy) Option { return func(l *Lock) { l.policy = p } }
+
+// WithStats attaches an event counter set. Counting adds shared-memory
+// traffic; leave nil for performance runs.
+func WithStats(s *Stats) Option { return func(l *Lock) { l.stats = s } }
+
+// WithInhibitN sets the paper's N multiplier on the default policy
+// (worst-case writer slow-down ≈ 1/(N+1)).
+func WithInhibitN(n int64) Option {
+	return func(l *Lock) { l.policy = NewInhibitPolicy(n) }
+}
+
+// WithSecondProbe enables a secondary table probe before a colliding reader
+// falls back to the slow path.
+func WithSecondProbe() Option { return func(l *Lock) { l.probe2 = true } }
+
+// WithRandomizedIndex selects random rather than deterministic slot indices.
+func WithRandomizedIndex() Option { return func(l *Lock) { l.randomized = true } }
+
+// WithRevocationMutex adds the per-lock writer mutex that allows readers to
+// make progress (via the slow path) while a writer performs revocation,
+// reducing read-latency variance (§7).
+func WithRevocationMutex() Option {
+	return func(l *Lock) { l.revMu = new(sync.Mutex) }
+}
+
+// New wraps an existing reader-writer lock with the BRAVO transformation.
+func New(under rwl.RWLock, opts ...Option) *Lock {
+	l := &Lock{under: under, table: shared}
+	for _, o := range opts {
+		o(l)
+	}
+	if l.policy == nil {
+		l.policy = NewInhibitPolicy(DefaultInhibitN)
+	}
+	return l
+}
+
+// Underlying returns the wrapped lock.
+func (l *Lock) Underlying() rwl.RWLock { return l.under }
+
+// TableInUse returns the visible readers table this lock publishes into.
+func (l *Lock) TableInUse() *Table { return l.table }
+
+// Biased reports whether reader bias is currently enabled.
+func (l *Lock) Biased() bool { return l.rbias.Load() == 1 }
+
+// WriterPresent reports whether the underlying lock exposes a visible
+// writer. Diagnostic; present only when the substrate provides it.
+func (l *Lock) WriterPresent() bool {
+	if wp, ok := l.under.(interface{ WriterPresent() bool }); ok {
+		return wp.WriterPresent()
+	}
+	return false
+}
+
+// id returns the lock identity installed in table slots.
+func (l *Lock) id() uintptr { return uintptr(unsafe.Pointer(l)) }
+
+// RLock acquires read permission (Listing 1, Reader). The returned token
+// must be passed to RUnlock.
+func (l *Lock) RLock() rwl.Token {
+	return l.RLockWithID(self.ID())
+}
+
+// RLockWithID is RLock with an explicit thread identity, for callers that
+// pin identities (benchmark workers, pooled executors).
+func (l *Lock) RLockWithID(selfID uint64) rwl.Token {
+	if l.rbias.Load() == 1 {
+		if t, ok := l.fastTry(selfID); ok {
+			return t
+		}
+	} else if l.stats != nil {
+		l.stats.SlowDisabled.Add(1)
+	}
+	// Slow path: acquire read permission on the underlying lock.
+	ut := l.under.RLock()
+	// Safety: bias may only be set while holding read permission on the
+	// underlying lock, which excludes writers (Listing 1 lines 25–26).
+	if l.rbias.Load() == 0 && l.policy.ShouldEnable() {
+		l.rbias.Store(1)
+	}
+	return ut
+}
+
+// fastTry attempts the constant-time fast-path prefix (Listing 1 lines
+// 11–23). On success the returned token carries the slot index.
+func (l *Lock) fastTry(selfID uint64) (rwl.Token, bool) {
+	id := l.id()
+	if l.randomized {
+		selfID = xrand.NewSplitMix64(uint64(clock.Nanos()) ^ selfID).Next()
+	}
+	idx := l.table.index(id, selfID)
+	if l.table.tryPublish(idx, id) {
+		// Store-load fence required on TSO — subsumed by the CAS, and in Go
+		// by the sequentially consistent atomics.
+		if l.rbias.Load() == 1 { // recheck
+			if l.stats != nil {
+				l.stats.FastRead.Add(1)
+			}
+			return fastBit | rwl.Token(idx), true
+		}
+		// Raced: a writer revoked bias after our publication; undo.
+		l.table.Clear(idx)
+		if l.stats != nil {
+			l.stats.SlowRaced.Add(1)
+		}
+		return 0, false
+	}
+	if l.probe2 {
+		idx = l.table.index2(id, selfID)
+		if l.table.tryPublish(idx, id) {
+			if l.rbias.Load() == 1 {
+				if l.stats != nil {
+					l.stats.FastRead.Add(1)
+				}
+				return fastBit | rwl.Token(idx), true
+			}
+			l.table.Clear(idx)
+			if l.stats != nil {
+				l.stats.SlowRaced.Add(1)
+			}
+			return 0, false
+		}
+	}
+	if l.stats != nil {
+		l.stats.SlowCollision.Add(1)
+	}
+	return 0, false
+}
+
+// RUnlock releases read permission acquired by the RLock call that returned
+// t: fast-path readers clear their slot, slow-path readers release the
+// underlying lock (Listing 1 lines 29–33).
+func (l *Lock) RUnlock(t rwl.Token) {
+	if t&fastBit != 0 {
+		l.table.Clear(uint32(t))
+		return
+	}
+	l.under.RUnlock(t)
+}
+
+// Lock acquires write permission (Listing 1, Writer): pass through the
+// underlying lock, then revoke reader bias if it is set.
+func (l *Lock) Lock() {
+	if l.revMu != nil {
+		// Future-work variant: resolve write-write conflicts first and
+		// revoke before taking the underlying lock, so arriving readers can
+		// still enter via the slow path during the revocation scan.
+		l.revMu.Lock()
+		if l.rbias.Load() == 1 {
+			l.revoke()
+		}
+	}
+	l.under.Lock()
+	if l.rbias.Load() == 1 {
+		// In the default mode this is the Listing 1 revocation; in revMu
+		// mode it catches the rare slow reader that re-enabled bias between
+		// our pre-revocation and the write acquisition.
+		l.revoke()
+	} else if l.stats != nil {
+		l.stats.WriteNormal.Add(1)
+	}
+}
+
+// revoke disables reader bias and waits for all fast-path readers of this
+// lock to depart (Listing 1 lines 38–49).
+func (l *Lock) revoke() {
+	l.rbias.Store(0)
+	// Store-load fence required on TSO — Go atomics are seq-cst.
+	start := clock.Nanos()
+	scanned, conflicts := l.table.WaitEmpty(l.id())
+	now := clock.Nanos()
+	// Primum non-nocere: limit and bound the slow-down arising from
+	// revocation overheads.
+	l.policy.RevocationDone(start, now)
+	if l.stats != nil {
+		l.stats.WriteRevoke.Add(1)
+		l.stats.RevokeNanos.Add(now - start)
+		l.stats.RevokeScanned.Add(uint64(scanned))
+		l.stats.RevokeWaits.Add(uint64(conflicts))
+	}
+}
+
+// Unlock releases write permission.
+func (l *Lock) Unlock() {
+	l.under.Unlock()
+	if l.revMu != nil {
+		l.revMu.Unlock()
+	}
+}
+
+// TryRLock attempts the fast path and then, if the underlying lock supports
+// try-acquisition, the slow path (§3's try-lock treatment). On underlying
+// success the policy may enable bias, as the paper permits.
+func (l *Lock) TryRLock() (rwl.Token, bool) {
+	if l.rbias.Load() == 1 {
+		if t, ok := l.fastTry(self.ID()); ok {
+			return t, true
+		}
+	}
+	tu, ok := l.underTry()
+	if !ok {
+		return 0, false
+	}
+	if l.rbias.Load() == 0 && l.policy.ShouldEnable() {
+		l.rbias.Store(1)
+	}
+	return tu, true
+}
+
+func (l *Lock) underTry() (rwl.Token, bool) {
+	t, ok := l.under.(rwl.TryRWLock)
+	if !ok {
+		return 0, false
+	}
+	return t.TryRLock()
+}
+
+// TryLock attempts to acquire write permission. If the underlying try-lock
+// succeeds and bias is set, revocation is performed exactly as in Lock.
+func (l *Lock) TryLock() bool {
+	if l.revMu != nil && !l.revMu.TryLock() {
+		return false
+	}
+	t, ok := l.under.(rwl.TryRWLock)
+	if !ok || !t.TryLock() {
+		if l.revMu != nil {
+			l.revMu.Unlock()
+		}
+		return false
+	}
+	if l.rbias.Load() == 1 {
+		l.revoke()
+	} else if l.stats != nil {
+		l.stats.WriteNormal.Add(1)
+	}
+	return true
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewTableValidation(t *testing.T) {
+	for _, bad := range []int{0, -1, 3, 100, 4095} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTable(%d) did not panic", bad)
+				}
+			}()
+			NewTable(bad)
+		}()
+	}
+	if got := NewTable(8).Size(); got != 8 {
+		t.Errorf("Size = %d, want 8", got)
+	}
+}
+
+func TestNewTable2DValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 256}, {3, 256}, {4, 0}, {4, 100}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTable2D(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			NewTable2D(bad[0], bad[1])
+		}()
+	}
+	tab := NewTable2D(4, 256)
+	if !tab.Sectored() || tab.Size() != 1024 {
+		t.Errorf("2D table misconfigured: sectored=%v size=%d", tab.Sectored(), tab.Size())
+	}
+}
+
+func TestSharedTableGeometry(t *testing.T) {
+	if SharedTable().Size() != DefaultTableSize {
+		t.Fatalf("shared table has %d slots, want %d (paper §3)", SharedTable().Size(), DefaultTableSize)
+	}
+	if SharedTable().Sectored() {
+		t.Fatal("shared table must use the flat Listing 1 layout")
+	}
+}
+
+func TestPublishClearRoundTrip(t *testing.T) {
+	tab := NewTable(64)
+	id := uintptr(0xdeadbeef0)
+	idx := tab.index(id, 42)
+	if !tab.tryPublish(idx, id) {
+		t.Fatal("publish into empty slot failed")
+	}
+	if tab.load(idx) != id {
+		t.Fatal("slot does not hold the published identity")
+	}
+	if tab.tryPublish(idx, 0xabc0) {
+		t.Fatal("publish into occupied slot succeeded (collision must fail)")
+	}
+	tab.Clear(idx)
+	if tab.load(idx) != 0 {
+		t.Fatal("slot not cleared")
+	}
+	if tab.Occupancy() != 0 {
+		t.Fatal("occupancy nonzero after clear")
+	}
+}
+
+func TestIndexInBounds(t *testing.T) {
+	tab1 := NewTable(4096)
+	tab2 := NewTable2D(64, 256)
+	f := func(lock uint64, self uint64) bool {
+		a := tab1.index(uintptr(lock), self)
+		b := tab1.index2(uintptr(lock), self)
+		c := tab2.index(uintptr(lock), self)
+		d := tab2.index2(uintptr(lock), self)
+		return a < 4096 && b < 4096 && c < 64*256 && d < 64*256
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func Test2DColumnFixedPerLock(t *testing.T) {
+	// BRAVO-2D's revocation scans one column, so every identity must map a
+	// given lock to the same column regardless of the thread.
+	tab := NewTable2D(16, 256)
+	lock := uintptr(0xc000001230)
+	col := tab.index(lock, 0) % tab.rowLen
+	f := func(self uint64) bool {
+		return tab.index(lock, self)%tab.rowLen == col &&
+			tab.index2(lock, self)%tab.rowLen == col
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func Test2DRowSelectedByThread(t *testing.T) {
+	// Distinct thread identities should spread over rows.
+	tab := NewTable2D(16, 256)
+	lock := uintptr(0xc000001230)
+	rows := map[uint32]bool{}
+	for id := uint64(0); id < 64; id++ {
+		rows[tab.index(lock, id)/tab.rowLen] = true
+	}
+	if len(rows) < 8 {
+		t.Errorf("64 identities hit only %d/16 rows", len(rows))
+	}
+}
+
+func TestWaitEmptyScanCounts(t *testing.T) {
+	tab := NewTable(256)
+	scanned, conflicts := tab.WaitEmpty(uintptr(0x1230))
+	if scanned != 256 || conflicts != 0 {
+		t.Fatalf("1D empty scan: scanned=%d conflicts=%d, want 256, 0", scanned, conflicts)
+	}
+	tab2 := NewTable2D(8, 32)
+	scanned, conflicts = tab2.WaitEmpty(uintptr(0x1230))
+	if scanned != 8 || conflicts != 0 {
+		t.Fatalf("2D empty scan: scanned=%d conflicts=%d, want 8 (one per row), 0", scanned, conflicts)
+	}
+}
+
+func TestWaitEmptyAwaitsConflicts(t *testing.T) {
+	tab := NewTable(64)
+	id := uintptr(0x5550)
+	idx := tab.index(id, 7)
+	if !tab.tryPublish(idx, id) {
+		t.Fatal("publish failed")
+	}
+	done := make(chan int)
+	go func() {
+		_, conflicts := tab.WaitEmpty(id)
+		done <- conflicts
+	}()
+	// Give the scanner time to reach the occupied slot and block on it.
+	time.Sleep(30 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("waitEmpty returned while a reader was published")
+	default:
+	}
+	tab.Clear(idx)
+	if conflicts := <-done; conflicts != 1 {
+		t.Fatalf("conflicts = %d, want 1", conflicts)
+	}
+}
+
+func TestWaitEmptyIgnoresOtherLocks(t *testing.T) {
+	tab := NewTable(64)
+	other := uintptr(0x7770)
+	if !tab.tryPublish(3, other) {
+		t.Fatal("publish failed")
+	}
+	scanned, conflicts := tab.WaitEmpty(uintptr(0x5550))
+	if scanned != 64 || conflicts != 0 {
+		t.Fatalf("scan over foreign entries: scanned=%d conflicts=%d", scanned, conflicts)
+	}
+	tab.Clear(3)
+}
+
+func TestOccupancyCountsDistinctSlots(t *testing.T) {
+	tab := NewTable(64)
+	tab.tryPublish(1, 0x10)
+	tab.tryPublish(5, 0x20)
+	tab.tryPublish(9, 0x10) // same lock in two slots (two fast readers)
+	if got := tab.Occupancy(); got != 3 {
+		t.Fatalf("occupancy = %d, want 3", got)
+	}
+}

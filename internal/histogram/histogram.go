@@ -1,0 +1,98 @@
+// Package histogram provides a fixed-footprint log-scale latency histogram
+// for the harness's latency experiments — notably the §7 claim that the
+// revocation-mutex variant "reduces variance for the latency of read
+// operations", which needs tail percentiles rather than throughput.
+package histogram
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// buckets is the number of power-of-two latency classes; bucket i holds
+// samples in [2^i, 2^(i+1)) nanoseconds (bucket 0 holds <2ns).
+const buckets = 48
+
+// Histogram is a log₂-bucketed nanosecond histogram. Not safe for
+// concurrent use; each worker records into its own and merges at the end.
+type Histogram struct {
+	bucket [buckets]uint64
+	count  uint64
+	sum    int64
+	max    int64
+}
+
+// Record adds one sample (nanoseconds).
+func (h *Histogram) Record(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= buckets {
+		b = buckets - 1
+	}
+	h.bucket[b]++
+	h.count++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range h.bucket {
+		h.bucket[i] += other.bucket[i]
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the arithmetic mean in nanoseconds.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Percentile returns an upper bound (bucket boundary) for the p-th
+// percentile, p in (0, 100].
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(p / 100 * float64(h.count))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.bucket {
+		seen += c
+		if seen >= rank {
+			if i == 0 {
+				return 1
+			}
+			return int64(1) << uint(i) // upper bound of bucket i-1's range
+		}
+	}
+	return h.max
+}
+
+// String renders count/mean/p50/p99/max on one line.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.0fns p50≤%dns p99≤%dns max=%dns",
+		h.count, h.Mean(), h.Percentile(50), h.Percentile(99), h.max)
+	return b.String()
+}

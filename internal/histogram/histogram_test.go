@@ -1,0 +1,96 @@
+package histogram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordAndCount(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if m := h.Mean(); m < 500 || m > 501 {
+		t.Fatalf("mean = %v, want 500.5", m)
+	}
+}
+
+func TestPercentileOrdering(t *testing.T) {
+	var h Histogram
+	for i := int64(0); i < 10000; i++ {
+		h.Record(i)
+	}
+	p50 := h.Percentile(50)
+	p90 := h.Percentile(90)
+	p99 := h.Percentile(99)
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Fatalf("percentiles not monotonic: %d %d %d", p50, p90, p99)
+	}
+	// p50 of uniform [0,10000) is ~5000; bucket upper bound gives ≤8192.
+	if p50 < 4096 || p50 > 8192 {
+		t.Fatalf("p50 bound %d implausible", p50)
+	}
+}
+
+func TestPercentileBracketsSamples(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		max := int64(0)
+		for _, v := range raw {
+			h.Record(int64(v))
+			if int64(v) > max {
+				max = int64(v)
+			}
+		}
+		// p100 upper bound must bracket the maximum.
+		return h.Percentile(100) >= max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	for i := int64(0); i < 100; i++ {
+		a.Record(10)
+		b.Record(1000)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() != 1000 {
+		t.Fatalf("merged max = %d", a.Max())
+	}
+	if a.Percentile(25) > 16 || a.Percentile(99) < 512 {
+		t.Fatalf("merged distribution wrong: p25≤%d p99≤%d", a.Percentile(25), a.Percentile(99))
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatal("negative sample not clamped")
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Percentile(99) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+	if h.String() == "" {
+		t.Fatal("empty String")
+	}
+}

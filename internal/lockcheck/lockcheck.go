@@ -1,0 +1,268 @@
+// Package lockcheck provides reusable invariant checkers for reader-writer
+// locks. Every lock package's tests drive the same storms and admission
+// probes through these helpers, so a new lock implementation inherits the
+// full correctness battery by writing a handful of one-line tests.
+package lockcheck
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/bravolock/bravo/internal/rwl"
+	"github.com/bravolock/bravo/internal/xrand"
+)
+
+// Exclusion runs a concurrent storm of readers and writers against a fresh
+// lock from mk and fails the test if a writer ever overlaps another writer
+// or any reader. The occupancy word packs active writers in the low byte and
+// active readers above it, so violations are detected at the moment of
+// admission.
+func Exclusion(t *testing.T, mk func() rwl.RWLock, readers, writers, iters int) {
+	t.Helper()
+	l := mk()
+	var state atomic.Int64 // readers·256 + writers
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := xrand.NewXorShift64(seed)
+			for i := 0; i < iters; i++ {
+				tok := l.RLock()
+				if state.Add(256)&0xff != 0 {
+					violations.Add(1)
+				}
+				if rng.Intn(8) == 0 {
+					runtime.Gosched()
+				}
+				state.Add(-256)
+				l.RUnlock(tok)
+			}
+		}(uint64(r + 1))
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := xrand.NewXorShift64(seed)
+			for i := 0; i < iters; i++ {
+				l.Lock()
+				if state.Add(1) != 1 {
+					violations.Add(1)
+				}
+				if rng.Intn(4) == 0 {
+					runtime.Gosched()
+				}
+				state.Add(-1)
+				l.Unlock()
+			}
+		}(uint64(1000 + w))
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("mutual exclusion violated %d times", v)
+	}
+	if s := state.Load(); s != 0 {
+		t.Fatalf("lock accounting left residue %d", s)
+	}
+}
+
+// TryExclusion storms TryRLock/TryLock alongside blocking acquisitions.
+func TryExclusion(t *testing.T, mk func() rwl.RWLock, workers, iters int) {
+	t.Helper()
+	l := mk()
+	tl, ok := l.(rwl.TryRWLock)
+	if !ok {
+		t.Fatalf("lock does not implement TryRWLock")
+	}
+	var state atomic.Int64
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := xrand.NewXorShift64(seed)
+			for i := 0; i < iters; i++ {
+				switch rng.Intn(4) {
+				case 0:
+					if tok, ok := tl.TryRLock(); ok {
+						if state.Add(256)&0xff != 0 {
+							violations.Add(1)
+						}
+						state.Add(-256)
+						l.RUnlock(tok)
+					}
+				case 1:
+					if tl.TryLock() {
+						if state.Add(1) != 1 {
+							violations.Add(1)
+						}
+						state.Add(-1)
+						l.Unlock()
+					}
+				case 2:
+					tok := l.RLock()
+					if state.Add(256)&0xff != 0 {
+						violations.Add(1)
+					}
+					state.Add(-256)
+					l.RUnlock(tok)
+				default:
+					l.Lock()
+					if state.Add(1) != 1 {
+						violations.Add(1)
+					}
+					state.Add(-1)
+					l.Unlock()
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("try-lock mutual exclusion violated %d times", v)
+	}
+}
+
+// ReadersConcurrent asserts that the lock admits at least two simultaneous
+// readers (work conservation of read-read parallelism).
+func ReadersConcurrent(t *testing.T, l rwl.RWLock) {
+	t.Helper()
+	t1 := l.RLock()
+	done := make(chan rwl.Token)
+	go func() { done <- l.RLock() }()
+	select {
+	case t2 := <-done:
+		l.RUnlock(t2)
+	case <-time.After(5 * time.Second):
+		t.Fatal("second reader was not admitted alongside an active reader")
+	}
+	l.RUnlock(t1)
+}
+
+// WriterExcludesReaders asserts that while a writer holds the lock, a reader
+// is not admitted, and is admitted after the writer departs.
+func WriterExcludesReaders(t *testing.T, l rwl.RWLock) {
+	t.Helper()
+	l.Lock()
+	var got atomic.Bool
+	go func() {
+		tok := l.RLock()
+		got.Store(true)
+		l.RUnlock(tok)
+	}()
+	Never(t, got.Load, 50*time.Millisecond, "reader admitted while writer held the lock")
+	l.Unlock()
+	Eventually(t, got.Load, "reader not admitted after writer departed")
+}
+
+// WaitingWriterBlocksReaders probes writer-preference / phase-fair
+// admission: with a reader active and a writer waiting, a newly arriving
+// reader must not be admitted until the writer has had its turn.
+func WaitingWriterBlocksReaders(t *testing.T, l rwl.RWLock) {
+	t.Helper()
+	r1 := l.RLock()
+	var wGot, r2Got atomic.Bool
+	wRelease := make(chan struct{})
+	go func() {
+		l.Lock()
+		wGot.Store(true)
+		<-wRelease
+		l.Unlock()
+	}()
+	// Wait until the writer has announced itself (it cannot be admitted
+	// while r1 is active).
+	waitWriterVisible(t, l)
+	go func() {
+		tok := l.RLock()
+		r2Got.Store(true)
+		l.RUnlock(tok)
+	}()
+	Never(t, r2Got.Load, 50*time.Millisecond, "reader barged past a waiting writer")
+	l.RUnlock(r1)
+	Eventually(t, wGot.Load, "writer not admitted after readers drained")
+	close(wRelease)
+	Eventually(t, r2Got.Load, "blocked reader not admitted after writer departed")
+}
+
+// WaitingWriterStarvedByReaders probes strong reader preference: with a
+// reader active and a writer waiting, a newly arriving reader IS admitted
+// ahead of the writer.
+func WaitingWriterStarvedByReaders(t *testing.T, l rwl.RWLock) {
+	t.Helper()
+	r1 := l.RLock()
+	var wGot, r2Got atomic.Bool
+	wRelease := make(chan struct{})
+	go func() {
+		l.Lock()
+		wGot.Store(true)
+		<-wRelease
+		l.Unlock()
+	}()
+	waitWriterWaiting(t, 100*time.Millisecond)
+	go func() {
+		tok := l.RLock()
+		r2Got.Store(true)
+		l.RUnlock(tok)
+	}()
+	Eventually(t, r2Got.Load, "reader-preference lock blocked a reader behind a waiting writer")
+	if wGot.Load() {
+		t.Fatal("writer was admitted while a reader held the lock")
+	}
+	l.RUnlock(r1)
+	Eventually(t, wGot.Load, "writer not admitted after readers drained")
+	close(wRelease)
+}
+
+// waitWriterVisible waits until the lock reports a writer present, via the
+// WriterPresent diagnostic when available, otherwise a grace sleep.
+func waitWriterVisible(t *testing.T, l rwl.RWLock) {
+	t.Helper()
+	if wp, ok := l.(interface{ WriterPresent() bool }); ok {
+		Eventually(t, wp.WriterPresent, "writer never became visible")
+		return
+	}
+	waitWriterWaiting(t, 100*time.Millisecond)
+}
+
+func waitWriterWaiting(t *testing.T, d time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// Eventually polls cond (yielding) and fails the test if it does not hold
+// within a generous deadline.
+func Eventually(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatal(msg)
+}
+
+// Never asserts cond stays false for the duration.
+func Never(t *testing.T, cond func() bool, d time.Duration, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			t.Fatal(msg)
+		}
+		runtime.Gosched()
+		time.Sleep(100 * time.Microsecond)
+	}
+}

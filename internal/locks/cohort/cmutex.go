@@ -1,0 +1,70 @@
+package cohort
+
+import (
+	"github.com/bravolock/bravo/internal/arch"
+	"github.com/bravolock/bravo/internal/locks/ticket"
+)
+
+// maxHandoffs bounds consecutive local handoffs of the global lock within
+// one cohort, preserving long-term fairness across nodes (the cohort-locking
+// paper [20] uses a bound of this magnitude).
+const maxHandoffs = 64
+
+// cnode is one node's arm of the cohort mutex.
+type cnode struct {
+	local ticket.Mutex
+	// ownGlobal marks that this cohort holds the global lock; it is read and
+	// written only while holding the local ticket lock.
+	ownGlobal bool
+	// handoffs counts consecutive local passes; guarded by the local lock.
+	handoffs int
+	_        arch.SectorPad
+}
+
+// Mutex is a C-TKT-TKT cohort mutual-exclusion lock: a global ticket lock
+// whose ownership is handed off preferentially to waiters on the same NUMA
+// node, bounded by maxHandoffs.
+type Mutex struct {
+	global ticket.Mutex
+	_      arch.SectorPad
+	nodes  []cnode
+	// owner is the node that currently holds the mutex; written under the
+	// mutex itself, read by Unlock.
+	owner int
+}
+
+// NewMutex returns a cohort mutex spanning the given number of nodes.
+func NewMutex(nodes int) *Mutex {
+	if nodes < 1 {
+		nodes = 1
+	}
+	return &Mutex{nodes: make([]cnode, nodes)}
+}
+
+// Lock acquires the mutex on behalf of a caller running on node.
+func (m *Mutex) Lock(node int) {
+	c := &m.nodes[node]
+	c.local.Lock()
+	if !c.ownGlobal {
+		m.global.Lock()
+		c.ownGlobal = true
+	}
+	m.owner = node
+}
+
+// Unlock releases the mutex, handing the global lock to a same-node waiter
+// when one exists and the handoff budget allows.
+func (m *Mutex) Unlock() {
+	c := &m.nodes[m.owner]
+	if c.local.HasWaiters() && c.handoffs < maxHandoffs {
+		c.handoffs++
+		// Keep the global lock owned by this cohort; the local successor
+		// observes ownGlobal and skips the global acquisition.
+		c.local.Unlock()
+		return
+	}
+	c.handoffs = 0
+	c.ownGlobal = false
+	m.global.Unlock()
+	c.local.Unlock()
+}

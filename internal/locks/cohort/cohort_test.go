@@ -1,0 +1,107 @@
+package cohort
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/bravolock/bravo/internal/lockcheck"
+	"github.com/bravolock/bravo/internal/rwl"
+	"github.com/bravolock/bravo/internal/topo"
+)
+
+var testTopo = topo.Topology{Sockets: 2, CoresPerSocket: 2, ThreadsPerCore: 2}
+
+func mk() rwl.RWLock { return New(testTopo) }
+
+func TestExclusion(t *testing.T) {
+	lockcheck.Exclusion(t, mk, 4, 2, 1500)
+}
+
+func TestExclusionWriteHeavy(t *testing.T) {
+	lockcheck.Exclusion(t, mk, 2, 4, 1000)
+}
+
+func TestReadersConcurrent(t *testing.T) {
+	lockcheck.ReadersConcurrent(t, mk())
+}
+
+func TestWriterExcludesReaders(t *testing.T) {
+	lockcheck.WriterExcludesReaders(t, mk())
+}
+
+func TestWriterPreference(t *testing.T) {
+	// C-RW-WP: readers stand back while a writer is waiting.
+	lockcheck.WaitingWriterBlocksReaders(t, mk())
+}
+
+func TestTokenIsNode(t *testing.T) {
+	l := New(testTopo)
+	tok := l.RLock()
+	if int(tok) >= testTopo.Sockets {
+		t.Fatalf("token %d is not a valid node", tok)
+	}
+	l.RUnlock(tok)
+}
+
+func TestReaderIndicatorEmptiness(t *testing.T) {
+	var ri readerIndicator
+	if !ri.empty() {
+		t.Fatal("fresh indicator not empty")
+	}
+	ri.arrive()
+	if ri.empty() {
+		t.Fatal("indicator empty with an active reader")
+	}
+	ri.depart()
+	if !ri.empty() {
+		t.Fatal("indicator not empty after departure")
+	}
+}
+
+func TestCohortMutexExclusion(t *testing.T) {
+	m := NewMutex(2)
+	var counter int
+	var wg sync.WaitGroup
+	const workers, iters = 6, 1500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				m.Lock(node)
+				counter++
+				m.Unlock()
+			}
+		}(w % 2)
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Fatalf("counter = %d, want %d", counter, workers*iters)
+	}
+}
+
+func TestCohortMutexCrossNodeProgress(t *testing.T) {
+	// Handoff bounding: node 0 hammering the lock must not starve node 1.
+	m := NewMutex(2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.Lock(0)
+				m.Unlock()
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		m.Lock(1)
+		m.Unlock()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,85 @@
+// Package mcs implements the Mellor-Crummey–Scott queue mutex.
+//
+// MCS queues are the waiting substrate of the paper's "BA" lock (the
+// Brandenburg–Anderson PF-Q phase-fair lock uses "an MCS-like central queue,
+// with local spinning", §2). Each waiter spins on a flag in its own queue
+// node, so handoff generates a single coherence transfer instead of a
+// broadcast.
+package mcs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/bravolock/bravo/internal/spin"
+)
+
+// node is an MCS queue element. Nodes are pooled; granted/next are reset
+// before reuse.
+type node struct {
+	next    atomic.Pointer[node]
+	granted atomic.Uint32
+}
+
+var nodePool = sync.Pool{New: func() any { return new(node) }}
+
+// Mutex is an MCS queue lock. The zero value is unlocked.
+type Mutex struct {
+	tail  atomic.Pointer[node]
+	owner *node // queue node of the current owner; guarded by the lock itself
+}
+
+// Lock acquires the mutex with local spinning.
+func (m *Mutex) Lock() {
+	n := nodePool.Get().(*node)
+	n.next.Store(nil)
+	n.granted.Store(0)
+	if prev := m.tail.Swap(n); prev != nil {
+		prev.next.Store(n)
+		var b spin.Backoff
+		for n.granted.Load() == 0 {
+			b.Once()
+		}
+	}
+	m.owner = n
+}
+
+// TryLock acquires the mutex only if the queue is empty.
+func (m *Mutex) TryLock() bool {
+	n := nodePool.Get().(*node)
+	n.next.Store(nil)
+	n.granted.Store(0)
+	if m.tail.CompareAndSwap(nil, n) {
+		m.owner = n
+		return true
+	}
+	nodePool.Put(n)
+	return false
+}
+
+// Unlock releases the mutex, granting it to the queued successor if any.
+func (m *Mutex) Unlock() {
+	n := m.owner
+	m.owner = nil
+	if n.next.Load() == nil {
+		if m.tail.CompareAndSwap(n, nil) {
+			nodePool.Put(n)
+			return
+		}
+		// A successor is linking itself in; wait for the link.
+		var b spin.Backoff
+		for n.next.Load() == nil {
+			b.Once()
+		}
+	}
+	succ := n.next.Load()
+	succ.granted.Store(1)
+	nodePool.Put(n)
+}
+
+// HasWaiters reports whether some caller other than the owner is queued or
+// arriving.
+func (m *Mutex) HasWaiters() bool {
+	t := m.tail.Load()
+	return t != nil && t != m.owner
+}

@@ -1,0 +1,73 @@
+package mcs
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestMutualExclusion(t *testing.T) {
+	var m Mutex
+	var counter int
+	var wg sync.WaitGroup
+	const workers, iters = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				m.Lock()
+				counter++
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Fatalf("counter = %d, want %d", counter, workers*iters)
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	var m Mutex
+	if !m.TryLock() {
+		t.Fatal("TryLock failed on a free lock")
+	}
+	if m.TryLock() {
+		t.Fatal("TryLock succeeded on a held lock")
+	}
+	m.Unlock()
+	if !m.TryLock() {
+		t.Fatal("TryLock failed after unlock")
+	}
+	m.Unlock()
+}
+
+func TestHandoffUnderContention(t *testing.T) {
+	// Exercise the queued-successor path explicitly: hold the lock while a
+	// known contender queues, then verify the handoff admits it.
+	var m Mutex
+	m.Lock()
+	got := make(chan struct{})
+	go func() {
+		m.Lock()
+		close(got)
+		m.Unlock()
+	}()
+	for !m.HasWaiters() {
+		runtime.Gosched()
+	}
+	m.Unlock()
+	<-got
+}
+
+func TestLockUnlockSequential(t *testing.T) {
+	var m Mutex
+	for i := 0; i < 1000; i++ {
+		m.Lock()
+		m.Unlock()
+	}
+	if m.HasWaiters() {
+		t.Fatal("phantom waiters after sequential use")
+	}
+}

@@ -1,0 +1,46 @@
+// Package mutexrw presents a plain mutex as a degenerate reader-writer lock
+// in which read acquisitions are exclusive.
+//
+// This exists for the paper's future-work variant (§7): "implement BRAVO on
+// top of an underlying mutex instead of a reader-writer lock. Slow-path
+// readers must acquire the mutex, and the sole source of read-read
+// concurrency is via the fast path." Note the caveat the paper raises:
+// BRAVO-mutex is not maximally admissive — a reader forced through the slow
+// path denies read-read parallelism — so it trades strict admission
+// guarantees for an even smaller footprint.
+package mutexrw
+
+import (
+	"sync"
+
+	"github.com/bravolock/bravo/internal/rwl"
+)
+
+// Lock adapts sync.Mutex to the rwl interface; readers exclude each other.
+// The zero value is unlocked.
+type Lock struct {
+	mu sync.Mutex
+}
+
+var _ rwl.TryRWLock = (*Lock)(nil)
+
+// RLock acquires the mutex (readers are exclusive on the slow path).
+func (l *Lock) RLock() rwl.Token {
+	l.mu.Lock()
+	return 0
+}
+
+// RUnlock releases the mutex.
+func (l *Lock) RUnlock(rwl.Token) { l.mu.Unlock() }
+
+// Lock acquires the mutex.
+func (l *Lock) Lock() { l.mu.Lock() }
+
+// Unlock releases the mutex.
+func (l *Lock) Unlock() { l.mu.Unlock() }
+
+// TryRLock attempts to acquire the mutex without blocking.
+func (l *Lock) TryRLock() (rwl.Token, bool) { return 0, l.mu.TryLock() }
+
+// TryLock attempts to acquire the mutex without blocking.
+func (l *Lock) TryLock() bool { return l.mu.TryLock() }

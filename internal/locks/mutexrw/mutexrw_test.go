@@ -1,0 +1,33 @@
+package mutexrw
+
+import (
+	"testing"
+
+	"github.com/bravolock/bravo/internal/lockcheck"
+	"github.com/bravolock/bravo/internal/rwl"
+)
+
+func mk() rwl.RWLock { return new(Lock) }
+
+func TestExclusion(t *testing.T) {
+	lockcheck.Exclusion(t, mk, 4, 2, 2000)
+}
+
+func TestTryExclusion(t *testing.T) {
+	lockcheck.TryExclusion(t, mk, 6, 1500)
+}
+
+func TestWriterExcludesReaders(t *testing.T) {
+	lockcheck.WriterExcludesReaders(t, mk())
+}
+
+func TestReadersExcludeEachOther(t *testing.T) {
+	// The degenerate adapter denies read-read concurrency on the slow path
+	// (the paper's caveat for BRAVO-mutex, §7).
+	l := new(Lock)
+	tok := l.RLock()
+	if _, ok := l.TryRLock(); ok {
+		t.Fatal("second reader admitted by mutex adapter")
+	}
+	l.RUnlock(tok)
+}

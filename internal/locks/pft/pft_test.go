@@ -1,0 +1,106 @@
+package pft
+
+import (
+	"testing"
+
+	"github.com/bravolock/bravo/internal/lockcheck"
+	"github.com/bravolock/bravo/internal/rwl"
+)
+
+func mk() rwl.RWLock { return new(Lock) }
+
+func TestExclusion(t *testing.T) {
+	lockcheck.Exclusion(t, mk, 4, 2, 2000)
+}
+
+func TestExclusionWriteHeavy(t *testing.T) {
+	lockcheck.Exclusion(t, mk, 2, 4, 1500)
+}
+
+func TestTryExclusion(t *testing.T) {
+	lockcheck.TryExclusion(t, mk, 6, 1500)
+}
+
+func TestReadersConcurrent(t *testing.T) {
+	lockcheck.ReadersConcurrent(t, mk())
+}
+
+func TestWriterExcludesReaders(t *testing.T) {
+	lockcheck.WriterExcludesReaders(t, mk())
+}
+
+func TestPhaseFairness(t *testing.T) {
+	// Phase-fair admission: a reader arriving while a writer waits must not
+	// barge past that writer.
+	lockcheck.WaitingWriterBlocksReaders(t, mk())
+}
+
+func TestWriterPresentDiagnostic(t *testing.T) {
+	l := new(Lock)
+	if l.WriterPresent() {
+		t.Fatal("fresh lock reports writer present")
+	}
+	l.Lock()
+	if !l.WriterPresent() {
+		t.Fatal("held write lock not reported")
+	}
+	l.Unlock()
+	if l.WriterPresent() {
+		t.Fatal("released lock still reports writer present")
+	}
+}
+
+func TestTryRLockWhileWriterHeld(t *testing.T) {
+	l := new(Lock)
+	l.Lock()
+	if _, ok := l.TryRLock(); ok {
+		t.Fatal("TryRLock succeeded while writer held")
+	}
+	l.Unlock()
+	tok, ok := l.TryRLock()
+	if !ok {
+		t.Fatal("TryRLock failed on free lock")
+	}
+	l.RUnlock(tok)
+}
+
+func TestTryLockWhileReaderHeld(t *testing.T) {
+	l := new(Lock)
+	tok := l.RLock()
+	if l.TryLock() {
+		t.Fatal("TryLock succeeded while reader held")
+	}
+	l.RUnlock(tok)
+	if !l.TryLock() {
+		t.Fatal("TryLock failed on free lock")
+	}
+	l.Unlock()
+}
+
+func TestCounterWrapTolerance(t *testing.T) {
+	// Equality-based waits must survive counter wrap: pre-age the counters
+	// close to wrap and storm the lock.
+	l := new(Lock)
+	l.rin.Store(0xFFFFFE00) // high arrival count, clear flag bits
+	l.rout.Store(0xFFFFFE00)
+	l.win.Store(0xFFFFFFF0)
+	l.wout.Store(0xFFFFFFF0)
+	lockcheckStorm(t, l)
+}
+
+func lockcheckStorm(t *testing.T, l *Lock) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 500; i++ {
+			l.Lock()
+			l.Unlock()
+		}
+		close(done)
+	}()
+	for i := 0; i < 500; i++ {
+		tok := l.RLock()
+		l.RUnlock(tok)
+	}
+	<-done
+}

@@ -1,0 +1,68 @@
+// Package seq implements a sequence lock (seqlock [9, 23, 29]), the
+// optimistic-invisible-reader design the paper surveys as related work (§2).
+//
+// Readers write nothing — they validate a sequence number before and after
+// the critical section and retry on interference — so they generate zero
+// coherence traffic on synchronization state. The price is that readers can
+// observe inconsistent intermediate state mid-section and must be written to
+// tolerate it; the read section here is therefore expressed as a retryable
+// function. This is the zero-coherence endpoint against which BRAVO's
+// pessimistic fast path can be compared in the ablation benches.
+package seq
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/bravolock/bravo/internal/spin"
+)
+
+// Lock is a sequence lock. The zero value is unlocked.
+type Lock struct {
+	seq atomic.Uint64 // odd while a writer is inside
+	mu  sync.Mutex    // serializes writers
+}
+
+// WriteLock begins a write section, making the sequence odd.
+func (l *Lock) WriteLock() {
+	l.mu.Lock()
+	l.seq.Add(1)
+}
+
+// WriteUnlock ends a write section, making the sequence even.
+func (l *Lock) WriteUnlock() {
+	l.seq.Add(1)
+	l.mu.Unlock()
+}
+
+// ReadBegin waits for any in-progress write to finish and returns the
+// sequence to validate against.
+func (l *Lock) ReadBegin() uint64 {
+	var b spin.Backoff
+	for {
+		s := l.seq.Load()
+		if s&1 == 0 {
+			return s
+		}
+		b.Once()
+	}
+}
+
+// ReadRetry reports whether a read section that started at sequence s
+// overlapped a write and must be retried.
+func (l *Lock) ReadRetry(s uint64) bool {
+	return l.seq.Load() != s
+}
+
+// RunRead executes f as an optimistic read section, retrying until it runs
+// without writer interference. f may observe torn state while executing and
+// must be side-effect free until its final successful run's return.
+func (l *Lock) RunRead(f func()) {
+	for {
+		s := l.ReadBegin()
+		f()
+		if !l.ReadRetry(s) {
+			return
+		}
+	}
+}

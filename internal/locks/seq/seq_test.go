@@ -1,0 +1,91 @@
+package seq
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestReadersSeeConsistentPairs(t *testing.T) {
+	// The classic seqlock correctness property: writers keep two words in
+	// lockstep; a validated read section must never observe them out of
+	// sync.
+	var l Lock
+	var a, b atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			l.WriteLock()
+			a.Store(i)
+			b.Store(i)
+			l.WriteUnlock()
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		var x, y uint64
+		l.RunRead(func() {
+			x = a.Load()
+			y = b.Load()
+		})
+		if x != y {
+			t.Fatalf("validated read observed torn pair (%d, %d)", x, y)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSequenceParity(t *testing.T) {
+	var l Lock
+	if s := l.ReadBegin(); s%2 != 0 {
+		t.Fatalf("idle sequence %d is odd", s)
+	}
+	l.WriteLock()
+	if l.seq.Load()%2 != 1 {
+		t.Fatal("sequence even during write section")
+	}
+	l.WriteUnlock()
+	if l.seq.Load()%2 != 0 {
+		t.Fatal("sequence odd after write section")
+	}
+}
+
+func TestReadRetryDetectsWriter(t *testing.T) {
+	var l Lock
+	s := l.ReadBegin()
+	l.WriteLock()
+	l.WriteUnlock()
+	if !l.ReadRetry(s) {
+		t.Fatal("read section overlapping a write was not invalidated")
+	}
+}
+
+func TestWritersSerialize(t *testing.T) {
+	var l Lock
+	var counter int
+	var wg sync.WaitGroup
+	const workers, iters = 6, 1500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.WriteLock()
+				counter++
+				l.WriteUnlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Fatalf("counter = %d, want %d", counter, workers*iters)
+	}
+}

@@ -1,0 +1,26 @@
+package stdrw
+
+import (
+	"testing"
+
+	"github.com/bravolock/bravo/internal/lockcheck"
+	"github.com/bravolock/bravo/internal/rwl"
+)
+
+func mk() rwl.RWLock { return new(Lock) }
+
+func TestExclusion(t *testing.T) {
+	lockcheck.Exclusion(t, mk, 4, 2, 2000)
+}
+
+func TestTryExclusion(t *testing.T) {
+	lockcheck.TryExclusion(t, mk, 6, 1500)
+}
+
+func TestReadersConcurrent(t *testing.T) {
+	lockcheck.ReadersConcurrent(t, mk())
+}
+
+func TestWriterExcludesReaders(t *testing.T) {
+	lockcheck.WriterExcludesReaders(t, mk())
+}

@@ -1,0 +1,193 @@
+// Package metis is a miniature of the Metis MapReduce library [33] used by
+// the paper to stress mmap_sem in the kernel (§6.3, Tables 1–2).
+//
+// Metis's significance for BRAVO is not the MapReduce logic but its memory
+// behaviour: map workers allocate aggressively, and each freshly-touched
+// page takes mmap_sem for read (a page fault) while each buffer-pool growth
+// takes it for write (an mmap) — "a relatively intense access to VMA
+// through the mix of page-fault and mmap operations". Our workers therefore
+// route every intermediate allocation through an Allocator backed by
+// internal/vm: the data lives in ordinary Go memory, but each allocation
+// performs the same simulated mmap_sem acquisitions its Metis counterpart
+// would. All workers share one AddressSpace, as threads of one process do.
+package metis
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/bravolock/bravo/internal/rwsem"
+	"github.com/bravolock/bravo/internal/vm"
+)
+
+// chunkSize is the allocator's growth quantum (one simulated mmap each).
+const chunkSize = 1 << 20
+
+// Allocator is a per-worker bump allocator whose backing "memory" is
+// simulated by vm: growing takes mmap_sem for write, and the first touch of
+// every page takes it for read.
+type Allocator struct {
+	as   *vm.AddressSpace
+	task *rwsem.Task
+
+	chunk   []byte // real storage for the current chunk
+	base    uint64 // simulated base address of the current chunk
+	off     uint64
+	faulted uint64 // high-water mark of faulted pages within the chunk
+}
+
+// NewAllocator returns an allocator for one worker (task) over the shared
+// address space.
+func NewAllocator(as *vm.AddressSpace, task *rwsem.Task) *Allocator {
+	return &Allocator{as: as, task: task}
+}
+
+// Alloc returns an n-byte buffer, simulating the mm traffic of the
+// allocation: chunk growth mmaps, first touches fault.
+func (a *Allocator) Alloc(n int) []byte {
+	if n > chunkSize {
+		n = chunkSize
+	}
+	if a.chunk == nil || a.off+uint64(n) > uint64(len(a.chunk)) {
+		a.grow()
+	}
+	buf := a.chunk[a.off : a.off+uint64(n) : a.off+uint64(n)]
+	a.off += uint64(n)
+	// Fault in every page newly spanned by the bump pointer.
+	for a.faulted*vm.PageSize < a.off {
+		if _, err := a.as.PageFault(a.task, a.base+a.faulted*vm.PageSize); err != nil {
+			// The address space is private to the job; a fault error means
+			// the harness tore it down — treat as fatal programming error.
+			panic(err)
+		}
+		a.faulted++
+	}
+	return buf
+}
+
+func (a *Allocator) grow() {
+	base, err := a.as.Mmap(a.task, chunkSize, false)
+	if err != nil {
+		panic(err)
+	}
+	a.base = base
+	a.chunk = make([]byte, chunkSize)
+	a.off = 0
+	a.faulted = 0
+}
+
+// Copy clones b into allocator-backed storage.
+func (a *Allocator) Copy(b []byte) []byte {
+	buf := a.Alloc(len(b))
+	copy(buf, b)
+	return buf
+}
+
+// KV is one emitted key/value pair.
+type KV struct {
+	Key   string
+	Value uint64
+}
+
+// MapFunc consumes one input split and emits key/value pairs. The alloc
+// argument provides worker-local, mm-instrumented storage.
+type MapFunc func(split []byte, alloc *Allocator, emit func(key []byte, value uint64))
+
+// ReduceFunc folds the values of one key.
+type ReduceFunc func(key string, values []uint64) uint64
+
+// Job is a Metis-style MapReduce job.
+type Job struct {
+	Workers int
+	Map     MapFunc
+	Reduce  ReduceFunc
+	// AS is the shared simulated address space whose mmap_sem the job
+	// contends on.
+	AS *vm.AddressSpace
+}
+
+// Result is the reduced output, sorted by key.
+type Result struct {
+	Keys   []string
+	Values map[string]uint64
+}
+
+// Run executes the job over the input splits.
+func (j *Job) Run(splits [][]byte) *Result {
+	workers := j.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	// Map phase: workers pull splits and build local aggregates, allocating
+	// intermediate storage through the simulated mm.
+	work := make(chan []byte, len(splits))
+	for _, s := range splits {
+		work <- s
+	}
+	close(work)
+	locals := make([]map[string][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			task := rwsem.NewTask()
+			alloc := NewAllocator(j.AS, task)
+			local := make(map[string][]uint64)
+			emit := func(key []byte, value uint64) {
+				k := string(alloc.Copy(key)) // intermediate copy through the mm
+				local[k] = append(local[k], value)
+			}
+			for split := range work {
+				j.Map(split, alloc, emit)
+			}
+			locals[w] = local
+		}(w)
+	}
+	wg.Wait()
+
+	// Reduce phase: partition the key space across workers and fold.
+	partitions := make([]map[string]uint64, workers)
+	for p := range partitions {
+		partitions[p] = make(map[string]uint64)
+	}
+	var rg sync.WaitGroup
+	for p := 0; p < workers; p++ {
+		rg.Add(1)
+		go func(p int) {
+			defer rg.Done()
+			merged := make(map[string][]uint64)
+			for _, local := range locals {
+				for k, vs := range local {
+					if int(fnv(k))%workers != p {
+						continue
+					}
+					merged[k] = append(merged[k], vs...)
+				}
+			}
+			for k, vs := range merged {
+				partitions[p][k] = j.Reduce(k, vs)
+			}
+		}(p)
+	}
+	rg.Wait()
+
+	res := &Result{Values: make(map[string]uint64)}
+	for _, part := range partitions {
+		for k, v := range part {
+			res.Values[k] = v
+			res.Keys = append(res.Keys, k)
+		}
+	}
+	sort.Strings(res.Keys)
+	return res
+}
+
+// fnv is a small string hash for reduce partitioning.
+func fnv(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}

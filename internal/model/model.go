@@ -1,0 +1,122 @@
+// Package model implements the analytical models the paper uses to reason
+// about BRAVO's visible readers table:
+//
+//   - the balls-into-bins collision model of the inter-lock interference
+//     analysis ("Collision rate per access is Balls / (2*Bins). The number
+//     of locks is NOT relevant to the collision rate.");
+//   - the birthday-paradox collision probability ("the odds of collision
+//     are equivalent to those given by the 'Birthday Paradox'");
+//   - the ski-rental-flavoured cost model for bias setting ("improvement =
+//     BenefitFromFastReaders − RevocationCost") and the primum-non-nocere
+//     writer slow-down bound 1/(N+1).
+package model
+
+import (
+	"math"
+
+	"github.com/bravolock/bravo/internal/xrand"
+)
+
+// CollisionRatePerAccess is the paper's lockstep balls-into-bins estimate of
+// the probability that a fast-path publication collides with a concurrently
+// occupied slot: balls/(2·bins), where balls is the number of concurrently
+// publishing threads. It is independent of the number of distinct locks.
+func CollisionRatePerAccess(threads, bins int) float64 {
+	if bins <= 0 {
+		return 1
+	}
+	return float64(threads) / float64(2*bins)
+}
+
+// BirthdayCollisionProbability returns the probability that at least two of
+// n uniformly hashed occupants share a slot among bins slots — the paper's
+// birthday-paradox framing of fast-reader collisions.
+func BirthdayCollisionProbability(n, bins int) float64 {
+	if n > bins {
+		return 1
+	}
+	p := 1.0
+	for i := 0; i < n; i++ {
+		p *= float64(bins-i) / float64(bins)
+	}
+	return 1 - p
+}
+
+// ExpectedOccupancy returns the expected number of distinct slots occupied
+// when balls occupants hash uniformly into bins slots:
+// bins·(1 − (1 − 1/bins)^balls).
+func ExpectedOccupancy(balls, bins int) float64 {
+	if bins <= 0 {
+		return 0
+	}
+	return float64(bins) * (1 - math.Pow(1-1/float64(bins), float64(balls)))
+}
+
+// SimulateCollisionRate performs the paper's lockstep thought experiment:
+// each of threads threads repeatedly picks a random lock from a pool of
+// nlocks and throws a ball into one of bins slots (the hash of its identity
+// and the lock). It returns the measured fraction of throws that land on a
+// slot already occupied in the same round. Per the paper's claim, the result
+// depends on threads and bins but not nlocks; tests verify exactly that.
+func SimulateCollisionRate(threads, nlocks, bins, rounds int, seed uint64) float64 {
+	rng := xrand.NewXorShift64(seed)
+	occupied := make([]int, bins)
+	epoch := 0
+	collisions, throws := 0, 0
+	for r := 0; r < rounds; r++ {
+		epoch++
+		for t := 0; t < threads; t++ {
+			lock := rng.Intn(uint64(nlocks))
+			// The hash of (thread, lock) is modeled as uniform, per the
+			// paper's equidistribution assumption.
+			slot := int(xrand.NewSplitMix64(uint64(t)<<32^lock^rng.Next()).Next() % uint64(bins))
+			throws++
+			if occupied[slot] == epoch {
+				collisions++
+			} else {
+				occupied[slot] = epoch
+			}
+		}
+	}
+	return float64(collisions) / float64(throws)
+}
+
+// WriterSlowdownBound is the primum-non-nocere guarantee: with inhibit
+// multiplier N, at most one revocation of duration D occurs per (N+1)·D of
+// writer wall time, bounding the worst-case writer slow-down to 1/(N+1).
+func WriterSlowdownBound(n int64) float64 {
+	return 1 / float64(n+1)
+}
+
+// CostModel captures the paper's simplified bias cost model. All durations
+// are in nanoseconds.
+type CostModel struct {
+	// FastReadSaving is the per-read saving when a reader uses the fast
+	// path instead of updating the central reader indicator.
+	FastReadSaving float64
+	// RevocationCost is the expected cost of one revocation (scan + wait).
+	RevocationCost float64
+}
+
+// Improvement evaluates "improvement = BenefitFromFastReaders −
+// RevocationCost" for an episode with the given number of fast reads
+// between consecutive write-after-read transitions.
+func (m CostModel) Improvement(fastReads float64) float64 {
+	return m.FastReadSaving*fastReads - m.RevocationCost
+}
+
+// BreakEvenReads returns the number of fast reads per revocation above
+// which enabling bias pays off — the ski-rental threshold.
+func (m CostModel) BreakEvenReads() float64 {
+	if m.FastReadSaving <= 0 {
+		return math.Inf(1)
+	}
+	return m.RevocationCost / m.FastReadSaving
+}
+
+// RevocationScanNanos estimates the revocation scan cost for a table of the
+// given size at the given per-slot scan rate (the paper measures ≈1.1ns per
+// element with hardware prefetching).
+func RevocationScanNanos(tableSize int, nsPerSlot float64) float64 {
+	return float64(tableSize) * nsPerSlot
+}

@@ -1,0 +1,117 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCollisionRateFormula(t *testing.T) {
+	if got := CollisionRatePerAccess(64, 4096); got != 64.0/8192 {
+		t.Fatalf("rate = %v", got)
+	}
+	if got := CollisionRatePerAccess(10, 0); got != 1 {
+		t.Fatalf("degenerate bins should saturate, got %v", got)
+	}
+}
+
+func TestBirthdayProbabilityKnownValue(t *testing.T) {
+	// The classic: 23 people, 365 days → ~50.7%.
+	p := BirthdayCollisionProbability(23, 365)
+	if p < 0.5 || p > 0.52 {
+		t.Fatalf("birthday(23, 365) = %v, want ≈0.507", p)
+	}
+	if BirthdayCollisionProbability(0, 10) != 0 {
+		t.Fatal("no occupants should mean no collision")
+	}
+	if BirthdayCollisionProbability(11, 10) != 1 {
+		t.Fatal("pigeonhole should force collision")
+	}
+}
+
+func TestBirthdayMonotonic(t *testing.T) {
+	prev := 0.0
+	for n := 1; n <= 256; n *= 2 {
+		p := BirthdayCollisionProbability(n, 4096)
+		if p < prev {
+			t.Fatalf("probability decreased at n=%d", n)
+		}
+		prev = p
+	}
+}
+
+func TestExpectedOccupancyBounds(t *testing.T) {
+	if got := ExpectedOccupancy(0, 4096); got != 0 {
+		t.Fatalf("occupancy(0) = %v", got)
+	}
+	got := ExpectedOccupancy(64, 4096)
+	if got < 63 || got > 64 {
+		// With 64 balls in 4096 bins nearly all land in distinct slots.
+		t.Fatalf("occupancy(64, 4096) = %v, want ≈63.5", got)
+	}
+	// Saturation: occupancy approaches bins as balls → ∞.
+	if got := ExpectedOccupancy(1<<20, 64); got < 63.9 {
+		t.Fatalf("occupancy should saturate, got %v", got)
+	}
+}
+
+func TestSimulatedCollisionMatchesFormula(t *testing.T) {
+	// The measured per-access collision rate should be near balls/(2·bins).
+	// (The lockstep model is an approximation; allow a 2× band.)
+	for _, tc := range []struct{ threads, bins int }{
+		{16, 512}, {64, 4096}, {128, 1024},
+	} {
+		measured := SimulateCollisionRate(tc.threads, 8, tc.bins, 2000, 42)
+		predicted := CollisionRatePerAccess(tc.threads, tc.bins)
+		if measured > predicted*2.5 || measured < predicted/2.5 {
+			t.Errorf("threads=%d bins=%d: measured %v vs predicted %v",
+				tc.threads, tc.bins, measured, predicted)
+		}
+	}
+}
+
+func TestCollisionRateIndependentOfLockCount(t *testing.T) {
+	// The paper's central interference claim: "the collision rate in the
+	// readers table is purely a function of just the tablesize and the
+	// number of concurrent threads and NOT the number of distinct locks."
+	base := SimulateCollisionRate(64, 1, 4096, 4000, 7)
+	for _, nlocks := range []int{2, 16, 256, 8192} {
+		r := SimulateCollisionRate(64, nlocks, 4096, 4000, 7)
+		if math.Abs(r-base) > 0.01 {
+			t.Errorf("nlocks=%d: rate %v deviates from base %v", nlocks, r, base)
+		}
+	}
+}
+
+func TestWriterSlowdownBound(t *testing.T) {
+	if got := WriterSlowdownBound(9); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("bound(9) = %v, want 0.1 (the paper's ≈10%%)", got)
+	}
+	if WriterSlowdownBound(0) != 1 {
+		t.Fatal("N=0 should allow 100% slow-down")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := CostModel{FastReadSaving: 50, RevocationCost: 5000}
+	if m.Improvement(100) != 0 {
+		t.Fatalf("improvement at break-even should be 0, got %v", m.Improvement(100))
+	}
+	if m.Improvement(200) <= 0 {
+		t.Fatal("improvement above break-even should be positive")
+	}
+	if got := m.BreakEvenReads(); got != 100 {
+		t.Fatalf("break-even = %v, want 100", got)
+	}
+	if !math.IsInf((CostModel{RevocationCost: 1}).BreakEvenReads(), 1) {
+		t.Fatal("zero saving should never break even")
+	}
+}
+
+func TestRevocationScanNanos(t *testing.T) {
+	// The paper: "We observe a scan rate of about 1.1 nanoseconds per
+	// element", so a 4096-entry table costs ≈4.5µs per revocation.
+	got := RevocationScanNanos(4096, 1.1)
+	if got < 4000 || got > 5000 {
+		t.Fatalf("scan estimate %vns outside the paper's ballpark", got)
+	}
+}

@@ -1,0 +1,58 @@
+package rwl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory constructs a fresh lock instance.
+type Factory func() RWLock
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register associates a lock constructor with a name. It panics on duplicate
+// registration: lock names are part of the benchmark surface and collisions
+// are programming errors.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("rwl: duplicate lock registration %q", name))
+	}
+	registry[name] = f
+}
+
+// New instantiates a registered lock by name.
+func New(name string) (RWLock, error) {
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("rwl: unknown lock %q (known: %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Lookup returns the factory registered under name.
+func Lookup(name string) (Factory, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	f, ok := registry[name]
+	return f, ok
+}
+
+// Names returns the sorted list of registered lock names.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

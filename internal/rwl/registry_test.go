@@ -1,0 +1,69 @@
+package rwl
+
+import (
+	"strings"
+	"testing"
+)
+
+type fakeLock struct{}
+
+func (fakeLock) RLock() Token  { return 0 }
+func (fakeLock) RUnlock(Token) {}
+func (fakeLock) Lock()         {}
+func (fakeLock) Unlock()       {}
+
+func TestRegisterAndNew(t *testing.T) {
+	Register("test-fake", func() RWLock { return fakeLock{} })
+	l, err := New("test-fake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := l.RLock()
+	l.RUnlock(tok)
+}
+
+func TestNewUnknown(t *testing.T) {
+	_, err := New("no-such-lock")
+	if err == nil {
+		t.Fatal("unknown lock accepted")
+	}
+	if !strings.Contains(err.Error(), "no-such-lock") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	Register("test-dup", func() RWLock { return fakeLock{} })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register("test-dup", func() RWLock { return fakeLock{} })
+}
+
+func TestLookupAndNames(t *testing.T) {
+	Register("test-lookup", func() RWLock { return fakeLock{} })
+	if _, ok := Lookup("test-lookup"); !ok {
+		t.Fatal("Lookup missed a registered lock")
+	}
+	if _, ok := Lookup("absent"); ok {
+		t.Fatal("Lookup invented a lock")
+	}
+	names := Names()
+	found := false
+	for _, n := range names {
+		if n == "test-lookup" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() = %v missing test-lookup", names)
+	}
+	// Names must be sorted.
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Fatalf("Names() not sorted at %d: %v", i, names)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package rwsem
+
+import (
+	"github.com/bravolock/bravo/internal/rwl"
+	"github.com/bravolock/bravo/internal/self"
+)
+
+// Adapter presents an RWSem through the rwl interface so the stock semaphore
+// can be driven by the generic harness and wrapped by the generic BRAVO
+// transformation.
+type Adapter struct {
+	S *RWSem
+}
+
+var _ rwl.TryRWLock = (*Adapter)(nil)
+
+// NewAdapter returns an rwl-compatible view of a fresh rwsem.
+func NewAdapter(cfg Config) *Adapter { return &Adapter{S: New(cfg)} }
+
+// RLock acquires the semaphore in read mode.
+func (a *Adapter) RLock() rwl.Token {
+	a.S.DownRead(self.ID())
+	return 0
+}
+
+// RUnlock releases a read acquisition.
+func (a *Adapter) RUnlock(rwl.Token) { a.S.UpRead(self.ID()) }
+
+// Lock acquires the semaphore in write mode.
+func (a *Adapter) Lock() { a.S.DownWrite(self.ID()) }
+
+// Unlock releases a write acquisition.
+func (a *Adapter) Unlock() { a.S.UpWrite(self.ID()) }
+
+// TryRLock attempts a non-blocking read acquisition.
+func (a *Adapter) TryRLock() (rwl.Token, bool) {
+	return 0, a.S.TryDownRead(self.ID())
+}
+
+// TryLock attempts a non-blocking write acquisition.
+func (a *Adapter) TryLock() bool { return a.S.TryDownWrite(self.ID()) }
+
+// WriterPresent reports whether a writer holds the semaphore. Diagnostic.
+func (a *Adapter) WriterPresent() bool { return a.S.WriterPresent() }

@@ -1,0 +1,145 @@
+package rwsem
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"github.com/bravolock/bravo/internal/clock"
+	"github.com/bravolock/bravo/internal/core"
+)
+
+// Bravo is the §4 integration of BRAVO with rwsem. It mirrors the kernel
+// patch: the semaphore gains an RBias flag and an InhibitUntil timestamp;
+// read acquisitions may divert to the shared visible readers table, with the
+// slot determined "by hashing the task struct pointer (current) with the
+// address of the semaphore"; releases clear that slot.
+//
+// The paper's patch assumes the semaphore is released by the task that
+// acquired it for read, and we keep that assumption: the per-task held-slot
+// record (Task.held) plays the role of the kernel's per-task bookkeeping,
+// resolving the rare hash-collision ambiguity that pure slot-content
+// comparison would leave (two tasks whose (task, sem) pairs hash to the same
+// slot).
+type Bravo struct {
+	inner *RWSem
+	rbias atomic.Uint32
+	// inhibitUntil is the earliest re-bias time; N is the paper's multiplier.
+	inhibitUntil atomic.Int64
+	n            int64
+	table        *core.Table
+}
+
+// NewBravo wraps a fresh rwsem with the BRAVO reader fast path. The visible
+// readers table is shared process-wide (core.SharedTable) unless overridden
+// with SetTable.
+func NewBravo(cfg Config) *Bravo {
+	// The paper's kernel integration also fixes the owner-field writes
+	// (§4); BRAVO-rwsem therefore defaults to the optimized owner protocol.
+	cfg.StockOwnerWrites = false
+	return &Bravo{
+		inner: New(cfg),
+		n:     core.DefaultInhibitN,
+		table: core.SharedTable(),
+	}
+}
+
+// SetTable redirects fast-path publication (testing and ablations).
+func (b *Bravo) SetTable(t *core.Table) { b.table = t }
+
+// SetInhibitN overrides the slow-down guard multiplier.
+func (b *Bravo) SetInhibitN(n int64) {
+	if n > 0 {
+		b.n = n
+	}
+}
+
+// Inner exposes the wrapped rwsem. Diagnostic.
+func (b *Bravo) Inner() *RWSem { return b.inner }
+
+// Biased reports whether reader bias is enabled. Diagnostic.
+func (b *Bravo) Biased() bool { return b.rbias.Load() == 1 }
+
+func (b *Bravo) id() uintptr { return uintptr(unsafe.Pointer(b)) }
+
+// DownRead acquires read permission for t, preferring the table fast path.
+func (b *Bravo) DownRead(t *Task) {
+	if b.rbias.Load() == 1 && t.canRecord() {
+		idx, ok := b.table.TryPublish(b.id(), t.ID)
+		if ok {
+			if b.rbias.Load() == 1 { // recheck
+				t.recordFast(b, idx)
+				return
+			}
+			b.table.Clear(idx)
+		}
+	}
+	b.inner.DownRead(t.ID)
+	if b.rbias.Load() == 0 && clock.Nanos() >= b.inhibitUntil.Load() {
+		b.rbias.Store(1)
+	}
+}
+
+// TryDownRead attempts a non-blocking read acquisition: fast path first,
+// then the underlying try-lock, which may set bias on success (§3).
+func (b *Bravo) TryDownRead(t *Task) bool {
+	if b.rbias.Load() == 1 && t.canRecord() {
+		idx, ok := b.table.TryPublish(b.id(), t.ID)
+		if ok {
+			if b.rbias.Load() == 1 {
+				t.recordFast(b, idx)
+				return true
+			}
+			b.table.Clear(idx)
+		}
+	}
+	if !b.inner.TryDownRead(t.ID) {
+		return false
+	}
+	if b.rbias.Load() == 0 && clock.Nanos() >= b.inhibitUntil.Load() {
+		b.rbias.Store(1)
+	}
+	return true
+}
+
+// UpRead releases read permission for t: fast-path acquisitions clear their
+// recorded slot, slow-path acquisitions release the underlying semaphore.
+func (b *Bravo) UpRead(t *Task) {
+	if idx, ok := t.takeFast(b); ok {
+		b.table.Clear(idx)
+		return
+	}
+	b.inner.UpRead(t.ID)
+}
+
+// DownWrite acquires write permission, revoking reader bias if set.
+func (b *Bravo) DownWrite(t *Task) {
+	b.inner.DownWrite(t.ID)
+	if b.rbias.Load() == 1 {
+		b.revoke()
+	}
+}
+
+// TryDownWrite attempts a non-blocking write acquisition; on success with
+// bias set, revocation must still be performed (§3).
+func (b *Bravo) TryDownWrite(t *Task) bool {
+	if !b.inner.TryDownWrite(t.ID) {
+		return false
+	}
+	if b.rbias.Load() == 1 {
+		b.revoke()
+	}
+	return true
+}
+
+// UpWrite releases write permission.
+func (b *Bravo) UpWrite(t *Task) {
+	b.inner.UpWrite(t.ID)
+}
+
+func (b *Bravo) revoke() {
+	b.rbias.Store(0)
+	start := clock.Nanos()
+	b.table.WaitEmpty(b.id())
+	now := clock.Nanos()
+	b.inhibitUntil.Store(now + (now-start)*b.n)
+}

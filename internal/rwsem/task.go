@@ -1,0 +1,66 @@
+package rwsem
+
+import (
+	"github.com/bravolock/bravo/internal/self"
+)
+
+// maxHeld bounds the number of BRAVO-rwsem read acquisitions a task can hold
+// simultaneously on the fast path. Kernel tasks rarely hold more than one or
+// two rwsems in read mode (mmap_sem dominates); excess acquisitions simply
+// divert to the slow path.
+const maxHeld = 8
+
+// Task models the kernel's `current` task struct as far as rwsem is
+// concerned: a stable identity (the task-struct pointer the paper hashes)
+// plus the per-task record of fast-path read acquisitions. The record
+// preserves the paper's same-task release assumption (§4) and resolves the
+// hash-collision ambiguity a bare recomputed-slot check would have — the
+// same role the POSIX per-thread held-lock lists play in §3.
+//
+// A Task is confined to one goroutine; its methods are not safe for
+// concurrent use.
+type Task struct {
+	// ID is the task identity hashed with the semaphore address to choose a
+	// visible-readers-table slot.
+	ID uint64
+	// held records outstanding fast-path read acquisitions.
+	held [maxHeld]heldSlot
+	n    int
+}
+
+type heldSlot struct {
+	sem *Bravo
+	idx uint32
+}
+
+// NewTask returns a task with a fresh stable identity.
+func NewTask() *Task {
+	return &Task{ID: self.NextExplicitID()}
+}
+
+// recordFast notes that this task holds sem via table slot idx. If the
+// record is full the caller must not use the fast path; see DownRead.
+func (t *Task) recordFast(sem *Bravo, idx uint32) {
+	t.held[t.n] = heldSlot{sem: sem, idx: idx}
+	t.n++
+}
+
+// canRecord reports whether another fast acquisition can be tracked.
+func (t *Task) canRecord() bool { return t.n < maxHeld }
+
+// takeFast removes and returns the slot index recorded for sem, if any.
+func (t *Task) takeFast(sem *Bravo) (uint32, bool) {
+	for i := t.n - 1; i >= 0; i-- {
+		if t.held[i].sem == sem {
+			idx := t.held[i].idx
+			t.n--
+			t.held[i] = t.held[t.n]
+			t.held[t.n] = heldSlot{}
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// Holds reports how many fast-path read acquisitions are outstanding.
+func (t *Task) Holds() int { return t.n }

@@ -1,0 +1,52 @@
+// Package self provides thread identity for the BRAVO fast path.
+//
+// The paper hashes "the calling thread's identity" with the lock address
+// (Listing 1, Hash(L, Self)). Go offers no cheap goroutine ID, so we derive
+// identity from the address of a stack local. Two properties make this a
+// faithful substitute:
+//
+//  1. Dispersal: concurrent goroutines occupy disjoint stacks, so their
+//     identities differ and their table probes diffuse, which is the property
+//     BRAVO's coherence-avoidance relies on.
+//  2. Temporal stability: within a hot loop the frame address of the lock
+//     operation is stable, so a goroutine repeatedly locking the same lock
+//     reuses the same slot — the temporal-locality property the paper calls
+//     out in §5.2.
+//
+// The identity may change on stack growth or when the call path changes;
+// the paper explicitly notes (§7) that the index function need not be
+// deterministic, so occasional identity drift is benign. Workers that want a
+// pinned identity (e.g. the benchmark harness assigning logical CPUs) use an
+// explicit ID instead.
+package self
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"github.com/bravolock/bravo/internal/hash"
+)
+
+// ID returns the caller's goroutine identity. It is stable across calls from
+// the same goroutine in steady state and distinct across concurrently-running
+// goroutines.
+//
+// The function is kept out of line: its own frame sits at a fixed offset
+// from the goroutine's stack pointer at each call from a given site, and the
+// probe variable must stay on that frame (inlining would let the probe be
+// re-homed per call site or, worse, escape).
+//
+//go:noinline
+func ID() uint64 {
+	var probe byte
+	return hash.Mix64(uint64(uintptr(unsafe.Pointer(&probe))))
+}
+
+var nextExplicit atomic.Uint64
+
+// NextExplicitID hands out a fresh explicit identity. Benchmark workers and
+// long-lived readers use explicit IDs so the (thread, lock) → slot mapping is
+// exactly reproducible run to run.
+func NextExplicitID() uint64 {
+	return hash.Mix64(nextExplicit.Add(1))
+}

@@ -1,0 +1,85 @@
+package self
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestIDStableWithinLoop(t *testing.T) {
+	// The identity must be stable across iterations of a hot loop so that a
+	// goroutine re-locking the same lock reuses its table slot (§5.2).
+	first := ID()
+	for i := 0; i < 1000; i++ {
+		if got := ID(); got != first {
+			t.Fatalf("identity drifted within a loop: %#x != %#x", got, first)
+		}
+	}
+}
+
+func TestIDDispersesAcrossGoroutines(t *testing.T) {
+	// Concurrent goroutines live on distinct stacks; their identities must
+	// (almost always) differ. We require substantial dispersal, not
+	// perfection: the paper tolerates collisions (they are benign).
+	// Hold all goroutines alive simultaneously: exited goroutine stacks are
+	// pooled and would otherwise be reused, trivially aliasing identities.
+	const n = 64
+	ids := make([]uint64, n)
+	release := make(chan struct{})
+	var registered, wg sync.WaitGroup
+	registered.Add(n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = ID()
+			registered.Done()
+			<-release
+		}(i)
+	}
+	registered.Wait()
+	close(release)
+	wg.Wait()
+	distinct := map[uint64]bool{}
+	for _, id := range ids {
+		distinct[id] = true
+	}
+	if len(distinct) < n/2 {
+		t.Fatalf("only %d distinct identities among %d goroutines", len(distinct), n)
+	}
+}
+
+func TestNextExplicitIDUnique(t *testing.T) {
+	const n = 10000
+	seen := make(map[uint64]bool, n)
+	for i := 0; i < n; i++ {
+		id := NextExplicitID()
+		if seen[id] {
+			t.Fatalf("duplicate explicit ID %#x", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNextExplicitIDConcurrentUnique(t *testing.T) {
+	const workers, per = 8, 1000
+	out := make(chan uint64, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				out <- NextExplicitID()
+			}
+		}()
+	}
+	wg.Wait()
+	close(out)
+	seen := make(map[uint64]bool, workers*per)
+	for id := range out {
+		if seen[id] {
+			t.Fatal("duplicate explicit ID under concurrency")
+		}
+		seen[id] = true
+	}
+}

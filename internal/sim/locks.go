@@ -1,0 +1,393 @@
+package sim
+
+import (
+	"github.com/bravolock/bravo/internal/hash"
+)
+
+// RWLock is a simulated reader-writer lock. Acquire methods take the
+// attempt time and the intended critical-section length and return the
+// admission time; they record the projected occupancy (admission + cs) so
+// that threads scheduled between a holder's acquire and release events
+// observe the lock as held. Release methods perform the departure accesses.
+type RWLock interface {
+	AcquireRead(th *Thread, t, cs float64) float64
+	ReleaseRead(th *Thread, t float64) float64
+	AcquireWrite(th *Thread, t, cs float64) float64
+	ReleaseWrite(th *Thread, t float64) float64
+}
+
+// Central models the compact centralized-indicator family: BA (PF-Q), PF-T,
+// pthread_rwlock and rwsem. Reader arrival and departure RMW the central
+// counter lines — the coherence hot spot — and writers drain readers.
+// Blocking variants pay park/wake costs instead of spinning.
+//
+// Layout knobs mirror the real implementations: the B&A locks keep arrival
+// (rin) and departure (rout) counters on separate padded lines; rwsem keeps
+// one counter word, plus — in the stock kernel — the owner field that every
+// reader writes "for debugging purposes only" (§4), doubling its hot-line
+// traffic. The BRAVO kernel patch removes those reader owner writes, so the
+// BRAVO-wrapped rwsem model omits the owner line.
+type Central struct {
+	m        *Machine
+	rinLine  LineID
+	routLine LineID // equal to rinLine for single-word layouts (rwsem)
+	// ownerLine, when valid, is written by every reader (stock rwsem).
+	ownerLine    LineID
+	hasOwnerLine bool
+	blocking     bool
+
+	readersUntil float64 // projected completion of admitted read CSes
+	writerUntil  float64 // projected completion of admitted write CSes
+}
+
+// NewCentral returns a spinning centralized lock (BA/PF-T flavour):
+// separate arrival/departure counter lines, no owner field.
+func NewCentral(m *Machine) *Central {
+	return &Central{m: m, rinLine: m.NewLine(), routLine: m.NewLine()}
+}
+
+// NewBlockingCentral returns a blocking centralized lock (pthread flavour):
+// compact single-line state.
+func NewBlockingCentral(m *Machine) *Central {
+	ln := m.NewLine()
+	return &Central{m: m, rinLine: ln, routLine: ln, blocking: true}
+}
+
+// NewRWSem returns the kernel rwsem model: single counter line, blocking
+// waiters, and (when stockOwnerWrites) the reader-written owner field.
+func NewRWSem(m *Machine, stockOwnerWrites bool) *Central {
+	ln := m.NewLine()
+	c := &Central{m: m, rinLine: ln, routLine: ln, blocking: true}
+	if stockOwnerWrites {
+		c.ownerLine = m.NewLine()
+		c.hasOwnerLine = true
+	}
+	return c
+}
+
+// AcquireRead implements RWLock.
+func (c *Central) AcquireRead(th *Thread, t, cs float64) float64 {
+	end := c.m.RMW(th.CPU, c.rinLine, t) // arrival increment
+	if c.hasOwnerLine {
+		end = c.m.Store(th.CPU, c.ownerLine, end) // stock rwsem owner write
+	}
+	if end < c.writerUntil {
+		// Writer present: wait out the write phase.
+		if c.blocking {
+			end = c.park(end, c.writerUntil)
+		} else {
+			// Spin until the phase ends, then re-observe the state line.
+			end = c.m.Load(th.CPU, c.rinLine, c.writerUntil)
+		}
+	}
+	c.readersUntil = maxf(c.readersUntil, end+cs)
+	return end
+}
+
+// park models a futex-style wait until target: if the lock frees before the
+// park syscall completes, the re-check of the lock word aborts the sleep
+// and the waiter just pays the wait; otherwise it pays the full park and
+// wake-up latency. Without the re-check, microsecond-scale holds (e.g. a
+// BRAVO revocation scan) would trigger self-sustaining wake-up convoys that
+// real futex locks do not exhibit.
+func (c *Central) park(now, target float64) float64 {
+	if target-now < c.m.Cost.BlockNs {
+		return target
+	}
+	return maxf(target+c.m.Cost.WakeNs, now+c.m.Cost.BlockNs)
+}
+
+// ReleaseRead implements RWLock.
+func (c *Central) ReleaseRead(th *Thread, t float64) float64 {
+	end := c.m.RMW(th.CPU, c.routLine, t) // departure increment
+	c.readersUntil = maxf(c.readersUntil, end)
+	return end
+}
+
+// AcquireWrite implements RWLock.
+func (c *Central) AcquireWrite(th *Thread, t, cs float64) float64 {
+	end := c.m.RMW(th.CPU, c.rinLine, t) // announce presence
+	end = c.m.Load(th.CPU, c.routLine, end)
+	if c.hasOwnerLine {
+		end = c.m.Store(th.CPU, c.ownerLine, end)
+	}
+	start := maxf(end, c.readersUntil, c.writerUntil)
+	if c.blocking && start > end {
+		start = c.park(end, start)
+	}
+	c.writerUntil = start + cs
+	return start
+}
+
+// ReleaseWrite implements RWLock.
+func (c *Central) ReleaseWrite(th *Thread, t float64) float64 {
+	end := c.m.RMW(th.CPU, c.rinLine, t)
+	c.writerUntil = maxf(c.writerUntil, end)
+	return end
+}
+
+// PerCPU models the brlock-style lock: one sub-lock line per CPU. Readers
+// touch only their own line; writers sweep all of them.
+type PerCPU struct {
+	m            *Machine
+	sub          []LineID
+	readersUntil []float64
+	writerUntil  float64
+}
+
+// NewPerCPU returns a per-CPU lock sized to the machine.
+func NewPerCPU(m *Machine) *PerCPU {
+	n := m.Top.NumCPUs()
+	return &PerCPU{m: m, sub: m.NewLines(n), readersUntil: make([]float64, n)}
+}
+
+// AcquireRead implements RWLock.
+func (p *PerCPU) AcquireRead(th *Thread, t, cs float64) float64 {
+	end := p.m.RMW(th.CPU, p.sub[th.CPU], t)
+	if end < p.writerUntil {
+		end = p.m.Load(th.CPU, p.sub[th.CPU], p.writerUntil)
+	}
+	p.readersUntil[th.CPU] = maxf(p.readersUntil[th.CPU], end+cs)
+	return end
+}
+
+// ReleaseRead implements RWLock.
+func (p *PerCPU) ReleaseRead(th *Thread, t float64) float64 {
+	end := p.m.RMW(th.CPU, p.sub[th.CPU], t)
+	p.readersUntil[th.CPU] = maxf(p.readersUntil[th.CPU], end)
+	return end
+}
+
+// AcquireWrite implements RWLock: lock every sub-lock in order.
+func (p *PerCPU) AcquireWrite(th *Thread, t, cs float64) float64 {
+	end := t
+	for _, ln := range p.sub {
+		end = p.m.RMW(th.CPU, ln, end)
+	}
+	start := maxf(end, p.writerUntil)
+	for _, ru := range p.readersUntil {
+		start = maxf(start, ru)
+	}
+	p.writerUntil = start + cs
+	return start
+}
+
+// ReleaseWrite implements RWLock: unlock every sub-lock.
+func (p *PerCPU) ReleaseWrite(th *Thread, t float64) float64 {
+	end := t
+	for _, ln := range p.sub {
+		end = p.m.RMW(th.CPU, ln, end)
+	}
+	p.writerUntil = maxf(p.writerUntil, end)
+	return end
+}
+
+// Cohort models C-RW-WP: per-socket ingress/egress reader indicator lines
+// plus a global writer line. Reader arrivals contend only within their
+// socket; writers sweep one indicator per socket.
+type Cohort struct {
+	m            *Machine
+	ingress      []LineID
+	egress       []LineID
+	globalLine   LineID
+	readersUntil []float64
+	writerUntil  float64
+}
+
+// NewCohort returns a cohort lock sized to the machine's sockets.
+func NewCohort(m *Machine) *Cohort {
+	n := m.Top.Sockets
+	return &Cohort{
+		m:            m,
+		ingress:      m.NewLines(n),
+		egress:       m.NewLines(n),
+		globalLine:   m.NewLine(),
+		readersUntil: make([]float64, n),
+	}
+}
+
+// AcquireRead implements RWLock.
+func (c *Cohort) AcquireRead(th *Thread, t, cs float64) float64 {
+	node := c.m.Top.SocketOf(th.CPU)
+	end := c.m.RMW(th.CPU, c.ingress[node], t)
+	if end < c.writerUntil {
+		// Writer preference gate: stand back, then re-arrive.
+		end = c.m.RMW(th.CPU, c.egress[node], end) // depart
+		end = maxf(end, c.writerUntil)
+		end = c.m.RMW(th.CPU, c.ingress[node], end) // re-arrive
+	}
+	c.readersUntil[node] = maxf(c.readersUntil[node], end+cs)
+	return end
+}
+
+// ReleaseRead implements RWLock.
+func (c *Cohort) ReleaseRead(th *Thread, t float64) float64 {
+	node := c.m.Top.SocketOf(th.CPU)
+	end := c.m.RMW(th.CPU, c.egress[node], t)
+	c.readersUntil[node] = maxf(c.readersUntil[node], end)
+	return end
+}
+
+// AcquireWrite implements RWLock.
+func (c *Cohort) AcquireWrite(th *Thread, t, cs float64) float64 {
+	end := c.m.RMW(th.CPU, c.globalLine, t) // cohort mutex
+	// Drain every socket's indicator.
+	for i := range c.ingress {
+		end = c.m.Load(th.CPU, c.ingress[i], end)
+		end = c.m.Load(th.CPU, c.egress[i], end)
+	}
+	start := maxf(end, c.writerUntil)
+	for _, ru := range c.readersUntil {
+		start = maxf(start, ru)
+	}
+	c.writerUntil = start + cs
+	return start
+}
+
+// ReleaseWrite implements RWLock.
+func (c *Cohort) ReleaseWrite(th *Thread, t float64) float64 {
+	end := c.m.RMW(th.CPU, c.globalLine, t)
+	c.writerUntil = maxf(c.writerUntil, end)
+	return end
+}
+
+// Table is a simulated visible readers table shared by any number of
+// simulated BRAVO locks: real hash functions over synthetic lock addresses,
+// slot occupancy in virtual time, one cache line per slotsPerLine slots.
+type Table struct {
+	m     *Machine
+	lines []LineID
+	slots []simSlot
+	size  uint32
+}
+
+const slotsPerLine = 8 // 8-byte slots on 64-byte lines
+
+type simSlot struct {
+	occupant uint64
+	until    float64
+}
+
+// NewTable allocates a simulated table with size slots (power of two).
+func NewTable(m *Machine, size int) *Table {
+	return &Table{
+		m:     m,
+		lines: m.NewLines((size + slotsPerLine - 1) / slotsPerLine),
+		slots: make([]simSlot, size),
+		size:  uint32(size),
+	}
+}
+
+// Bravo models the BRAVO transformation over any simulated underlying lock,
+// with the full Listing 1 state machine in virtual time: RBias, fast-path
+// publication with real hash-indexed collisions, writer revocation scans
+// and the N-multiplier inhibit policy.
+type Bravo struct {
+	m        *Machine
+	under    RWLock
+	biasLine LineID
+	table    *Table
+	lockAddr uint64 // synthetic address for slot hashing
+
+	rbias        bool
+	inhibitUntil float64
+	n            float64
+}
+
+// lockAddrSeq spaces synthetic lock addresses like heap-allocated locks.
+var lockAddrSeq uint64 = 0xc000100000
+
+// NewBravo wraps a simulated lock with the BRAVO fast path.
+func NewBravo(m *Machine, under RWLock, table *Table) *Bravo {
+	lockAddrSeq += 192
+	return &Bravo{
+		m:        m,
+		under:    under,
+		biasLine: m.NewLine(),
+		table:    table,
+		lockAddr: lockAddrSeq,
+		n:        9,
+	}
+}
+
+// AcquireRead implements RWLock (Listing 1, Reader).
+func (b *Bravo) AcquireRead(th *Thread, t, cs float64) float64 {
+	t = b.m.Load(th.CPU, b.biasLine, t) // check RBias: shared load, cheap
+	if b.rbias {
+		idx := hash.Index(uintptr(b.lockAddr), uint64(th.ID)+1, b.table.size)
+		s := &b.table.slots[idx]
+		if s.until <= t {
+			// CAS into the slot: the line is usually in this thread's cache.
+			end := b.m.RMW(th.CPU, b.table.lines[idx/slotsPerLine], t)
+			end = b.m.Load(th.CPU, b.biasLine, end) // recheck
+			s.occupant = b.lockAddr
+			s.until = end + cs
+			th.tok = uint64(idx) + 1
+			return end
+		}
+		// True collision: divert to the slow path.
+	}
+	end := b.under.AcquireRead(th, t, cs)
+	if !b.rbias && end >= b.inhibitUntil {
+		b.rbias = true
+		end = b.m.Store(th.CPU, b.biasLine, end)
+	}
+	th.tok = 0
+	return end
+}
+
+// ReleaseRead implements RWLock.
+func (b *Bravo) ReleaseRead(th *Thread, t float64) float64 {
+	if th.tok != 0 {
+		idx := th.tok - 1
+		th.tok = 0
+		end := b.m.Store(th.CPU, b.table.lines[idx/slotsPerLine], t)
+		if end > b.table.slots[idx].until {
+			b.table.slots[idx].until = end
+		}
+		return end
+	}
+	return b.under.ReleaseRead(th, t)
+}
+
+// AcquireWrite implements RWLock (Listing 1, Writer).
+func (b *Bravo) AcquireWrite(th *Thread, t, cs float64) float64 {
+	underCS := cs
+	if b.rbias {
+		// Arriving readers are blocked during the revocation scan in the
+		// default BRAVO; fold the expected scan into the underlying hold.
+		underCS += b.m.Cost.ScanNsPerSlot * float64(b.table.size)
+	}
+	end := b.under.AcquireWrite(th, t, underCS)
+	if b.rbias {
+		b.rbias = false
+		end = b.m.Store(th.CPU, b.biasLine, end)
+		start := end
+		// Sequential scan, hardware-prefetch assisted.
+		end += b.m.Cost.ScanNsPerSlot * float64(b.table.size)
+		// Wait for conflicting fast readers to depart.
+		for i := range b.table.slots {
+			s := &b.table.slots[i]
+			if s.occupant == b.lockAddr && s.until > end {
+				end = s.until
+			}
+		}
+		b.inhibitUntil = end + (end-start)*b.n
+	}
+	return end
+}
+
+// ReleaseWrite implements RWLock.
+func (b *Bravo) ReleaseWrite(th *Thread, t float64) float64 {
+	return b.under.ReleaseWrite(th, t)
+}
+
+func maxf(vs ...float64) float64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

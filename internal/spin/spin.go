@@ -1,0 +1,73 @@
+// Package spin implements polite busy-waiting.
+//
+// The paper's locks busy-wait on cache-local state; on a real multiprocessor
+// a PAUSE instruction suffices. Goroutines are multiplexed onto Ps, so an
+// uncooperative spin loop can livelock the scheduler whenever spinners
+// outnumber Ps (always true at GOMAXPROCS=1). Every wait loop in this
+// repository therefore spins actively for a short burst, then yields with
+// runtime.Gosched, and finally sleeps in escalating micro-naps — the
+// spin-then-park shape the paper mentions for revoking writers.
+package spin
+
+import (
+	"runtime"
+	"time"
+)
+
+// Tunables. activeSpins is deliberately small: with few Ps the active phase
+// is nearly useless, and with many Ps the yield phase is still cheap.
+const (
+	activeSpins = 32  // iterations of pure busy work before yielding
+	yieldSpins  = 256 // Gosched calls before starting to sleep
+	maxNapNanos = 64 * 1000
+)
+
+var singleP = runtime.GOMAXPROCS(0) == 1
+
+// Backoff tracks the progression of one waiting episode. The zero value is
+// ready to use; a Backoff must not be shared between goroutines.
+type Backoff struct {
+	i int
+}
+
+// Reset restarts the backoff progression (call after the awaited condition
+// was observed and waiting begins anew).
+func (b *Backoff) Reset() { b.i = 0 }
+
+// Once performs one unit of polite waiting and escalates the backoff state.
+func (b *Backoff) Once() {
+	b.i++
+	switch {
+	case b.i <= activeSpins && !singleP:
+		doNotOptimize()
+	case b.i <= yieldSpins:
+		runtime.Gosched()
+	default:
+		nap := time.Duration((b.i - yieldSpins) * 1000)
+		if nap > maxNapNanos {
+			nap = maxNapNanos
+		}
+		time.Sleep(nap)
+	}
+}
+
+// Until spins politely until cond reports true.
+func Until(cond func() bool) {
+	var b Backoff
+	for !cond() {
+		b.Once()
+	}
+}
+
+// sink defeats dead-code elimination of the active spin phase.
+var sink uint64
+
+func doNotOptimize() {
+	// A handful of arithmetic ops approximates a PAUSE-class delay without
+	// touching shared state.
+	x := sink
+	for i := 0; i < 8; i++ {
+		x = x*2654435761 + 1
+	}
+	sink = x
+}

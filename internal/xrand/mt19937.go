@@ -1,0 +1,71 @@
+package xrand
+
+// MT19937 is the 32-bit Mersenne Twister of Matsumoto and Nishimura, matching
+// C++'s std::mt19937 (the generator RWBench steps inside its critical
+// sections). Output is bit-exact with std::mt19937 for the same seed.
+type MT19937 struct {
+	state [mtN]uint32
+	index int
+}
+
+const (
+	mtN         = 624
+	mtM         = 397
+	mtMatrixA   = 0x9908b0df
+	mtUpperMask = 0x80000000
+	mtLowerMask = 0x7fffffff
+)
+
+// NewMT19937 returns a Mersenne Twister seeded with seed (the std::mt19937
+// default seed is 5489).
+func NewMT19937(seed uint32) *MT19937 {
+	m := &MT19937{}
+	m.Seed(seed)
+	return m
+}
+
+// Seed initializes the state array exactly as std::mt19937 does.
+func (m *MT19937) Seed(seed uint32) {
+	m.state[0] = seed
+	for i := 1; i < mtN; i++ {
+		m.state[i] = 1812433253*(m.state[i-1]^(m.state[i-1]>>30)) + uint32(i)
+	}
+	m.index = mtN
+}
+
+// Next returns the next 32-bit output.
+func (m *MT19937) Next() uint32 {
+	if m.index >= mtN {
+		m.generate()
+	}
+	y := m.state[m.index]
+	m.index++
+	y ^= y >> 11
+	y ^= (y << 7) & 0x9d2c5680
+	y ^= (y << 15) & 0xefc60000
+	y ^= y >> 18
+	return y
+}
+
+func (m *MT19937) generate() {
+	for i := 0; i < mtN; i++ {
+		y := (m.state[i] & mtUpperMask) | (m.state[(i+1)%mtN] & mtLowerMask)
+		next := m.state[(i+mtM)%mtN] ^ (y >> 1)
+		if y&1 != 0 {
+			next ^= mtMatrixA
+		}
+		m.state[i] = next
+	}
+	m.index = 0
+}
+
+// Step advances the generator n times and returns the last value; this is
+// the "execute 10 steps of a thread-local std::mt19937" critical-section
+// work unit from RWBench.
+func (m *MT19937) Step(n int) uint32 {
+	var v uint32
+	for i := 0; i < n; i++ {
+		v = m.Next()
+	}
+	return v
+}

@@ -1,0 +1,122 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMT19937MatchesReference(t *testing.T) {
+	// The canonical check: with the default seed 5489, the 10000th output of
+	// MT19937 is 4123659995 (this value is baked into the C++ standard's
+	// test for std::mt19937).
+	m := NewMT19937(5489)
+	var v uint32
+	for i := 0; i < 10000; i++ {
+		v = m.Next()
+	}
+	if v != 4123659995 {
+		t.Fatalf("10000th output = %d, want 4123659995", v)
+	}
+}
+
+func TestMT19937SeedDeterminism(t *testing.T) {
+	a, b := NewMT19937(12345), NewMT19937(12345)
+	for i := 0; i < 2000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("divergence at step %d: %d != %d", i, x, y)
+		}
+	}
+}
+
+func TestMT19937Step(t *testing.T) {
+	a, b := NewMT19937(7), NewMT19937(7)
+	want := uint32(0)
+	for i := 0; i < 10; i++ {
+		want = a.Next()
+	}
+	if got := b.Step(10); got != want {
+		t.Fatalf("Step(10) = %d, want %d", got, want)
+	}
+}
+
+func TestXorShiftNeverZero(t *testing.T) {
+	x := NewXorShift64(42)
+	for i := 0; i < 100000; i++ {
+		if x.Next() == 0 {
+			t.Fatal("xorshift produced 0, which is an absorbing state")
+		}
+	}
+}
+
+func TestXorShiftZeroSeedRemapped(t *testing.T) {
+	x := NewXorShift64(0)
+	if x.Next() == 0 {
+		t.Fatal("zero seed not remapped")
+	}
+}
+
+func TestXorShiftDeterministic(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := NewXorShift64(seed), NewXorShift64(seed)
+		for i := 0; i < 16; i++ {
+			if a.Next() != b.Next() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	// P = 1/100 trials over n samples should land near n/100.
+	x := NewXorShift64(99)
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if x.Bernoulli(100) {
+			hits++
+		}
+	}
+	want := n / 100
+	if hits < want*7/10 || hits > want*13/10 {
+		t.Fatalf("Bernoulli(100) hit %d times in %d trials, want ≈%d", hits, n, want)
+	}
+}
+
+func TestIntnInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		x := NewXorShift64(seed)
+		for i := 0; i < 32; i++ {
+			if x.Intn(200) >= 200 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a, b := NewSplitMix64(1), NewSplitMix64(1)
+	for i := 0; i < 64; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("SplitMix64 not deterministic")
+		}
+	}
+}
+
+func TestSplitMix64Disperses(t *testing.T) {
+	s := NewSplitMix64(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 4096; i++ {
+		seen[s.Next()] = true
+	}
+	if len(seen) != 4096 {
+		t.Fatalf("SplitMix64 repeated a value within 4096 outputs (%d distinct)", len(seen))
+	}
+}
