@@ -2,6 +2,7 @@ package bravo
 
 import (
 	"github.com/bravolock/bravo/internal/core"
+	"github.com/bravolock/bravo/internal/kvs"
 	"github.com/bravolock/bravo/internal/locks/cohort"
 	"github.com/bravolock/bravo/internal/locks/mutexrw"
 	"github.com/bravolock/bravo/internal/locks/percpu"
@@ -125,3 +126,24 @@ func NewPerCPU(t Topology) RWLock { return percpu.New(t) }
 
 // NewCohortRW returns the NUMA-aware C-RW-WP cohort reader-writer lock.
 func NewCohortRW(t Topology) RWLock { return cohort.New(t) }
+
+// Sharded key-value engine. ShardedKV stripes a hash keyspace across a
+// power-of-two number of shards, each guarded by its own reader-writer lock
+// from the supplied constructor — the scale-out workload the paper's
+// rocksdb experiments point at (one GetLock stripe is their bottleneck;
+// here the stripe count and the lock substrate are both free axes).
+type ShardedKV = kvs.Sharded
+
+// ShardedKVStats aggregates a ShardedKV's per-shard operation counters.
+type ShardedKVStats = kvs.ShardedStats
+
+// ShardKVStats summarizes one shard (or, via Total, a whole engine).
+type ShardKVStats = kvs.ShardStats
+
+// NewShardedKV returns a sharded KV engine with the given number of shards
+// (a positive power of two), each guarded by a fresh lock from mkLock —
+// e.g. func() bravo.RWLock { return bravo.New(bravo.NewBA()) } for a
+// BRAVO-striped engine whose shards share the process-wide readers table.
+func NewShardedKV(shards int, mkLock func() RWLock) (*ShardedKV, error) {
+	return kvs.NewSharded(shards, mkLock)
+}

@@ -112,6 +112,60 @@ func TestTryLocksThroughFacade(t *testing.T) {
 	l.Unlock()
 }
 
+func TestShardedKVThroughFacade(t *testing.T) {
+	if _, err := bravo.NewShardedKV(3, bravo.NewBA); err == nil {
+		t.Fatal("non-power-of-two shard count accepted")
+	}
+	st := &bravo.Stats{}
+	kv, err := bravo.NewShardedKV(4, func() bravo.RWLock {
+		return bravo.New(bravo.NewBA(), bravo.WithStats(st))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", kv.NumShards())
+	}
+	for k := uint64(0); k < 256; k++ {
+		kv.Put(k, []byte{byte(k)})
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < 2000; i++ {
+				k := (seed*i + i) % 256
+				if i%32 == 0 {
+					kv.Put(k, []byte{byte(i)})
+				} else if v, ok := kv.Get(k); !ok || len(v) != 1 {
+					t.Errorf("Get(%d) = %v, %v", k, v, ok)
+					return
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	vals := kv.MultiGet([]uint64{1, 2, 1 << 40})
+	if vals[0] == nil || vals[1] == nil || vals[2] != nil {
+		t.Fatalf("MultiGet = %v", vals)
+	}
+	if kv.Delete(1 << 40) {
+		t.Fatal("Delete of absent key reported present")
+	}
+	var stats bravo.ShardedKVStats = kv.Stats()
+	var total bravo.ShardKVStats = stats.Total()
+	if total.Keys != kv.Len() || total.Gets == 0 {
+		t.Fatalf("stats inconsistent: %+v vs Len %d", total, kv.Len())
+	}
+	if got := st.Snapshot().Reads(); got == 0 {
+		t.Fatal("BRAVO per-shard locks recorded no reads")
+	}
+	if n := len(kv.Snapshot()); n != kv.Len() {
+		t.Fatalf("Snapshot has %d keys, Len is %d", n, kv.Len())
+	}
+}
+
 func TestTopologyHelpers(t *testing.T) {
 	if bravo.TopologyX52.NumCPUs() != 72 || bravo.TopologyX54.NumCPUs() != 144 {
 		t.Fatal("reference topologies wrong")

@@ -1,12 +1,20 @@
 // Command bravobench regenerates the paper's user-space evaluation
-// (Figures 1–6, §5).
+// (Figures 1–6, §5) and runs the repo's forward-looking workloads.
 //
-// Two modes:
+// Two figure modes:
 //
 //	-mode native   run the real lock implementations on goroutines
 //	               (overhead-accurate; scalability limited by host CPUs)
 //	-mode sim      run the deterministic coherence-cost simulator on the
 //	               paper's X5-2 topology (reproduces the figures' shapes)
+//
+// Workloads beyond the paper select with -workload:
+//
+//	-workload figures    the default: regenerate -fig
+//	-workload shardedkv  drive the sharded KV engine across the
+//	                     shards × substrate × threads grid, against the
+//	                     single-lock memtable baseline; -json additionally
+//	                     writes machine-readable BENCH_shardedkv.json
 //
 // Examples:
 //
@@ -14,6 +22,8 @@
 //	bravobench -fig 4 -sub f          # RWBench at 0.01% writes
 //	bravobench -fig all -mode native -interval 100ms
 //	bravobench -scanrate              # revocation scan ns/slot (Table-less §3 claim)
+//	bravobench -workload shardedkv -json
+//	bravobench -workload shardedkv -shards 1,4,16 -locks bravo-ba -threads 8
 package main
 
 import (
@@ -37,6 +47,24 @@ var (
 	threadsFlag  = flag.String("threads", "1,2,5,10,20,50", "thread counts")
 	locksFlag    = flag.String("locks", "ba,bravo-ba,pthread,bravo-pthread,per-cpu,cohort-rw", "native lock lineup")
 	scanFlag     = flag.Bool("scanrate", false, "measure the revocation scan rate (ns/slot) and exit")
+
+	workloadFlag   = flag.String("workload", "figures", "figures or shardedkv")
+	jsonFlag       = flag.Bool("json", false, "shardedkv: also write machine-readable results")
+	outFlag        = flag.String("out", "BENCH_shardedkv.json", "shardedkv: -json output path")
+	shardsFlag     = flag.String("shards", "1,2,4,8", "shardedkv: shard counts (powers of two)")
+	writeRatioFlag = flag.Float64("writeratio", 0.01, "shardedkv: fraction of operations that write")
+	valueSizeFlag  = flag.Int("valuesize", bench.ShardedKVDefaultValueSize, "shardedkv: value payload bytes (sets critical-section length)")
+)
+
+// shardedKVDefaults replace the figure-oriented flag defaults when the
+// shardedkv workload runs and the user did not set the flag explicitly.
+// Blocking substrates behave sanely at thread counts beyond the CPU count,
+// unlike spinning BA; mutex is the lineup's single-lock worst case (every
+// reader serializes, §7's BRAVO-over-mutex motivation), go-rw the Go
+// standard baseline, and bravo-go shows the fast-path hit rate.
+const (
+	shardedKVDefaultLocks   = "mutex,go-rw,bravo-go"
+	shardedKVDefaultThreads = "1,2,4,8,16"
 )
 
 // rwbenchSubs maps Figure 4's sub-plots to write probabilities.
@@ -60,12 +88,38 @@ func main() {
 		fmt.Printf("revocation scan rate: %.2f ns/slot over a 4096-entry table (paper: ≈1.1 ns/slot)\n", rate)
 		return
 	}
+	if *workloadFlag == "shardedkv" {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["locks"] {
+			*locksFlag = shardedKVDefaultLocks
+		}
+		if !set["threads"] {
+			*threadsFlag = shardedKVDefaultThreads
+		}
+		// Contended blocking locks are bistable (sync.Mutex starvation
+		// mode), so this workload needs a longer protocol than the figure
+		// defaults for stable medians.
+		if !set["interval"] {
+			*intervalFlag = 500 * time.Millisecond
+		}
+		if !set["runs"] {
+			*runsFlag = 5
+		}
+	}
 	threads, err := cliutil.ParseInts(*threadsFlag)
 	if err != nil {
 		fatal(err)
 	}
 	cfg := bench.Config{Interval: *intervalFlag, Runs: *runsFlag, Threads: threads}
 	locks := cliutil.ParseNames(*locksFlag)
+	if *workloadFlag == "shardedkv" {
+		runShardedKV(cfg, locks)
+		return
+	}
+	if *workloadFlag != "figures" {
+		fatal(fmt.Errorf("unknown workload %q (figures, shardedkv)", *workloadFlag))
+	}
 	figs := []string{"1", "2", "3", "4", "5", "6"}
 	if *figFlag != "all" {
 		figs = []string{*figFlag}
@@ -107,6 +161,44 @@ func main() {
 			fatal(fmt.Errorf("unknown figure %q", fig))
 		}
 	}
+}
+
+func runShardedKV(cfg bench.Config, locks []string) {
+	shardCounts, err := cliutil.ParseInts(*shardsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	for _, sc := range shardCounts {
+		// Fail before the sweep spends a minute benchmarking baselines.
+		if sc <= 0 || sc&(sc-1) != 0 {
+			fatal(fmt.Errorf("-shards %d is not a positive power of two", sc))
+		}
+	}
+	if *writeRatioFlag < 0 || *writeRatioFlag > 1 {
+		fatal(fmt.Errorf("-writeratio %v outside [0, 1]", *writeRatioFlag))
+	}
+	results, err := bench.ShardedKVSweep(locks, shardCounts, cfg.Threads, *writeRatioFlag, *valueSizeFlag, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# shardedkv: %d keys, %dB values, %.1f%% writes, interval %v, median of %d\n",
+		bench.ShardedKVKeys, *valueSizeFlag, 100**writeRatioFlag, cfg.Interval, cfg.Runs)
+	bench.WriteShardedKVTable(os.Stdout, results)
+	if !*jsonFlag {
+		return
+	}
+	f, err := os.Create(*outFlag)
+	if err != nil {
+		fatal(err)
+	}
+	rep := bench.NewShardedKVReport(cfg, results)
+	if err := rep.WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d results)\n", *outFlag, len(results))
 }
 
 func runFigure1(cfg bench.Config) {

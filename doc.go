@@ -21,6 +21,11 @@
 // paper's observation that "the slot value must be passed from the read
 // lock operator to the corresponding unlock".
 //
+// Beyond the lock itself, NewShardedKV builds a sharded key-value engine
+// whose per-shard locks come from any of the substrates above — the
+// read-mostly serving workload the paper's rocksdb experiments point at,
+// with BRAVO's one-CAS read path per shard.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // reproduction of the paper's figures and tables, and the examples/
 // directory for runnable programs.

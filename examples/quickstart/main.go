@@ -1,5 +1,7 @@
 // Quickstart: wrap a compact reader-writer lock with BRAVO and watch the
-// reader fast path engage.
+// reader fast path engage — the §3 transformation (publish into the
+// visible-readers table, recheck RBias, pass the slot via the token) on
+// the smallest possible program.
 //
 //	go run ./examples/quickstart
 package main

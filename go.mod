@@ -1,0 +1,3 @@
+module github.com/bravolock/bravo
+
+go 1.22

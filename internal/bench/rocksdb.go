@@ -37,8 +37,9 @@ func ReadWhileWriting(lockName string, readers int, cfg Config) float64 {
 				}
 				return 0
 			}
+			buf := make([]byte, 0, 8) // reused: keep the measured loop allocation-free
 			for !stop.Load() {
-				m.Get(rng.Intn(keys))
+				buf, _ = m.GetInto(rng.Intn(keys), buf)
 				ops++
 			}
 			readerOps.Add(ops)

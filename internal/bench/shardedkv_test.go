@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	_ "github.com/bravolock/bravo/internal/locks/all"
+)
+
+func tinyKVConfig() Config {
+	return Config{Interval: 5 * time.Millisecond, Runs: 1, Threads: []int{2}}
+}
+
+func TestShardedKVPoint(t *testing.T) {
+	cfg := tinyKVConfig()
+	r, err := ShardedKV("bravo-ba", 4, 2, 0.05, 64, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Engine != "sharded" || r.Shards != 4 || r.Threads != 2 {
+		t.Fatalf("result metadata wrong: %+v", r)
+	}
+	if r.Ops <= 0 || r.ThroughputOpsPerSec <= 0 {
+		t.Fatalf("no operations recorded: %+v", r)
+	}
+	if r.FastReadFraction < 0 || r.FastReadFraction > 1 {
+		t.Fatalf("bravo lock should report a fast-read fraction in [0,1], got %v", r.FastReadFraction)
+	}
+	if r.ReadP99Nanos < r.ReadP50Nanos {
+		t.Fatalf("p99 %d < p50 %d", r.ReadP99Nanos, r.ReadP50Nanos)
+	}
+}
+
+func TestShardedKVPlainLockHasNoStats(t *testing.T) {
+	r, err := ShardedKV("go-rw", 2, 2, 0, 64, tinyKVConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FastReadFraction != -1 {
+		t.Fatalf("plain lock reported fast fraction %v, want -1", r.FastReadFraction)
+	}
+}
+
+func TestShardedKVBaseline(t *testing.T) {
+	r, err := ShardedKVBaseline("go-rw", 2, 0.05, 64, tinyKVConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Engine != "memtable" || r.Shards != 1 {
+		t.Fatalf("baseline metadata wrong: %+v", r)
+	}
+	if r.Ops <= 0 {
+		t.Fatalf("baseline recorded no operations: %+v", r)
+	}
+}
+
+func TestShardedKVUnknownLock(t *testing.T) {
+	if _, err := ShardedKV("no-such-lock", 2, 2, 0, 64, tinyKVConfig()); err == nil {
+		t.Fatal("unknown lock accepted")
+	}
+	if _, err := ShardedKV("bravo-no-such-lock", 2, 2, 0, 64, tinyKVConfig()); err == nil {
+		t.Fatal("unknown bravo substrate accepted")
+	}
+}
+
+func TestShardedKVSweepAndJSON(t *testing.T) {
+	cfg := tinyKVConfig()
+	results, err := ShardedKVSweep([]string{"bravo-ba"}, []int{1, 2}, cfg.Threads, 0.01, 64, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 baseline + 2 shard counts, each × 1 thread count.
+	if len(results) != 3 {
+		t.Fatalf("sweep produced %d results, want 3", len(results))
+	}
+	if results[0].Engine != "memtable" || results[1].Shards != 1 || results[2].Shards != 2 {
+		t.Fatalf("sweep order unexpected: %+v", results)
+	}
+
+	var buf bytes.Buffer
+	rep := NewShardedKVReport(cfg, results)
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded ShardedKVReport
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if decoded.Benchmark != "shardedkv" || len(decoded.Results) != 3 {
+		t.Fatalf("decoded report wrong: %+v", decoded)
+	}
+
+	var tab bytes.Buffer
+	WriteShardedKVTable(&tab, results)
+	if !strings.Contains(tab.String(), "memtable") || !strings.Contains(tab.String(), "bravo-ba") {
+		t.Fatalf("table missing rows:\n%s", tab.String())
+	}
+}

@@ -1,8 +1,9 @@
-// Package kvs provides the key-value substrates of the paper's rocksdb
-// experiments: a memtable with striped GetLock reader-writer locks and
-// in-place updates (the readwhilewriting benchmark of §5.5) and a
-// single-lock hash table cache (the persistent-cache hash_table_bench of
-// §5.6).
+// Package kvs provides the repository's key-value engines: the substrates
+// of the paper's rocksdb experiments — a memtable with striped GetLock
+// reader-writer locks and in-place updates (the readwhilewriting benchmark
+// of §5.5) and a single-lock hash table cache (the persistent-cache
+// hash_table_bench of §5.6) — plus Sharded, the scale-out engine that
+// stripes the keyspace across per-shard locks (see sharded.go).
 //
 // The paper ran rocksdb with --inplace_update_support=1 and
 // --inplace_update_num_locks=1: readers of ::Get take GetLock for read on
@@ -50,13 +51,26 @@ func (m *Memtable) stripeOf(key uint64) *stripe {
 }
 
 // Get returns the value stored under key, taking the stripe's GetLock for
-// read (the rocksdb ::Get path the paper instruments).
+// read (the rocksdb ::Get path the paper instruments). The value is copied
+// out while the lock is held — as rocksdb's MemTable::Get copies into the
+// caller's string — since in-place Put mutates the stored buffer.
 func (m *Memtable) Get(key uint64) ([]byte, bool) {
+	return m.GetInto(key, nil)
+}
+
+// GetInto is Get with caller-managed memory: the value is appended to
+// buf[:0] and the filled slice returned (buf[:0] itself on a miss), so a
+// reused buffer makes reads allocation-free.
+func (m *Memtable) GetInto(key uint64, buf []byte) ([]byte, bool) {
 	s := m.stripeOf(key)
 	tok := s.lock.RLock()
 	v, ok := s.data[key]
+	out := buf[:0]
+	if ok {
+		out = append(out, v...)
+	}
 	s.lock.RUnlock(tok)
-	return v, ok
+	return out, ok
 }
 
 // Put performs an in-place update (or insert) of key, taking the stripe's

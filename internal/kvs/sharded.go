@@ -1,0 +1,313 @@
+package kvs
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"github.com/bravolock/bravo/internal/arch"
+	"github.com/bravolock/bravo/internal/hash"
+	"github.com/bravolock/bravo/internal/rwl"
+)
+
+// Sharded is a sharded key-value engine: the keyspace is striped across a
+// power-of-two number of shards, each an independent hash map guarded by its
+// own reader-writer lock from a caller-supplied factory. It is the
+// scale-out form of the single-stripe Memtable/HashCache substrates: with a
+// BRAVO-wrapped lock per shard the read path is one CAS into the shared
+// visible-readers table regardless of shard count, while writers only
+// exclude readers of their own shard.
+//
+// Like Memtable.Get, Sharded.Get and MultiGet copy values out under the
+// shard's read lock, so returned values stay valid after the lock is
+// released even while writers update buffers in place.
+type Sharded struct {
+	shards []kvShard
+	mask   uint64
+}
+
+// kvShard is one stripe: a lock, its map, and its operation counters.
+// Shards are sector-padded so one shard's lock and counter traffic does not
+// false-share with its neighbours.
+type kvShard struct {
+	lock rwl.RWLock
+	data map[uint64][]byte
+	ops  shardOps
+	_    arch.SectorPad
+}
+
+// shardOps counts operations against one shard. Counters are atomics and
+// are bumped outside the shard lock (after release on the read paths), so
+// they are eventually consistent with the data, never exact even under all
+// locks; the hot paths pay one atomic add each by counting the rare
+// outcome — misses and fresh inserts — and deriving hits and in-place
+// updates in Stats.
+type shardOps struct {
+	gets      atomic.Uint64
+	getMisses atomic.Uint64
+	puts      atomic.Uint64
+	putsFresh atomic.Uint64
+	deletes   atomic.Uint64
+	delMisses atomic.Uint64
+	batches   atomic.Uint64
+	batchKeys atomic.Uint64
+	snapshots atomic.Uint64
+}
+
+// ShardStats is a point-in-time summary of one shard (or, via Total, of the
+// whole engine).
+type ShardStats struct {
+	Keys            int    `json:"keys"`
+	Gets            uint64 `json:"gets"`
+	GetHits         uint64 `json:"get_hits"`
+	Puts            uint64 `json:"puts"`
+	PutsInPlace     uint64 `json:"puts_in_place"`
+	Deletes         uint64 `json:"deletes"`
+	DeleteHits      uint64 `json:"delete_hits"`
+	MultiGetBatches uint64 `json:"multi_get_batches"`
+	MultiGetKeys    uint64 `json:"multi_get_keys"`
+	Snapshots       uint64 `json:"snapshots"`
+}
+
+// add folds o into s.
+func (s *ShardStats) add(o ShardStats) {
+	s.Keys += o.Keys
+	s.Gets += o.Gets
+	s.GetHits += o.GetHits
+	s.Puts += o.Puts
+	s.PutsInPlace += o.PutsInPlace
+	s.Deletes += o.Deletes
+	s.DeleteHits += o.DeleteHits
+	s.MultiGetBatches += o.MultiGetBatches
+	s.MultiGetKeys += o.MultiGetKeys
+	s.Snapshots += o.Snapshots
+}
+
+// ShardedStats aggregates the per-shard summaries of a Sharded engine.
+type ShardedStats struct {
+	Shards []ShardStats `json:"shards"`
+}
+
+// Total folds every shard's summary into one.
+func (st ShardedStats) Total() ShardStats {
+	var t ShardStats
+	for _, s := range st.Shards {
+		t.add(s)
+	}
+	return t
+}
+
+// NewSharded returns an engine with the given number of shards (a positive
+// power of two), each guarded by a fresh lock from mkLock.
+func NewSharded(shards int, mkLock rwl.Factory) (*Sharded, error) {
+	if shards <= 0 || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("kvs: shard count %d is not a positive power of two", shards)
+	}
+	s := &Sharded{shards: make([]kvShard, shards), mask: uint64(shards - 1)}
+	for i := range s.shards {
+		s.shards[i].lock = mkLock()
+		s.shards[i].data = make(map[uint64][]byte)
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// ShardOf returns the index of the shard responsible for key.
+func (s *Sharded) ShardOf(key uint64) int {
+	return int(hash.Mix64(key) & s.mask)
+}
+
+func (s *Sharded) shardOf(key uint64) *kvShard {
+	return &s.shards[hash.Mix64(key)&s.mask]
+}
+
+// Get returns a copy of the value stored under key.
+func (s *Sharded) Get(key uint64) ([]byte, bool) {
+	return s.GetInto(key, nil)
+}
+
+// GetInto is Get with caller-managed memory: the value is appended to
+// buf[:0] (growing it only when too small) and the filled slice returned.
+// On a miss the returned slice is buf[:0], so a worker that reuses its
+// buffer across calls — hits and misses alike — reads without allocating.
+func (s *Sharded) GetInto(key uint64, buf []byte) ([]byte, bool) {
+	sh := s.shardOf(key)
+	tok := sh.lock.RLock()
+	v, ok := sh.data[key]
+	out := buf[:0]
+	if ok {
+		out = append(out, v...)
+	}
+	sh.lock.RUnlock(tok)
+	sh.ops.gets.Add(1)
+	if !ok {
+		sh.ops.getMisses.Add(1)
+	}
+	return out, ok
+}
+
+// Put stores a copy of value under key, reusing the existing buffer in
+// place when it fits (Memtable's rocksdb-style in-place update).
+func (s *Sharded) Put(key uint64, value []byte) {
+	sh := s.shardOf(key)
+	sh.lock.Lock()
+	sh.ops.puts.Add(1) // total before rare: see the Stats load-order note
+	if old, ok := sh.data[key]; ok && cap(old) >= len(value) {
+		old = old[:len(value)]
+		copy(old, value)
+		sh.data[key] = old
+	} else {
+		buf := make([]byte, len(value))
+		copy(buf, value)
+		sh.data[key] = buf
+		sh.ops.putsFresh.Add(1)
+	}
+	sh.lock.Unlock()
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Sharded) Delete(key uint64) bool {
+	sh := s.shardOf(key)
+	sh.lock.Lock()
+	sh.ops.deletes.Add(1) // total before rare: see the Stats load-order note
+	_, ok := sh.data[key]
+	if ok {
+		delete(sh.data, key)
+	} else {
+		sh.ops.delMisses.Add(1)
+	}
+	sh.lock.Unlock()
+	return ok
+}
+
+// MultiGet performs a batched lookup: keys are grouped by shard and each
+// shard's read lock is taken once per batch, not once per key. The result
+// is parallel to keys; absent keys yield nil entries.
+func (s *Sharded) MultiGet(keys []uint64) [][]byte {
+	out := make([][]byte, len(keys))
+	if len(keys) == 0 {
+		return out
+	}
+	// Sort (shard, position) pairs and walk the runs, so per-batch cost
+	// scales with the batch, not with the shard count.
+	pairs := make([]shardPos, len(keys))
+	for i, k := range keys {
+		pairs[i] = shardPos{shard: s.ShardOf(k), pos: i}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].shard < pairs[b].shard })
+	for lo := 0; lo < len(pairs); {
+		hi := lo + 1
+		for hi < len(pairs) && pairs[hi].shard == pairs[lo].shard {
+			hi++
+		}
+		sh := &s.shards[pairs[lo].shard]
+		tok := sh.lock.RLock()
+		for _, p := range pairs[lo:hi] {
+			if v, ok := sh.data[keys[p.pos]]; ok {
+				// Non-nil even for empty values: nil means absent here.
+				out[p.pos] = append(make([]byte, 0, len(v)), v...)
+			}
+		}
+		sh.lock.RUnlock(tok)
+		sh.ops.batches.Add(1)
+		sh.ops.batchKeys.Add(uint64(hi - lo))
+		lo = hi
+	}
+	return out
+}
+
+// shardPos pairs a shard index with a position in a MultiGet batch.
+type shardPos struct{ shard, pos int }
+
+// Len returns the total number of keys, visiting each shard under its read
+// lock.
+func (s *Sharded) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		tok := sh.lock.RLock()
+		n += len(sh.data)
+		sh.lock.RUnlock(tok)
+	}
+	return n
+}
+
+// Range calls fn for every key/value pair. Each shard is visited atomically
+// under its read lock; the engine-wide view is the concatenation of
+// per-shard snapshots, not a global snapshot. The value slice passed to fn
+// is the live buffer and must not be retained or mutated after fn returns.
+// Iteration stops early when fn returns false.
+func (s *Sharded) Range(fn func(key uint64, value []byte) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		tok := sh.lock.RLock()
+		for k, v := range sh.data {
+			if !fn(k, v) {
+				sh.lock.RUnlock(tok)
+				return
+			}
+		}
+		sh.lock.RUnlock(tok)
+	}
+}
+
+// SnapshotShard returns an atomic deep copy of one shard's contents.
+func (s *Sharded) SnapshotShard(i int) map[uint64][]byte {
+	sh := &s.shards[i]
+	tok := sh.lock.RLock()
+	out := make(map[uint64][]byte, len(sh.data))
+	for k, v := range sh.data {
+		out[k] = append([]byte(nil), v...)
+	}
+	sh.lock.RUnlock(tok)
+	sh.ops.snapshots.Add(1)
+	return out
+}
+
+// Snapshot returns a deep copy of the whole engine, shard by shard. Each
+// shard is copied atomically; the union is only per-shard consistent.
+func (s *Sharded) Snapshot() map[uint64][]byte {
+	out := make(map[uint64][]byte, s.Len())
+	for i := range s.shards {
+		for k, v := range s.SnapshotShard(i) {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Stats returns the per-shard operation counters and key counts.
+func (s *Sharded) Stats() ShardedStats {
+	st := ShardedStats{Shards: make([]ShardStats, len(s.shards))}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		tok := sh.lock.RLock()
+		keys := len(sh.data)
+		sh.lock.RUnlock(tok)
+		// Load each rare counter before its total: every op bumps the
+		// total first (Get/Put/Delete), so rare <= total holds at every
+		// instant, and loading rare first keeps the derived hit counts
+		// from underflowing when snapshotting under load.
+		getMisses := sh.ops.getMisses.Load()
+		gets := sh.ops.gets.Load()
+		putsFresh := sh.ops.putsFresh.Load()
+		puts := sh.ops.puts.Load()
+		delMisses := sh.ops.delMisses.Load()
+		deletes := sh.ops.deletes.Load()
+		st.Shards[i] = ShardStats{
+			Keys:            keys,
+			Gets:            gets,
+			GetHits:         gets - getMisses,
+			Puts:            puts,
+			PutsInPlace:     puts - putsFresh,
+			Deletes:         deletes,
+			DeleteHits:      deletes - delMisses,
+			MultiGetBatches: sh.ops.batches.Load(),
+			MultiGetKeys:    sh.ops.batchKeys.Load(),
+			Snapshots:       sh.ops.snapshots.Load(),
+		}
+	}
+	return st
+}

@@ -1,0 +1,110 @@
+package lockcheck
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/bravolock/bravo/internal/core"
+	"github.com/bravolock/bravo/internal/locks/pfq"
+	"github.com/bravolock/bravo/internal/locks/ptl"
+	"github.com/bravolock/bravo/internal/locks/stdrw"
+	"github.com/bravolock/bravo/internal/rwl"
+)
+
+// The checkers are themselves load-bearing: every lock package's test file
+// is a handful of one-liners through them. These tests certify the checkers
+// against known-good locks from both admission families, plus the BRAVO
+// wrapper, so a checker regression cannot silently hollow out the whole
+// correctness battery.
+
+func mkGoRW() rwl.RWLock  { return new(stdrw.Lock) }
+func mkPtl() rwl.RWLock   { return ptl.New() }
+func mkBravo() rwl.RWLock { return core.New(new(pfq.Lock)) }
+
+func TestExclusionAcceptsCorrectLocks(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() rwl.RWLock
+	}{
+		{"go-rw", mkGoRW},
+		{"pthread", mkPtl},
+		{"bravo-ba", mkBravo},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			Exclusion(t, tc.mk, 4, 2, 300)
+		})
+	}
+}
+
+func TestTryExclusionAcceptsCorrectLock(t *testing.T) {
+	TryExclusion(t, mkBravo, 4, 300)
+}
+
+func TestReadersConcurrentAcceptsRWLock(t *testing.T) {
+	ReadersConcurrent(t, mkGoRW())
+	ReadersConcurrent(t, mkBravo())
+}
+
+func TestWriterExcludesReadersAcceptsRWLock(t *testing.T) {
+	WriterExcludesReaders(t, mkGoRW())
+	WriterExcludesReaders(t, mkBravo())
+}
+
+func TestWaitingWriterBlocksReadersOnPhaseFair(t *testing.T) {
+	// PF-Q hands the lock writer-then-reader in phases; a reader arriving
+	// behind a waiting writer must wait its turn.
+	WaitingWriterBlocksReaders(t, new(pfq.Lock))
+}
+
+func TestWaitingWriterStarvedByReadersOnReaderPref(t *testing.T) {
+	// The POSIX-style lock prefers readers: a late reader overtakes the
+	// waiting writer.
+	WaitingWriterStarvedByReaders(t, mkPtl())
+}
+
+func TestEventuallyReturnsOnceCondHolds(t *testing.T) {
+	var flag atomic.Bool
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		flag.Store(true)
+	}()
+	start := time.Now()
+	Eventually(t, flag.Load, "flag never set")
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Eventually kept polling long after the condition held")
+	}
+}
+
+func TestNeverToleratesFalseCond(t *testing.T) {
+	calls := 0
+	Never(t, func() bool { calls++; return false }, 20*time.Millisecond, "unreachable")
+	if calls == 0 {
+		t.Fatal("Never did not poll the condition")
+	}
+}
+
+// TestExclusionDetectsViolations runs the detector's occupancy accounting
+// against a deliberately broken "lock" that admits everyone, on a separate
+// probe testing.T (and its own goroutine, since Fatalf ends in Goexit) so
+// the expected failure does not fail this test.
+func TestExclusionDetectsViolations(t *testing.T) {
+	probe := &testing.T{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Exclusion(probe, func() rwl.RWLock { return brokenLock{} }, 4, 2, 500)
+	}()
+	<-done
+	if !probe.Failed() {
+		t.Fatal("Exclusion did not flag a lock with no mutual exclusion at all")
+	}
+}
+
+// brokenLock grants every acquisition immediately.
+type brokenLock struct{}
+
+func (brokenLock) RLock() rwl.Token  { return 0 }
+func (brokenLock) RUnlock(rwl.Token) {}
+func (brokenLock) Lock()             {}
+func (brokenLock) Unlock()           {}
