@@ -23,6 +23,23 @@ type RWLock = rwl.RWLock
 // TryRWLock extends RWLock with non-blocking acquisition attempts.
 type TryRWLock = rwl.TryRWLock
 
+// HandleRWLock extends RWLock with handle-accepting read paths
+// (RLockH/RUnlockH). bravo.Lock implements it.
+type HandleRWLock = rwl.HandleRWLock
+
+// Reader is a per-goroutine (or per-request) reader handle: a pinned
+// identity plus a per-lock cache of the last fast-path slot, making the
+// steady-state read one CAS with no hashing, and arming unbalanced-unlock
+// detection. A Reader must not be shared between concurrent goroutines.
+type Reader = rwl.Reader
+
+// NewReader returns a reader handle with a fresh pinned identity.
+func NewReader() *Reader { return rwl.NewReader() }
+
+// NewReaderWithID returns a reader handle with an explicit identity, for
+// reproducible (lock, reader) → slot mappings.
+func NewReaderWithID(id uint64) *Reader { return rwl.NewReaderWithID(id) }
+
 // Lock is a BRAVO-transformed reader-writer lock (BRAVO-A, paper §3).
 type Lock = core.Lock
 
@@ -131,7 +148,9 @@ func NewCohortRW(t Topology) RWLock { return cohort.New(t) }
 // power-of-two number of shards, each guarded by its own reader-writer lock
 // from the supplied constructor — the scale-out workload the paper's
 // rocksdb experiments point at (one GetLock stripe is their bottleneck;
-// here the stripe count and the lock substrate are both free axes).
+// here the stripe count and the lock substrate are both free axes). Read
+// paths accept an optional Reader handle (GetH/GetIntoH/MultiGetH): one
+// pinned identity per request, cached-slot fast paths on every shard.
 type ShardedKV = kvs.Sharded
 
 // ShardedKVStats aggregates a ShardedKV's per-shard operation counters.

@@ -166,6 +166,47 @@ func TestShardedKVThroughFacade(t *testing.T) {
 	}
 }
 
+func TestReaderHandleThroughFacade(t *testing.T) {
+	l := bravo.New(bravo.NewBA(), bravo.WithTable(bravo.NewTable(64)))
+	var hl bravo.HandleRWLock = l
+	h := bravo.NewReader()
+	tok := hl.RLockH(h) // slow; enables bias under the default policy
+	hl.RUnlockH(h, tok)
+	for i := 0; i < 10; i++ {
+		tok := hl.RLockH(h)
+		hl.RUnlockH(h, tok)
+	}
+	l.Lock()
+	l.Unlock()
+	if bravo.NewReaderWithID(7).ID() != 7 {
+		t.Fatal("explicit handle identity not pinned")
+	}
+}
+
+func TestShardedKVHandleReadsThroughFacade(t *testing.T) {
+	kv, err := bravo.NewShardedKV(4, func() bravo.RWLock {
+		return bravo.New(bravo.NewBA())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 64; k++ {
+		kv.Put(k, []byte{byte(k)})
+	}
+	h := bravo.NewReader()
+	if v, ok := kv.GetH(h, 3); !ok || v[0] != 3 {
+		t.Fatalf("GetH = %v, %v", v, ok)
+	}
+	buf := make([]byte, 0, 8)
+	if buf, ok := kv.GetIntoH(h, 4, buf); !ok || buf[0] != 4 {
+		t.Fatalf("GetIntoH = %v, %v", buf, ok)
+	}
+	vals := kv.MultiGetH(h, []uint64{1, 2, 1 << 40})
+	if vals[0] == nil || vals[1] == nil || vals[2] != nil {
+		t.Fatalf("MultiGetH = %v", vals)
+	}
+}
+
 func TestTopologyHelpers(t *testing.T) {
 	if bravo.TopologyX52.NumCPUs() != 72 || bravo.TopologyX54.NumCPUs() != 144 {
 		t.Fatal("reference topologies wrong")

@@ -10,11 +10,15 @@
 //
 // Workloads beyond the paper select with -workload:
 //
-//	-workload figures    the default: regenerate -fig
-//	-workload shardedkv  drive the sharded KV engine across the
-//	                     shards × substrate × threads grid, against the
-//	                     single-lock memtable baseline; -json additionally
-//	                     writes machine-readable BENCH_shardedkv.json
+//	-workload figures      the default: regenerate -fig
+//	-workload shardedkv    drive the sharded KV engine across the
+//	                       shards × substrate × threads grid, against the
+//	                       single-lock memtable baseline; -json additionally
+//	                       writes machine-readable BENCH_shardedkv.json
+//	-workload readlatency  compare read-acquisition latency through a reader
+//	                       handle (cached-slot CAS) against the anonymous
+//	                       hash-per-acquisition path on the same BRAVO lock;
+//	                       -json writes BENCH_readlatency.json
 //
 // Examples:
 //
@@ -24,6 +28,7 @@
 //	bravobench -scanrate              # revocation scan ns/slot (Table-less §3 claim)
 //	bravobench -workload shardedkv -json
 //	bravobench -workload shardedkv -shards 1,4,16 -locks bravo-ba -threads 8
+//	bravobench -workload readlatency -json -threads 8,16
 package main
 
 import (
@@ -49,8 +54,8 @@ var (
 	scanFlag     = flag.Bool("scanrate", false, "measure the revocation scan rate (ns/slot) and exit")
 
 	workloadFlag   = flag.String("workload", "figures", "figures or shardedkv")
-	jsonFlag       = flag.Bool("json", false, "shardedkv: also write machine-readable results")
-	outFlag        = flag.String("out", "BENCH_shardedkv.json", "shardedkv: -json output path")
+	jsonFlag       = flag.Bool("json", false, "shardedkv/readlatency: also write machine-readable results")
+	outFlag        = flag.String("out", "BENCH_shardedkv.json", "shardedkv/readlatency: -json output path (readlatency default: BENCH_readlatency.json)")
 	shardsFlag     = flag.String("shards", "1,2,4,8", "shardedkv: shard counts (powers of two)")
 	writeRatioFlag = flag.Float64("writeratio", 0.01, "shardedkv: fraction of operations that write")
 	valueSizeFlag  = flag.Int("valuesize", bench.ShardedKVDefaultValueSize, "shardedkv: value payload bytes (sets critical-section length)")
@@ -65,6 +70,16 @@ var (
 const (
 	shardedKVDefaultLocks   = "mutex,go-rw,bravo-go"
 	shardedKVDefaultThreads = "1,2,4,8,16"
+)
+
+// readLatencyDefaults replace the figure-oriented defaults for the
+// readlatency workload: BRAVO locks only (the comparison is handle vs.
+// anonymous on the same lock), with the goroutine axis crossing the
+// CPU count.
+const (
+	readLatencyDefaultLocks   = "bravo-ba,bravo-go"
+	readLatencyDefaultThreads = "1,4,8,16"
+	readLatencyDefaultOut     = "BENCH_readlatency.json"
 )
 
 // rwbenchSubs maps Figure 4's sub-plots to write probabilities.
@@ -88,24 +103,25 @@ func main() {
 		fmt.Printf("revocation scan rate: %.2f ns/slot over a 4096-entry table (paper: ≈1.1 ns/slot)\n", rate)
 		return
 	}
-	if *workloadFlag == "shardedkv" {
-		set := map[string]bool{}
-		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		if !set["locks"] {
-			*locksFlag = shardedKVDefaultLocks
-		}
-		if !set["threads"] {
-			*threadsFlag = shardedKVDefaultThreads
-		}
+	switch *workloadFlag {
+	case "shardedkv":
 		// Contended blocking locks are bistable (sync.Mutex starvation
 		// mode), so this workload needs a longer protocol than the figure
 		// defaults for stable medians.
-		if !set["interval"] {
-			*intervalFlag = 500 * time.Millisecond
-		}
-		if !set["runs"] {
-			*runsFlag = 5
-		}
+		applyWorkloadDefaults(map[string]func(){
+			"locks":    func() { *locksFlag = shardedKVDefaultLocks },
+			"threads":  func() { *threadsFlag = shardedKVDefaultThreads },
+			"interval": func() { *intervalFlag = 500 * time.Millisecond },
+			"runs":     func() { *runsFlag = 5 },
+		})
+	case "readlatency":
+		applyWorkloadDefaults(map[string]func(){
+			"locks":    func() { *locksFlag = readLatencyDefaultLocks },
+			"threads":  func() { *threadsFlag = readLatencyDefaultThreads },
+			"interval": func() { *intervalFlag = 500 * time.Millisecond },
+			"runs":     func() { *runsFlag = 5 },
+			"out":      func() { *outFlag = readLatencyDefaultOut },
+		})
 	}
 	threads, err := cliutil.ParseInts(*threadsFlag)
 	if err != nil {
@@ -117,8 +133,12 @@ func main() {
 		runShardedKV(cfg, locks)
 		return
 	}
+	if *workloadFlag == "readlatency" {
+		runReadLatency(cfg, locks)
+		return
+	}
 	if *workloadFlag != "figures" {
-		fatal(fmt.Errorf("unknown workload %q (figures, shardedkv)", *workloadFlag))
+		fatal(fmt.Errorf("unknown workload %q (figures, shardedkv, readlatency)", *workloadFlag))
 	}
 	figs := []string{"1", "2", "3", "4", "5", "6"}
 	if *figFlag != "all" {
@@ -192,6 +212,40 @@ func runShardedKV(cfg bench.Config, locks []string) {
 		fatal(err)
 	}
 	rep := bench.NewShardedKVReport(cfg, results)
+	if err := rep.WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d results)\n", *outFlag, len(results))
+}
+
+// applyWorkloadDefaults runs each override whose flag the user did not set
+// explicitly, so workload-specific defaults never clobber the command line.
+func applyWorkloadDefaults(overrides map[string]func()) {
+	flag.Visit(func(f *flag.Flag) { delete(overrides, f.Name) })
+	for _, apply := range overrides {
+		apply()
+	}
+}
+
+func runReadLatency(cfg bench.Config, locks []string) {
+	results, err := bench.ReadLatencySweep(locks, cfg.Threads, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# readlatency: handle (cached-slot) vs anonymous (hash-per-read), interval %v × %d runs per mode\n",
+		cfg.Interval, cfg.Runs)
+	bench.WriteHandleLatencyTable(os.Stdout, results)
+	if !*jsonFlag {
+		return
+	}
+	f, err := os.Create(*outFlag)
+	if err != nil {
+		fatal(err)
+	}
+	rep := bench.NewHandleLatencyReport(cfg, results)
 	if err := rep.WriteJSON(f); err != nil {
 		fatal(err)
 	}

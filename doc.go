@@ -21,10 +21,16 @@
 // paper's observation that "the slot value must be passed from the read
 // lock operator to the corresponding unlock".
 //
+// Hot read paths can pin a per-goroutine Reader handle (NewReader) and use
+// RLockH/RUnlockH: the identity is derived once and the table slot cached
+// per lock, so the steady-state read is one CAS with no hashing, and
+// unbalanced unlocks are detected from the handle's held-slot record.
+//
 // Beyond the lock itself, NewShardedKV builds a sharded key-value engine
 // whose per-shard locks come from any of the substrates above — the
 // read-mostly serving workload the paper's rocksdb experiments point at,
-// with BRAVO's one-CAS read path per shard.
+// with BRAVO's one-CAS read path per shard (and handle-threaded
+// GetH/GetIntoH/MultiGetH: one identity per request, not per shard).
 //
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // reproduction of the paper's figures and tables, and the examples/

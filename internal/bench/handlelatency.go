@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/bravolock/bravo/internal/clock"
+	"github.com/bravolock/bravo/internal/core"
+	"github.com/bravolock/bravo/internal/histogram"
+	"github.com/bravolock/bravo/internal/rwl"
+)
+
+// The readlatency workload compares steady-state read-acquisition latency
+// through a reader handle (RLockH: cached-slot CAS, no identity derivation,
+// no hashing) against the anonymous path (RLock: self.ID() + Hash(L, Self)
+// per acquisition) on the same BRAVO lock. It is the experiment behind the
+// reader-handle layer: if the handle does not at least match the anonymous
+// fast path at p50, the slot cache is not carrying its weight.
+
+// HandleLatencyResult is one (lock, goroutines) comparison point.
+type HandleLatencyResult struct {
+	Lock       string `json:"lock"`
+	Goroutines int    `json:"goroutines"`
+	// Handle* are the RLockH measurements, Plain* the RLock ones. The
+	// percentile values are log2-histogram upper bounds in nanoseconds.
+	HandleP50Ns      int64   `json:"handle_p50_ns"`
+	HandleP99Ns      int64   `json:"handle_p99_ns"`
+	PlainP50Ns       int64   `json:"plain_p50_ns"`
+	PlainP99Ns       int64   `json:"plain_p99_ns"`
+	HandleOpsPerSec  float64 `json:"handle_ops_per_sec"`
+	PlainOpsPerSec   float64 `json:"plain_ops_per_sec"`
+	HandleMeanNs     float64 `json:"handle_mean_ns"`
+	PlainMeanNs      float64 `json:"plain_mean_ns"`
+	HandleP50LEPlain bool    `json:"handle_p50_le_plain"`
+}
+
+// HandleLatencyReport is the top-level BENCH_readlatency.json document.
+type HandleLatencyReport struct {
+	Benchmark  string                `json:"benchmark"`
+	Meta       RunMeta               `json:"meta"`
+	IntervalMS int64                 `json:"interval_ms"`
+	Runs       int                   `json:"runs"`
+	Results    []HandleLatencyResult `json:"results"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r HandleLatencyReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// NewHandleLatencyReport stamps the environment fields of a report.
+func NewHandleLatencyReport(cfg Config, results []HandleLatencyResult) HandleLatencyReport {
+	return HandleLatencyReport{
+		Benchmark:  "readlatency",
+		Meta:       NewRunMeta(),
+		IntervalMS: cfg.Interval.Milliseconds(),
+		Runs:       cfg.Runs,
+		Results:    results,
+	}
+}
+
+// handleLatencyLock builds a fresh BRAVO lock for lockName ("bravo-" +
+// substrate) on a private table, so comparison points do not interfere
+// through the shared table.
+func handleLatencyLock(lockName string) (rwl.HandleRWLock, error) {
+	under, ok := strings.CutPrefix(lockName, "bravo-")
+	if !ok {
+		return nil, fmt.Errorf("bench: readlatency needs a bravo- lock, got %q", lockName)
+	}
+	if under == "go" { // registry alias asymmetry: bravo-go wraps go-rw
+		under = "go-rw"
+	}
+	mkUnder, ok := rwl.Lookup(under)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown substrate %q (known: %v)", under, rwl.Names())
+	}
+	return core.New(mkUnder(), core.WithTable(core.NewTable(core.DefaultTableSize))), nil
+}
+
+// ReadLatencyCompare measures one (lock, goroutines) point: cfg.Runs
+// interleaved pairs of plain-then-handle intervals on fresh locks, with
+// per-run histograms merged.
+func ReadLatencyCompare(lockName string, goroutines int, cfg Config) (HandleLatencyResult, error) {
+	res := HandleLatencyResult{Lock: lockName, Goroutines: goroutines}
+	handleHist, plainHist := &histogram.Histogram{}, &histogram.Histogram{}
+	var handleOps, plainOps uint64
+	for run := 0; run < cfg.Runs; run++ {
+		// Interleave the modes so scheduling and frequency drift spread
+		// evenly across both.
+		l, err := handleLatencyLock(lockName)
+		if err != nil {
+			return res, err
+		}
+		plainOps += readLatencyRun(l, goroutines, cfg, plainHist, false)
+		if l, err = handleLatencyLock(lockName); err != nil {
+			return res, err
+		}
+		handleOps += readLatencyRun(l, goroutines, cfg, handleHist, true)
+	}
+	seconds := cfg.Interval.Seconds() * float64(cfg.Runs)
+	res.HandleOpsPerSec = float64(handleOps) / seconds
+	res.PlainOpsPerSec = float64(plainOps) / seconds
+	res.HandleP50Ns = handleHist.Percentile(50)
+	res.HandleP99Ns = handleHist.Percentile(99)
+	res.PlainP50Ns = plainHist.Percentile(50)
+	res.PlainP99Ns = plainHist.Percentile(99)
+	res.HandleMeanNs = handleHist.Mean()
+	res.PlainMeanNs = plainHist.Mean()
+	res.HandleP50LEPlain = res.HandleP50Ns <= res.PlainP50Ns
+	return res, nil
+}
+
+// readLatencyRun drives goroutines read-only workers for one interval,
+// recording per-acquisition latency into hist, and returns total ops.
+func readLatencyRun(l rwl.HandleRWLock, goroutines int, cfg Config, hist *histogram.Histogram, useHandle bool) uint64 {
+	var mu sync.Mutex
+	return RunWorkers(goroutines, cfg.Interval, func(id int, stop *atomic.Bool) uint64 {
+		local := &histogram.Histogram{}
+		var h *rwl.Reader
+		if useHandle {
+			h = rwl.NewReader()
+		}
+		// Warm-up: enable bias (first slow read) and settle the slot (or,
+		// for the anonymous path, the identity) before measuring.
+		for i := 0; i < 1000; i++ {
+			if useHandle {
+				tok := l.RLockH(h)
+				l.RUnlockH(h, tok)
+			} else {
+				tok := l.RLock()
+				l.RUnlock(tok)
+			}
+		}
+		var ops uint64
+		for !stop.Load() {
+			if useHandle {
+				start := clock.Nanos()
+				tok := l.RLockH(h)
+				local.Record(clock.Nanos() - start)
+				l.RUnlockH(h, tok)
+			} else {
+				start := clock.Nanos()
+				tok := l.RLock()
+				local.Record(clock.Nanos() - start)
+				l.RUnlock(tok)
+			}
+			ops++
+		}
+		mu.Lock()
+		hist.Merge(local)
+		mu.Unlock()
+		return ops
+	})
+}
+
+// ReadLatencySweep runs the full lock × goroutines grid.
+func ReadLatencySweep(locks []string, goroutines []int, cfg Config) ([]HandleLatencyResult, error) {
+	var out []HandleLatencyResult
+	for _, lock := range locks {
+		for _, g := range goroutines {
+			r, err := ReadLatencyCompare(lock, g, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// WriteHandleLatencyTable renders sweep results as the human-readable
+// companion of the JSON report.
+func WriteHandleLatencyTable(w io.Writer, results []HandleLatencyResult) {
+	const format = "%-14s %6s %14s %14s %12s %12s %8s\n"
+	fmt.Fprintf(w, format, "lock", "gors", "handle-p50(ns)", "plain-p50(ns)", "handle-p99", "plain-p99", "h<=p@50")
+	for _, r := range results {
+		fmt.Fprintf(w, format, r.Lock,
+			fmt.Sprintf("%d", r.Goroutines),
+			fmt.Sprintf("%d", r.HandleP50Ns), fmt.Sprintf("%d", r.PlainP50Ns),
+			fmt.Sprintf("%d", r.HandleP99Ns), fmt.Sprintf("%d", r.PlainP99Ns),
+			fmt.Sprintf("%v", r.HandleP50LEPlain))
+	}
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	_ "github.com/bravolock/bravo/internal/locks/all"
+)
+
+func TestReadLatencyCompareProducesSamples(t *testing.T) {
+	cfg := Config{Interval: 20 * time.Millisecond, Runs: 1}
+	r, err := ReadLatencyCompare("bravo-ba", 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HandleOpsPerSec <= 0 || r.PlainOpsPerSec <= 0 {
+		t.Fatalf("no throughput measured: %+v", r)
+	}
+	if r.HandleP50Ns <= 0 || r.PlainP50Ns <= 0 {
+		t.Fatalf("no latency percentiles: %+v", r)
+	}
+	if r.HandleP50LEPlain != (r.HandleP50Ns <= r.PlainP50Ns) {
+		t.Fatalf("comparison flag inconsistent: %+v", r)
+	}
+}
+
+func TestReadLatencyCompareRejectsNonBravoLocks(t *testing.T) {
+	cfg := Config{Interval: time.Millisecond, Runs: 1}
+	if _, err := ReadLatencyCompare("ba", 1, cfg); err == nil {
+		t.Fatal("plain substrate accepted by readlatency")
+	}
+}
+
+func TestRunMetaStamped(t *testing.T) {
+	m := NewRunMeta()
+	if m.GOMAXPROCS < 1 || m.NumCPU < 1 {
+		t.Fatalf("CPU shape missing: %+v", m)
+	}
+	if m.Commit == "" {
+		t.Fatal("commit empty (want hash or \"unknown\")")
+	}
+	if !strings.Contains(m.GoVersion, "go") {
+		t.Fatalf("go version missing: %+v", m)
+	}
+	if _, err := time.Parse(time.RFC3339, m.Timestamp); err != nil {
+		t.Fatalf("timestamp not RFC3339: %v", err)
+	}
+}
+
+func TestShardedKVReportCarriesMeta(t *testing.T) {
+	rep := NewShardedKVReport(Config{Interval: time.Second, Runs: 1}, nil)
+	if rep.Meta.Timestamp == "" || rep.Meta.Commit == "" {
+		t.Fatalf("shardedkv report missing run metadata: %+v", rep.Meta)
+	}
+	lat := NewHandleLatencyReport(Config{Interval: time.Second, Runs: 1}, nil)
+	if lat.Benchmark != "readlatency" || lat.Meta.Timestamp == "" {
+		t.Fatalf("readlatency report missing run metadata: %+v", lat)
+	}
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// RunMeta stamps a benchmark report with the environment that produced it,
+// so the perf trajectory is attributable run to run: which commit, on how
+// many CPUs, when.
+type RunMeta struct {
+	Commit     string `json:"commit"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Timestamp  string `json:"timestamp"`
+}
+
+// NewRunMeta captures the current environment. The commit comes from the
+// binary's build info when present (go build stamps vcs.revision) and falls
+// back to asking git, then to "unknown" — reports must stay writable from
+// containers without either.
+func NewRunMeta() RunMeta {
+	return RunMeta{
+		Commit:     commit(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+func commit() string {
+	rev, dirty := "", false
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+	}
+	if rev == "" {
+		if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+			rev = strings.TrimSpace(string(out))
+			if st, err := exec.Command("git", "status", "--porcelain", "-uno").Output(); err == nil {
+				dirty = len(strings.TrimSpace(string(st))) > 0
+			}
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}

@@ -65,7 +65,9 @@ type ShardedKVResult struct {
 
 // ShardedKVReport is the top-level BENCH_shardedkv.json document.
 type ShardedKVReport struct {
-	Benchmark  string            `json:"benchmark"`
+	Benchmark string `json:"benchmark"`
+	// Meta attributes the run: commit, CPU shape, timestamp.
+	Meta       RunMeta           `json:"meta"`
 	GOMAXPROCS int               `json:"gomaxprocs"`
 	IntervalMS int64             `json:"interval_ms"`
 	Runs       int               `json:"runs"`
@@ -84,6 +86,7 @@ func (r ShardedKVReport) WriteJSON(w io.Writer) error {
 func NewShardedKVReport(cfg Config, results []ShardedKVResult) ShardedKVReport {
 	return ShardedKVReport{
 		Benchmark:  "shardedkv",
+		Meta:       NewRunMeta(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		IntervalMS: cfg.Interval.Milliseconds(),
 		Runs:       cfg.Runs,

@@ -1,4 +1,4 @@
-package core
+package bias
 
 import (
 	"testing"
@@ -37,7 +37,7 @@ func TestInhibitPolicyGates(t *testing.T) {
 		t.Fatal("bias allowed during inhibit window")
 	}
 	// A deadline in the past re-allows bias.
-	p.until.Store(clock.Nanos() - 1)
+	p.ForceInhibitUntil(clock.Nanos() - 1)
 	if !p.ShouldEnable() {
 		t.Fatal("bias not allowed after inhibit window passed")
 	}

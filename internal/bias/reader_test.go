@@ -1,0 +1,307 @@
+package bias
+
+import (
+	"testing"
+)
+
+// biasedEngine returns an engine with bias enabled on a private table.
+func biasedEngine(t *testing.T, opts ...func(*Engine)) (*Engine, *Stats) {
+	t.Helper()
+	e, st := newEngine(AlwaysPolicy{}, opts...)
+	e.MaybeEnable()
+	if !e.Enabled() {
+		t.Fatal("setup: bias not enabled")
+	}
+	return e, st
+}
+
+func TestReaderSteadyStateUsesCachedSlot(t *testing.T) {
+	e, st := biasedEngine(t)
+	r := NewReaderWithID(77)
+	home := e.table.Index(e.ID(), 77)
+	for i := 0; i < 100; i++ {
+		idx, ok := e.TryFastH(r)
+		if !ok {
+			t.Fatalf("iteration %d: fast path failed", i)
+		}
+		if idx != home {
+			t.Fatalf("iteration %d: slot %d, want cached home %d", i, idx, home)
+		}
+		e.ReleaseFastAt(r, idx)
+	}
+	if st.FastRead.Load() != 100 {
+		t.Fatalf("want 100 fast reads: %s", st.Snapshot())
+	}
+	if slot, diverted, ok := r.CachedSlot(e); !ok || diverted || slot != home {
+		t.Fatalf("cache entry wrong: slot=%d diverted=%v ok=%v", slot, diverted, ok)
+	}
+	if e.table.Occupancy() != 0 {
+		t.Fatal("table dirty after balanced handle reads")
+	}
+}
+
+func TestReaderCollisionMemorySkipsDoomedCAS(t *testing.T) {
+	e, st := biasedEngine(t)
+	r := NewReaderWithID(77)
+	home := e.table.Index(e.ID(), 77)
+	// A foreign occupant camps on the home slot.
+	if !e.table.TryPublishAt(home, uintptr(0xF00D0)) {
+		t.Fatal("setup publish failed")
+	}
+	if _, ok := e.TryFastH(r); ok {
+		t.Fatal("fast path succeeded on an occupied slot")
+	}
+	if st.SlowCollision.Load() != 1 {
+		t.Fatalf("collision not counted: %s", st.Snapshot())
+	}
+	if _, diverted, ok := r.CachedSlot(e); !ok || !diverted {
+		t.Fatal("collision not remembered on the handle")
+	}
+	// Same epoch: the handle must not retry (still one collision counted
+	// per attempt, but the table word is never CASed — verified by the
+	// divert flag staying set even after the occupant leaves).
+	e.table.Clear(home)
+	if _, ok := e.TryFastH(r); ok {
+		t.Fatal("diverted reader retried home slot without a bias flip")
+	}
+	if st.SlowCollision.Load() != 2 {
+		t.Fatalf("remembered collision not counted: %s", st.Snapshot())
+	}
+	// Bias flips (revoke, then a slow reader re-enables): the reader
+	// retries its home slot and recovers the fast path.
+	e.Revoke()
+	e.MaybeEnable()
+	idx, ok := e.TryFastH(r)
+	if !ok || idx != home {
+		t.Fatalf("reader did not reclaim home slot after bias flip: ok=%v idx=%d", ok, idx)
+	}
+	e.ReleaseFastAt(r, idx)
+}
+
+func TestReaderSecondProbeCachesAlternate(t *testing.T) {
+	e, st := biasedEngine(t, func(e *Engine) { e.SetSecondProbe() })
+	// Choose an identity whose probes differ.
+	id := uint64(0)
+	for ; id < 1000; id++ {
+		if e.table.Index(e.ID(), id) != e.table.Index2(e.ID(), id) {
+			break
+		}
+	}
+	r := NewReaderWithID(id)
+	home := e.table.Index(e.ID(), id)
+	alt := e.table.Index2(e.ID(), id)
+	if !e.table.TryPublishAt(home, uintptr(0xF00D0)) {
+		t.Fatal("setup publish failed")
+	}
+	idx, ok := e.TryFastH(r)
+	if !ok || idx != alt {
+		t.Fatalf("second probe did not rescue: ok=%v idx=%d want %d (%s)", ok, idx, alt, st.Snapshot())
+	}
+	e.ReleaseFastAt(r, idx)
+	// The alternate is now the cached slot: with the home still occupied,
+	// the steady state hits it directly.
+	idx, ok = e.TryFastH(r)
+	if !ok || idx != alt {
+		t.Fatalf("alternate slot not cached: ok=%v idx=%d want %d", ok, idx, alt)
+	}
+	e.ReleaseFastAt(r, idx)
+	e.table.Clear(home)
+}
+
+func TestReaderReclaimsHomeWhenCachedAlternateCollides(t *testing.T) {
+	// Regression: after a second-probe rescue the handle caches the
+	// alternate slot; if that later collides while the home slot is free,
+	// the handle must fall back to the home probe rather than diverting
+	// (the anonymous path would succeed there).
+	e, _ := biasedEngine(t, func(e *Engine) { e.SetSecondProbe() })
+	id := uint64(0)
+	for ; id < 1000; id++ {
+		if e.table.Index(e.ID(), id) != e.table.Index2(e.ID(), id) {
+			break
+		}
+	}
+	r := NewReaderWithID(id)
+	home := e.table.Index(e.ID(), id)
+	alt := e.table.Index2(e.ID(), id)
+	if !e.table.TryPublishAt(home, uintptr(0xF00D0)) {
+		t.Fatal("setup publish failed")
+	}
+	idx, ok := e.TryFastH(r) // rescued at the alternate; alt becomes cached
+	if !ok || idx != alt {
+		t.Fatalf("setup rescue failed: ok=%v idx=%d", ok, idx)
+	}
+	e.ReleaseFastAt(r, idx)
+	e.table.Clear(home)
+	if !e.table.TryPublishAt(alt, uintptr(0xBEEF0)) {
+		t.Fatal("setup alt publish failed")
+	}
+	idx, ok = e.TryFastH(r)
+	if !ok || idx != home {
+		t.Fatalf("handle did not reclaim free home slot: ok=%v idx=%d want %d", ok, idx, home)
+	}
+	e.ReleaseFastAt(r, idx)
+	e.table.Clear(alt)
+}
+
+func TestReaderReentrantReadDiverts(t *testing.T) {
+	e, st := biasedEngine(t)
+	r := NewReaderWithID(9)
+	idx, ok := e.TryFastH(r)
+	if !ok {
+		t.Fatal("first acquisition not fast")
+	}
+	if _, ok := e.TryFastH(r); ok {
+		t.Fatal("reentrant acquisition took the fast path (ambiguous bookkeeping)")
+	}
+	if st.SlowHandle.Load() != 1 {
+		t.Fatalf("reentrant diversion not counted: %s", st.Snapshot())
+	}
+	e.ReleaseFastAt(r, idx)
+}
+
+func TestReaderHeldOverflowDiverts(t *testing.T) {
+	tab := NewTable(DefaultTableSize)
+	r := NewReader()
+	engines := make([]*Engine, ReaderSlots+2)
+	for i := range engines {
+		e := &Engine{}
+		e.SetTable(tab)
+		e.SetPolicy(AlwaysPolicy{})
+		e.Init()
+		e.MaybeEnable()
+		engines[i] = e
+	}
+	for _, e := range engines {
+		e.TryFastH(r)
+	}
+	if r.Held() != ReaderSlots {
+		t.Fatalf("held = %d, want %d", r.Held(), ReaderSlots)
+	}
+	for _, e := range engines {
+		e.ReleaseFast(r)
+	}
+	if r.Held() != 0 || tab.Occupancy() != 0 {
+		t.Fatalf("release pairing broken: held=%d occupancy=%d", r.Held(), tab.Occupancy())
+	}
+}
+
+func TestReaderEvictionPrefersUnpinned(t *testing.T) {
+	tab := NewTable(DefaultTableSize)
+	r := NewReader()
+	mk := func() *Engine {
+		e := &Engine{}
+		e.SetTable(tab)
+		e.SetPolicy(AlwaysPolicy{})
+		e.Init()
+		e.MaybeEnable()
+		return e
+	}
+	// Hold one engine fast, then roll many others through the cache.
+	held := mk()
+	heldIdx, ok := held.TryFastH(r)
+	if !ok {
+		t.Fatal("setup hold failed")
+	}
+	for i := 0; i < 4*ReaderSlots; i++ {
+		e := mk()
+		idx, ok := e.TryFastH(r)
+		if !ok {
+			t.Fatalf("churn engine %d diverted", i)
+		}
+		e.ReleaseFastAt(r, idx)
+	}
+	// The pinned entry must have survived every eviction.
+	if slot, _, ok := r.CachedSlot(held); !ok || slot != heldIdx {
+		t.Fatal("eviction displaced a held entry")
+	}
+	held.ReleaseFastAt(r, heldIdx)
+}
+
+func TestReaderUnbalancedFastReleasePanics(t *testing.T) {
+	e, _ := biasedEngine(t)
+	r := NewReaderWithID(5)
+	idx, ok := e.TryFastH(r)
+	if !ok {
+		t.Fatal("setup acquisition failed")
+	}
+	e.ReleaseFastAt(r, idx)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("double fast release did not panic")
+			}
+		}()
+		e.ReleaseFastAt(r, idx)
+	}()
+	// Release without any acquisition on a fresh handle.
+	fresh := NewReaderWithID(6)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("release-without-acquire did not panic")
+			}
+		}()
+		e.ReleaseFastAt(fresh, 0)
+	}()
+}
+
+func TestReaderSlowHoldAccounting(t *testing.T) {
+	e, _ := newEngine(NeverPolicy{}) // all reads slow
+	r := NewReaderWithID(5)
+	e.SlowLockedH(r)
+	e.SlowLockedH(r)
+	e.SlowUnlockedH(r)
+	e.SlowUnlockedH(r)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("unbalanced slow release did not panic")
+			}
+		}()
+		e.SlowUnlockedH(r)
+	}()
+}
+
+func TestReaderUntrackedSlowHoldsNeverFalsePanic(t *testing.T) {
+	// Pin the whole cache with fast holds, then take slow acquisitions that
+	// cannot be tracked; their releases must drain silently.
+	tab := NewTable(DefaultTableSize)
+	r := NewReader()
+	mk := func() *Engine {
+		e := &Engine{}
+		e.SetTable(tab)
+		e.SetPolicy(AlwaysPolicy{})
+		e.Init()
+		e.MaybeEnable()
+		return e
+	}
+	pinned := make([]*Engine, ReaderSlots)
+	for i := range pinned {
+		pinned[i] = mk()
+		if _, ok := pinned[i].TryFastH(r); !ok {
+			t.Fatalf("pin %d failed", i)
+		}
+	}
+	extra := mk()
+	extra.SlowLockedH(r) // untrackable: every entry pinned
+	extra.SlowUnlockedH(r)
+	for _, e := range pinned {
+		e.ReleaseFast(r)
+	}
+}
+
+func TestReaderRandomizedEngineStillTracksHolds(t *testing.T) {
+	e, _ := biasedEngine(t, func(e *Engine) { e.SetRandomizedIndex() })
+	r := NewReaderWithID(3)
+	idx, ok := e.TryFastH(r)
+	if !ok {
+		t.Fatal("randomized handle read diverted on an empty table")
+	}
+	if r.Held() != 1 {
+		t.Fatal("randomized hold not recorded")
+	}
+	e.ReleaseFastAt(r, idx)
+	if r.Held() != 0 || e.table.Occupancy() != 0 {
+		t.Fatal("randomized release broken")
+	}
+}

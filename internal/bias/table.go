@@ -1,0 +1,187 @@
+// Package bias implements the reusable BRAVO biasing protocol (paper §3,
+// Listing 1): the RBias word, the visible readers table with its
+// publish/recheck/undo fast path and revocation scan, the bias-enabling
+// policies with their inhibit arbitration, the optional event counters, and
+// the per-goroutine reader handles that cache table slots.
+//
+// The package is the single home of the protocol. Lock implementations —
+// the user-space wrapper (internal/core) and the kernel rwsem analogue
+// (internal/rwsem) — embed an Engine and keep only their substrate-specific
+// acquisition order around it; neither carries a private copy of the
+// rbias/inhibit/revocation logic.
+package bias
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/bravolock/bravo/internal/hash"
+	"github.com/bravolock/bravo/internal/spin"
+)
+
+// DefaultTableSize is the paper's table size: "In all our experiments we
+// sized the table at 4096 entries" (§3). With 8-byte slots the footprint is
+// 32KB, shared by every lock and thread in the address space.
+const DefaultTableSize = 4096
+
+// DefaultRowLen is the BRAVO-2D sector length: the paper's preferred
+// embodiment partitions the table into contiguous rows of 256 slots aligned
+// on cache-sector boundaries (§7).
+const DefaultRowLen = 256
+
+// Table is a visible readers table. Each slot is either zero or the
+// identity of a reader-held BRAVO lock. Slots are deliberately unpadded
+// 8-byte words, as in the paper: near-collision false sharing is part of
+// the design's cost model, and the 2D layout exists to mitigate it.
+//
+// Slot values are lock identities (addresses) used only for equality
+// comparison, never dereferenced, so a Table never keeps a lock alive nor
+// touches freed memory: a slot holds a lock's identity only while a reader
+// is inside that lock's critical section, which implies the lock is live.
+type Table struct {
+	slots []atomic.Uintptr
+	mask  uint32
+	// rows/rowLen describe the 2D sectored geometry; rows == 0 means the
+	// flat 1D layout of Listing 1.
+	rows   uint32
+	rowLen uint32
+}
+
+// shared is the process-wide default table (Listing 1's VisibleReaders).
+var shared = NewTable(DefaultTableSize)
+
+// SharedTable returns the process-wide visible readers table that locks use
+// unless configured otherwise.
+func SharedTable() *Table { return shared }
+
+// NewTable returns a flat (1D) visible readers table with size slots.
+// size must be a positive power of two.
+func NewTable(size int) *Table {
+	if size <= 0 || size&(size-1) != 0 {
+		panic(fmt.Sprintf("bias: table size %d is not a positive power of two", size))
+	}
+	return &Table{slots: make([]atomic.Uintptr, size), mask: uint32(size - 1)}
+}
+
+// NewTable2D returns a BRAVO-2D sectored table with rows rows of rowLen
+// slots each. Readers select a row by CPU identity and a column by lock
+// hash; revocation scans a single column. Both dimensions must be positive
+// powers of two.
+func NewTable2D(rows, rowLen int) *Table {
+	if rows <= 0 || rows&(rows-1) != 0 || rowLen <= 0 || rowLen&(rowLen-1) != 0 {
+		panic(fmt.Sprintf("bias: 2D table geometry %dx%d is not power-of-two", rows, rowLen))
+	}
+	return &Table{
+		slots:  make([]atomic.Uintptr, rows*rowLen),
+		mask:   uint32(rows*rowLen - 1),
+		rows:   uint32(rows),
+		rowLen: uint32(rowLen),
+	}
+}
+
+// Size returns the number of slots.
+func (t *Table) Size() int { return len(t.slots) }
+
+// Sectored reports whether the table uses the BRAVO-2D layout.
+func (t *Table) Sectored() bool { return t.rows != 0 }
+
+// Index maps (lock identity, reader identity) to a slot index — the
+// Hash(L, Self) of Listing 1 line 13.
+func (t *Table) Index(lockID uintptr, selfID uint64) uint32 {
+	if t.rows != 0 {
+		// BRAVO-2D: the caller's CPU picks the row, the lock picks the
+		// column (§7: "use the caller's CPUID to identify a sector, and
+		// then a hash function on the lock address to identify a slot
+		// within that sector").
+		row := uint32(hash.Mix64(selfID)) & (t.rows - 1)
+		col := t.column(lockID)
+		return row*t.rowLen + col
+	}
+	return hash.Index(lockID, selfID, uint32(len(t.slots)))
+}
+
+// Index2 is the secondary probe (double-probing fast-path extension).
+func (t *Table) Index2(lockID uintptr, selfID uint64) uint32 {
+	if t.rows != 0 {
+		// Within 2D mode, re-probe a different row of the same column so
+		// that column-restricted revocation still finds the entry.
+		row := uint32(hash.Mix64(selfID^0x9e3779b97f4a7c15)) & (t.rows - 1)
+		return row*t.rowLen + t.column(lockID)
+	}
+	return hash.Index2(lockID, selfID, uint32(len(t.slots)))
+}
+
+// column returns the 2D column assigned to a lock.
+func (t *Table) column(lockID uintptr) uint32 {
+	return hash.Mix32(uint32(uint64(lockID)>>4)) & (t.rowLen - 1)
+}
+
+// TryPublishAt attempts to install id into slot idx, returning true on
+// success. This is the fast path's single CAS (Listing 1 line 14) — and,
+// with a slot index cached on a reader handle, the entire steady-state
+// fast-path cost.
+func (t *Table) TryPublishAt(idx uint32, id uintptr) bool {
+	return t.slots[idx].CompareAndSwap(0, id)
+}
+
+// TryPublish hashes (id, self) into a slot and attempts to install id,
+// returning the chosen index and whether publication succeeded.
+func (t *Table) TryPublish(id uintptr, self uint64) (uint32, bool) {
+	idx := t.Index(id, self)
+	return idx, t.TryPublishAt(idx, id)
+}
+
+// Clear empties slot idx (fast-path unlock, Listing 1 line 31).
+func (t *Table) Clear(idx uint32) {
+	t.slots[idx].Store(0)
+}
+
+// Load returns the current occupant of slot idx (testing/diagnostics).
+func (t *Table) Load(idx uint32) uintptr {
+	return t.slots[idx].Load()
+}
+
+// WaitEmpty performs the revocation scan: it visits every slot that could
+// hold id (all slots in 1D mode, one column in 2D mode) and waits for any
+// matching slot to drain (Listing 1 lines 42–44). It returns the number of
+// slots scanned and the number of conflicting fast-path readers awaited.
+func (t *Table) WaitEmpty(id uintptr) (scanned, conflicts int) {
+	if t.rows != 0 {
+		col := t.column(id)
+		for row := uint32(0); row < t.rows; row++ {
+			idx := row*t.rowLen + col
+			scanned++
+			if t.slots[idx].Load() == id {
+				conflicts++
+				var b spin.Backoff
+				for t.slots[idx].Load() == id {
+					b.Once()
+				}
+			}
+		}
+		return scanned, conflicts
+	}
+	for i := range t.slots {
+		scanned++
+		if t.slots[i].Load() == id {
+			conflicts++
+			var b spin.Backoff
+			for t.slots[i].Load() == id {
+				b.Once()
+			}
+		}
+	}
+	return scanned, conflicts
+}
+
+// Occupancy returns the number of non-empty slots; used to validate the
+// balls-into-bins occupancy model.
+func (t *Table) Occupancy() int {
+	n := 0
+	for i := range t.slots {
+		if t.slots[i].Load() != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,4 +1,4 @@
-package core
+package bias
 
 import (
 	"testing"
@@ -51,18 +51,18 @@ func TestSharedTableGeometry(t *testing.T) {
 func TestPublishClearRoundTrip(t *testing.T) {
 	tab := NewTable(64)
 	id := uintptr(0xdeadbeef0)
-	idx := tab.index(id, 42)
-	if !tab.tryPublish(idx, id) {
+	idx := tab.Index(id, 42)
+	if !tab.TryPublishAt(idx, id) {
 		t.Fatal("publish into empty slot failed")
 	}
-	if tab.load(idx) != id {
+	if tab.Load(idx) != id {
 		t.Fatal("slot does not hold the published identity")
 	}
-	if tab.tryPublish(idx, 0xabc0) {
+	if tab.TryPublishAt(idx, 0xabc0) {
 		t.Fatal("publish into occupied slot succeeded (collision must fail)")
 	}
 	tab.Clear(idx)
-	if tab.load(idx) != 0 {
+	if tab.Load(idx) != 0 {
 		t.Fatal("slot not cleared")
 	}
 	if tab.Occupancy() != 0 {
@@ -74,10 +74,10 @@ func TestIndexInBounds(t *testing.T) {
 	tab1 := NewTable(4096)
 	tab2 := NewTable2D(64, 256)
 	f := func(lock uint64, self uint64) bool {
-		a := tab1.index(uintptr(lock), self)
-		b := tab1.index2(uintptr(lock), self)
-		c := tab2.index(uintptr(lock), self)
-		d := tab2.index2(uintptr(lock), self)
+		a := tab1.Index(uintptr(lock), self)
+		b := tab1.Index2(uintptr(lock), self)
+		c := tab2.Index(uintptr(lock), self)
+		d := tab2.Index2(uintptr(lock), self)
 		return a < 4096 && b < 4096 && c < 64*256 && d < 64*256
 	}
 	if err := quick.Check(f, nil); err != nil {
@@ -90,10 +90,10 @@ func Test2DColumnFixedPerLock(t *testing.T) {
 	// given lock to the same column regardless of the thread.
 	tab := NewTable2D(16, 256)
 	lock := uintptr(0xc000001230)
-	col := tab.index(lock, 0) % tab.rowLen
+	col := tab.Index(lock, 0) % tab.rowLen
 	f := func(self uint64) bool {
-		return tab.index(lock, self)%tab.rowLen == col &&
-			tab.index2(lock, self)%tab.rowLen == col
+		return tab.Index(lock, self)%tab.rowLen == col &&
+			tab.Index2(lock, self)%tab.rowLen == col
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
@@ -106,7 +106,7 @@ func Test2DRowSelectedByThread(t *testing.T) {
 	lock := uintptr(0xc000001230)
 	rows := map[uint32]bool{}
 	for id := uint64(0); id < 64; id++ {
-		rows[tab.index(lock, id)/tab.rowLen] = true
+		rows[tab.Index(lock, id)/tab.rowLen] = true
 	}
 	if len(rows) < 8 {
 		t.Errorf("64 identities hit only %d/16 rows", len(rows))
@@ -129,8 +129,8 @@ func TestWaitEmptyScanCounts(t *testing.T) {
 func TestWaitEmptyAwaitsConflicts(t *testing.T) {
 	tab := NewTable(64)
 	id := uintptr(0x5550)
-	idx := tab.index(id, 7)
-	if !tab.tryPublish(idx, id) {
+	idx := tab.Index(id, 7)
+	if !tab.TryPublishAt(idx, id) {
 		t.Fatal("publish failed")
 	}
 	done := make(chan int)
@@ -154,7 +154,7 @@ func TestWaitEmptyAwaitsConflicts(t *testing.T) {
 func TestWaitEmptyIgnoresOtherLocks(t *testing.T) {
 	tab := NewTable(64)
 	other := uintptr(0x7770)
-	if !tab.tryPublish(3, other) {
+	if !tab.TryPublishAt(3, other) {
 		t.Fatal("publish failed")
 	}
 	scanned, conflicts := tab.WaitEmpty(uintptr(0x5550))
@@ -166,9 +166,9 @@ func TestWaitEmptyIgnoresOtherLocks(t *testing.T) {
 
 func TestOccupancyCountsDistinctSlots(t *testing.T) {
 	tab := NewTable(64)
-	tab.tryPublish(1, 0x10)
-	tab.tryPublish(5, 0x20)
-	tab.tryPublish(9, 0x10) // same lock in two slots (two fast readers)
+	tab.TryPublishAt(1, 0x10)
+	tab.TryPublishAt(5, 0x20)
+	tab.TryPublishAt(9, 0x10) // same lock in two slots (two fast readers)
 	if got := tab.Occupancy(); got != 3 {
 		t.Fatalf("occupancy = %d, want 3", got)
 	}

@@ -2,14 +2,10 @@ package core
 
 import (
 	"sync"
-	"unsafe"
 
-	"sync/atomic"
-
-	"github.com/bravolock/bravo/internal/clock"
+	"github.com/bravolock/bravo/internal/bias"
 	"github.com/bravolock/bravo/internal/rwl"
 	"github.com/bravolock/bravo/internal/self"
-	"github.com/bravolock/bravo/internal/xrand"
 )
 
 // fastBit tags tokens of fast-path read acquisitions; the slot index lives
@@ -19,36 +15,38 @@ const fastBit rwl.Token = 1 << 63
 
 // Lock is a BRAVO-transformed reader-writer lock: BRAVO-A where A is the
 // underlying lock supplied to New. Per Listing 1, it extends A with an RBias
-// flag and (inside the default policy) an InhibitUntil timestamp. Reads have
+// flag and (inside the default policy) an InhibitUntil timestamp — both of
+// which, together with the table fast path and the revocation scan, live in
+// the embedded bias.Engine shared with the rwsem integration. Reads have
 // dual paths: a fast path that publishes the reader in the visible readers
 // table without touching A, and the traditional slow path through A. Writers
 // always pass through A, revoking reader bias when it is set.
 //
+// Read paths come in two flavors: the anonymous RLock/RUnlock pair, which
+// derives the caller's identity and hashes per acquisition, and the
+// handle-accepting RLockH/RUnlockH pair, whose steady state is one CAS at
+// the handle's cached slot with no hashing at all (paper §5.2: BRAVO's wins
+// come from readers re-hitting the same slot).
+//
 // BRAVO is transparent to A's admission policy: if A is reader-preference,
 // writer-preference, phase-fair or neutral, BRAVO-A is too.
 type Lock struct {
-	rbias atomic.Uint32
+	// eng is the biasing protocol: rbias word, policy arbitration, table
+	// publish/recheck/undo, revocation scan, stats. Its address is the lock
+	// identity published in table slots, so a Lock must not be copied.
+	eng   bias.Engine
 	under rwl.RWLock
-	table *Table
-	// policy arbitrates bias (re-)enabling; the default is the paper's
-	// InhibitPolicy with N = 9.
-	policy Policy
-	stats  *Stats
 	// revMu, when non-nil, is the future-work variant (§7) that lets
 	// arriving readers divert through the slow path while a writer is mid
 	// revocation: writers serialize on revMu and revoke *before* acquiring
 	// the underlying write lock.
 	revMu *sync.Mutex
-	// probe2 enables the secondary-hash fast-path probe (§7).
-	probe2 bool
-	// randomized selects non-deterministic slot indices (§7: "using time or
-	// random numbers to form indices").
-	randomized bool
 }
 
 var (
-	_ rwl.RWLock    = (*Lock)(nil)
-	_ rwl.TryRWLock = (*Lock)(nil)
+	_ rwl.RWLock       = (*Lock)(nil)
+	_ rwl.TryRWLock    = (*Lock)(nil)
+	_ rwl.HandleRWLock = (*Lock)(nil)
 )
 
 // Option configures a Lock.
@@ -57,27 +55,31 @@ type Option func(*Lock)
 // WithTable directs the lock at a specific visible readers table — e.g. a
 // private per-lock table (the idealized interference-immune variant of
 // Figure 1) or a BRAVO-2D sectored table.
-func WithTable(t *Table) Option { return func(l *Lock) { l.table = t } }
+func WithTable(t *Table) Option { return func(l *Lock) { l.eng.SetTable(t) } }
 
-// WithPolicy installs a bias-enabling policy.
-func WithPolicy(p Policy) Option { return func(l *Lock) { l.policy = p } }
+// WithPolicy installs a bias-enabling policy. It composes with WithInhibitN
+// in either order: the multiplier tunes the policy when it accepts one and
+// never replaces it.
+func WithPolicy(p Policy) Option { return func(l *Lock) { l.eng.SetPolicy(p) } }
 
 // WithStats attaches an event counter set. Counting adds shared-memory
 // traffic; leave nil for performance runs.
-func WithStats(s *Stats) Option { return func(l *Lock) { l.stats = s } }
+func WithStats(s *Stats) Option { return func(l *Lock) { l.eng.SetStats(s) } }
 
-// WithInhibitN sets the paper's N multiplier on the default policy
-// (worst-case writer slow-down ≈ 1/(N+1)).
+// WithInhibitN sets the paper's N multiplier (worst-case writer slow-down
+// ≈ 1/(N+1)). It tunes the default InhibitPolicy — or one installed with
+// WithPolicy, before or after — rather than replacing it, so option order
+// does not matter.
 func WithInhibitN(n int64) Option {
-	return func(l *Lock) { l.policy = NewInhibitPolicy(n) }
+	return func(l *Lock) { l.eng.SetInhibitN(n) }
 }
 
 // WithSecondProbe enables a secondary table probe before a colliding reader
 // falls back to the slow path.
-func WithSecondProbe() Option { return func(l *Lock) { l.probe2 = true } }
+func WithSecondProbe() Option { return func(l *Lock) { l.eng.SetSecondProbe() } }
 
 // WithRandomizedIndex selects random rather than deterministic slot indices.
-func WithRandomizedIndex() Option { return func(l *Lock) { l.randomized = true } }
+func WithRandomizedIndex() Option { return func(l *Lock) { l.eng.SetRandomizedIndex() } }
 
 // WithRevocationMutex adds the per-lock writer mutex that allows readers to
 // make progress (via the slow path) while a writer performs revocation,
@@ -88,13 +90,11 @@ func WithRevocationMutex() Option {
 
 // New wraps an existing reader-writer lock with the BRAVO transformation.
 func New(under rwl.RWLock, opts ...Option) *Lock {
-	l := &Lock{under: under, table: shared}
+	l := &Lock{under: under}
 	for _, o := range opts {
 		o(l)
 	}
-	if l.policy == nil {
-		l.policy = NewInhibitPolicy(DefaultInhibitN)
-	}
+	l.eng.Init()
 	return l
 }
 
@@ -102,10 +102,13 @@ func New(under rwl.RWLock, opts ...Option) *Lock {
 func (l *Lock) Underlying() rwl.RWLock { return l.under }
 
 // TableInUse returns the visible readers table this lock publishes into.
-func (l *Lock) TableInUse() *Table { return l.table }
+func (l *Lock) TableInUse() *Table { return l.eng.Table() }
+
+// Engine exposes the embedded biasing engine (diagnostics and tests).
+func (l *Lock) Engine() *bias.Engine { return &l.eng }
 
 // Biased reports whether reader bias is currently enabled.
-func (l *Lock) Biased() bool { return l.rbias.Load() == 1 }
+func (l *Lock) Biased() bool { return l.eng.Enabled() }
 
 // WriterPresent reports whether the underlying lock exposes a visible
 // writer. Diagnostic; present only when the substrate provides it.
@@ -116,9 +119,6 @@ func (l *Lock) WriterPresent() bool {
 	return false
 }
 
-// id returns the lock identity installed in table slots.
-func (l *Lock) id() uintptr { return uintptr(unsafe.Pointer(l)) }
-
 // RLock acquires read permission (Listing 1, Reader). The returned token
 // must be passed to RUnlock.
 func (l *Lock) RLock() rwl.Token {
@@ -128,67 +128,15 @@ func (l *Lock) RLock() rwl.Token {
 // RLockWithID is RLock with an explicit thread identity, for callers that
 // pin identities (benchmark workers, pooled executors).
 func (l *Lock) RLockWithID(selfID uint64) rwl.Token {
-	if l.rbias.Load() == 1 {
-		if t, ok := l.fastTry(selfID); ok {
-			return t
-		}
-	} else if l.stats != nil {
-		l.stats.SlowDisabled.Add(1)
+	if idx, ok := l.eng.TryFast(selfID); ok {
+		return fastBit | rwl.Token(idx)
 	}
 	// Slow path: acquire read permission on the underlying lock.
 	ut := l.under.RLock()
 	// Safety: bias may only be set while holding read permission on the
 	// underlying lock, which excludes writers (Listing 1 lines 25–26).
-	if l.rbias.Load() == 0 && l.policy.ShouldEnable() {
-		l.rbias.Store(1)
-	}
+	l.eng.MaybeEnable()
 	return ut
-}
-
-// fastTry attempts the constant-time fast-path prefix (Listing 1 lines
-// 11–23). On success the returned token carries the slot index.
-func (l *Lock) fastTry(selfID uint64) (rwl.Token, bool) {
-	id := l.id()
-	if l.randomized {
-		selfID = xrand.NewSplitMix64(uint64(clock.Nanos()) ^ selfID).Next()
-	}
-	idx := l.table.index(id, selfID)
-	if l.table.tryPublish(idx, id) {
-		// Store-load fence required on TSO — subsumed by the CAS, and in Go
-		// by the sequentially consistent atomics.
-		if l.rbias.Load() == 1 { // recheck
-			if l.stats != nil {
-				l.stats.FastRead.Add(1)
-			}
-			return fastBit | rwl.Token(idx), true
-		}
-		// Raced: a writer revoked bias after our publication; undo.
-		l.table.Clear(idx)
-		if l.stats != nil {
-			l.stats.SlowRaced.Add(1)
-		}
-		return 0, false
-	}
-	if l.probe2 {
-		idx = l.table.index2(id, selfID)
-		if l.table.tryPublish(idx, id) {
-			if l.rbias.Load() == 1 {
-				if l.stats != nil {
-					l.stats.FastRead.Add(1)
-				}
-				return fastBit | rwl.Token(idx), true
-			}
-			l.table.Clear(idx)
-			if l.stats != nil {
-				l.stats.SlowRaced.Add(1)
-			}
-			return 0, false
-		}
-	}
-	if l.stats != nil {
-		l.stats.SlowCollision.Add(1)
-	}
-	return 0, false
 }
 
 // RUnlock releases read permission acquired by the RLock call that returned
@@ -196,9 +144,35 @@ func (l *Lock) fastTry(selfID uint64) (rwl.Token, bool) {
 // underlying lock (Listing 1 lines 29–33).
 func (l *Lock) RUnlock(t rwl.Token) {
 	if t&fastBit != 0 {
-		l.table.Clear(uint32(t))
+		l.eng.Table().Clear(uint32(t))
 		return
 	}
+	l.under.RUnlock(t)
+}
+
+// RLockH is RLock through a reader handle: the identity was pinned when the
+// handle was created, and the steady state publishes into the handle's
+// cached slot — one CAS, no hashing. The returned token must be passed to
+// RUnlockH with the same handle.
+func (l *Lock) RLockH(h *rwl.Reader) rwl.Token {
+	if idx, ok := l.eng.TryFastH(h); ok {
+		return fastBit | rwl.Token(idx)
+	}
+	ut := l.under.RLock()
+	l.eng.SlowLockedH(h)
+	l.eng.MaybeEnable()
+	return ut
+}
+
+// RUnlockH releases a read acquisition made with RLockH. The handle's
+// held-slot record is checked first, so an unbalanced release (double
+// unlock, unlock without lock) panics before touching lock state.
+func (l *Lock) RUnlockH(h *rwl.Reader, t rwl.Token) {
+	if t&fastBit != 0 {
+		l.eng.ReleaseFastAt(h, uint32(t))
+		return
+	}
+	l.eng.SlowUnlockedH(h)
 	l.under.RUnlock(t)
 }
 
@@ -210,38 +184,15 @@ func (l *Lock) Lock() {
 		// revoke before taking the underlying lock, so arriving readers can
 		// still enter via the slow path during the revocation scan.
 		l.revMu.Lock()
-		if l.rbias.Load() == 1 {
-			l.revoke()
+		if l.eng.Enabled() {
+			l.eng.Revoke()
 		}
 	}
 	l.under.Lock()
-	if l.rbias.Load() == 1 {
-		// In the default mode this is the Listing 1 revocation; in revMu
-		// mode it catches the rare slow reader that re-enabled bias between
-		// our pre-revocation and the write acquisition.
-		l.revoke()
-	} else if l.stats != nil {
-		l.stats.WriteNormal.Add(1)
-	}
-}
-
-// revoke disables reader bias and waits for all fast-path readers of this
-// lock to depart (Listing 1 lines 38–49).
-func (l *Lock) revoke() {
-	l.rbias.Store(0)
-	// Store-load fence required on TSO — Go atomics are seq-cst.
-	start := clock.Nanos()
-	scanned, conflicts := l.table.WaitEmpty(l.id())
-	now := clock.Nanos()
-	// Primum non-nocere: limit and bound the slow-down arising from
-	// revocation overheads.
-	l.policy.RevocationDone(start, now)
-	if l.stats != nil {
-		l.stats.WriteRevoke.Add(1)
-		l.stats.RevokeNanos.Add(now - start)
-		l.stats.RevokeScanned.Add(uint64(scanned))
-		l.stats.RevokeWaits.Add(uint64(conflicts))
-	}
+	// In the default mode this is the Listing 1 revocation; in revMu mode
+	// it catches the rare slow reader that re-enabled bias between our
+	// pre-revocation and the write acquisition.
+	l.eng.RevokeIfEnabled()
 }
 
 // Unlock releases write permission.
@@ -256,18 +207,16 @@ func (l *Lock) Unlock() {
 // try-acquisition, the slow path (§3's try-lock treatment). On underlying
 // success the policy may enable bias, as the paper permits.
 func (l *Lock) TryRLock() (rwl.Token, bool) {
-	if l.rbias.Load() == 1 {
-		if t, ok := l.fastTry(self.ID()); ok {
-			return t, true
+	if l.eng.Enabled() {
+		if idx, ok := l.eng.TryPublish(self.ID()); ok {
+			return fastBit | rwl.Token(idx), true
 		}
 	}
 	tu, ok := l.underTry()
 	if !ok {
 		return 0, false
 	}
-	if l.rbias.Load() == 0 && l.policy.ShouldEnable() {
-		l.rbias.Store(1)
-	}
+	l.eng.MaybeEnable()
 	return tu, true
 }
 
@@ -292,10 +241,6 @@ func (l *Lock) TryLock() bool {
 		}
 		return false
 	}
-	if l.rbias.Load() == 1 {
-		l.revoke()
-	} else if l.stats != nil {
-		l.stats.WriteNormal.Add(1)
-	}
+	l.eng.RevokeIfEnabled()
 	return true
 }

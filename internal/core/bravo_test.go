@@ -115,29 +115,9 @@ func TestRevocationWaitsForFastReaders(t *testing.T) {
 	}
 }
 
-func TestRacedReaderFallsBack(t *testing.T) {
-	// Reproduce the Listing 1 lines 18–21 race deterministically: publish on
-	// behalf of a reader, then clear RBias as a writer would, and verify the
-	// recheck pushes the reader down the slow path and clears the slot.
-	l, st := newBiased(t)
-	l.rbias.Store(1)
-	// Simulate: a reader that had passed the initial RBias check begins its
-	// fastTry after a writer cleared the flag.
-	l.rbias.Store(0)
-	tok, ok := l.fastTry(1234)
-	if ok {
-		t.Fatal("fastTry must recheck RBias (writer cleared it)")
-	}
-	if tok != 0 {
-		t.Fatal("failed fastTry returned a token")
-	}
-	if l.TableInUse().Occupancy() != 0 {
-		t.Fatal("raced reader left its slot occupied")
-	}
-	if st.SlowRaced.Load() != 1 {
-		t.Fatalf("raced fallback not recorded: %s", st.Snapshot())
-	}
-}
+// The deterministic publish/recheck race reproduction (the old
+// TestRacedReaderFallsBack) now lives with the protocol in
+// internal/bias (TestEngineRacedReaderFallsBack).
 
 func TestCollisionFallsBack(t *testing.T) {
 	// Force a true collision with a one-slot table shared by two locks.
@@ -172,14 +152,15 @@ func TestSecondProbeRescuesCollision(t *testing.T) {
 	l.RUnlock(tok)
 	// Find an identity whose two probes land in different slots, then
 	// occupy its primary slot with a foreign lock.
+	lockID := l.Engine().ID()
 	id := uint64(0)
 	for ; id < 1000; id++ {
-		if tab.index(l.id(), id) != tab.index2(l.id(), id) {
+		if tab.Index(lockID, id) != tab.Index2(lockID, id) {
 			break
 		}
 	}
-	idx := tab.index(l.id(), id)
-	if !tab.tryPublish(idx, uintptr(0xF00D0)) {
+	idx := tab.Index(lockID, id)
+	if !tab.TryPublishAt(idx, uintptr(0xF00D0)) {
 		t.Fatal("setup publish failed")
 	}
 	t2 := l.RLockWithID(id)
@@ -205,14 +186,14 @@ func TestInhibitPreventsImmediateRebias(t *testing.T) {
 	// directly (equivalent to a long reader drain).
 	l.Lock()
 	l.Unlock()
-	pol.until.Store(clock.Nanos() + int64(time.Hour))
+	pol.ForceInhibitUntil(clock.Nanos() + int64(time.Hour))
 	tok = l.RLock()
 	l.RUnlock(tok)
 	if l.Biased() {
 		t.Fatal("bias re-enabled during the inhibit window")
 	}
 	// Once the window lapses, a slow reader re-enables bias.
-	pol.until.Store(clock.Nanos() - 1)
+	pol.ForceInhibitUntil(clock.Nanos() - 1)
 	tok = l.RLock()
 	l.RUnlock(tok)
 	if !l.Biased() {

@@ -18,6 +18,13 @@ import (
 // visible-readers table regardless of shard count, while writers only
 // exclude readers of their own shard.
 //
+// Read paths accept an optional rwl.Reader handle (GetH, GetIntoH,
+// MultiGetH): a request pins one identity on its handle and carries it
+// across every shard it touches, so each shard lock's steady-state fast
+// path is a cached-slot CAS — no per-shard, per-acquisition identity
+// derivation or hashing. Handles are single-goroutine; give each worker or
+// request its own.
+//
 // Like Memtable.Get, Sharded.Get and MultiGet copy values out under the
 // shard's read lock, so returned values stay valid after the lock is
 // released even while writers update buffers in place.
@@ -31,9 +38,31 @@ type Sharded struct {
 // false-share with its neighbours.
 type kvShard struct {
 	lock rwl.RWLock
-	data map[uint64][]byte
-	ops  shardOps
-	_    arch.SectorPad
+	// hlock is lock's handle-accepting view, nil when the lock does not
+	// implement rwl.HandleRWLock. Resolved once at construction so the read
+	// hot paths pay a nil check, not a type assertion, per acquisition.
+	hlock rwl.HandleRWLock
+	data  map[uint64][]byte
+	ops   shardOps
+	_     arch.SectorPad
+}
+
+// rlock acquires the shard's read lock, through the handle when both the
+// caller supplied one and the lock supports it.
+func (sh *kvShard) rlock(h *rwl.Reader) rwl.Token {
+	if h != nil && sh.hlock != nil {
+		return sh.hlock.RLockH(h)
+	}
+	return sh.lock.RLock()
+}
+
+// runlock releases a read acquisition made by rlock with the same handle.
+func (sh *kvShard) runlock(h *rwl.Reader, tok rwl.Token) {
+	if h != nil && sh.hlock != nil {
+		sh.hlock.RUnlockH(h, tok)
+		return
+	}
+	sh.lock.RUnlock(tok)
 }
 
 // shardOps counts operations against one shard. Counters are atomics and
@@ -106,10 +135,14 @@ func NewSharded(shards int, mkLock rwl.Factory) (*Sharded, error) {
 	s := &Sharded{shards: make([]kvShard, shards), mask: uint64(shards - 1)}
 	for i := range s.shards {
 		s.shards[i].lock = mkLock()
+		s.shards[i].hlock, _ = s.shards[i].lock.(rwl.HandleRWLock)
 		s.shards[i].data = make(map[uint64][]byte)
 	}
 	return s, nil
 }
+
+// HandleCapable reports whether the shard locks accept reader handles.
+func (s *Sharded) HandleCapable() bool { return s.shards[0].hlock != nil }
 
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return len(s.shards) }
@@ -125,7 +158,14 @@ func (s *Sharded) shardOf(key uint64) *kvShard {
 
 // Get returns a copy of the value stored under key.
 func (s *Sharded) Get(key uint64) ([]byte, bool) {
-	return s.GetInto(key, nil)
+	return s.getInto(nil, key, nil)
+}
+
+// GetH is Get through a reader handle: the request's identity is pinned on
+// the handle, so the shard lock's fast path is a cached-slot CAS with no
+// per-shard identity derivation or hashing.
+func (s *Sharded) GetH(h *rwl.Reader, key uint64) ([]byte, bool) {
+	return s.getInto(h, key, nil)
 }
 
 // GetInto is Get with caller-managed memory: the value is appended to
@@ -133,14 +173,23 @@ func (s *Sharded) Get(key uint64) ([]byte, bool) {
 // On a miss the returned slice is buf[:0], so a worker that reuses its
 // buffer across calls — hits and misses alike — reads without allocating.
 func (s *Sharded) GetInto(key uint64, buf []byte) ([]byte, bool) {
+	return s.getInto(nil, key, buf)
+}
+
+// GetIntoH is GetInto through a reader handle.
+func (s *Sharded) GetIntoH(h *rwl.Reader, key uint64, buf []byte) ([]byte, bool) {
+	return s.getInto(h, key, buf)
+}
+
+func (s *Sharded) getInto(h *rwl.Reader, key uint64, buf []byte) ([]byte, bool) {
 	sh := s.shardOf(key)
-	tok := sh.lock.RLock()
+	tok := sh.rlock(h)
 	v, ok := sh.data[key]
 	out := buf[:0]
 	if ok {
 		out = append(out, v...)
 	}
-	sh.lock.RUnlock(tok)
+	sh.runlock(h, tok)
 	sh.ops.gets.Add(1)
 	if !ok {
 		sh.ops.getMisses.Add(1)
@@ -186,6 +235,17 @@ func (s *Sharded) Delete(key uint64) bool {
 // shard's read lock is taken once per batch, not once per key. The result
 // is parallel to keys; absent keys yield nil entries.
 func (s *Sharded) MultiGet(keys []uint64) [][]byte {
+	return s.multiGet(nil, keys)
+}
+
+// MultiGetH is MultiGet through a reader handle: one pinned identity covers
+// every shard the batch touches, rather than a fresh derivation per shard
+// lock acquisition.
+func (s *Sharded) MultiGetH(h *rwl.Reader, keys []uint64) [][]byte {
+	return s.multiGet(h, keys)
+}
+
+func (s *Sharded) multiGet(h *rwl.Reader, keys []uint64) [][]byte {
 	out := make([][]byte, len(keys))
 	if len(keys) == 0 {
 		return out
@@ -203,14 +263,14 @@ func (s *Sharded) MultiGet(keys []uint64) [][]byte {
 			hi++
 		}
 		sh := &s.shards[pairs[lo].shard]
-		tok := sh.lock.RLock()
+		tok := sh.rlock(h)
 		for _, p := range pairs[lo:hi] {
 			if v, ok := sh.data[keys[p.pos]]; ok {
 				// Non-nil even for empty values: nil means absent here.
 				out[p.pos] = append(make([]byte, 0, len(v)), v...)
 			}
 		}
-		sh.lock.RUnlock(tok)
+		sh.runlock(h, tok)
 		sh.ops.batches.Add(1)
 		sh.ops.batchKeys.Add(uint64(hi - lo))
 		lo = hi

@@ -130,6 +130,99 @@ func TryExclusion(t *testing.T, mk func() rwl.RWLock, workers, iters int) {
 	}
 }
 
+// HandleExclusion is Exclusion through the handle-accepting read paths:
+// every reader goroutine owns a private rwl.Reader and the storm verifies
+// that cached-slot fast paths never compromise mutual exclusion.
+func HandleExclusion(t *testing.T, mk func() rwl.HandleRWLock, readers, writers, iters int) {
+	t.Helper()
+	l := mk()
+	var state atomic.Int64 // readers·256 + writers
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			h := rwl.NewReader()
+			rng := xrand.NewXorShift64(seed)
+			for i := 0; i < iters; i++ {
+				tok := l.RLockH(h)
+				if state.Add(256)&0xff != 0 {
+					violations.Add(1)
+				}
+				if rng.Intn(8) == 0 {
+					runtime.Gosched()
+				}
+				state.Add(-256)
+				l.RUnlockH(h, tok)
+			}
+		}(uint64(r + 1))
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := xrand.NewXorShift64(seed)
+			for i := 0; i < iters; i++ {
+				l.Lock()
+				if state.Add(1) != 1 {
+					violations.Add(1)
+				}
+				if rng.Intn(4) == 0 {
+					runtime.Gosched()
+				}
+				state.Add(-1)
+				l.Unlock()
+			}
+		}(uint64(1000 + w))
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("handle-path mutual exclusion violated %d times", v)
+	}
+	if s := state.Load(); s != 0 {
+		t.Fatalf("lock accounting left residue %d", s)
+	}
+}
+
+// UnbalancedRUnlock certifies that a handle-lock's held-slot record catches
+// read-unlock misuse: a double RUnlockH of one acquisition, and an RUnlockH
+// with no acquisition at all, must both panic instead of silently
+// corrupting lock state.
+func UnbalancedRUnlock(t *testing.T, l rwl.HandleRWLock) {
+	t.Helper()
+	h := rwl.NewReader()
+	// Warm so at least one legitimate acquire/release pair has happened on
+	// both paths bias may choose.
+	tok := l.RLockH(h)
+	l.RUnlockH(h, tok)
+	tok = l.RLockH(h)
+	l.RUnlockH(h, tok)
+	if !panics(func() { l.RUnlockH(h, tok) }) {
+		t.Fatal("double RUnlockH did not panic")
+	}
+	if !panics(func() { l.RUnlockH(rwl.NewReader(), tok) }) {
+		t.Fatal("RUnlockH without RLockH did not panic")
+	}
+	// The lock must remain usable after rejected misuse.
+	tok = l.RLockH(h)
+	l.RUnlockH(h, tok)
+	l.Lock()
+	l.Unlock()
+}
+
+// panics reports whether fn panicked.
+func panics(fn func()) (p bool) {
+	defer func() {
+		if recover() != nil {
+			p = true
+		}
+	}()
+	fn()
+	return false
+}
+
 // ReadersConcurrent asserts that the lock admits at least two simultaneous
 // readers (work conservation of read-read parallelism).
 func ReadersConcurrent(t *testing.T, l rwl.RWLock) {

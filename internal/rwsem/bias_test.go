@@ -1,0 +1,174 @@
+package rwsem
+
+import (
+	"testing"
+
+	"github.com/bravolock/bravo/internal/bias"
+)
+
+// Tests for the capabilities rwsem gained by moving onto the shared
+// internal/bias engine: deterministic collision behavior, policies, stats,
+// the second probe, and unbalanced-release detection.
+
+// collidingTasks returns two tasks whose (task, sem) pairs hash to the same
+// slot of tab; with probe2Free, the second task's alternate probe differs.
+func collidingTasks(t *testing.T, tab *bias.Table, b *Bravo, probe2Free bool) (*Task, *Task) {
+	t.Helper()
+	semID := b.Engine().ID()
+	t1 := NewTaskWithID(1)
+	home := tab.Index(semID, t1.ID)
+	for c := uint64(2); c < 1<<20; c++ {
+		if tab.Index(semID, c) != home {
+			continue
+		}
+		if probe2Free && tab.Index2(semID, c) == home {
+			continue
+		}
+		return t1, NewTaskWithID(c)
+	}
+	t.Fatal("no colliding task identity found")
+	return nil, nil
+}
+
+func TestBravoTwoTasksOneSlotDiverts(t *testing.T) {
+	tab := bias.NewTable(64)
+	st := &bias.Stats{}
+	b := NewBravo(DefaultConfig())
+	b.SetTable(tab)
+	b.SetPolicy(bias.AlwaysPolicy{})
+	b.SetStats(st)
+	t1, t2 := collidingTasks(t, tab, b, false)
+	b.DownRead(t1) // slow, enables bias
+	b.UpRead(t1)
+	b.DownRead(t1) // fast: occupies the shared slot
+	if t1.Holds() != 1 {
+		t.Fatal("first task not on the fast path")
+	}
+	b.DownRead(t2) // same slot: must divert to the slow path
+	if t2.Holds() != 0 {
+		t.Fatal("colliding task took the fast path")
+	}
+	if st.SlowCollision.Load() != 1 {
+		t.Fatalf("collision not recorded: %s", st.Snapshot())
+	}
+	b.UpRead(t2)
+	b.UpRead(t1)
+	if tab.Occupancy() != 0 {
+		t.Fatal("table dirty after collision round trip")
+	}
+}
+
+func TestBravoTwoTasksOneSlotSecondProbeRescues(t *testing.T) {
+	tab := bias.NewTable(64)
+	st := &bias.Stats{}
+	b := NewBravo(DefaultConfig())
+	b.SetTable(tab)
+	b.SetPolicy(bias.AlwaysPolicy{})
+	b.SetStats(st)
+	b.SetSecondProbe()
+	t1, t2 := collidingTasks(t, tab, b, true)
+	b.DownRead(t1)
+	b.UpRead(t1)
+	b.DownRead(t1)
+	b.DownRead(t2) // collides at home, lands in the alternate slot
+	if t2.Holds() != 1 {
+		t.Fatalf("second probe did not rescue the colliding task: %s", st.Snapshot())
+	}
+	alt := tab.Index2(b.Engine().ID(), t2.ID)
+	if tab.Load(alt) != b.Engine().ID() {
+		t.Fatal("rescued task not in the alternate slot")
+	}
+	if tab.Occupancy() != 2 {
+		t.Fatalf("occupancy = %d, want 2", tab.Occupancy())
+	}
+	b.UpRead(t2)
+	b.UpRead(t1)
+	if tab.Occupancy() != 0 {
+		t.Fatal("table dirty")
+	}
+}
+
+func TestBravoSlotCacheAvoidsRehash(t *testing.T) {
+	tab := bias.NewTable(bias.DefaultTableSize)
+	b := NewBravo(DefaultConfig())
+	b.SetTable(tab)
+	b.SetPolicy(bias.AlwaysPolicy{})
+	task := NewTask()
+	b.DownRead(task)
+	b.UpRead(task)
+	home := tab.Index(b.Engine().ID(), task.ID)
+	for i := 0; i < 50; i++ {
+		b.DownRead(task)
+		if slot, diverted, ok := task.Reader().CachedSlot(b.Engine()); !ok || diverted || slot != home {
+			t.Fatalf("iteration %d: cache entry slot=%d diverted=%v ok=%v, want home %d",
+				i, slot, diverted, ok, home)
+		}
+		b.UpRead(task)
+	}
+}
+
+func TestBravoStatsCountPaths(t *testing.T) {
+	st := &bias.Stats{}
+	b := NewBravo(DefaultConfig())
+	b.SetTable(bias.NewTable(bias.DefaultTableSize))
+	b.SetPolicy(bias.AlwaysPolicy{})
+	b.SetStats(st)
+	task := NewTask()
+	b.DownRead(task) // slow: bias disabled
+	b.UpRead(task)
+	for i := 0; i < 10; i++ {
+		b.DownRead(task)
+		b.UpRead(task)
+	}
+	w := NewTask()
+	b.DownWrite(w) // revocation
+	b.UpWrite(w)
+	snap := st.Snapshot()
+	if snap.SlowDisabled != 1 || snap.FastRead != 10 || snap.WriteRevoke != 1 {
+		t.Fatalf("rwsem stats wrong: %s", snap)
+	}
+}
+
+func TestBravoCustomPolicyHonored(t *testing.T) {
+	b := NewBravo(DefaultConfig())
+	b.SetTable(bias.NewTable(64))
+	b.SetPolicy(bias.NeverPolicy{})
+	task := NewTask()
+	for i := 0; i < 20; i++ {
+		b.DownRead(task)
+		b.UpRead(task)
+	}
+	if b.Biased() {
+		t.Fatal("NeverPolicy rwsem enabled bias")
+	}
+}
+
+func TestBravoInhibitNTunesNotReplaces(t *testing.T) {
+	// SetInhibitN then SetPolicy (and the reverse) must both land N on an
+	// inhibit policy and never displace a custom one.
+	b1 := NewBravo(DefaultConfig())
+	b1.SetInhibitN(7)
+	if p, ok := b1.Engine().PolicyInUse().(*bias.InhibitPolicy); !ok || p.N != 7 {
+		t.Fatalf("SetInhibitN on default policy: %#v", b1.Engine().PolicyInUse())
+	}
+	b2 := NewBravo(DefaultConfig())
+	b2.SetPolicy(bias.AlwaysPolicy{})
+	b2.SetInhibitN(7)
+	if _, ok := b2.Engine().PolicyInUse().(bias.AlwaysPolicy); !ok {
+		t.Fatalf("SetInhibitN replaced a custom policy: %#v", b2.Engine().PolicyInUse())
+	}
+}
+
+func TestBravoUnbalancedUpReadPanics(t *testing.T) {
+	b := NewBravo(DefaultConfig())
+	b.SetTable(bias.NewTable(64))
+	task := NewTask()
+	b.DownRead(task)
+	b.UpRead(task)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbalanced UpRead did not panic")
+		}
+	}()
+	b.UpRead(task)
+}

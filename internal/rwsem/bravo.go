@@ -1,122 +1,116 @@
 package rwsem
 
 import (
-	"sync/atomic"
-	"unsafe"
-
-	"github.com/bravolock/bravo/internal/clock"
-	"github.com/bravolock/bravo/internal/core"
+	"github.com/bravolock/bravo/internal/bias"
 )
 
 // Bravo is the §4 integration of BRAVO with rwsem. It mirrors the kernel
 // patch: the semaphore gains an RBias flag and an InhibitUntil timestamp;
 // read acquisitions may divert to the shared visible readers table, with the
-// slot determined "by hashing the task struct pointer (current) with the
-// address of the semaphore"; releases clear that slot.
+// slot determined by hashing the task's identity with the semaphore
+// identity; releases clear that slot.
+//
+// The whole biasing protocol lives in the embedded bias.Engine — the same
+// engine that powers the user-space wrapper (internal/core) — so the rwsem
+// integration inherits the policy ablation, stats, second-probe, randomized
+// and 2D-table variants instead of carrying a private rbias/inhibit copy.
 //
 // The paper's patch assumes the semaphore is released by the task that
-// acquired it for read, and we keep that assumption: the per-task held-slot
-// record (Task.held) plays the role of the kernel's per-task bookkeeping,
-// resolving the rare hash-collision ambiguity that pure slot-content
-// comparison would leave (two tasks whose (task, sem) pairs hash to the same
-// slot).
+// acquired it for read, and we keep that assumption: the task's reader
+// handle records fast-path holds (and caches the slot between acquisitions,
+// so a steady-state reader re-publishes without rehashing), resolving the
+// rare hash-collision ambiguity that pure slot-content comparison would
+// leave (two tasks whose (task, sem) pairs hash to the same slot).
 type Bravo struct {
 	inner *RWSem
-	rbias atomic.Uint32
-	// inhibitUntil is the earliest re-bias time; N is the paper's multiplier.
-	inhibitUntil atomic.Int64
-	n            int64
-	table        *core.Table
+	eng   bias.Engine
 }
 
 // NewBravo wraps a fresh rwsem with the BRAVO reader fast path. The visible
-// readers table is shared process-wide (core.SharedTable) unless overridden
+// readers table is shared process-wide (bias.SharedTable) unless overridden
 // with SetTable.
 func NewBravo(cfg Config) *Bravo {
 	// The paper's kernel integration also fixes the owner-field writes
 	// (§4); BRAVO-rwsem therefore defaults to the optimized owner protocol.
 	cfg.StockOwnerWrites = false
-	return &Bravo{
-		inner: New(cfg),
-		n:     core.DefaultInhibitN,
-		table: core.SharedTable(),
-	}
+	b := &Bravo{inner: New(cfg)}
+	b.eng.Init()
+	return b
 }
 
-// SetTable redirects fast-path publication (testing and ablations).
-func (b *Bravo) SetTable(t *core.Table) { b.table = t }
+// SetTable redirects fast-path publication — a private table, or a BRAVO-2D
+// sectored one (testing and ablations). Configuration-time only.
+func (b *Bravo) SetTable(t *bias.Table) { b.eng.SetTable(t) }
 
-// SetInhibitN overrides the slow-down guard multiplier.
-func (b *Bravo) SetInhibitN(n int64) {
-	if n > 0 {
-		b.n = n
-	}
-}
+// SetInhibitN tunes the slow-down guard multiplier of the inhibit policy
+// without replacing an installed policy. Configuration-time only.
+func (b *Bravo) SetInhibitN(n int64) { b.eng.SetInhibitN(n) }
+
+// SetPolicy installs a bias-enabling policy (the §3 ablation reaches the
+// kernel analogue too). Configuration-time only.
+func (b *Bravo) SetPolicy(p bias.Policy) { b.eng.SetPolicy(p) }
+
+// SetStats attaches event counters, the lockstat analogue (§6).
+// Configuration-time only.
+func (b *Bravo) SetStats(s *bias.Stats) { b.eng.SetStats(s) }
+
+// SetSecondProbe enables the secondary table probe (§7).
+// Configuration-time only.
+func (b *Bravo) SetSecondProbe() { b.eng.SetSecondProbe() }
+
+// SetRandomizedIndex selects non-deterministic slot indices (§7).
+// Configuration-time only.
+func (b *Bravo) SetRandomizedIndex() { b.eng.SetRandomizedIndex() }
 
 // Inner exposes the wrapped rwsem. Diagnostic.
 func (b *Bravo) Inner() *RWSem { return b.inner }
 
+// Engine exposes the embedded biasing engine. Diagnostic.
+func (b *Bravo) Engine() *bias.Engine { return &b.eng }
+
 // Biased reports whether reader bias is enabled. Diagnostic.
-func (b *Bravo) Biased() bool { return b.rbias.Load() == 1 }
+func (b *Bravo) Biased() bool { return b.eng.Enabled() }
 
-func (b *Bravo) id() uintptr { return uintptr(unsafe.Pointer(b)) }
-
-// DownRead acquires read permission for t, preferring the table fast path.
+// DownRead acquires read permission for t, preferring the table fast path
+// through t's reader handle (cached slot, no rehash in steady state).
 func (b *Bravo) DownRead(t *Task) {
-	if b.rbias.Load() == 1 && t.canRecord() {
-		idx, ok := b.table.TryPublish(b.id(), t.ID)
-		if ok {
-			if b.rbias.Load() == 1 { // recheck
-				t.recordFast(b, idx)
-				return
-			}
-			b.table.Clear(idx)
-		}
+	if _, ok := b.eng.TryFastH(&t.r); ok {
+		return
 	}
 	b.inner.DownRead(t.ID)
-	if b.rbias.Load() == 0 && clock.Nanos() >= b.inhibitUntil.Load() {
-		b.rbias.Store(1)
-	}
+	b.eng.SlowLockedH(&t.r)
+	b.eng.MaybeEnable()
 }
 
 // TryDownRead attempts a non-blocking read acquisition: fast path first,
 // then the underlying try-lock, which may set bias on success (§3).
 func (b *Bravo) TryDownRead(t *Task) bool {
-	if b.rbias.Load() == 1 && t.canRecord() {
-		idx, ok := b.table.TryPublish(b.id(), t.ID)
-		if ok {
-			if b.rbias.Load() == 1 {
-				t.recordFast(b, idx)
-				return true
-			}
-			b.table.Clear(idx)
-		}
+	if _, ok := b.eng.TryFastH(&t.r); ok {
+		return true
 	}
 	if !b.inner.TryDownRead(t.ID) {
 		return false
 	}
-	if b.rbias.Load() == 0 && clock.Nanos() >= b.inhibitUntil.Load() {
-		b.rbias.Store(1)
-	}
+	b.eng.SlowLockedH(&t.r)
+	b.eng.MaybeEnable()
 	return true
 }
 
 // UpRead releases read permission for t: fast-path acquisitions clear their
 // recorded slot, slow-path acquisitions release the underlying semaphore.
+// An unbalanced release detectable from the task's held-slot record panics.
 func (b *Bravo) UpRead(t *Task) {
-	if idx, ok := t.takeFast(b); ok {
-		b.table.Clear(idx)
+	if b.eng.ReleaseFast(&t.r) {
 		return
 	}
+	b.eng.SlowUnlockedH(&t.r)
 	b.inner.UpRead(t.ID)
 }
 
 // DownWrite acquires write permission, revoking reader bias if set.
 func (b *Bravo) DownWrite(t *Task) {
 	b.inner.DownWrite(t.ID)
-	if b.rbias.Load() == 1 {
-		b.revoke()
-	}
+	b.eng.RevokeIfEnabled()
 }
 
 // TryDownWrite attempts a non-blocking write acquisition; on success with
@@ -125,21 +119,11 @@ func (b *Bravo) TryDownWrite(t *Task) bool {
 	if !b.inner.TryDownWrite(t.ID) {
 		return false
 	}
-	if b.rbias.Load() == 1 {
-		b.revoke()
-	}
+	b.eng.RevokeIfEnabled()
 	return true
 }
 
 // UpWrite releases write permission.
 func (b *Bravo) UpWrite(t *Task) {
 	b.inner.UpWrite(t.ID)
-}
-
-func (b *Bravo) revoke() {
-	b.rbias.Store(0)
-	start := clock.Nanos()
-	b.table.WaitEmpty(b.id())
-	now := clock.Nanos()
-	b.inhibitUntil.Store(now + (now-start)*b.n)
 }

@@ -1,66 +1,49 @@
 package rwsem
 
 import (
+	"github.com/bravolock/bravo/internal/bias"
 	"github.com/bravolock/bravo/internal/self"
 )
 
 // maxHeld bounds the number of BRAVO-rwsem read acquisitions a task can hold
-// simultaneously on the fast path. Kernel tasks rarely hold more than one or
-// two rwsems in read mode (mmap_sem dominates); excess acquisitions simply
-// divert to the slow path.
-const maxHeld = 8
+// simultaneously on the fast path — the capacity of the task's reader
+// handle. Kernel tasks rarely hold more than one or two rwsems in read mode
+// (mmap_sem dominates); excess acquisitions simply divert to the slow path.
+const maxHeld = bias.ReaderSlots
 
 // Task models the kernel's `current` task struct as far as rwsem is
 // concerned: a stable identity (the task-struct pointer the paper hashes)
-// plus the per-task record of fast-path read acquisitions. The record
-// preserves the paper's same-task release assumption (§4) and resolves the
-// hash-collision ambiguity a bare recomputed-slot check would have — the
-// same role the POSIX per-thread held-lock lists play in §3.
+// plus a reader handle carrying the per-task record of fast-path read
+// acquisitions and the per-semaphore slot cache. The record preserves the
+// paper's same-task release assumption (§4) and resolves the hash-collision
+// ambiguity a bare recomputed-slot check would have — the same role the
+// POSIX per-thread held-lock lists play in §3; the cache means a task
+// re-reading the same semaphore pays one CAS, not a rehash.
 //
 // A Task is confined to one goroutine; its methods are not safe for
 // concurrent use.
 type Task struct {
-	// ID is the task identity hashed with the semaphore address to choose a
-	// visible-readers-table slot.
+	// ID is the task identity hashed with the semaphore identity to choose
+	// a visible-readers-table slot, and passed to the underlying rwsem.
 	ID uint64
-	// held records outstanding fast-path read acquisitions.
-	held [maxHeld]heldSlot
-	n    int
-}
-
-type heldSlot struct {
-	sem *Bravo
-	idx uint32
+	// r is the task's reader handle (held-slot record + slot cache).
+	r bias.Reader
 }
 
 // NewTask returns a task with a fresh stable identity.
 func NewTask() *Task {
-	return &Task{ID: self.NextExplicitID()}
+	return NewTaskWithID(self.NextExplicitID())
 }
 
-// recordFast notes that this task holds sem via table slot idx. If the
-// record is full the caller must not use the fast path; see DownRead.
-func (t *Task) recordFast(sem *Bravo, idx uint32) {
-	t.held[t.n] = heldSlot{sem: sem, idx: idx}
-	t.n++
+// NewTaskWithID returns a task with an explicit identity, for callers that
+// need the (task, semaphore) → slot mapping to be reproducible
+// (benchmark harnesses, collision tests).
+func NewTaskWithID(id uint64) *Task {
+	return &Task{ID: id, r: bias.MakeReader(id)}
 }
 
-// canRecord reports whether another fast acquisition can be tracked.
-func (t *Task) canRecord() bool { return t.n < maxHeld }
-
-// takeFast removes and returns the slot index recorded for sem, if any.
-func (t *Task) takeFast(sem *Bravo) (uint32, bool) {
-	for i := t.n - 1; i >= 0; i-- {
-		if t.held[i].sem == sem {
-			idx := t.held[i].idx
-			t.n--
-			t.held[i] = t.held[t.n]
-			t.held[t.n] = heldSlot{}
-			return idx, true
-		}
-	}
-	return 0, false
-}
+// Reader exposes the task's reader handle. Diagnostic.
+func (t *Task) Reader() *bias.Reader { return &t.r }
 
 // Holds reports how many fast-path read acquisitions are outstanding.
-func (t *Task) Holds() int { return t.n }
+func (t *Task) Holds() int { return t.r.Held() }
