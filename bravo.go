@@ -151,6 +151,10 @@ func NewCohortRW(t Topology) RWLock { return cohort.New(t) }
 // here the stripe count and the lock substrate are both free axes). Read
 // paths accept an optional Reader handle (GetH/GetIntoH/MultiGetH): one
 // pinned identity per request, cached-slot fast paths on every shard.
+// Writes batch (MultiPut/MultiDelete: one write-lock acquisition per shard
+// group) or coalesce asynchronously (PutAsync/Flush), and keys may carry a
+// TTL (PutTTL, lazily expired on read and incrementally removed by Reap).
+// cmd/kvserv serves this engine over HTTP.
 type ShardedKV = kvs.Sharded
 
 // ShardedKVStats aggregates a ShardedKV's per-shard operation counters.

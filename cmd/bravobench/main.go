@@ -19,6 +19,12 @@
 //	                       handle (cached-slot CAS) against the anonymous
 //	                       hash-per-acquisition path on the same BRAVO lock;
 //	                       -json writes BENCH_readlatency.json
+//	-workload kvserv       loadgen for the serving pipeline behind
+//	                       cmd/kvserv: handle-pinned readers stream GETs
+//	                       while writers stream single Puts vs batched
+//	                       MultiPuts (write combining); -json writes
+//	                       BENCH_kvserv.json with the batched-vs-single
+//	                       comparison
 //
 // Examples:
 //
@@ -29,6 +35,7 @@
 //	bravobench -workload shardedkv -json
 //	bravobench -workload shardedkv -shards 1,4,16 -locks bravo-ba -threads 8
 //	bravobench -workload readlatency -json -threads 8,16
+//	bravobench -workload kvserv -json -batch 64 -threads 8,16
 package main
 
 import (
@@ -53,12 +60,13 @@ var (
 	locksFlag    = flag.String("locks", "ba,bravo-ba,pthread,bravo-pthread,per-cpu,cohort-rw", "native lock lineup")
 	scanFlag     = flag.Bool("scanrate", false, "measure the revocation scan rate (ns/slot) and exit")
 
-	workloadFlag   = flag.String("workload", "figures", "figures or shardedkv")
-	jsonFlag       = flag.Bool("json", false, "shardedkv/readlatency: also write machine-readable results")
-	outFlag        = flag.String("out", "BENCH_shardedkv.json", "shardedkv/readlatency: -json output path (readlatency default: BENCH_readlatency.json)")
-	shardsFlag     = flag.String("shards", "1,2,4,8", "shardedkv: shard counts (powers of two)")
+	workloadFlag   = flag.String("workload", "figures", "figures, shardedkv, readlatency, or kvserv")
+	jsonFlag       = flag.Bool("json", false, "shardedkv/readlatency/kvserv: also write machine-readable results")
+	outFlag        = flag.String("out", "BENCH_shardedkv.json", "shardedkv/readlatency/kvserv: -json output path (workload-specific default)")
+	shardsFlag     = flag.String("shards", "1,2,4,8", "shardedkv/kvserv: shard counts (powers of two)")
 	writeRatioFlag = flag.Float64("writeratio", 0.01, "shardedkv: fraction of operations that write")
-	valueSizeFlag  = flag.Int("valuesize", bench.ShardedKVDefaultValueSize, "shardedkv: value payload bytes (sets critical-section length)")
+	valueSizeFlag  = flag.Int("valuesize", bench.ShardedKVDefaultValueSize, "shardedkv/kvserv: value payload bytes (sets critical-section length)")
+	batchFlag      = flag.Int("batch", bench.KVServDefaultBatch, "kvserv: MultiPut group size in batched mode")
 )
 
 // shardedKVDefaults replace the figure-oriented flag defaults when the
@@ -80,6 +88,18 @@ const (
 	readLatencyDefaultLocks   = "bravo-ba,bravo-go"
 	readLatencyDefaultThreads = "1,4,8,16"
 	readLatencyDefaultOut     = "BENCH_readlatency.json"
+)
+
+// kvservDefaults replace the figure-oriented defaults for the kvserv
+// workload: the serving substrate (bravo-go shows the fast-path rate the
+// acceptance bar reads), the served engine's shard count, a goroutine axis
+// crossing 8 (the write-combining acceptance point), and the serving
+// value size.
+const (
+	kvservDefaultLocks   = "bravo-go"
+	kvservDefaultShards  = "8"
+	kvservDefaultThreads = "2,4,8,16"
+	kvservDefaultOut     = "BENCH_kvserv.json"
 )
 
 // rwbenchSubs maps Figure 4's sub-plots to write probabilities.
@@ -122,6 +142,16 @@ func main() {
 			"runs":     func() { *runsFlag = 5 },
 			"out":      func() { *outFlag = readLatencyDefaultOut },
 		})
+	case "kvserv":
+		applyWorkloadDefaults(map[string]func(){
+			"locks":     func() { *locksFlag = kvservDefaultLocks },
+			"shards":    func() { *shardsFlag = kvservDefaultShards },
+			"threads":   func() { *threadsFlag = kvservDefaultThreads },
+			"interval":  func() { *intervalFlag = 500 * time.Millisecond },
+			"runs":      func() { *runsFlag = 5 },
+			"valuesize": func() { *valueSizeFlag = bench.KVServDefaultValueSize },
+			"out":       func() { *outFlag = kvservDefaultOut },
+		})
 	}
 	threads, err := cliutil.ParseInts(*threadsFlag)
 	if err != nil {
@@ -137,8 +167,12 @@ func main() {
 		runReadLatency(cfg, locks)
 		return
 	}
+	if *workloadFlag == "kvserv" {
+		runKVServ(cfg, locks)
+		return
+	}
 	if *workloadFlag != "figures" {
-		fatal(fmt.Errorf("unknown workload %q (figures, shardedkv, readlatency)", *workloadFlag))
+		fatal(fmt.Errorf("unknown workload %q (figures, shardedkv, readlatency, kvserv)", *workloadFlag))
 	}
 	figs := []string{"1", "2", "3", "4", "5", "6"}
 	if *figFlag != "all" {
@@ -219,6 +253,43 @@ func runShardedKV(cfg bench.Config, locks []string) {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d results)\n", *outFlag, len(results))
+}
+
+func runKVServ(cfg bench.Config, locks []string) {
+	shardCounts, err := cliutil.ParseInts(*shardsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	for _, sc := range shardCounts {
+		if sc <= 0 || sc&(sc-1) != 0 {
+			fatal(fmt.Errorf("-shards %d is not a positive power of two", sc))
+		}
+	}
+	results, comps, err := bench.KVServSweep(locks, shardCounts, cfg.Threads, *batchFlag, *valueSizeFlag, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# kvserv: %d keys, %dB values, batch %d, interval %v, median of %d\n",
+		bench.KVServKeys, *valueSizeFlag, *batchFlag, cfg.Interval, cfg.Runs)
+	bench.WriteKVServTable(os.Stdout, results)
+	fmt.Println()
+	fmt.Println("# batched MultiPut vs single Put (write combining)")
+	bench.WriteKVServComparisons(os.Stdout, comps)
+	if !*jsonFlag {
+		return
+	}
+	f, err := os.Create(*outFlag)
+	if err != nil {
+		fatal(err)
+	}
+	rep := bench.NewKVServReport(cfg, results, comps)
+	if err := rep.WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d results, %d comparisons)\n", *outFlag, len(results), len(comps))
 }
 
 // applyWorkloadDefaults runs each override whose flag the user did not set

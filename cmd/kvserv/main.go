@@ -1,0 +1,70 @@
+// Command kvserv serves the sharded BRAVO-backed KV engine over HTTP: the
+// repository's traffic-facing front-end. Each connection gets one pinned
+// reader handle, so a client's steady-state GET is a cached-slot CAS on the
+// shard lock — socket to lock word with no per-request hashing.
+//
+//	kvserv -addr :7070 -shards 16 -lock bravo-go
+//
+// Endpoints: GET/PUT/DELETE /kv/{key} (PUT takes ?ttl=1s or ?async=1),
+// GET /mget?keys=1,2,3, POST /mput, POST /flush, GET /stats. See
+// internal/kvserv and README's "Serving traffic" section.
+//
+// The lock lineup is the benchmark registry's (-lock accepts any name from
+// the README menu: go-rw, mutex, bravo-go, bravo-ba, ...), so the serving
+// stack can be A/B'd across substrates exactly like the benchmarks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"github.com/bravolock/bravo/internal/kvs"
+	"github.com/bravolock/bravo/internal/kvserv"
+	_ "github.com/bravolock/bravo/internal/locks/all"
+	"github.com/bravolock/bravo/internal/rwl"
+)
+
+var (
+	addrFlag       = flag.String("addr", ":7070", "listen address")
+	shardsFlag     = flag.Int("shards", 16, "shard count (positive power of two)")
+	lockFlag       = flag.String("lock", "bravo-go", "per-shard lock (registry name)")
+	reapFlag       = flag.Duration("reap", kvserv.DefaultReapInterval, "TTL reap interval (<0 disables background reaping)")
+	reapBudgetFlag = flag.Int("reapbudget", kvserv.DefaultReapBudget, "TTL entries examined per reap tick")
+	asyncFlag      = flag.Int("asyncbatch", kvs.DefaultAsyncBatch, "per-shard async write queue coalescing threshold")
+)
+
+func main() {
+	flag.Parse()
+	mk, ok := rwl.Lookup(*lockFlag)
+	if !ok {
+		_, err := rwl.New(*lockFlag) // canonical unknown-name error with the menu
+		fatal(err)
+	}
+	engine, err := kvs.NewSharded(*shardsFlag, mk)
+	if err != nil {
+		fatal(err)
+	}
+	engine.SetAsyncBatch(*asyncFlag)
+	l, err := net.Listen("tcp", *addrFlag)
+	if err != nil {
+		fatal(err)
+	}
+	srv := kvserv.New(engine, kvserv.Config{
+		ReapInterval: *reapFlag,
+		ReapBudget:   *reapBudgetFlag,
+	})
+	handles := "anonymous reads (substrate has no handle path)"
+	if engine.HandleCapable() {
+		handles = "one pinned reader handle per connection"
+	}
+	fmt.Printf("kvserv: serving on %s — %d×%s shards, %s, reap %v\n",
+		l.Addr(), *shardsFlag, *lockFlag, handles, *reapFlag)
+	fatal(srv.Serve(l))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kvserv:", err)
+	os.Exit(1)
+}

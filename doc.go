@@ -30,7 +30,18 @@
 // whose per-shard locks come from any of the substrates above — the
 // read-mostly serving workload the paper's rocksdb experiments point at,
 // with BRAVO's one-CAS read path per shard (and handle-threaded
-// GetH/GetIntoH/MultiGetH: one identity per request, not per shard).
+// GetH/GetIntoH/MultiGetH: one identity per request, not per shard). The
+// engine's write side batches: MultiPut/MultiDelete apply each shard's
+// group under one write-lock acquisition, PutAsync/Flush coalesce writers
+// through per-shard queues, and PutTTL/Reap give keys lazy-then-reaped
+// expiry. cmd/kvserv serves the engine over HTTP with one pinned Reader
+// per connection.
+//
+// The Example functions in example_test.go are runnable documentation for
+// each of these surfaces: ExampleNew (the transformation), ExampleNewReader
+// (handles), ExampleNewShardedKV, ExampleShardedKV_MultiPut,
+// ExampleShardedKV_PutTTL, and ExampleShardedKV_PutAsync; go test runs
+// them all.
 //
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // reproduction of the paper's figures and tables, and the examples/

@@ -1,0 +1,118 @@
+package bravo_test
+
+import (
+	"fmt"
+	"time"
+
+	bravo "github.com/bravolock/bravo"
+)
+
+// ExampleNew shows the transformation itself: wrap any reader-writer lock
+// and read through the one-CAS fast path.
+func ExampleNew() {
+	l := bravo.New(bravo.NewBA()) // BRAVO over a Brandenburg–Anderson lock
+	tok := l.RLock()              // fast path: one CAS, no shared counter
+	fmt.Println("reading")
+	l.RUnlock(tok) // the token carries the table slot
+
+	l.Lock() // writers unchanged (revoke bias if set)
+	fmt.Println("writing")
+	l.Unlock()
+	// Output:
+	// reading
+	// writing
+}
+
+// ExampleNewReader pins a reader handle: the steady-state read is a single
+// CAS at a cached slot — no identity derivation, no hashing — and
+// unbalanced unlocks panic instead of corrupting lock state.
+func ExampleNewReader() {
+	l := bravo.New(bravo.NewGoRW())
+	h := bravo.NewReader() // per goroutine (or per request/connection)
+	for i := 0; i < 3; i++ {
+		tok := l.RLockH(h) // steady state: cached-slot CAS
+		l.RUnlockH(h, tok) // must pair H with H, same handle
+	}
+	fmt.Println("three handle reads")
+	// Output: three handle reads
+}
+
+// ExampleNewShardedKV builds the serving engine: a BRAVO lock per shard,
+// all shards sharing the process-wide visible-readers table.
+func ExampleNewShardedKV() {
+	kv, err := bravo.NewShardedKV(8, func() bravo.RWLock { return bravo.New(bravo.NewBA()) })
+	if err != nil {
+		panic(err)
+	}
+	kv.Put(1, []byte("one"))
+	kv.Put(2, []byte("two"))
+
+	h := bravo.NewReader() // one identity per request, not per shard
+	v, ok := kv.GetH(h, 1)
+	fmt.Println(string(v), ok)
+	_, ok = kv.Get(99)
+	fmt.Println(ok)
+	fmt.Println(kv.Len())
+	// Output:
+	// one true
+	// false
+	// 2
+}
+
+// ExampleShardedKV_MultiPut batches writes: keys are grouped by shard and
+// each shard's group is applied under a single write-lock acquisition, so
+// the lock traffic — and, on BRAVO shards, the bias revocation — is
+// amortized across the group.
+func ExampleShardedKV_MultiPut() {
+	kv, _ := bravo.NewShardedKV(4, func() bravo.RWLock { return bravo.New(bravo.NewBA()) })
+	keys := []uint64{10, 20, 30}
+	vals := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	kv.MultiPut(keys, vals)
+
+	for _, v := range kv.MultiGet([]uint64{10, 20, 30, 40}) {
+		fmt.Printf("%q\n", v) // the nil entry marks the absent key
+	}
+	fmt.Println("removed:", kv.MultiDelete(keys))
+	// Output:
+	// "a"
+	// "b"
+	// "c"
+	// ""
+	// removed: 3
+}
+
+// ExampleShardedKV_PutTTL attaches an expiry: the key is visible until its
+// deadline (inclusive), then reads miss — lazily at first, physically once
+// Reap gets to it. Deadlines here are an hour out and non-positive, so
+// the example is deterministic under any scheduler.
+func ExampleShardedKV_PutTTL() {
+	kv, _ := bravo.NewShardedKV(4, func() bravo.RWLock { return bravo.New(bravo.NewBA()) })
+	kv.PutTTL(7, []byte("durable"), time.Hour)
+	_, ok := kv.Get(7)
+	fmt.Println("an hour before its deadline:", ok)
+
+	kv.PutTTL(8, []byte("ephemeral"), 0) // non-positive TTL: born expired
+	_, ok = kv.Get(8)
+	fmt.Println("past its deadline:", ok)
+	fmt.Println("reaped:", kv.Reap(0)) // incremental removal, default budget
+	// Output:
+	// an hour before its deadline: true
+	// past its deadline: false
+	// reaped: 1
+}
+
+// ExampleShardedKV_PutAsync coalesces writers through the per-shard write
+// queue: queued writes become visible when a batch fills or on Flush.
+func ExampleShardedKV_PutAsync() {
+	kv, _ := bravo.NewShardedKV(4, func() bravo.RWLock { return bravo.New(bravo.NewBA()) })
+	kv.PutAsync(1, []byte("queued"))
+	_, ok := kv.Get(1)
+	fmt.Println("before flush:", ok)
+	fmt.Println("flushed:", kv.Flush())
+	v, _ := kv.Get(1)
+	fmt.Println("after flush:", string(v))
+	// Output:
+	// before flush: false
+	// flushed: 1
+	// after flush: queued
+}

@@ -1,0 +1,362 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/bravolock/bravo/internal/clock"
+	"github.com/bravolock/bravo/internal/core"
+	"github.com/bravolock/bravo/internal/histogram"
+	"github.com/bravolock/bravo/internal/kvs"
+	"github.com/bravolock/bravo/internal/rwl"
+	"github.com/bravolock/bravo/internal/xrand"
+)
+
+// The kvserv workload is the loadgen for the serving pipeline behind
+// cmd/kvserv: dedicated reader goroutines stream GETs through pinned
+// reader handles (one identity per worker, as the server pins one per
+// connection) while dedicated writer goroutines stream writes — applied
+// either one Put per key ("single") or coalesced through MultiPut
+// ("batched", the server's MPUT path). The comparison isolates write
+// combining: per key, batched writes amortize the shard write-lock
+// acquisition — and, on BRAVO substrates, the bias revocation — across the
+// group, and must not pay for it with a slower read fast path. It drives
+// the engine in-process through the same calls the HTTP handlers make, so
+// the numbers measure the pipeline rather than socket parsing; the socket
+// itself is certified by internal/kvserv's end-to-end test.
+
+// KVServKeys is the workload's keyspace.
+const KVServKeys = 1 << 14
+
+// KVServDefaultValueSize keeps values small enough that the write cost is
+// dominated by lock traffic, the axis the batched-vs-single comparison
+// isolates (the shardedkv workload owns the value-size axis).
+const KVServDefaultValueSize = 128
+
+// KVServDefaultBatch is the writers' MultiPut group size in batched mode.
+const KVServDefaultBatch = 64
+
+// KVServResult is one (lock, shards, threads, mode) measurement.
+type KVServResult struct {
+	Lock   string `json:"lock"`
+	Shards int    `json:"shards"`
+	// Threads is the requested total goroutine count, split into Readers +
+	// Writers (threads 1 still gets one of each).
+	Threads int `json:"threads"`
+	Readers int `json:"readers"`
+	Writers int `json:"writers"`
+	// Mode is "single" (one Put per key) or "batched" (MultiPut groups of
+	// BatchSize); BatchSize is 1 in single mode.
+	Mode      string `json:"mode"`
+	BatchSize int    `json:"batch_size"`
+	ValueSize int    `json:"value_size"`
+	// WriteKeysPerSec is the median (over runs) rate of keys applied by
+	// writers; the batched/single ratio of this column is the write
+	// combining payoff. ReadOpsPerSec and the percentiles describe the
+	// concurrent read side (last run; latency subsampled 1/32).
+	WriteKeysPerSec float64 `json:"write_keys_per_sec"`
+	ReadOpsPerSec   float64 `json:"read_ops_per_sec"`
+	ReadP50Nanos    int64   `json:"read_p50_ns"`
+	ReadP99Nanos    int64   `json:"read_p99_ns"`
+	// FastReadFraction is NFast/NReads from core.Stats for bravo-* locks
+	// (last run); -1 when the substrate exposes no BRAVO counters.
+	FastReadFraction float64 `json:"fast_read_fraction"`
+}
+
+// KVServComparison pairs the two modes of one (lock, shards, threads)
+// point: the write-combining speedup and the read-fast-path cost of it.
+type KVServComparison struct {
+	Lock                   string  `json:"lock"`
+	Shards                 int     `json:"shards"`
+	Threads                int     `json:"threads"`
+	SingleWriteKeysPerSec  float64 `json:"single_write_keys_per_sec"`
+	BatchedWriteKeysPerSec float64 `json:"batched_write_keys_per_sec"`
+	// BatchedOverSingle is the write-throughput ratio; the serving
+	// pipeline's acceptance bar is >= 2 at 8+ goroutines.
+	BatchedOverSingle float64 `json:"batched_over_single"`
+	// FastReadGap is |batched - single| fast-read fraction (absolute, in
+	// fraction points; -1 when the lock exposes no counters), and
+	// FastGapWithin5Pct is the <= 0.05 acceptance check: batching writes
+	// must not cost the read side its fast path.
+	FastReadGap       float64 `json:"fast_read_gap"`
+	FastGapWithin5Pct bool    `json:"fast_gap_within_5pct"`
+}
+
+// KVServReport is the top-level BENCH_kvserv.json document.
+type KVServReport struct {
+	Benchmark   string             `json:"benchmark"`
+	Meta        RunMeta            `json:"meta"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	IntervalMS  int64              `json:"interval_ms"`
+	Runs        int                `json:"runs"`
+	Keys        int                `json:"keys"`
+	Results     []KVServResult     `json:"results"`
+	Comparisons []KVServComparison `json:"comparisons"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r KVServReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// NewKVServReport stamps the environment fields of a report.
+func NewKVServReport(cfg Config, results []KVServResult, comps []KVServComparison) KVServReport {
+	return KVServReport{
+		Benchmark:   "kvserv",
+		Meta:        NewRunMeta(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		IntervalMS:  cfg.Interval.Milliseconds(),
+		Runs:        cfg.Runs,
+		Keys:        KVServKeys,
+		Results:     results,
+		Comparisons: comps,
+	}
+}
+
+// splitRoles divides a requested goroutine count into readers and writers.
+// Writers get half (write combining is a write-side claim and needs write
+// contention to measure), readers the rest; both roles always get at least
+// one goroutine so every point has a read fast path and a write stream.
+func splitRoles(threads int) (readers, writers int) {
+	writers = threads / 2
+	if writers < 1 {
+		writers = 1
+	}
+	readers = threads - writers
+	if readers < 1 {
+		readers = 1
+	}
+	return readers, writers
+}
+
+// KVServPoint measures one (lock, shards, threads, mode) point: cfg.Runs
+// independent runs against fresh engines, median write throughput, last
+// run's read histogram and fast-path snapshot.
+func KVServPoint(lockName string, shards, threads, batch, valueSize int, mode string, cfg Config) (KVServResult, error) {
+	if mode != "single" && mode != "batched" {
+		return KVServResult{}, fmt.Errorf("bench: kvserv mode %q (want single or batched)", mode)
+	}
+	if batch < 2 {
+		return KVServResult{}, fmt.Errorf("bench: kvserv batch %d (want >= 2)", batch)
+	}
+	mk, stats, err := shardedKVFactory(lockName)
+	if err != nil {
+		return KVServResult{}, err
+	}
+	readers, writers := splitRoles(threads)
+	res := KVServResult{
+		Lock: lockName, Shards: shards, Threads: threads,
+		Readers: readers, Writers: writers,
+		Mode: mode, BatchSize: batch, ValueSize: valueSize,
+	}
+	if mode == "single" {
+		res.BatchSize = 1
+	}
+	if res.ValueSize < 8 {
+		res.ValueSize = 8 // room for the encoded counter
+	}
+	var lastHist *histogram.Histogram
+	var lastSnap core.Snapshot
+	var lastReads uint64
+	var buildErr error
+	res.WriteKeysPerSec = cfg.Median(func() float64 {
+		e, err := kvs.NewSharded(shards, mk)
+		if err != nil {
+			buildErr = err
+			return 0
+		}
+		value := make([]byte, res.ValueSize)
+		for k := uint64(0); k < KVServKeys; k++ {
+			copy(value, kvs.EncodeValue(k))
+			e.Put(k, value)
+		}
+		var before core.Snapshot
+		if stats != nil {
+			before = stats.Snapshot() // exclude population and prior runs
+		}
+		hist := &histogram.Histogram{}
+		var histMu sync.Mutex
+		var reads, writes atomic.Uint64
+		RunWorkers(readers+writers, cfg.Interval, func(id int, stop *atomic.Bool) uint64 {
+			rng := xrand.NewXorShift64(uint64(id)*0x9e3779b97f4a7c15 + 1)
+			if id < writers {
+				writes.Add(kvservWriter(e, mode == "batched", batch, res.ValueSize, rng, stop))
+				return 0
+			}
+			local := &histogram.Histogram{}
+			n := kvservReader(e, res.ValueSize, rng, local, stop)
+			histMu.Lock()
+			hist.Merge(local)
+			histMu.Unlock()
+			reads.Add(n)
+			return 0
+		})
+		lastHist = hist
+		lastReads = reads.Load()
+		if stats != nil {
+			after := stats.Snapshot()
+			lastSnap = core.Snapshot{
+				FastRead:      after.FastRead - before.FastRead,
+				SlowDisabled:  after.SlowDisabled - before.SlowDisabled,
+				SlowCollision: after.SlowCollision - before.SlowCollision,
+				SlowRaced:     after.SlowRaced - before.SlowRaced,
+				SlowHandle:    after.SlowHandle - before.SlowHandle,
+			}
+		}
+		return float64(writes.Load())
+	})
+	if buildErr != nil {
+		return res, buildErr
+	}
+	res.WriteKeysPerSec /= cfg.Interval.Seconds()
+	res.ReadOpsPerSec = float64(lastReads) / cfg.Interval.Seconds()
+	if lastHist != nil && lastHist.Count() > 0 {
+		res.ReadP50Nanos = lastHist.Percentile(50)
+		res.ReadP99Nanos = lastHist.Percentile(99)
+	}
+	res.FastReadFraction = -1
+	if stats != nil {
+		res.FastReadFraction = lastSnap.FastFraction()
+	}
+	return res, nil
+}
+
+// kvservWriter streams writes until stop: one Put per key in single mode,
+// MultiPut groups of batch keys in batched mode (the MPUT pipeline).
+// Returns keys applied.
+func kvservWriter(e *kvs.Sharded, batched bool, batch, valueSize int, rng *xrand.XorShift64, stop *atomic.Bool) uint64 {
+	wval := make([]byte, valueSize)
+	var keys []uint64
+	var vals [][]byte
+	if batched {
+		keys = make([]uint64, batch)
+		vals = make([][]byte, batch)
+		for i := range vals {
+			// Values alias one buffer: the engine copies under the shard
+			// lock, and the comparison holds the payload constant per key.
+			vals[i] = wval
+		}
+	}
+	var applied uint64
+	for !stop.Load() {
+		copy(wval, kvs.EncodeValue(rng.Next()))
+		if !batched {
+			e.Put(rng.Intn(KVServKeys), wval)
+			applied++
+			continue
+		}
+		for i := range keys {
+			keys[i] = rng.Intn(KVServKeys)
+		}
+		e.MultiPut(keys, vals)
+		applied += uint64(batch)
+	}
+	return applied
+}
+
+// kvservReader streams GETs through a pinned reader handle until stop,
+// sampling latency 1/32 (as the shardedkv workload does), and returns ops.
+func kvservReader(e *kvs.Sharded, valueSize int, rng *xrand.XorShift64, local *histogram.Histogram, stop *atomic.Bool) uint64 {
+	h := rwl.NewReader()
+	rbuf := make([]byte, 0, valueSize)
+	var ops uint64
+	for !stop.Load() {
+		k := rng.Intn(KVServKeys)
+		if ops&latencySampleMask == 0 {
+			start := clock.Nanos()
+			rbuf, _ = e.GetIntoH(h, k, rbuf)
+			local.Record(clock.Nanos() - start)
+		} else {
+			rbuf, _ = e.GetIntoH(h, k, rbuf)
+		}
+		ops++
+	}
+	return ops
+}
+
+// KVServSweep measures both modes across the lock × shards × threads grid
+// and pairs them into comparisons. Results arrive in deterministic order
+// (lock, shards, threads, then single before batched).
+func KVServSweep(locks []string, shardCounts, threads []int, batch, valueSize int, cfg Config) ([]KVServResult, []KVServComparison, error) {
+	var results []KVServResult
+	var comps []KVServComparison
+	for _, lock := range locks {
+		for _, sc := range shardCounts {
+			for _, tc := range threads {
+				single, err := KVServPoint(lock, sc, tc, batch, valueSize, "single", cfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				batchedRes, err := KVServPoint(lock, sc, tc, batch, valueSize, "batched", cfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				results = append(results, single, batchedRes)
+				comps = append(comps, compareKVServ(single, batchedRes))
+			}
+		}
+	}
+	return results, comps, nil
+}
+
+// compareKVServ folds one point's two modes into a comparison row.
+func compareKVServ(single, batched KVServResult) KVServComparison {
+	c := KVServComparison{
+		Lock: single.Lock, Shards: single.Shards, Threads: single.Threads,
+		SingleWriteKeysPerSec:  single.WriteKeysPerSec,
+		BatchedWriteKeysPerSec: batched.WriteKeysPerSec,
+		FastReadGap:            -1,
+	}
+	if single.WriteKeysPerSec > 0 {
+		c.BatchedOverSingle = batched.WriteKeysPerSec / single.WriteKeysPerSec
+	}
+	if single.FastReadFraction >= 0 && batched.FastReadFraction >= 0 {
+		gap := batched.FastReadFraction - single.FastReadFraction
+		if gap < 0 {
+			gap = -gap
+		}
+		c.FastReadGap = gap
+		c.FastGapWithin5Pct = gap <= 0.05
+	}
+	return c
+}
+
+// WriteKVServTable renders the per-mode measurements as the aligned
+// human-readable companion of the JSON report.
+func WriteKVServTable(w io.Writer, results []KVServResult) {
+	const format = "%-10s %7s %8s %8s %-8s %14s %14s %10s %8s\n"
+	fmt.Fprintf(w, format, "lock", "shards", "threads", "r/w", "mode", "wkeys/sec", "reads/sec", "p99(ns)", "fast%")
+	for _, r := range results {
+		fast := "-"
+		if r.FastReadFraction >= 0 {
+			fast = fmt.Sprintf("%.1f", 100*r.FastReadFraction)
+		}
+		fmt.Fprintf(w, format, r.Lock,
+			fmt.Sprintf("%d", r.Shards), fmt.Sprintf("%d", r.Threads),
+			fmt.Sprintf("%d/%d", r.Readers, r.Writers), r.Mode,
+			fmt.Sprintf("%.0f", r.WriteKeysPerSec), fmt.Sprintf("%.0f", r.ReadOpsPerSec),
+			fmt.Sprintf("%d", r.ReadP99Nanos), fast)
+	}
+}
+
+// WriteKVServComparisons renders the batched-vs-single pairing.
+func WriteKVServComparisons(w io.Writer, comps []KVServComparison) {
+	const format = "%-10s %7s %8s %16s %16s %9s %9s\n"
+	fmt.Fprintf(w, format, "lock", "shards", "threads", "single(wk/s)", "batched(wk/s)", "ratio", "fast-gap")
+	for _, c := range comps {
+		gap := "-"
+		if c.FastReadGap >= 0 {
+			gap = fmt.Sprintf("%.3f", c.FastReadGap)
+		}
+		fmt.Fprintf(w, format, c.Lock,
+			fmt.Sprintf("%d", c.Shards), fmt.Sprintf("%d", c.Threads),
+			fmt.Sprintf("%.0f", c.SingleWriteKeysPerSec), fmt.Sprintf("%.0f", c.BatchedWriteKeysPerSec),
+			fmt.Sprintf("%.2fx", c.BatchedOverSingle), gap)
+	}
+}

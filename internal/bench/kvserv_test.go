@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	_ "github.com/bravolock/bravo/internal/locks/all"
+)
+
+func TestSplitRoles(t *testing.T) {
+	for _, tc := range []struct{ threads, readers, writers int }{
+		{1, 1, 1}, {2, 1, 1}, {4, 2, 2}, {8, 4, 4}, {16, 8, 8},
+	} {
+		r, w := splitRoles(tc.threads)
+		if r != tc.readers || w != tc.writers {
+			t.Errorf("splitRoles(%d) = %d/%d, want %d/%d", tc.threads, r, w, tc.readers, tc.writers)
+		}
+	}
+}
+
+func TestKVServPointValidation(t *testing.T) {
+	cfg := Config{Interval: time.Millisecond, Runs: 1}
+	if _, err := KVServPoint("bravo-go", 4, 2, 8, 64, "sideways", cfg); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if _, err := KVServPoint("bravo-go", 4, 2, 1, 64, "batched", cfg); err == nil {
+		t.Fatal("batch < 2 accepted")
+	}
+	if _, err := KVServPoint("no-such-lock", 4, 2, 8, 64, "single", cfg); err == nil {
+		t.Fatal("unknown lock accepted")
+	}
+}
+
+// TestKVServSweepSmoke runs a tiny sweep end to end: both modes, stats
+// plumbing, comparison pairing, and a JSON-marshalable report. The
+// interval must comfortably cover a bias revocation on a loaded 1-CPU
+// host, or the single-mode writer can finish its first Put after stop.
+func TestKVServSweepSmoke(t *testing.T) {
+	cfg := Config{Interval: 40 * time.Millisecond, Runs: 1}
+	results, comps, err := KVServSweep([]string{"bravo-go"}, []int{4}, []int{2}, 8, 32, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || len(comps) != 1 {
+		t.Fatalf("sweep produced %d results, %d comparisons; want 2/1", len(results), len(comps))
+	}
+	single, batched := results[0], results[1]
+	if single.Mode != "single" || batched.Mode != "batched" {
+		t.Fatalf("mode order = %q, %q", single.Mode, batched.Mode)
+	}
+	if single.BatchSize != 1 || batched.BatchSize != 8 {
+		t.Fatalf("batch sizes = %d/%d, want 1/8", single.BatchSize, batched.BatchSize)
+	}
+	for _, r := range results {
+		if r.WriteKeysPerSec <= 0 {
+			t.Fatalf("%s mode applied no writes", r.Mode)
+		}
+		if r.ReadOpsPerSec <= 0 {
+			t.Fatalf("%s mode performed no reads", r.Mode)
+		}
+		if r.FastReadFraction < 0 || r.FastReadFraction > 1 {
+			t.Fatalf("%s mode fast fraction = %v, want [0, 1] for a bravo lock", r.Mode, r.FastReadFraction)
+		}
+		if r.Readers != 1 || r.Writers != 1 {
+			t.Fatalf("roles = %d/%d, want 1/1 at 2 threads", r.Readers, r.Writers)
+		}
+	}
+	c := comps[0]
+	if c.SingleWriteKeysPerSec != single.WriteKeysPerSec || c.BatchedWriteKeysPerSec != batched.WriteKeysPerSec {
+		t.Fatal("comparison does not match its results")
+	}
+	if c.BatchedOverSingle <= 0 {
+		t.Fatalf("ratio = %v", c.BatchedOverSingle)
+	}
+	if c.FastReadGap < 0 {
+		t.Fatalf("fast gap = %v, want >= 0 for bravo locks", c.FastReadGap)
+	}
+	var buf bytes.Buffer
+	rep := NewKVServReport(cfg, results, comps)
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back KVServReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Benchmark != "kvserv" || len(back.Results) != 2 {
+		t.Fatalf("round-tripped report = %q with %d results", back.Benchmark, len(back.Results))
+	}
+	var tbl bytes.Buffer
+	WriteKVServTable(&tbl, results)
+	WriteKVServComparisons(&tbl, comps)
+	if tbl.Len() == 0 {
+		t.Fatal("table writers produced nothing")
+	}
+}
+
+// TestKVServPlainLockNoStats checks the non-BRAVO degradation: fast
+// fraction -1 and a comparison gap of -1 (unavailable) rather than NaN.
+func TestKVServPlainLockNoStats(t *testing.T) {
+	cfg := Config{Interval: 2 * time.Millisecond, Runs: 1}
+	single, err := KVServPoint("go-rw", 2, 2, 4, 32, "single", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := KVServPoint("go-rw", 2, 2, 4, 32, "batched", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.FastReadFraction != -1 || batched.FastReadFraction != -1 {
+		t.Fatalf("plain lock fast fractions = %v/%v, want -1/-1", single.FastReadFraction, batched.FastReadFraction)
+	}
+	c := compareKVServ(single, batched)
+	if c.FastReadGap != -1 || c.FastGapWithin5Pct {
+		t.Fatalf("plain lock gap = %v/%v, want -1/false", c.FastReadGap, c.FastGapWithin5Pct)
+	}
+}

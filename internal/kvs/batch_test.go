@@ -1,0 +1,156 @@
+package kvs
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/bravolock/bravo/internal/xrand"
+)
+
+func TestShardedMultiPut(t *testing.T) {
+	s, _ := NewSharded(4, mkStd)
+	keys := []uint64{1, 2, 3, 1000, 2000}
+	vals := make([][]byte, len(keys))
+	for i, k := range keys {
+		vals[i] = EncodeValue(k * 7)
+	}
+	s.MultiPut(keys, vals)
+	for _, k := range keys {
+		v, ok := s.Get(k)
+		if !ok {
+			t.Fatalf("Get(%d) missing after MultiPut", k)
+		}
+		if d, _ := DecodeValue(v); d != k*7 {
+			t.Fatalf("Get(%d) = %d, want %d", k, d, k*7)
+		}
+	}
+	total := s.Stats().Total()
+	if total.Puts != uint64(len(keys)) {
+		t.Fatalf("Puts = %d, want %d", total.Puts, len(keys))
+	}
+	if total.WriteBatchKeys != uint64(len(keys)) {
+		t.Fatalf("WriteBatchKeys = %d, want %d", total.WriteBatchKeys, len(keys))
+	}
+	if total.WriteBatches == 0 || total.WriteBatches > uint64(s.NumShards()) {
+		t.Fatalf("WriteBatches = %d, want 1..%d", total.WriteBatches, s.NumShards())
+	}
+	// The batch must touch strictly fewer lock acquisitions than keys once
+	// keys share shards.
+	many := make([]uint64, 64)
+	manyVals := make([][]byte, 64)
+	for i := range many {
+		many[i] = uint64(i)
+		manyVals[i] = EncodeValue(uint64(i))
+	}
+	before := s.Stats().Total().WriteBatches
+	s.MultiPut(many, manyVals)
+	groups := s.Stats().Total().WriteBatches - before
+	if groups > uint64(s.NumShards()) {
+		t.Fatalf("64-key MultiPut used %d write batches on %d shards", groups, s.NumShards())
+	}
+}
+
+func TestShardedMultiPutDuplicateKeysLaterWins(t *testing.T) {
+	s, _ := NewSharded(8, mkStd)
+	s.MultiPut([]uint64{5, 5, 5}, [][]byte{EncodeValue(1), EncodeValue(2), EncodeValue(3)})
+	v, ok := s.Get(5)
+	if !ok {
+		t.Fatal("Get(5) missing")
+	}
+	if d, _ := DecodeValue(v); d != 3 {
+		t.Fatalf("duplicate-key MultiPut kept %d, want the last write 3", d)
+	}
+}
+
+func TestShardedMultiPutLengthMismatchPanics(t *testing.T) {
+	s, _ := NewSharded(2, mkStd)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MultiPut with mismatched slice lengths did not panic")
+		}
+	}()
+	s.MultiPut([]uint64{1, 2}, [][]byte{EncodeValue(1)})
+}
+
+func TestShardedMultiDelete(t *testing.T) {
+	s, _ := NewSharded(4, mkStd)
+	for k := uint64(0); k < 50; k++ {
+		s.Put(k, EncodeValue(k))
+	}
+	// 10 present, one absent, one duplicate (second delete of 0 is a miss).
+	keys := []uint64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 999, 0}
+	if got := s.MultiDelete(keys); got != 10 {
+		t.Fatalf("MultiDelete removed %d, want 10", got)
+	}
+	for k := uint64(0); k < 10; k++ {
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("Get(%d) found a MultiDeleted key", k)
+		}
+	}
+	if s.Len() != 40 {
+		t.Fatalf("Len = %d, want 40", s.Len())
+	}
+	total := s.Stats().Total()
+	if total.Deletes != uint64(len(keys)) || total.DeleteHits != 10 {
+		t.Fatalf("Deletes = %d hits = %d, want %d/10", total.Deletes, total.DeleteHits, len(keys))
+	}
+	if got := s.MultiDelete(nil); got != 0 {
+		t.Fatalf("MultiDelete(nil) = %d", got)
+	}
+}
+
+func TestShardedMultiPutMultiGetRoundTrip(t *testing.T) {
+	s, _ := NewSharded(8, mkBravo)
+	const n = 300
+	keys := make([]uint64, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = uint64(i * 13)
+		vals[i] = EncodeValue(uint64(i))
+	}
+	s.MultiPut(keys, vals)
+	got := s.MultiGet(keys)
+	for i := range keys {
+		d, ok := DecodeValue(got[i])
+		if !ok || d != uint64(i) {
+			t.Fatalf("MultiGet[%d] = %v after MultiPut", i, got[i])
+		}
+	}
+}
+
+func BenchmarkShardedPutSingleVsBatched(b *testing.B) {
+	const batch = 64
+	for _, mode := range []string{"single", "batched"} {
+		b.Run(mode, func(b *testing.B) {
+			s, _ := NewSharded(8, mkBravo)
+			keys := make([]uint64, batch)
+			vals := make([][]byte, batch)
+			for i := range keys {
+				vals[i] = EncodeValue(uint64(i))
+			}
+			rng := xrand.NewXorShift64(1)
+			b.ResetTimer()
+			for n := 0; n < b.N; n += batch {
+				for i := range keys {
+					keys[i] = rng.Next() & 1023
+				}
+				if mode == "single" {
+					for i := range keys {
+						s.Put(keys[i], vals[i])
+					}
+				} else {
+					s.MultiPut(keys, vals)
+				}
+			}
+		})
+	}
+}
+
+func ExampleSharded_MultiPut() {
+	s, _ := NewSharded(4, mkStd)
+	s.MultiPut([]uint64{1, 2}, [][]byte{[]byte("a"), []byte("b")})
+	for _, v := range s.MultiGet([]uint64{1, 2, 3}) {
+		fmt.Printf("%q ", v)
+	}
+	// Output: "a" "b" ""
+}

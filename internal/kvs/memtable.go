@@ -16,6 +16,7 @@ package kvs
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"github.com/bravolock/bravo/internal/hash"
 	"github.com/bravolock/bravo/internal/rwl"
@@ -31,6 +32,10 @@ type Memtable struct {
 type stripe struct {
 	lock rwl.RWLock
 	data map[uint64][]byte
+	// exp tracks PutTTL deadlines (see ttlMap). Memtable expiry is
+	// lazy-only (no reaper): expired entries stay resident but invisible
+	// until overwritten. Guarded by lock.
+	exp ttlMap
 }
 
 // NewMemtable returns a memtable with the given number of GetLock stripes
@@ -65,6 +70,9 @@ func (m *Memtable) GetInto(key uint64, buf []byte) ([]byte, bool) {
 	s := m.stripeOf(key)
 	tok := s.lock.RLock()
 	v, ok := s.data[key]
+	if ok && s.exp.expired(key) {
+		ok = false // lazy expiry, inclusive at the deadline
+	}
 	out := buf[:0]
 	if ok {
 		out = append(out, v...)
@@ -74,8 +82,19 @@ func (m *Memtable) GetInto(key uint64, buf []byte) ([]byte, bool) {
 }
 
 // Put performs an in-place update (or insert) of key, taking the stripe's
-// GetLock for write.
+// GetLock for write. A plain Put clears any TTL a previous PutTTL attached.
 func (m *Memtable) Put(key uint64, value []byte) {
+	m.put(key, value, 0)
+}
+
+// PutTTL is Put with a time-to-live: the key expires — becomes invisible
+// to Get — once ttl elapses, inclusively at the deadline. Memtable expiry
+// is lazy-only; the sharded engine adds incremental reaping (Sharded.Reap).
+func (m *Memtable) PutTTL(key uint64, value []byte, ttl time.Duration) {
+	m.put(key, value, ttlDeadline(ttl))
+}
+
+func (m *Memtable) put(key uint64, value []byte, deadline int64) {
 	s := m.stripeOf(key)
 	s.lock.Lock()
 	// In-place update semantics: reuse the existing buffer when it fits,
@@ -88,6 +107,7 @@ func (m *Memtable) Put(key uint64, value []byte) {
 		copy(buf, value)
 		s.data[key] = buf
 	}
+	s.exp.set(key, deadline)
 	s.lock.Unlock()
 }
 

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"github.com/bravolock/bravo/internal/arch"
+	"github.com/bravolock/bravo/internal/clock"
 	"github.com/bravolock/bravo/internal/hash"
 	"github.com/bravolock/bravo/internal/rwl"
 )
@@ -28,9 +30,23 @@ import (
 // Like Memtable.Get, Sharded.Get and MultiGet copy values out under the
 // shard's read lock, so returned values stay valid after the lock is
 // released even while writers update buffers in place.
+//
+// Write batching: MultiPut and MultiDelete group their keys by shard and
+// apply each shard's group under a single write-lock acquisition (write
+// combining), and PutAsync/Flush (async.go) coalesce writers through a
+// per-shard queue. Keys can carry a TTL (PutTTL): expired entries are
+// invisible to every read path the instant the deadline passes (lazy
+// expiry), and Reap incrementally removes them under the ordinary shard
+// write locks — never a stop-the-world scan.
 type Sharded struct {
 	shards []kvShard
 	mask   uint64
+	// reapCursor round-robins Reap's starting shard across calls, so an
+	// incremental budget eventually covers every shard.
+	reapCursor atomic.Uint64
+	// asyncN is the per-shard queue depth at which PutAsync applies the
+	// queued batch inline; 0 means DefaultAsyncBatch (see async.go).
+	asyncN atomic.Int64
 }
 
 // kvShard is one stripe: a lock, its map, and its operation counters.
@@ -43,8 +59,11 @@ type kvShard struct {
 	// hot paths pay a nil check, not a type assertion, per acquisition.
 	hlock rwl.HandleRWLock
 	data  map[uint64][]byte
-	ops   shardOps
-	_     arch.SectorPad
+	// exp tracks PutTTL deadlines (see ttlMap). Guarded by lock.
+	exp ttlMap
+	q   writeQueue
+	ops shardOps
+	_   arch.SectorPad
 }
 
 // rlock acquires the shard's read lock, through the handle when both the
@@ -80,6 +99,16 @@ type shardOps struct {
 	delMisses atomic.Uint64
 	batches   atomic.Uint64
 	batchKeys atomic.Uint64
+	// wbatches/wbatchKeys count combined write applications: one batch per
+	// shard group applied by MultiPut, MultiDelete, or an async-queue flush.
+	wbatches   atomic.Uint64
+	wbatchKeys atomic.Uint64
+	asyncPuts  atomic.Uint64
+	// expired counts lazy TTL observations: reads (or deletes) that found a
+	// resident entry past its deadline and treated it as a miss. reaped
+	// counts entries Reap physically removed.
+	expired   atomic.Uint64
+	reaped    atomic.Uint64
 	snapshots atomic.Uint64
 }
 
@@ -87,6 +116,7 @@ type shardOps struct {
 // whole engine).
 type ShardStats struct {
 	Keys            int    `json:"keys"`
+	TTLKeys         int    `json:"ttl_keys"`
 	Gets            uint64 `json:"gets"`
 	GetHits         uint64 `json:"get_hits"`
 	Puts            uint64 `json:"puts"`
@@ -95,12 +125,23 @@ type ShardStats struct {
 	DeleteHits      uint64 `json:"delete_hits"`
 	MultiGetBatches uint64 `json:"multi_get_batches"`
 	MultiGetKeys    uint64 `json:"multi_get_keys"`
-	Snapshots       uint64 `json:"snapshots"`
+	// WriteBatches/WriteBatchKeys count combined write applications (one
+	// batch per shard group from MultiPut, MultiDelete, or a queue flush);
+	// the keys they carried are also counted in Puts/Deletes.
+	WriteBatches   uint64 `json:"write_batches"`
+	WriteBatchKeys uint64 `json:"write_batch_keys"`
+	AsyncPuts      uint64 `json:"async_puts"`
+	// Expired counts lazy TTL observations (reads and deletes that found an
+	// entry past its deadline); Reaped counts entries Reap removed.
+	Expired   uint64 `json:"expired"`
+	Reaped    uint64 `json:"reaped"`
+	Snapshots uint64 `json:"snapshots"`
 }
 
 // add folds o into s.
 func (s *ShardStats) add(o ShardStats) {
 	s.Keys += o.Keys
+	s.TTLKeys += o.TTLKeys
 	s.Gets += o.Gets
 	s.GetHits += o.GetHits
 	s.Puts += o.Puts
@@ -109,6 +150,11 @@ func (s *ShardStats) add(o ShardStats) {
 	s.DeleteHits += o.DeleteHits
 	s.MultiGetBatches += o.MultiGetBatches
 	s.MultiGetKeys += o.MultiGetKeys
+	s.WriteBatches += o.WriteBatches
+	s.WriteBatchKeys += o.WriteBatchKeys
+	s.AsyncPuts += o.AsyncPuts
+	s.Expired += o.Expired
+	s.Reaped += o.Reaped
 	s.Snapshots += o.Snapshots
 }
 
@@ -185,6 +231,10 @@ func (s *Sharded) getInto(h *rwl.Reader, key uint64, buf []byte) ([]byte, bool) 
 	sh := s.shardOf(key)
 	tok := sh.rlock(h)
 	v, ok := sh.data[key]
+	expired := ok && sh.expiredLocked(key)
+	if expired {
+		ok = false
+	}
 	out := buf[:0]
 	if ok {
 		out = append(out, v...)
@@ -194,15 +244,54 @@ func (s *Sharded) getInto(h *rwl.Reader, key uint64, buf []byte) ([]byte, bool) 
 	if !ok {
 		sh.ops.getMisses.Add(1)
 	}
+	if expired {
+		sh.ops.expired.Add(1)
+	}
 	return out, ok
 }
 
+// expiredLocked reports whether key carries a TTL whose deadline has
+// passed (inclusive; see ttlMap.expired). Callers hold the shard lock,
+// read or write.
+func (sh *kvShard) expiredLocked(key uint64) bool {
+	return sh.exp.expired(key)
+}
+
 // Put stores a copy of value under key, reusing the existing buffer in
-// place when it fits (Memtable's rocksdb-style in-place update).
+// place when it fits (Memtable's rocksdb-style in-place update). A plain
+// Put clears any TTL a previous PutTTL attached to the key.
 func (s *Sharded) Put(key uint64, value []byte) {
+	s.put(key, value, 0)
+}
+
+// PutTTL is Put with a time-to-live: the key expires (becomes invisible to
+// reads) once ttl elapses, inclusively — exactly at the deadline counts as
+// expired. Expired entries are removed by Reap or by a later write to the
+// same key; until then they occupy memory but never satisfy a read. A
+// non-positive ttl stores a value that is already expired.
+func (s *Sharded) PutTTL(key uint64, value []byte, ttl time.Duration) {
+	s.put(key, value, ttlDeadline(ttl))
+}
+
+// putDeadline is PutTTL against an absolute clock.Nanos deadline; tests use
+// it to pin expiry boundary conditions exactly.
+func (s *Sharded) putDeadline(key uint64, value []byte, deadline int64) {
+	s.put(key, value, deadline)
+}
+
+func (s *Sharded) put(key uint64, value []byte, deadline int64) {
 	sh := s.shardOf(key)
 	sh.lock.Lock()
 	sh.ops.puts.Add(1) // total before rare: see the Stats load-order note
+	sh.putLocked(key, value, deadline)
+	sh.lock.Unlock()
+}
+
+// putLocked applies one insert-or-update under the already-held shard write
+// lock: the in-place buffer reuse shared by Put, MultiPut, and the async
+// queue's flush, plus TTL bookkeeping (deadline 0 = no TTL, clearing any
+// previous one).
+func (sh *kvShard) putLocked(key uint64, value []byte, deadline int64) {
 	if old, ok := sh.data[key]; ok && cap(old) >= len(value) {
 		old = old[:len(value)]
 		copy(old, value)
@@ -213,22 +302,40 @@ func (s *Sharded) Put(key uint64, value []byte) {
 		sh.data[key] = buf
 		sh.ops.putsFresh.Add(1)
 	}
-	sh.lock.Unlock()
+	sh.exp.set(key, deadline)
 }
 
-// Delete removes key, reporting whether it was present.
+// Delete removes key, reporting whether it was (visibly) present. Deleting
+// a TTL-expired entry removes the residue but reports false, matching what
+// a reader would have observed.
 func (s *Sharded) Delete(key uint64) bool {
 	sh := s.shardOf(key)
 	sh.lock.Lock()
 	sh.ops.deletes.Add(1) // total before rare: see the Stats load-order note
-	_, ok := sh.data[key]
-	if ok {
-		delete(sh.data, key)
-	} else {
+	ok, expired := sh.deleteLocked(key)
+	sh.lock.Unlock()
+	if !ok {
 		sh.ops.delMisses.Add(1)
 	}
-	sh.lock.Unlock()
+	if expired {
+		sh.ops.expired.Add(1)
+	}
 	return ok
+}
+
+// deleteLocked removes key under the already-held shard write lock,
+// reporting whether it was visibly present and whether it was a
+// TTL-expired residue.
+func (sh *kvShard) deleteLocked(key uint64) (ok, expired bool) {
+	if _, present := sh.data[key]; !present {
+		return false, false
+	}
+	expired = sh.expiredLocked(key)
+	delete(sh.data, key)
+	if len(sh.exp) > 0 {
+		delete(sh.exp, key)
+	}
+	return !expired, expired
 }
 
 // MultiGet performs a batched lookup: keys are grouped by shard and each
@@ -247,42 +354,126 @@ func (s *Sharded) MultiGetH(h *rwl.Reader, keys []uint64) [][]byte {
 
 func (s *Sharded) multiGet(h *rwl.Reader, keys []uint64) [][]byte {
 	out := make([][]byte, len(keys))
-	if len(keys) == 0 {
-		return out
-	}
-	// Sort (shard, position) pairs and walk the runs, so per-batch cost
-	// scales with the batch, not with the shard count.
-	pairs := make([]shardPos, len(keys))
-	for i, k := range keys {
-		pairs[i] = shardPos{shard: s.ShardOf(k), pos: i}
-	}
-	sort.Slice(pairs, func(a, b int) bool { return pairs[a].shard < pairs[b].shard })
-	for lo := 0; lo < len(pairs); {
-		hi := lo + 1
-		for hi < len(pairs) && pairs[hi].shard == pairs[lo].shard {
-			hi++
-		}
-		sh := &s.shards[pairs[lo].shard]
+	s.forEachShardGroup(keys, func(sh *kvShard, group []shardPos) {
 		tok := sh.rlock(h)
-		for _, p := range pairs[lo:hi] {
-			if v, ok := sh.data[keys[p.pos]]; ok {
+		expired := 0
+		for _, p := range group {
+			v, ok := sh.data[keys[p.pos]]
+			if ok && sh.expiredLocked(keys[p.pos]) {
+				expired++
+				continue
+			}
+			if ok {
 				// Non-nil even for empty values: nil means absent here.
 				out[p.pos] = append(make([]byte, 0, len(v)), v...)
 			}
 		}
 		sh.runlock(h, tok)
 		sh.ops.batches.Add(1)
-		sh.ops.batchKeys.Add(uint64(hi - lo))
-		lo = hi
-	}
+		sh.ops.batchKeys.Add(uint64(len(group)))
+		if expired > 0 {
+			sh.ops.expired.Add(uint64(expired))
+		}
+	})
 	return out
 }
 
-// shardPos pairs a shard index with a position in a MultiGet batch.
+// MultiPut stores a copy of each values[i] under keys[i], grouping the
+// batch by shard and applying each shard's group under a single write-lock
+// acquisition — write combining: per key, the lock traffic (and, for
+// BRAVO-wrapped shards, the bias revocation) is amortized across the
+// group. Within one batch, later positions win duplicate keys. It panics
+// when the slices disagree in length.
+func (s *Sharded) MultiPut(keys []uint64, values [][]byte) {
+	s.multiPut(keys, values, 0)
+}
+
+// MultiPutTTL is MultiPut with one time-to-live covering the whole batch,
+// with PutTTL's semantics per key (so a non-positive ttl stores the batch
+// born-expired).
+func (s *Sharded) MultiPutTTL(keys []uint64, values [][]byte, ttl time.Duration) {
+	s.multiPut(keys, values, ttlDeadline(ttl))
+}
+
+func (s *Sharded) multiPut(keys []uint64, values [][]byte, deadline int64) {
+	if len(keys) != len(values) {
+		panic(fmt.Sprintf("kvs: MultiPut with %d keys but %d values", len(keys), len(values)))
+	}
+	s.forEachShardGroup(keys, func(sh *kvShard, group []shardPos) {
+		sh.lock.Lock()
+		sh.ops.puts.Add(uint64(len(group))) // total before rare, as in Put
+		for _, p := range group {
+			sh.putLocked(keys[p.pos], values[p.pos], deadline)
+		}
+		sh.lock.Unlock()
+		sh.ops.wbatches.Add(1)
+		sh.ops.wbatchKeys.Add(uint64(len(group)))
+	})
+}
+
+// MultiDelete removes the given keys, one write-lock acquisition per shard
+// touched, and returns how many were visibly present (expired residues are
+// removed but not counted, as in Delete).
+func (s *Sharded) MultiDelete(keys []uint64) int {
+	removed := 0
+	s.forEachShardGroup(keys, func(sh *kvShard, group []shardPos) {
+		hits, expired := 0, 0
+		sh.lock.Lock()
+		sh.ops.deletes.Add(uint64(len(group))) // total before rare, as in Delete
+		for _, p := range group {
+			ok, exp := sh.deleteLocked(keys[p.pos])
+			if ok {
+				hits++
+			}
+			if exp {
+				expired++
+			}
+		}
+		sh.lock.Unlock()
+		sh.ops.delMisses.Add(uint64(len(group) - hits))
+		if expired > 0 {
+			sh.ops.expired.Add(uint64(expired))
+		}
+		sh.ops.wbatches.Add(1)
+		sh.ops.wbatchKeys.Add(uint64(len(group)))
+		removed += hits
+	})
+	return removed
+}
+
+// shardPos pairs a shard index with a position in a batched operation.
 type shardPos struct{ shard, pos int }
 
-// Len returns the total number of keys, visiting each shard under its read
-// lock.
+// forEachShardGroup is the batched operations' shared key→shard grouping:
+// it sorts the batch's (shard, position) pairs and invokes fn once per run
+// of same-shard keys, in ascending shard order. Per batch it allocates one
+// pairs slice — O(len(keys)), independent of the engine's shard count — and
+// each group slice aliases it. fn runs with no lock held; it takes the
+// shard lock itself in whichever mode it needs.
+func (s *Sharded) forEachShardGroup(keys []uint64, fn func(sh *kvShard, group []shardPos)) {
+	if len(keys) == 0 {
+		return
+	}
+	pairs := make([]shardPos, len(keys))
+	for i, k := range keys {
+		pairs[i] = shardPos{shard: s.ShardOf(k), pos: i}
+	}
+	// Stable, so positions stay ascending within a group and duplicate keys
+	// in a MultiPut batch resolve later-position-wins.
+	sort.SliceStable(pairs, func(a, b int) bool { return pairs[a].shard < pairs[b].shard })
+	for lo := 0; lo < len(pairs); {
+		hi := lo + 1
+		for hi < len(pairs) && pairs[hi].shard == pairs[lo].shard {
+			hi++
+		}
+		fn(&s.shards[pairs[lo].shard], pairs[lo:hi])
+		lo = hi
+	}
+}
+
+// Len returns the total number of resident keys, visiting each shard under
+// its read lock. The count includes TTL-expired entries that have not been
+// reaped yet (they still occupy memory even though reads cannot see them).
 func (s *Sharded) Len() int {
 	n := 0
 	for i := range s.shards {
@@ -294,16 +485,19 @@ func (s *Sharded) Len() int {
 	return n
 }
 
-// Range calls fn for every key/value pair. Each shard is visited atomically
-// under its read lock; the engine-wide view is the concatenation of
-// per-shard snapshots, not a global snapshot. The value slice passed to fn
-// is the live buffer and must not be retained or mutated after fn returns.
-// Iteration stops early when fn returns false.
+// Range calls fn for every visible (unexpired) key/value pair. Each shard
+// is visited atomically under its read lock; the engine-wide view is the
+// concatenation of per-shard snapshots, not a global snapshot. The value
+// slice passed to fn is the live buffer and must not be retained or
+// mutated after fn returns. Iteration stops early when fn returns false.
 func (s *Sharded) Range(fn func(key uint64, value []byte) bool) {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		tok := sh.lock.RLock()
 		for k, v := range sh.data {
+			if sh.expiredLocked(k) {
+				continue
+			}
 			if !fn(k, v) {
 				sh.lock.RUnlock(tok)
 				return
@@ -313,17 +507,70 @@ func (s *Sharded) Range(fn func(key uint64, value []byte) bool) {
 	}
 }
 
-// SnapshotShard returns an atomic deep copy of one shard's contents.
+// SnapshotShard returns an atomic deep copy of one shard's visible
+// (unexpired) contents.
 func (s *Sharded) SnapshotShard(i int) map[uint64][]byte {
 	sh := &s.shards[i]
 	tok := sh.lock.RLock()
 	out := make(map[uint64][]byte, len(sh.data))
 	for k, v := range sh.data {
+		if sh.expiredLocked(k) {
+			continue
+		}
 		out[k] = append([]byte(nil), v...)
 	}
 	sh.lock.RUnlock(tok)
 	sh.ops.snapshots.Add(1)
 	return out
+}
+
+// DefaultReapBudget is Reap's per-call examination budget when the caller
+// passes none: small enough that no shard write lock is held long, large
+// enough that a modest reap cadence keeps up with expirations.
+const DefaultReapBudget = 256
+
+// Reap incrementally removes TTL-expired entries: it examines up to budget
+// TTL-tracked entries (budget <= 0 means DefaultReapBudget), resuming
+// round-robin at the shard after the previous call's, and deletes those
+// whose deadlines have passed, returning the number removed. Each shard's
+// work happens under that shard's ordinary write lock with the examination
+// budget bounding the hold — there is no stop-the-world scan. Entries are
+// drawn in Go's randomized map order, so repeated calls probabilistically
+// cover a shard's TTL set even when it exceeds the budget; lazy expiry
+// keeps not-yet-reaped entries invisible to readers regardless. Reap is
+// safe to call concurrently with every other operation (and with itself).
+func (s *Sharded) Reap(budget int) int {
+	if budget <= 0 {
+		budget = DefaultReapBudget
+	}
+	reaped := 0
+	for visited := 0; visited < len(s.shards) && budget > 0; visited++ {
+		sh := &s.shards[(s.reapCursor.Add(1)-1)&s.mask]
+		removed := 0
+		sh.lock.Lock()
+		if len(sh.exp) > 0 {
+			now := clock.Nanos()
+			examined := 0
+			for k, d := range sh.exp {
+				if examined >= budget {
+					break
+				}
+				examined++
+				if now >= d {
+					delete(sh.exp, k)
+					delete(sh.data, k)
+					removed++
+				}
+			}
+			budget -= examined
+		}
+		sh.lock.Unlock()
+		if removed > 0 {
+			sh.ops.reaped.Add(uint64(removed))
+			reaped += removed
+		}
+	}
+	return reaped
 }
 
 // Snapshot returns a deep copy of the whole engine, shard by shard. Each
@@ -345,6 +592,7 @@ func (s *Sharded) Stats() ShardedStats {
 		sh := &s.shards[i]
 		tok := sh.lock.RLock()
 		keys := len(sh.data)
+		ttlKeys := len(sh.exp)
 		sh.lock.RUnlock(tok)
 		// Load each rare counter before its total: every op bumps the
 		// total first (Get/Put/Delete), so rare <= total holds at every
@@ -358,6 +606,7 @@ func (s *Sharded) Stats() ShardedStats {
 		deletes := sh.ops.deletes.Load()
 		st.Shards[i] = ShardStats{
 			Keys:            keys,
+			TTLKeys:         ttlKeys,
 			Gets:            gets,
 			GetHits:         gets - getMisses,
 			Puts:            puts,
@@ -366,6 +615,11 @@ func (s *Sharded) Stats() ShardedStats {
 			DeleteHits:      deletes - delMisses,
 			MultiGetBatches: sh.ops.batches.Load(),
 			MultiGetKeys:    sh.ops.batchKeys.Load(),
+			WriteBatches:    sh.ops.wbatches.Load(),
+			WriteBatchKeys:  sh.ops.wbatchKeys.Load(),
+			AsyncPuts:       sh.ops.asyncPuts.Load(),
+			Expired:         sh.ops.expired.Load(),
+			Reaped:          sh.ops.reaped.Load(),
 			Snapshots:       sh.ops.snapshots.Load(),
 		}
 	}

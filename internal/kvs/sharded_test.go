@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/bravolock/bravo/internal/core"
 	"github.com/bravolock/bravo/internal/locks/pfq"
@@ -250,9 +251,10 @@ func TestShardedConcurrent(t *testing.T) {
 					defer wg.Done()
 					rng := xrand.NewXorShift64(seed)
 					batch := make([]uint64, 8)
+					bvals := make([][]byte, 8)
 					for i := 0; i < iters; i++ {
 						k := rng.Intn(keys)
-						switch rng.Intn(10) {
+						switch rng.Intn(16) {
 						case 0:
 							s.Put(k, EncodeValue(rng.Next()))
 						case 1:
@@ -264,6 +266,34 @@ func TestShardedConcurrent(t *testing.T) {
 							s.MultiGet(batch)
 						case 3:
 							s.SnapshotShard(int(rng.Intn(uint64(s.NumShards()))))
+						case 4:
+							for j := range batch {
+								batch[j] = rng.Intn(keys)
+								bvals[j] = EncodeValue(rng.Next())
+							}
+							s.MultiPut(batch, bvals)
+						case 5:
+							for j := range batch {
+								batch[j] = rng.Intn(keys)
+							}
+							s.MultiDelete(batch)
+						case 6:
+							s.PutTTL(k, EncodeValue(rng.Next()), time.Duration(rng.Intn(2000))*time.Microsecond)
+						case 7:
+							s.Reap(32)
+						case 8:
+							s.PutAsync(k, EncodeValue(rng.Next()))
+						case 9:
+							s.Flush()
+						case 10:
+							s.Range(func(_ uint64, v []byte) bool {
+								if len(v) != 8 {
+									t.Errorf("Range visited a %d-byte value", len(v))
+								}
+								return true
+							})
+						case 11:
+							s.Snapshot()
 						default:
 							if v, ok := s.Get(k); ok && len(v) != 8 {
 								t.Errorf("Get(%d) returned %d bytes", k, len(v))
@@ -273,6 +303,7 @@ func TestShardedConcurrent(t *testing.T) {
 				}(uint64(w + 1))
 			}
 			wg.Wait()
+			s.Flush()
 			if s.Len() > keys {
 				t.Fatalf("Len = %d, exceeds keyspace %d", s.Len(), keys)
 			}

@@ -1,0 +1,230 @@
+package kvs
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/bravolock/bravo/internal/clock"
+)
+
+func TestShardedPutTTLVisibleUntilDeadline(t *testing.T) {
+	s, _ := NewSharded(4, mkStd)
+	s.PutTTL(1, EncodeValue(1), time.Hour)
+	if _, ok := s.Get(1); !ok {
+		t.Fatal("Get missed a TTL key an hour before its deadline")
+	}
+	if got := s.Stats().Total().TTLKeys; got != 1 {
+		t.Fatalf("TTLKeys = %d, want 1", got)
+	}
+}
+
+// TestShardedTTLExpiryExactlyAtDeadline pins the boundary with an absolute
+// deadline: a key whose deadline is the current instant (or earlier) is
+// expired — expiry is inclusive, now >= deadline.
+func TestShardedTTLExpiryExactlyAtDeadline(t *testing.T) {
+	s, _ := NewSharded(4, mkStd)
+	s.putDeadline(1, EncodeValue(1), clock.Nanos())
+	if _, ok := s.Get(1); ok {
+		t.Fatal("Get returned a key whose deadline was exactly now")
+	}
+	total := s.Stats().Total()
+	if total.Expired == 0 {
+		t.Fatalf("Expired = 0 after a lazy-expired read")
+	}
+	if total.GetHits != 0 {
+		t.Fatalf("GetHits = %d for an expired read, want 0", total.GetHits)
+	}
+	// One nanosecond before any plausible "now": expired. Far future: visible.
+	s.putDeadline(2, EncodeValue(2), 1)
+	if _, ok := s.Get(2); ok {
+		t.Fatal("Get returned a long-expired key")
+	}
+	s.putDeadline(3, EncodeValue(3), clock.Nanos()+int64(time.Hour))
+	if _, ok := s.Get(3); !ok {
+		t.Fatal("Get missed a key expiring an hour from now")
+	}
+}
+
+func TestShardedPutTTLNonPositiveIsBornExpired(t *testing.T) {
+	s, _ := NewSharded(2, mkStd)
+	s.PutTTL(9, EncodeValue(9), 0)
+	if _, ok := s.Get(9); ok {
+		t.Fatal("PutTTL(0) stored a visible key")
+	}
+	s.PutTTL(10, EncodeValue(10), -time.Second)
+	if _, ok := s.Get(10); ok {
+		t.Fatal("PutTTL(-1s) stored a visible key")
+	}
+}
+
+// TestShardedPutTTLOverflowSaturates pins the overflow clamp: a TTL whose
+// absolute deadline would exceed int64 nanoseconds means "effectively
+// never", not a wrapped negative deadline that kills the key at birth.
+func TestShardedPutTTLOverflowSaturates(t *testing.T) {
+	s, _ := NewSharded(2, mkStd)
+	s.PutTTL(1, EncodeValue(1), time.Duration(math.MaxInt64))
+	if _, ok := s.Get(1); !ok {
+		t.Fatal("a maximum-duration TTL expired the key at birth")
+	}
+	if got := s.Reap(0); got != 0 {
+		t.Fatalf("Reap removed %d keys under a maximum-duration TTL", got)
+	}
+}
+
+func TestShardedPlainPutClearsTTL(t *testing.T) {
+	s, _ := NewSharded(2, mkStd)
+	s.putDeadline(1, EncodeValue(1), clock.Nanos()) // expired residue
+	s.Put(1, EncodeValue(2))                        // plain overwrite: TTL gone
+	v, ok := s.Get(1)
+	if !ok {
+		t.Fatal("Get missed a plain-Put key that once carried a TTL")
+	}
+	if d, _ := DecodeValue(v); d != 2 {
+		t.Fatalf("Get = %d, want 2", d)
+	}
+	if got := s.Stats().Total().TTLKeys; got != 0 {
+		t.Fatalf("TTLKeys = %d after plain overwrite, want 0", got)
+	}
+}
+
+func TestShardedDeleteOfExpiredReportsAbsent(t *testing.T) {
+	s, _ := NewSharded(2, mkStd)
+	s.putDeadline(1, EncodeValue(1), clock.Nanos())
+	if s.Delete(1) {
+		t.Fatal("Delete of an expired key reported present")
+	}
+	// The residue is gone: a reap finds nothing.
+	if got := s.Reap(0); got != 0 {
+		t.Fatalf("Reap after expired Delete removed %d, want 0", got)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after expired Delete, want 0", s.Len())
+	}
+}
+
+func TestShardedMultiOpsSkipExpired(t *testing.T) {
+	s, _ := NewSharded(4, mkStd)
+	s.putDeadline(1, EncodeValue(1), clock.Nanos())
+	s.Put(2, EncodeValue(2))
+	got := s.MultiGet([]uint64{1, 2})
+	if got[0] != nil {
+		t.Fatalf("MultiGet returned an expired key: %v", got[0])
+	}
+	if d, _ := DecodeValue(got[1]); d != 2 {
+		t.Fatalf("MultiGet[1] = %v", got[1])
+	}
+	if removed := s.MultiDelete([]uint64{1, 2}); removed != 1 {
+		t.Fatalf("MultiDelete counted %d visible removals, want 1", removed)
+	}
+}
+
+func TestShardedRangeSnapshotSkipExpired(t *testing.T) {
+	s, _ := NewSharded(4, mkStd)
+	s.Put(1, EncodeValue(1))
+	s.putDeadline(2, EncodeValue(2), clock.Nanos())
+	s.PutTTL(3, EncodeValue(3), time.Hour)
+	visited := map[uint64]bool{}
+	s.Range(func(k uint64, v []byte) bool {
+		visited[k] = true
+		return true
+	})
+	if len(visited) != 2 || visited[2] {
+		t.Fatalf("Range visited %v, want {1, 3}", visited)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("Snapshot has %d keys, want 2", len(snap))
+	}
+	if _, leaked := snap[2]; leaked {
+		t.Fatal("Snapshot contains an expired key")
+	}
+}
+
+func TestShardedReap(t *testing.T) {
+	s, _ := NewSharded(8, mkStd)
+	const n = 200
+	for k := uint64(0); k < n; k++ {
+		s.putDeadline(k, EncodeValue(k), clock.Nanos()) // all expired
+	}
+	s.PutTTL(1000, EncodeValue(1000), time.Hour) // alive TTL key
+	s.Put(2000, EncodeValue(2000))               // no TTL
+	reaped := 0
+	for i := 0; i < 100 && reaped < n; i++ {
+		reaped += s.Reap(64) // incremental: small budget, repeated calls
+	}
+	if reaped != n {
+		t.Fatalf("Reap removed %d keys in total, want %d", reaped, n)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d after reap, want 2", s.Len())
+	}
+	if _, ok := s.Get(1000); !ok {
+		t.Fatal("Reap removed an unexpired TTL key")
+	}
+	if _, ok := s.Get(2000); !ok {
+		t.Fatal("Reap removed a TTL-free key")
+	}
+	total := s.Stats().Total()
+	if total.Reaped != n {
+		t.Fatalf("Reaped counter = %d, want %d", total.Reaped, n)
+	}
+	if total.TTLKeys != 1 {
+		t.Fatalf("TTLKeys = %d after reap, want 1", total.TTLKeys)
+	}
+}
+
+// TestShardedReapVsLazyReadNoDoubleAccounting drives readers over an
+// expired key while Reap removes it: the lazy read observes a miss, the
+// reap removes exactly one entry, and neither path corrupts the other (a
+// read racing the reap must not resurrect or double-delete).
+func TestShardedReapVsLazyReadNoDoubleAccounting(t *testing.T) {
+	s, _ := NewSharded(2, mkStd)
+	s.putDeadline(1, EncodeValue(1), clock.Nanos())
+	if _, ok := s.Get(1); ok { // lazy read sees the expiry first
+		t.Fatal("lazy read returned an expired key")
+	}
+	if got := s.Reap(0); got != 1 {
+		t.Fatalf("Reap removed %d, want 1 (lazy read must not have deleted)", got)
+	}
+	if got := s.Reap(0); got != 0 {
+		t.Fatalf("second Reap removed %d, want 0", got)
+	}
+	total := s.Stats().Total()
+	if total.Reaped != 1 {
+		t.Fatalf("Reaped = %d, want exactly 1", total.Reaped)
+	}
+}
+
+func TestShardedMultiPutTTL(t *testing.T) {
+	s, _ := NewSharded(4, mkStd)
+	keys := []uint64{1, 2, 3}
+	vals := [][]byte{EncodeValue(1), EncodeValue(2), EncodeValue(3)}
+	s.MultiPutTTL(keys, vals, time.Hour)
+	if got := s.Stats().Total().TTLKeys; got != 3 {
+		t.Fatalf("TTLKeys = %d after MultiPutTTL, want 3", got)
+	}
+	for _, k := range keys {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("Get(%d) missed an hour-TTL key", k)
+		}
+	}
+}
+
+func TestMemtablePutTTL(t *testing.T) {
+	m, _ := NewMemtable(1, mkStd)
+	m.PutTTL(1, EncodeValue(1), time.Hour)
+	if _, ok := m.Get(1); !ok {
+		t.Fatal("Memtable.Get missed a TTL key an hour before its deadline")
+	}
+	m.PutTTL(2, EncodeValue(2), 0) // born expired (inclusive deadline)
+	if _, ok := m.Get(2); ok {
+		t.Fatal("Memtable.Get returned a born-expired key")
+	}
+	m.Put(2, EncodeValue(3)) // plain Put clears the TTL
+	if v, ok := m.Get(2); !ok {
+		t.Fatal("Memtable.Get missed a plain-Put key that once carried a TTL")
+	} else if d, _ := DecodeValue(v); d != 3 {
+		t.Fatalf("Memtable.Get = %d, want 3", d)
+	}
+}

@@ -1,0 +1,361 @@
+// Package kvserv is the HTTP front-end over the sharded KV engine: the
+// serving layer that turns the repository's lock work into a system that
+// answers traffic. Every read a connection performs goes through one pinned
+// rwl.Reader handle attached to that connection, so a client's steady-state
+// read path — socket to shard map — costs one cached-slot CAS on the shard
+// lock, with no per-request identity derivation or hashing.
+//
+// Endpoints (keys are decimal uint64, values are raw bytes; batched bodies
+// are JSON with values base64-encoded, encoding/json's []byte convention):
+//
+//	GET    /kv/{key}            value bytes, 404 on miss or TTL expiry
+//	PUT    /kv/{key}[?ttl=1s]   store body; ttl attaches an expiry;
+//	       [?async=1]           async enqueues on the shard write queue
+//	DELETE /kv/{key}            204 when removed, 404 when absent
+//	GET    /mget?keys=1,2,3     {"values": [b64|null, ...]} parallel to keys
+//	POST   /mput                {"entries":[{"key":1,"value":b64},...],
+//	                             "ttl":"1s"?} applied as one MultiPut
+//	POST   /flush               apply queued async writes: {"flushed":n}
+//	GET    /stats               engine ShardedStats + totals
+//
+// The per-connection handle relies on HTTP/1.x serving a connection's
+// requests sequentially; the server does not enable h2, where concurrent
+// streams would share the connection's handle.
+package kvserv
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/bravolock/bravo/internal/kvs"
+	"github.com/bravolock/bravo/internal/rwl"
+)
+
+// MaxValueBytes caps a single PUT body (and each MPUT value): the engine
+// copies values under shard locks, so unbounded bodies would turn one
+// request into a stop-the-world for its shard.
+const MaxValueBytes = 1 << 20
+
+// MaxMPutBodyBytes caps the whole /mput JSON body — the aggregate batch
+// ceiling, on top of the per-entry MaxValueBytes check (base64 plus JSON
+// framing inflate values by ~4/3, so this admits batches of several
+// maximum-size entries or thousands of small ones). Oversize batches get
+// 413; split them.
+const MaxMPutBodyBytes = 16 << 20
+
+// DefaultReapInterval and DefaultReapBudget pace the background TTL reaper:
+// an incremental sweep every interval, examining at most budget tracked
+// entries per tick under the ordinary shard write locks.
+const (
+	DefaultReapInterval = 100 * time.Millisecond
+	DefaultReapBudget   = kvs.DefaultReapBudget
+)
+
+// Config tunes a Server.
+type Config struct {
+	// ReapInterval paces the background TTL reaper; 0 means
+	// DefaultReapInterval, negative disables background reaping (TTL
+	// expiry stays lazy on reads).
+	ReapInterval time.Duration
+	// ReapBudget bounds entries examined per reap tick; 0 means
+	// DefaultReapBudget.
+	ReapBudget int
+}
+
+// Server serves a kvs.Sharded engine over HTTP.
+type Server struct {
+	engine *kvs.Sharded
+	cfg    Config
+	http   *http.Server
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// New returns a server over engine. Serve starts it; Close stops it.
+func New(engine *kvs.Sharded, cfg Config) *Server {
+	if cfg.ReapInterval == 0 {
+		cfg.ReapInterval = DefaultReapInterval
+	}
+	if cfg.ReapBudget <= 0 {
+		cfg.ReapBudget = DefaultReapBudget
+	}
+	s := &Server{engine: engine, cfg: cfg, done: make(chan struct{})}
+	s.http = &http.Server{
+		Handler: s.Handler(),
+		// Slow-client bounds: a connection that trickles header bytes or
+		// sits idle is reclaimed, rather than pinning a goroutine (and its
+		// reader handle) forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		// One pinned reader handle per connection: HTTP/1.x serves a
+		// connection's requests sequentially on one goroutine, so the
+		// handle's single-goroutine contract holds.
+		ConnContext: func(ctx context.Context, _ net.Conn) context.Context {
+			return context.WithValue(ctx, readerKey{}, rwl.NewReader())
+		},
+	}
+	return s
+}
+
+// readerKey carries the per-connection reader handle in the request context.
+type readerKey struct{}
+
+// connReader returns the request's connection-pinned reader handle, nil
+// when the request did not come through Serve's ConnContext (e.g. direct
+// Handler tests); the engine's read paths degrade gracefully on nil.
+func connReader(r *http.Request) *rwl.Reader {
+	h, _ := r.Context().Value(readerKey{}).(*rwl.Reader)
+	return h
+}
+
+// Handler returns the route table. It is usable standalone (httptest), but
+// only connections served via Serve get per-connection reader handles.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /kv/{key}", s.handleGet)
+	mux.HandleFunc("PUT /kv/{key}", s.handlePut)
+	mux.HandleFunc("DELETE /kv/{key}", s.handleDelete)
+	mux.HandleFunc("GET /mget", s.handleMGet)
+	mux.HandleFunc("POST /mput", s.handleMPut)
+	mux.HandleFunc("POST /flush", s.handleFlush)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// Serve accepts connections on l until Close. It also runs the background
+// TTL reaper (unless disabled) so expired keys are removed incrementally
+// while the server is up. Like http.Server.Serve, it always returns a
+// non-nil error; after Close that error is http.ErrServerClosed.
+func (s *Server) Serve(l net.Listener) error {
+	if s.cfg.ReapInterval > 0 {
+		s.wg.Add(1)
+		go s.reapLoop()
+	}
+	return s.http.Serve(l)
+}
+
+// Close immediately closes the listener and active connections and stops
+// the reaper.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.done)
+		err = s.http.Close()
+		s.wg.Wait()
+	})
+	return err
+}
+
+// reapLoop is the incremental background TTL reaper: one bounded Reap per
+// tick, under the engine's ordinary shard write locks.
+func (s *Server) reapLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.ReapInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			s.engine.Reap(s.cfg.ReapBudget)
+		}
+	}
+}
+
+func parseKey(r *http.Request) (uint64, error) {
+	k, err := strconv.ParseUint(r.PathValue("key"), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad key %q: want decimal uint64", r.PathValue("key"))
+	}
+	return k, nil
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	key, err := parseKey(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	v, ok := s.engine.GetH(connReader(r), key)
+	if !ok {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(v)
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	key, err := parseKey(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxValueBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("body exceeds %d bytes", MaxValueBytes), http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, fmt.Sprintf("body: %v", err), http.StatusBadRequest)
+		}
+		return
+	}
+	q := r.URL.Query()
+	if av := q.Get("async"); av != "" {
+		async, err := strconv.ParseBool(av)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad async %q: want a boolean", av), http.StatusBadRequest)
+			return
+		}
+		if async {
+			if q.Get("ttl") != "" {
+				http.Error(w, "ttl and async are exclusive: the queue applies without TTL", http.StatusBadRequest)
+				return
+			}
+			s.engine.PutAsync(key, body)
+			w.WriteHeader(http.StatusAccepted)
+			return
+		}
+	}
+	if ttlStr := q.Get("ttl"); ttlStr != "" {
+		ttl, err := time.ParseDuration(ttlStr)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad ttl %q: %v", ttlStr, err), http.StatusBadRequest)
+			return
+		}
+		s.engine.PutTTL(key, body, ttl)
+	} else {
+		s.engine.Put(key, body)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	key, err := parseKey(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !s.engine.Delete(key) {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// mgetResponse answers /mget: values is parallel to the requested keys,
+// null marking absent (or expired) keys; []byte values render as base64.
+type mgetResponse struct {
+	Values [][]byte `json:"values"`
+}
+
+func (s *Server) handleMGet(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("keys")
+	if raw == "" {
+		http.Error(w, "missing keys=1,2,3", http.StatusBadRequest)
+		return
+	}
+	parts := strings.Split(raw, ",")
+	keys := make([]uint64, len(parts))
+	for i, p := range parts {
+		k, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad key %q: want decimal uint64", p), http.StatusBadRequest)
+			return
+		}
+		keys[i] = k
+	}
+	writeJSON(w, mgetResponse{Values: s.engine.MultiGetH(connReader(r), keys)})
+}
+
+// mputRequest is /mput's body: a batch applied as one MultiPut (each
+// shard's group under a single write-lock acquisition), optionally with
+// one TTL covering the batch.
+type mputRequest struct {
+	Entries []mputEntry `json:"entries"`
+	TTL     string      `json:"ttl,omitempty"`
+}
+
+type mputEntry struct {
+	Key   uint64 `json:"key"`
+	Value []byte `json:"value"`
+}
+
+func (s *Server) handleMPut(w http.ResponseWriter, r *http.Request) {
+	var req mputRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxMPutBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("batch body exceeds %d bytes: split the batch", MaxMPutBodyBytes), http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, fmt.Sprintf("body: %v", err), http.StatusBadRequest)
+		}
+		return
+	}
+	var ttl time.Duration
+	if req.TTL != "" {
+		var err error
+		if ttl, err = time.ParseDuration(req.TTL); err != nil {
+			http.Error(w, fmt.Sprintf("bad ttl %q: %v", req.TTL, err), http.StatusBadRequest)
+			return
+		}
+	}
+	keys := make([]uint64, len(req.Entries))
+	vals := make([][]byte, len(req.Entries))
+	for i, e := range req.Entries {
+		if len(e.Value) > MaxValueBytes {
+			http.Error(w, fmt.Sprintf("entry %d: value exceeds %d bytes", i, MaxValueBytes), http.StatusRequestEntityTooLarge)
+			return
+		}
+		keys[i] = e.Key
+		vals[i] = e.Value
+	}
+	if req.TTL != "" {
+		s.engine.MultiPutTTL(keys, vals, ttl)
+	} else {
+		s.engine.MultiPut(keys, vals)
+	}
+	writeJSON(w, map[string]int{"applied": len(keys)})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]int{"flushed": s.engine.Flush()})
+}
+
+// statsResponse is /stats: the engine's per-shard counters plus the fold.
+type statsResponse struct {
+	NumShards     int              `json:"num_shards"`
+	HandleCapable bool             `json:"handle_capable"`
+	Total         kvs.ShardStats   `json:"total"`
+	Shards        []kvs.ShardStats `json:"shards"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.engine.Stats()
+	writeJSON(w, statsResponse{
+		NumShards:     s.engine.NumShards(),
+		HandleCapable: s.engine.HandleCapable(),
+		Total:         st.Total(),
+		Shards:        st.Shards,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	// Encode errors here mean the client went away mid-response; the status
+	// header is already out, so there is nothing useful left to report.
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,254 @@
+package kvserv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bravolock/bravo/internal/core"
+	"github.com/bravolock/bravo/internal/kvs"
+	"github.com/bravolock/bravo/internal/locks/stdrw"
+	"github.com/bravolock/bravo/internal/rwl"
+)
+
+// startServer boots a server over a BRAVO-wrapped engine on a real TCP
+// socket and returns its base URL plus a cleanup.
+func startServer(t *testing.T, cfg Config) (string, *kvs.Sharded) {
+	t.Helper()
+	engine, err := kvs.NewSharded(8, func() rwl.RWLock { return core.New(new(stdrw.Lock)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(engine, cfg)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != http.ErrServerClosed {
+			t.Errorf("Serve returned %v, want http.ErrServerClosed", err)
+		}
+	})
+	return "http://" + l.Addr().String(), engine
+}
+
+func do(t *testing.T, method, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestServerEndToEnd drives the full GET/PUT/DELETE/MGET/MPUT/stats surface
+// over a real TCP socket.
+func TestServerEndToEnd(t *testing.T) {
+	base, _ := startServer(t, Config{ReapInterval: -1})
+
+	// PUT then GET round-trips raw bytes.
+	resp, _ := do(t, http.MethodPut, base+"/kv/42", []byte("hello"))
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT status = %d", resp.StatusCode)
+	}
+	resp, body := do(t, http.MethodGet, base+"/kv/42", nil)
+	if resp.StatusCode != http.StatusOK || string(body) != "hello" {
+		t.Fatalf("GET = %d %q, want 200 \"hello\"", resp.StatusCode, body)
+	}
+
+	// Misses and malformed keys.
+	if resp, _ := do(t, http.MethodGet, base+"/kv/7", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET miss status = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := do(t, http.MethodGet, base+"/kv/notanumber", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET bad key status = %d, want 400", resp.StatusCode)
+	}
+
+	// DELETE removes; a second DELETE misses.
+	if resp, _ := do(t, http.MethodDelete, base+"/kv/42", nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE status = %d", resp.StatusCode)
+	}
+	if resp, _ := do(t, http.MethodDelete, base+"/kv/42", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second DELETE status = %d, want 404", resp.StatusCode)
+	}
+
+	// MPUT applies a batch; MGET reads it back parallel to the keys.
+	mput, _ := json.Marshal(mputRequest{Entries: []mputEntry{
+		{Key: 1, Value: []byte("a")},
+		{Key: 2, Value: []byte("b")},
+	}})
+	resp, body = do(t, http.MethodPost, base+"/mput", mput)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("MPUT status = %d: %s", resp.StatusCode, body)
+	}
+	var applied map[string]int
+	if err := json.Unmarshal(body, &applied); err != nil || applied["applied"] != 2 {
+		t.Fatalf("MPUT response %s (err %v), want applied=2", body, err)
+	}
+	resp, body = do(t, http.MethodGet, base+"/mget?keys=1,2,3", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("MGET status = %d", resp.StatusCode)
+	}
+	var got mgetResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("MGET body %s: %v", body, err)
+	}
+	if len(got.Values) != 3 || string(got.Values[0]) != "a" || string(got.Values[1]) != "b" || got.Values[2] != nil {
+		t.Fatalf("MGET values = %q", got.Values)
+	}
+
+	// Stats reflect the traffic and the handle-capable engine.
+	resp, body = do(t, http.MethodGet, base+"/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("stats body: %v", err)
+	}
+	if st.NumShards != 8 || !st.HandleCapable {
+		t.Fatalf("stats = shards %d handle %v, want 8/true", st.NumShards, st.HandleCapable)
+	}
+	if st.Total.Gets == 0 || st.Total.Puts == 0 {
+		t.Fatalf("stats counted gets=%d puts=%d, want traffic", st.Total.Gets, st.Total.Puts)
+	}
+}
+
+// TestServerReusesConnectionHandle checks the per-connection reader handle:
+// sequential requests on one keep-alive connection reuse one pinned
+// identity, and concurrent reads through it stay correct.
+func TestServerReusesConnectionHandle(t *testing.T) {
+	base, engine := startServer(t, Config{ReapInterval: -1})
+	engine.Put(5, []byte("v"))
+	// One client with keep-alive: many GETs ride one connection → one
+	// handle. This is a correctness check (responses stay right when the
+	// slot cache is hot), the perf claim lives in the bench.
+	for i := 0; i < 50; i++ {
+		resp, body := do(t, http.MethodGet, base+"/kv/5", nil)
+		if resp.StatusCode != http.StatusOK || string(body) != "v" {
+			t.Fatalf("GET #%d = %d %q", i, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestServerTTLAndReaper(t *testing.T) {
+	base, engine := startServer(t, Config{ReapInterval: 10 * time.Millisecond, ReapBudget: 64})
+
+	// A TTL'd PUT is visible before the deadline, gone after it. The
+	// margin is generous so scheduler pauses on loaded CI hosts cannot
+	// expire the key before the "before" read.
+	resp, _ := do(t, http.MethodPut, base+"/kv/1?ttl=500ms", []byte("ephemeral"))
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT ttl status = %d", resp.StatusCode)
+	}
+	if resp, _ := do(t, http.MethodGet, base+"/kv/1", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET before deadline = %d, want 200", resp.StatusCode)
+	}
+	time.Sleep(700 * time.Millisecond)
+	if resp, _ := do(t, http.MethodGet, base+"/kv/1", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET after deadline = %d, want 404", resp.StatusCode)
+	}
+	// The background reaper physically removes the residue (Len counts
+	// resident entries, visible or not).
+	deadline := time.Now().Add(2 * time.Second)
+	for engine.Len() != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := engine.Len(); n != 0 {
+		t.Fatalf("reaper left %d resident entries", n)
+	}
+	if resp, _ := do(t, http.MethodPut, base+"/kv/2?ttl=bogus", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("PUT bad ttl status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerAsyncPutAndFlush(t *testing.T) {
+	base, _ := startServer(t, Config{ReapInterval: -1})
+	resp, _ := do(t, http.MethodPut, base+"/kv/9?async=1", []byte("queued"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async PUT status = %d, want 202", resp.StatusCode)
+	}
+	if resp, _ := do(t, http.MethodGet, base+"/kv/9", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET before flush = %d, want 404", resp.StatusCode)
+	}
+	resp, body := do(t, http.MethodPost, base+"/flush", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "\"flushed\":1") {
+		t.Fatalf("flush = %d %s", resp.StatusCode, body)
+	}
+	resp, body = do(t, http.MethodGet, base+"/kv/9", nil)
+	if resp.StatusCode != http.StatusOK || string(body) != "queued" {
+		t.Fatalf("GET after flush = %d %q", resp.StatusCode, body)
+	}
+	if resp, _ := do(t, http.MethodPut, base+"/kv/9?async=1&ttl=1s", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("async+ttl status = %d, want 400", resp.StatusCode)
+	}
+	// async=0 means synchronous: immediately visible, 204 not 202.
+	resp, _ = do(t, http.MethodPut, base+"/kv/10?async=0", []byte("sync"))
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("async=0 PUT status = %d, want 204", resp.StatusCode)
+	}
+	if resp, body := do(t, http.MethodGet, base+"/kv/10", nil); resp.StatusCode != http.StatusOK || string(body) != "sync" {
+		t.Fatalf("GET after async=0 PUT = %d %q, want immediate visibility", resp.StatusCode, body)
+	}
+	if resp, _ := do(t, http.MethodPut, base+"/kv/11?async=maybe", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("async=maybe status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerMPutTTL(t *testing.T) {
+	base, _ := startServer(t, Config{ReapInterval: -1})
+	mput, _ := json.Marshal(mputRequest{
+		Entries: []mputEntry{{Key: 1, Value: []byte("x")}},
+		TTL:     "500ms", // generous: see TestServerTTLAndReaper
+	})
+	if resp, body := do(t, http.MethodPost, base+"/mput", mput); resp.StatusCode != http.StatusOK {
+		t.Fatalf("MPUT ttl = %d %s", resp.StatusCode, body)
+	}
+	if resp, _ := do(t, http.MethodGet, base+"/kv/1", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET before batch deadline != 200")
+	}
+	time.Sleep(700 * time.Millisecond)
+	if resp, _ := do(t, http.MethodGet, base+"/kv/1", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET after batch deadline != 404")
+	}
+}
+
+func ExampleServer() {
+	engine, _ := kvs.NewSharded(4, func() rwl.RWLock { return core.New(new(stdrw.Lock)) })
+	l, _ := net.Listen("tcp", "127.0.0.1:0")
+	srv := New(engine, Config{})
+	go srv.Serve(l)
+	defer srv.Close()
+
+	base := "http://" + l.Addr().String()
+	req, _ := http.NewRequest(http.MethodPut, base+"/kv/7", strings.NewReader("paper"))
+	resp, _ := http.DefaultClient.Do(req)
+	resp.Body.Close()
+	resp, _ = http.Get(base + "/kv/7")
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Println(string(b))
+	// Output: paper
+}
