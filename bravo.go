@@ -170,3 +170,27 @@ type ShardKVStats = kvs.ShardStats
 func NewShardedKV(shards int, mkLock func() RWLock) (*ShardedKV, error) {
 	return kvs.NewSharded(shards, mkLock)
 }
+
+// SyncPolicy selects when a durable engine's write-ahead log fsyncs:
+// SyncAlways pays one fsync per group-commit batch, SyncNone leaves
+// flushing to the OS.
+type SyncPolicy = kvs.SyncPolicy
+
+// WAL sync policies for OpenShardedKV.
+const (
+	SyncNone   = kvs.SyncNone
+	SyncAlways = kvs.SyncAlways
+)
+
+// OpenShardedKV opens (or creates) a durable sharded KV engine in dir.
+// Every write appends to a per-shard write-ahead log before it is applied;
+// the batched writes (MultiPut, MultiDelete, async-queue flushes) are one
+// log record and — under SyncAlways — one fsync per shard group, the same
+// amortize-the-slow-path move BRAVO makes for bias revocation. Reopening
+// the directory recovers the latest Checkpoint snapshot plus the log tail,
+// dropping a torn final record. Callers Close the engine on shutdown and
+// Checkpoint to bound log growth. The directory's shard count is pinned by
+// its MANIFEST: reopen with the count it was created with.
+func OpenShardedKV(dir string, shards int, mkLock func() RWLock, policy SyncPolicy) (*ShardedKV, error) {
+	return kvs.OpenSharded(dir, shards, mkLock, policy)
+}

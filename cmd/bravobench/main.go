@@ -25,6 +25,11 @@
 //	                       MultiPuts (write combining); -json writes
 //	                       BENCH_kvserv.json with the batched-vs-single
 //	                       comparison
+//	-workload wal          the durability axis: batched writers against a
+//	                       volatile engine, a WAL without fsync, and a WAL
+//	                       with one fsync per group-commit batch; -json
+//	                       writes BENCH_wal.json with durable-vs-volatile
+//	                       ratios and achieved group-commit batch sizes
 //
 // Examples:
 //
@@ -36,6 +41,7 @@
 //	bravobench -workload shardedkv -shards 1,4,16 -locks bravo-ba -threads 8
 //	bravobench -workload readlatency -json -threads 8,16
 //	bravobench -workload kvserv -json -batch 64 -threads 8,16
+//	bravobench -workload wal -json -threads 2,8
 package main
 
 import (
@@ -60,13 +66,13 @@ var (
 	locksFlag    = flag.String("locks", "ba,bravo-ba,pthread,bravo-pthread,per-cpu,cohort-rw", "native lock lineup")
 	scanFlag     = flag.Bool("scanrate", false, "measure the revocation scan rate (ns/slot) and exit")
 
-	workloadFlag   = flag.String("workload", "figures", "figures, shardedkv, readlatency, or kvserv")
-	jsonFlag       = flag.Bool("json", false, "shardedkv/readlatency/kvserv: also write machine-readable results")
-	outFlag        = flag.String("out", "BENCH_shardedkv.json", "shardedkv/readlatency/kvserv: -json output path (workload-specific default)")
-	shardsFlag     = flag.String("shards", "1,2,4,8", "shardedkv/kvserv: shard counts (powers of two)")
+	workloadFlag   = flag.String("workload", "figures", "figures, shardedkv, readlatency, kvserv, or wal")
+	jsonFlag       = flag.Bool("json", false, "shardedkv/readlatency/kvserv/wal: also write machine-readable results")
+	outFlag        = flag.String("out", "BENCH_shardedkv.json", "shardedkv/readlatency/kvserv/wal: -json output path (workload-specific default)")
+	shardsFlag     = flag.String("shards", "1,2,4,8", "shardedkv/kvserv/wal: shard counts (powers of two)")
 	writeRatioFlag = flag.Float64("writeratio", 0.01, "shardedkv: fraction of operations that write")
-	valueSizeFlag  = flag.Int("valuesize", bench.ShardedKVDefaultValueSize, "shardedkv/kvserv: value payload bytes (sets critical-section length)")
-	batchFlag      = flag.Int("batch", bench.KVServDefaultBatch, "kvserv: MultiPut group size in batched mode")
+	valueSizeFlag  = flag.Int("valuesize", bench.ShardedKVDefaultValueSize, "shardedkv/kvserv/wal: value payload bytes (sets critical-section length)")
+	batchFlag      = flag.Int("batch", bench.KVServDefaultBatch, "kvserv/wal: MultiPut group size in batched mode")
 )
 
 // shardedKVDefaults replace the figure-oriented flag defaults when the
@@ -100,6 +106,18 @@ const (
 	kvservDefaultShards  = "8"
 	kvservDefaultThreads = "2,4,8,16"
 	kvservDefaultOut     = "BENCH_kvserv.json"
+)
+
+// walDefaults replace the figure-oriented defaults for the wal workload:
+// the serving substrate over the served shard count, a goroutine axis with
+// at least two contention levels (the durable-vs-volatile acceptance bar),
+// and the kvserv batch size so the group-commit amortization factor
+// matches the serving pipeline's.
+const (
+	walDefaultLocks   = "bravo-go"
+	walDefaultShards  = "8"
+	walDefaultThreads = "2,8"
+	walDefaultOut     = "BENCH_wal.json"
 )
 
 // rwbenchSubs maps Figure 4's sub-plots to write probabilities.
@@ -152,6 +170,17 @@ func main() {
 			"valuesize": func() { *valueSizeFlag = bench.KVServDefaultValueSize },
 			"out":       func() { *outFlag = kvservDefaultOut },
 		})
+	case "wal":
+		applyWorkloadDefaults(map[string]func(){
+			"locks":     func() { *locksFlag = walDefaultLocks },
+			"shards":    func() { *shardsFlag = walDefaultShards },
+			"threads":   func() { *threadsFlag = walDefaultThreads },
+			"interval":  func() { *intervalFlag = 500 * time.Millisecond },
+			"runs":      func() { *runsFlag = 5 },
+			"valuesize": func() { *valueSizeFlag = bench.KVServDefaultValueSize },
+			"batch":     func() { *batchFlag = bench.WALDefaultBatch },
+			"out":       func() { *outFlag = walDefaultOut },
+		})
 	}
 	threads, err := cliutil.ParseInts(*threadsFlag)
 	if err != nil {
@@ -171,8 +200,12 @@ func main() {
 		runKVServ(cfg, locks)
 		return
 	}
+	if *workloadFlag == "wal" {
+		runWAL(cfg, locks)
+		return
+	}
 	if *workloadFlag != "figures" {
-		fatal(fmt.Errorf("unknown workload %q (figures, shardedkv, readlatency, kvserv)", *workloadFlag))
+		fatal(fmt.Errorf("unknown workload %q (figures, shardedkv, readlatency, kvserv, wal)", *workloadFlag))
 	}
 	figs := []string{"1", "2", "3", "4", "5", "6"}
 	if *figFlag != "all" {
@@ -283,6 +316,43 @@ func runKVServ(cfg bench.Config, locks []string) {
 		fatal(err)
 	}
 	rep := bench.NewKVServReport(cfg, results, comps)
+	if err := rep.WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d results, %d comparisons)\n", *outFlag, len(results), len(comps))
+}
+
+func runWAL(cfg bench.Config, locks []string) {
+	shardCounts, err := cliutil.ParseInts(*shardsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	for _, sc := range shardCounts {
+		if sc <= 0 || sc&(sc-1) != 0 {
+			fatal(fmt.Errorf("-shards %d is not a positive power of two", sc))
+		}
+	}
+	results, comps, err := bench.WALSweep(locks, shardCounts, cfg.Threads, *batchFlag, *valueSizeFlag, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# wal: %d keys, %dB values, batch %d, interval %v, median of %d\n",
+		bench.WALWorkloadKeys, *valueSizeFlag, *batchFlag, cfg.Interval, cfg.Runs)
+	bench.WriteWALTable(os.Stdout, results)
+	fmt.Println()
+	fmt.Println("# durable (group-commit WAL) vs volatile writes")
+	bench.WriteWALComparisons(os.Stdout, comps)
+	if !*jsonFlag {
+		return
+	}
+	f, err := os.Create(*outFlag)
+	if err != nil {
+		fatal(err)
+	}
+	rep := bench.NewWALReport(cfg, *batchFlag, results, comps)
 	if err := rep.WriteJSON(f); err != nil {
 		fatal(err)
 	}

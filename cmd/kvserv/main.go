@@ -4,10 +4,20 @@
 // shard lock — socket to lock word with no per-request hashing.
 //
 //	kvserv -addr :7070 -shards 16 -lock bravo-go
+//	kvserv -addr :7070 -data-dir /var/lib/kvserv -sync always
+//
+// With -data-dir the engine is durable: every write is logged to a
+// per-shard write-ahead log before it is applied (batches are one record
+// and, under -sync always, one fsync — group commit), POST /checkpoint
+// snapshots the shards and truncates the logs, and restarting against the
+// same directory recovers snapshot + log tail. On SIGINT/SIGTERM the
+// server shuts down gracefully: stop accepting, flush queued async writes,
+// sync and close the logs.
 //
 // Endpoints: GET/PUT/DELETE /kv/{key} (PUT takes ?ttl=1s or ?async=1),
-// GET /mget?keys=1,2,3, POST /mput, POST /flush, GET /stats. See
-// internal/kvserv and README's "Serving traffic" section.
+// GET /mget?keys=1,2,3, POST /mput, POST /flush, POST /checkpoint,
+// GET /stats. See internal/kvserv and README's "Serving traffic" and
+// "Persistence" sections.
 //
 // The lock lineup is the benchmark registry's (-lock accepts any name from
 // the README menu: go-rw, mutex, bravo-go, bravo-ba, ...), so the serving
@@ -18,7 +28,10 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/bravolock/bravo/internal/kvs"
 	"github.com/bravolock/bravo/internal/kvserv"
@@ -33,6 +46,8 @@ var (
 	reapFlag       = flag.Duration("reap", kvserv.DefaultReapInterval, "TTL reap interval (<0 disables background reaping)")
 	reapBudgetFlag = flag.Int("reapbudget", kvserv.DefaultReapBudget, "TTL entries examined per reap tick")
 	asyncFlag      = flag.Int("asyncbatch", kvs.DefaultAsyncBatch, "per-shard async write queue coalescing threshold")
+	dataDirFlag    = flag.String("data-dir", "", "durable data directory (empty: volatile, lost on exit)")
+	syncFlag       = flag.String("sync", "always", "WAL sync policy with -data-dir: always (fsync per batch) or none")
 )
 
 func main() {
@@ -42,7 +57,17 @@ func main() {
 		_, err := rwl.New(*lockFlag) // canonical unknown-name error with the menu
 		fatal(err)
 	}
-	engine, err := kvs.NewSharded(*shardsFlag, mk)
+	opts := []kvs.Option{}
+	durability := "volatile (no -data-dir: state dies with the process)"
+	if *dataDirFlag != "" {
+		policy, err := kvs.ParseSyncPolicy(*syncFlag)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, kvs.WithDurability(*dataDirFlag, policy))
+		durability = fmt.Sprintf("durable in %s (sync %s)", *dataDirFlag, policy)
+	}
+	engine, err := kvs.NewSharded(*shardsFlag, mk, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -59,9 +84,29 @@ func main() {
 	if engine.HandleCapable() {
 		handles = "one pinned reader handle per connection"
 	}
-	fmt.Printf("kvserv: serving on %s — %d×%s shards, %s, reap %v\n",
-		l.Addr(), *shardsFlag, *lockFlag, handles, *reapFlag)
-	fatal(srv.Serve(l))
+	fmt.Printf("kvserv: serving on %s — %d×%s shards, %s, reap %v, %s\n",
+		l.Addr(), *shardsFlag, *lockFlag, handles, *reapFlag, durability)
+
+	// Graceful shutdown: stop accepting, flush the async queues, then sync
+	// and close the WAL so a restart recovers everything acknowledged.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	select {
+	case sig := <-sigc:
+		fmt.Printf("kvserv: %v — shutting down\n", sig)
+		srv.Close()
+		<-done
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			engine.Close()
+			fatal(err)
+		}
+	}
+	if err := engine.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

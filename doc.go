@@ -37,11 +37,18 @@
 // expiry. cmd/kvserv serves the engine over HTTP with one pinned Reader
 // per connection.
 //
+// OpenShardedKV makes the engine durable: a per-shard write-ahead log with
+// group commit (each of the batches above is one CRC-framed record and,
+// under SyncAlways, one fsync — the same amortize-the-slow-path move
+// BRAVO makes for bias revocation), Checkpoint snapshots with log
+// truncation, and crash recovery that replays snapshot + log tail,
+// dropping a torn final record. See DESIGN.md's "Durability" section.
+//
 // The Example functions in example_test.go are runnable documentation for
 // each of these surfaces: ExampleNew (the transformation), ExampleNewReader
 // (handles), ExampleNewShardedKV, ExampleShardedKV_MultiPut,
-// ExampleShardedKV_PutTTL, and ExampleShardedKV_PutAsync; go test runs
-// them all.
+// ExampleShardedKV_PutTTL, ExampleShardedKV_PutAsync, and
+// ExampleOpenShardedKV (durability); go test runs them all.
 //
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // reproduction of the paper's figures and tables, and the examples/

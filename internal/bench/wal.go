@@ -1,0 +1,295 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync/atomic"
+
+	"github.com/bravolock/bravo/internal/kvs"
+	"github.com/bravolock/bravo/internal/xrand"
+)
+
+// The wal workload measures what durability costs and what group commit
+// buys back: writer goroutines stream MultiPut batches (the serving
+// pipeline's write path) against three engines over the same lock and
+// shard count — volatile (no WAL), durable with OS-buffered logging
+// (sync none), and durable with one fsync per group-commit batch (sync
+// always). Because the per-shard batch is one WAL record, the fsync cost
+// is amortized across the group exactly the way BRAVO amortizes bias
+// revocation across the reads that follow it; the report records the
+// achieved group size (WAL keys per record) so the amortization factor is
+// visible next to the throughput it buys.
+
+// WALWorkloadKeys is the workload's keyspace.
+const WALWorkloadKeys = 1 << 14
+
+// WALDefaultBatch is the writers' MultiPut group size.
+const WALDefaultBatch = 64
+
+// WALResult is one (lock, shards, threads, mode) measurement.
+type WALResult struct {
+	Lock    string `json:"lock"`
+	Shards  int    `json:"shards"`
+	Threads int    `json:"threads"`
+	// Mode is "volatile", "wal-nosync" (durable, OS-buffered), or
+	// "wal-fsync" (durable, one fsync per group-commit batch).
+	Mode      string `json:"mode"`
+	BatchSize int    `json:"batch_size"`
+	ValueSize int    `json:"value_size"`
+	// WriteKeysPerSec is the median (over runs) rate of keys applied.
+	WriteKeysPerSec float64 `json:"write_keys_per_sec"`
+	// Group-commit shape, from the last run's engine stats (zero in
+	// volatile mode): GroupKeysPerRecord = WALKeys/WALRecords is the
+	// achieved amortization factor, and SyncsPerKey = WALSyncs/WALKeys is
+	// what each key paid in fsyncs (1/group under wal-fsync, 0 otherwise).
+	WALRecords         uint64  `json:"wal_records"`
+	WALKeys            uint64  `json:"wal_keys"`
+	WALSyncs           uint64  `json:"wal_syncs"`
+	WALBytes           uint64  `json:"wal_bytes"`
+	GroupKeysPerRecord float64 `json:"group_keys_per_record"`
+	SyncsPerKey        float64 `json:"syncs_per_key"`
+}
+
+// WALComparison lines up the three modes of one (lock, shards, threads)
+// point: the price of durability at each sync level, as a fraction of
+// volatile write throughput.
+type WALComparison struct {
+	Lock    string `json:"lock"`
+	Shards  int    `json:"shards"`
+	Threads int    `json:"threads"`
+
+	VolatileKeysPerSec float64 `json:"volatile_keys_per_sec"`
+	NoSyncKeysPerSec   float64 `json:"nosync_keys_per_sec"`
+	FsyncKeysPerSec    float64 `json:"fsync_keys_per_sec"`
+	// NoSyncOverVolatile and FsyncOverVolatile are throughput ratios
+	// (durable/volatile, higher is better, 1.0 = free durability).
+	NoSyncOverVolatile float64 `json:"nosync_over_volatile"`
+	FsyncOverVolatile  float64 `json:"fsync_over_volatile"`
+	// GroupKeysPerRecord is the fsync mode's achieved group-commit batch
+	// size — the amortization denominator.
+	GroupKeysPerRecord float64 `json:"group_keys_per_record"`
+}
+
+// WALReport is the top-level BENCH_wal.json document.
+type WALReport struct {
+	Benchmark   string          `json:"benchmark"`
+	Meta        RunMeta         `json:"meta"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	IntervalMS  int64           `json:"interval_ms"`
+	Runs        int             `json:"runs"`
+	Keys        int             `json:"keys"`
+	Batch       int             `json:"batch"`
+	Results     []WALResult     `json:"results"`
+	Comparisons []WALComparison `json:"comparisons"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r WALReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// NewWALReport stamps the environment fields of a report.
+func NewWALReport(cfg Config, batch int, results []WALResult, comps []WALComparison) WALReport {
+	return WALReport{
+		Benchmark:   "wal",
+		Meta:        NewRunMeta(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		IntervalMS:  cfg.Interval.Milliseconds(),
+		Runs:        cfg.Runs,
+		Keys:        WALWorkloadKeys,
+		Batch:       batch,
+		Results:     results,
+		Comparisons: comps,
+	}
+}
+
+// walModes enumerates the workload's engine configurations.
+var walModes = []struct {
+	name    string
+	durable bool
+	policy  kvs.SyncPolicy
+}{
+	{"volatile", false, kvs.SyncNone},
+	{"wal-nosync", true, kvs.SyncNone},
+	{"wal-fsync", true, kvs.SyncAlways},
+}
+
+// WALPoint measures one (lock, shards, threads, mode) point: cfg.Runs
+// fresh engines (durable ones in throwaway directories), median write
+// throughput, last run's WAL counters.
+func WALPoint(lockName string, shards, threads, batch, valueSize int, mode string, cfg Config) (WALResult, error) {
+	var durable bool
+	var policy kvs.SyncPolicy
+	found := false
+	for _, m := range walModes {
+		if m.name == mode {
+			durable, policy, found = m.durable, m.policy, true
+		}
+	}
+	if !found {
+		return WALResult{}, fmt.Errorf("bench: wal mode %q (want volatile, wal-nosync, or wal-fsync)", mode)
+	}
+	if batch < 2 {
+		return WALResult{}, fmt.Errorf("bench: wal batch %d (want >= 2)", batch)
+	}
+	mk, _, err := shardedKVFactory(lockName)
+	if err != nil {
+		return WALResult{}, err
+	}
+	res := WALResult{
+		Lock: lockName, Shards: shards, Threads: threads,
+		Mode: mode, BatchSize: batch, ValueSize: valueSize,
+	}
+	if res.ValueSize < 8 {
+		res.ValueSize = 8 // room for the encoded counter
+	}
+	var lastStats kvs.ShardStats
+	var buildErr error
+	res.WriteKeysPerSec = cfg.Median(func() float64 {
+		var e *kvs.Sharded
+		var err error
+		if durable {
+			dir, derr := os.MkdirTemp("", "bravo-walbench-*")
+			if derr != nil {
+				buildErr = derr
+				return 0
+			}
+			defer os.RemoveAll(dir)
+			e, err = kvs.OpenSharded(dir, shards, mk, policy)
+		} else {
+			e, err = kvs.NewSharded(shards, mk)
+		}
+		if err != nil {
+			buildErr = err
+			return 0
+		}
+		defer e.Close()
+		applied := RunWorkers(threads, cfg.Interval, func(id int, stop *atomic.Bool) uint64 {
+			return walWriter(e, batch, res.ValueSize, xrand.NewXorShift64(uint64(id)*0x9E3779B97F4A7C15+1), stop)
+		})
+		st := e.Stats().Total()
+		if walErr := e.WALError(); walErr != nil && buildErr == nil {
+			buildErr = walErr
+		}
+		lastStats = st
+		return float64(applied)
+	})
+	if buildErr != nil {
+		return res, buildErr
+	}
+	res.WriteKeysPerSec /= cfg.Interval.Seconds()
+	res.WALRecords = lastStats.WALRecords
+	res.WALKeys = lastStats.WALKeys
+	res.WALSyncs = lastStats.WALSyncs
+	res.WALBytes = lastStats.WALBytes
+	if lastStats.WALRecords > 0 {
+		res.GroupKeysPerRecord = float64(lastStats.WALKeys) / float64(lastStats.WALRecords)
+	}
+	if lastStats.WALKeys > 0 {
+		res.SyncsPerKey = float64(lastStats.WALSyncs) / float64(lastStats.WALKeys)
+	}
+	return res, nil
+}
+
+// walWriter streams MultiPut batches until stop, returning keys applied —
+// the kvserv workload's batched writer, pointed at the durability axis.
+func walWriter(e *kvs.Sharded, batch, valueSize int, rng *xrand.XorShift64, stop *atomic.Bool) uint64 {
+	wval := make([]byte, valueSize)
+	keys := make([]uint64, batch)
+	vals := make([][]byte, batch)
+	for i := range vals {
+		vals[i] = wval // the engine copies under the shard lock
+	}
+	var applied uint64
+	for !stop.Load() {
+		copy(wval, kvs.EncodeValue(rng.Next()))
+		for i := range keys {
+			keys[i] = rng.Intn(WALWorkloadKeys)
+		}
+		e.MultiPut(keys, vals)
+		applied += uint64(batch)
+	}
+	return applied
+}
+
+// WALSweep measures every mode across the lock × shards × threads grid and
+// folds each point's modes into a comparison. Deterministic order: lock,
+// shards, threads, then volatile → wal-nosync → wal-fsync.
+func WALSweep(locks []string, shardCounts, threads []int, batch, valueSize int, cfg Config) ([]WALResult, []WALComparison, error) {
+	var results []WALResult
+	var comps []WALComparison
+	for _, lock := range locks {
+		for _, sc := range shardCounts {
+			for _, tc := range threads {
+				byMode := map[string]WALResult{}
+				for _, m := range walModes {
+					r, err := WALPoint(lock, sc, tc, batch, valueSize, m.name, cfg)
+					if err != nil {
+						return nil, nil, err
+					}
+					results = append(results, r)
+					byMode[m.name] = r
+				}
+				comps = append(comps, compareWAL(byMode))
+			}
+		}
+	}
+	return results, comps, nil
+}
+
+// compareWAL folds one point's three modes into a comparison row.
+func compareWAL(byMode map[string]WALResult) WALComparison {
+	vol, nos, fs := byMode["volatile"], byMode["wal-nosync"], byMode["wal-fsync"]
+	c := WALComparison{
+		Lock: vol.Lock, Shards: vol.Shards, Threads: vol.Threads,
+		VolatileKeysPerSec: vol.WriteKeysPerSec,
+		NoSyncKeysPerSec:   nos.WriteKeysPerSec,
+		FsyncKeysPerSec:    fs.WriteKeysPerSec,
+		GroupKeysPerRecord: fs.GroupKeysPerRecord,
+	}
+	if vol.WriteKeysPerSec > 0 {
+		c.NoSyncOverVolatile = nos.WriteKeysPerSec / vol.WriteKeysPerSec
+		c.FsyncOverVolatile = fs.WriteKeysPerSec / vol.WriteKeysPerSec
+	}
+	return c
+}
+
+// WriteWALTable renders the per-mode measurements as the aligned
+// human-readable companion of the JSON report.
+func WriteWALTable(w io.Writer, results []WALResult) {
+	const format = "%-10s %7s %8s %-10s %14s %10s %10s %10s\n"
+	fmt.Fprintf(w, format, "lock", "shards", "threads", "mode", "wkeys/sec", "records", "keys/rec", "syncs/key")
+	for _, r := range results {
+		keysPerRec, syncsPerKey := "-", "-"
+		if r.WALRecords > 0 {
+			keysPerRec = fmt.Sprintf("%.1f", r.GroupKeysPerRecord)
+			syncsPerKey = fmt.Sprintf("%.4f", r.SyncsPerKey)
+		}
+		fmt.Fprintf(w, format, r.Lock,
+			fmt.Sprintf("%d", r.Shards), fmt.Sprintf("%d", r.Threads), r.Mode,
+			fmt.Sprintf("%.0f", r.WriteKeysPerSec),
+			fmt.Sprintf("%d", r.WALRecords), keysPerRec, syncsPerKey)
+	}
+}
+
+// WriteWALComparisons renders the durable-vs-volatile pairing.
+func WriteWALComparisons(w io.Writer, comps []WALComparison) {
+	const format = "%-10s %7s %8s %15s %15s %15s %9s %9s %9s\n"
+	fmt.Fprintf(w, format, "lock", "shards", "threads",
+		"volatile(wk/s)", "nosync(wk/s)", "fsync(wk/s)", "nosync/v", "fsync/v", "keys/rec")
+	for _, c := range comps {
+		fmt.Fprintf(w, format, c.Lock,
+			fmt.Sprintf("%d", c.Shards), fmt.Sprintf("%d", c.Threads),
+			fmt.Sprintf("%.0f", c.VolatileKeysPerSec),
+			fmt.Sprintf("%.0f", c.NoSyncKeysPerSec),
+			fmt.Sprintf("%.0f", c.FsyncKeysPerSec),
+			fmt.Sprintf("%.2fx", c.NoSyncOverVolatile),
+			fmt.Sprintf("%.2fx", c.FsyncOverVolatile),
+			fmt.Sprintf("%.1f", c.GroupKeysPerRecord))
+	}
+}

@@ -97,14 +97,26 @@ func (s *Sharded) Flush() int {
 }
 
 // applyBatch applies one detached same-shard batch in order under a single
-// write-lock acquisition.
+// write-lock acquisition. On durable engines the whole batch is one WAL
+// record and (under SyncAlways) one fsync — group commit: a queued write
+// becomes durable when its batch applies, not when PutAsync returns.
 func (sh *kvShard) applyBatch(keys []uint64, vals [][]byte) {
+	w := sh.wal
+	w.lock()
+	if w != nil {
+		w.begin(len(keys))
+		for i, k := range keys {
+			w.addPut(k, vals[i], 0)
+		}
+		w.commit(len(keys))
+	}
 	sh.lock.Lock()
 	sh.ops.puts.Add(uint64(len(keys))) // total before rare, as in Put
 	for i, k := range keys {
 		sh.putLocked(k, vals[i], 0)
 	}
 	sh.lock.Unlock()
+	w.unlock()
 	sh.ops.wbatches.Add(1)
 	sh.ops.wbatchKeys.Add(uint64(len(keys)))
 }

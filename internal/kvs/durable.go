@@ -1,0 +1,281 @@
+package kvs
+
+// Durability wiring: options, the data-directory layout, recovery, and
+// Close. A durable engine's directory holds
+//
+//	MANIFEST           {"version":1,"shards":N} — pins the shard layout
+//	shard-NNNN.snap    latest checkpoint of shard N (optional)
+//	shard-NNNN.wal     records appended since that checkpoint
+//	shard-NNNN.wal.old mid-checkpoint generation (crash artifact, replayed)
+//
+// Recovery invariant: shard N's state is
+//
+//	replay(snapshot, wal.old, wal-up-to-last-valid-record)
+//
+// in that order, with the wal's torn tail truncated before new appends.
+// Keys are assigned to shards by hash, so the layout is only meaningful at
+// the shard count that produced it — the MANIFEST records it and reopening
+// with a different count is an error, not silent misrouting.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/bravolock/bravo/internal/rwl"
+)
+
+// Option configures a Sharded engine at construction.
+type Option func(*engineConfig)
+
+type engineConfig struct {
+	dir    string
+	policy SyncPolicy
+}
+
+// WithDurability makes the engine durable: state lives in dir (created if
+// missing, recovered if not empty — snapshot plus log tail, torn final
+// record dropped), every write is logged before it is applied, and policy
+// says when the log fsyncs. Pair with Close on shutdown and Checkpoint to
+// bound log growth.
+func WithDurability(dir string, policy SyncPolicy) Option {
+	return func(c *engineConfig) {
+		c.dir = dir
+		c.policy = policy
+	}
+}
+
+// OpenSharded opens (or creates) a durable engine in dir: NewSharded with
+// WithDurability. On a non-empty directory it replays the latest snapshot
+// and the log tail written since, tolerating a torn final record.
+func OpenSharded(dir string, shards int, mkLock rwl.Factory, policy SyncPolicy) (*Sharded, error) {
+	return NewSharded(shards, mkLock, WithDurability(dir, policy))
+}
+
+// Durable reports whether the engine writes a WAL.
+func (s *Sharded) Durable() bool { return s.durable }
+
+// Dir returns the data directory, empty for volatile engines.
+func (s *Sharded) Dir() string { return s.dir }
+
+// SyncPolicy returns the WAL sync policy; SyncNone for volatile engines.
+func (s *Sharded) SyncPolicy() SyncPolicy { return s.policy }
+
+// WALError returns the first WAL write, sync, or rotation error any shard
+// has recorded, or nil. The engine keeps serving from memory after a WAL
+// error; callers that need hard durability poll this (kvserv surfaces it
+// in /stats).
+func (s *Sharded) WALError() error {
+	if !s.durable {
+		return nil
+	}
+	for i := range s.shards {
+		w := s.shards[i].wal
+		// The errs counter is the lock-free gate: writers hold mu across
+		// fsync, so blindly locking here would stall a stats poll (and the
+		// writers behind it) on every busy shard.
+		if w.errs.Load() == 0 {
+			continue
+		}
+		w.mu.Lock()
+		err := w.err
+		w.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("kvs: shard %d wal: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close drains the async write queues and, on durable engines, syncs and
+// closes every shard's log. The engine must not be written after Close
+// (late writes are counted as WAL errors and survive only in memory).
+// Close is idempotent.
+func (s *Sharded) Close() error {
+	s.Flush()
+	if !s.durable {
+		return nil
+	}
+	var first error
+	for i := range s.shards {
+		w := s.shards[i].wal
+		w.mu.Lock()
+		if !w.closed {
+			w.closed = true
+			if err := w.f.Sync(); err != nil && first == nil {
+				first = err
+			}
+			if err := w.f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if first == nil {
+			first = w.err
+		}
+		w.mu.Unlock()
+	}
+	return first
+}
+
+// manifest pins the directory's shard layout.
+type manifest struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+const manifestName = "MANIFEST"
+
+// openDurable attaches a WAL to every shard of a freshly-built engine,
+// recovering any state already in dir. Runs before the engine is shared,
+// so it touches the maps without locks.
+func (s *Sharded) openDurable(dir string, policy SyncPolicy) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	s.dir, s.durable, s.policy = dir, true, policy
+	if err := s.checkManifest(); err != nil {
+		return err
+	}
+	needCkpt := make([]int, 0)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		// A .snap.tmp is an interrupted, unpublished checkpoint: garbage.
+		_ = os.Remove(s.snapPath(i) + ".tmp")
+		if data, err := os.ReadFile(s.snapPath(i)); err == nil {
+			entries, err := loadSnapshot(data)
+			if err != nil {
+				return fmt.Errorf("kvs: shard %d snapshot: %w", i, err)
+			}
+			sh.recover(entries)
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+		if data, err := os.ReadFile(s.walOldPath(i)); err == nil {
+			walReplay(data, sh.recover)
+			needCkpt = append(needCkpt, i)
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+		walSize := int64(0)
+		if data, err := os.ReadFile(s.walPath(i)); err == nil {
+			walSize = int64(walReplay(data, sh.recover))
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+		// Drop the torn tail before appending after it: a new record
+		// written beyond torn bytes would be unreachable at replay.
+		if err := truncateTo(s.walPath(i), walSize); err != nil {
+			return err
+		}
+		f, err := os.OpenFile(s.walPath(i), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		sh.wal = &shardWAL{f: f, policy: policy, size: walSize}
+	}
+	// Make the freshly-created log files' directory entries durable: an
+	// fsynced record is worthless if the file itself vanishes with the
+	// unsynced directory on power loss.
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	// A leftover .wal.old means a checkpoint died mid-flight; re-running it
+	// now collapses the three-file state back to snapshot + empty log.
+	for _, i := range needCkpt {
+		if err := s.checkpointShard(i); err != nil {
+			return fmt.Errorf("kvs: recovering checkpoint of shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// checkManifest validates the layout pin, writing it on first use.
+func (s *Sharded) checkManifest() error {
+	path := filepath.Join(s.dir, manifestName)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		if s.hasShardFiles() {
+			return fmt.Errorf("kvs: %s has shard files but no %s", s.dir, manifestName)
+		}
+		buf, _ := json.Marshal(manifest{Version: 1, Shards: len(s.shards)})
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return err
+		}
+		return syncDir(s.dir)
+	}
+	if err != nil {
+		return err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("kvs: parsing %s: %w", path, err)
+	}
+	if m.Version != 1 {
+		return fmt.Errorf("kvs: %s version %d not understood", path, m.Version)
+	}
+	if m.Shards != len(s.shards) {
+		return fmt.Errorf("kvs: %s was written with %d shards, reopened with %d — keys are sharded by hash, so the layout is not portable across shard counts", s.dir, m.Shards, len(s.shards))
+	}
+	return nil
+}
+
+// hasShardFiles reports whether dir already holds shard state.
+func (s *Sharded) hasShardFiles() bool {
+	for _, pat := range []string{"shard-*.wal", "shard-*.snap"} {
+		if m, _ := filepath.Glob(filepath.Join(s.dir, pat)); len(m) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// recover applies decoded entries to a shard during single-threaded
+// recovery, through the same putLocked/deleteLocked the live paths use.
+func (sh *kvShard) recover(entries []walEntry) {
+	for _, e := range entries {
+		switch e.op {
+		case walOpPut:
+			sh.putLocked(e.key, e.val, 0)
+		case walOpPutTTL:
+			sh.putLocked(e.key, e.val, deadlineFromRemaining(e.rem))
+		case walOpDelete:
+			sh.deleteLocked(e.key)
+		}
+	}
+}
+
+// truncateTo truncates path to size when it exists and is longer.
+func truncateTo(path string, size int64) error {
+	st, err := os.Stat(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if st.Size() <= size {
+		return nil
+	}
+	return os.Truncate(path, size)
+}
+
+func (s *Sharded) walPath(i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("shard-%04d.wal", i))
+}
+
+func (s *Sharded) walOldPath(i int) string {
+	return s.walPath(i) + ".old"
+}
+
+func (s *Sharded) snapPath(i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("shard-%04d.snap", i))
+}
+
+// errNotDurable is returned by durable-only operations on volatile engines.
+var errNotDurable = errors.New("kvs: engine is volatile (open with WithDurability)")

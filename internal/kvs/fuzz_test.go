@@ -1,0 +1,109 @@
+package kvs
+
+// Native fuzz harnesses for the durability decoders: whatever bytes a
+// damaged disk hands them, they must reject cleanly — never panic, never
+// allocate absurdly, never apply half a record. CI runs the seed corpus on
+// every test run and a short -fuzz exploration per target.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"testing"
+)
+
+// buildRecord frames a payload the way commit does, so seeds include
+// structurally-valid records.
+func buildRecord(payload []byte) []byte {
+	rec := make([]byte, walHeaderSize, walHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(rec, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(payload, walCRC))
+	return append(rec, payload...)
+}
+
+// validPayload encodes a three-entry batch via the real writer path.
+func validPayload() []byte {
+	w := &shardWAL{}
+	w.begin(3)
+	w.addPut(7, []byte("value"), 0)
+	w.addPut(8, []byte("ttl"), 12345)
+	w.addDelete(9)
+	payload := append([]byte(nil), w.buf[walHeaderSize:]...)
+	return payload
+}
+
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(buildRecord(validPayload()))
+	f.Add(buildRecord(validPayload())[:5])             // torn header
+	f.Add(append(buildRecord(validPayload()), 0xFF))   // trailing garbage
+	f.Add(buildRecord([]byte{walVersion, 0, 0, 0, 0})) // empty batch
+	f.Add(buildRecord([]byte{2, 1, 0, 0, 0}))          // wrong version
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0})  // insane length
+	f.Add(bytes.Repeat([]byte{0}, 64))                 // zero-length records... of garbage CRC
+	f.Fuzz(func(t *testing.T, data []byte) {
+		applied := 0
+		valid := walReplay(data, func(entries []walEntry) {
+			for _, e := range entries {
+				// Decoded entries must be internally sane: ops in range,
+				// values inside the input buffer.
+				switch e.op {
+				case walOpPut, walOpPutTTL, walOpDelete:
+				default:
+					t.Fatalf("decoder surfaced op %d", e.op)
+				}
+				if len(e.val) > len(data) {
+					t.Fatalf("value of %d bytes from %d input bytes", len(e.val), len(data))
+				}
+			}
+			applied++
+		})
+		if valid < 0 || valid > len(data) {
+			t.Fatalf("valid offset %d outside [0, %d]", valid, len(data))
+		}
+		// Replay must be deterministic and idempotent on the valid prefix.
+		applied2 := 0
+		valid2 := walReplay(data[:valid], func([]walEntry) { applied2++ })
+		if valid2 != valid || applied2 != applied {
+			t.Fatalf("replay of the valid prefix gave offset %d records %d, want %d/%d", valid2, applied2, valid, applied)
+		}
+	})
+}
+
+func FuzzSnapshotLoad(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("BRVOSNP1"))
+	// A real snapshot file, via the real writer.
+	dir := f.TempDir()
+	s, err := OpenSharded(dir, 1, mkStd, SyncNone)
+	if err != nil {
+		f.Fatal(err)
+	}
+	s.Put(1, []byte("one"))
+	s.PutTTL(2, []byte("two"), 1<<40)
+	if err := s.Checkpoint(); err != nil {
+		f.Fatal(err)
+	}
+	snap, err := os.ReadFile(s.snapPath(0))
+	if err != nil {
+		f.Fatal(err)
+	}
+	s.Close()
+	f.Add(snap)
+	f.Add(snap[:len(snap)-2]) // torn trailer
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := loadSnapshot(data)
+		if err != nil {
+			return
+		}
+		for _, e := range entries {
+			if e.op != walOpPut && e.op != walOpPutTTL {
+				t.Fatalf("snapshot surfaced op %d", e.op)
+			}
+			if len(e.val) > len(data) {
+				t.Fatalf("value of %d bytes from %d input bytes", len(e.val), len(data))
+			}
+		}
+	})
+}

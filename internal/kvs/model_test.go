@@ -1,0 +1,440 @@
+package kvs
+
+// Model-based certification: the sharded engine must be observationally
+// equivalent to a single-mutex map. A reference model applies the same
+// randomized schedule of operations (Put, PutTTL at its two deterministic
+// deadline classes, Delete, MultiPut, MultiDelete, PutAsync+Flush, Get,
+// MultiGet, Range, Reap) and the visible states must agree — after every
+// read in the sequential phase, and on the final snapshot in the
+// concurrent phase, where workers own disjoint key ranges so the final
+// state is deterministic per schedule. Run under -race (CI does), the
+// concurrent phase is also a data-race certification; the durable variant
+// closes, reopens, and demands the recovered store still match the model.
+//
+// TTL determinism: wall-clock TTLs would make the model racy, so the
+// schedules use putDeadline with exactly two classes — born expired
+// (deadline -1, invisible immediately) and effectively-never (MaxInt64).
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/bravolock/bravo/internal/rwl"
+	"github.com/bravolock/bravo/internal/xrand"
+)
+
+// refKV is the reference: one flat map of the *visible* state behind one
+// mutex, plus the not-yet-applied async queue.
+type refKV struct {
+	mu      sync.Mutex
+	data    map[uint64][]byte
+	pendKey []uint64
+	pendVal [][]byte
+}
+
+func newRefKV() *refKV { return &refKV{data: map[uint64][]byte{}} }
+
+func (r *refKV) put(k uint64, v []byte) {
+	r.mu.Lock()
+	r.data[k] = append([]byte(nil), v...)
+	r.mu.Unlock()
+}
+
+func (r *refKV) erase(k uint64) {
+	r.mu.Lock()
+	delete(r.data, k)
+	r.mu.Unlock()
+}
+
+func (r *refKV) putAsync(k uint64, v []byte) {
+	r.mu.Lock()
+	r.pendKey = append(r.pendKey, k)
+	r.pendVal = append(r.pendVal, append([]byte(nil), v...))
+	r.mu.Unlock()
+}
+
+func (r *refKV) flush() {
+	r.mu.Lock()
+	for i, k := range r.pendKey {
+		r.data[k] = r.pendVal[i]
+	}
+	r.pendKey, r.pendVal = nil, nil
+	r.mu.Unlock()
+}
+
+func (r *refKV) get(k uint64) ([]byte, bool) {
+	r.mu.Lock()
+	v, ok := r.data[k]
+	r.mu.Unlock()
+	return v, ok
+}
+
+// compareSnapshot fails the test unless the engine's visible state equals
+// the reference's.
+func compareSnapshot(t *testing.T, s *Sharded, want map[uint64][]byte, label string) {
+	t.Helper()
+	snap := s.Snapshot()
+	if len(snap) != len(want) {
+		t.Fatalf("%s: engine has %d visible keys, model has %d", label, len(snap), len(want))
+	}
+	for k, wv := range want {
+		gv, ok := snap[k]
+		if !ok {
+			t.Fatalf("%s: model key %d missing from engine", label, k)
+		}
+		if !bytes.Equal(gv, wv) {
+			t.Fatalf("%s: key %d = %x, model says %x", label, k, gv, wv)
+		}
+	}
+}
+
+// runSequentialModel drives one goroutine's randomized schedule against
+// both the engine and the reference, checking every read.
+func runSequentialModel(t *testing.T, s *Sharded, seed uint64, iters int, h *rwl.Reader) *refKV {
+	t.Helper()
+	// The model tracks the async queue itself, so the engine must not
+	// auto-drain behind its back.
+	s.SetAsyncBatch(1 << 30)
+	ref := newRefKV()
+	rng := xrand.NewXorShift64(seed)
+	const keyspace = 256
+	batch := make([]uint64, 0, 8)
+	bvals := make([][]byte, 0, 8)
+	for i := 0; i < iters; i++ {
+		k := rng.Intn(keyspace)
+		switch rng.Intn(20) {
+		case 0, 1, 2:
+			v := EncodeValue(rng.Next())
+			s.Put(k, v)
+			ref.put(k, v)
+		case 3: // TTL, never-expiring class
+			v := EncodeValue(rng.Next())
+			s.putDeadline(k, v, math.MaxInt64)
+			ref.put(k, v)
+		case 4: // TTL, born-expired class: immediately invisible
+			s.putDeadline(k, EncodeValue(rng.Next()), -1)
+			ref.erase(k)
+		case 5, 6:
+			s.Delete(k)
+			ref.erase(k)
+		case 7: // MultiPut, duplicates allowed: later position wins both sides
+			n := 1 + int(rng.Intn(8))
+			batch, bvals = batch[:0], bvals[:0]
+			for j := 0; j < n; j++ {
+				batch = append(batch, rng.Intn(keyspace))
+				bvals = append(bvals, EncodeValue(rng.Next()))
+			}
+			s.MultiPut(batch, bvals)
+			for j, bk := range batch {
+				ref.put(bk, bvals[j])
+			}
+		case 8: // MultiDelete
+			n := 1 + int(rng.Intn(8))
+			batch = batch[:0]
+			for j := 0; j < n; j++ {
+				batch = append(batch, rng.Intn(keyspace))
+			}
+			s.MultiDelete(batch)
+			for _, bk := range batch {
+				ref.erase(bk)
+			}
+		case 9:
+			v := EncodeValue(rng.Next())
+			s.PutAsync(k, v)
+			ref.putAsync(k, v)
+		case 10:
+			s.Flush()
+			ref.flush()
+		case 11:
+			s.Reap(64) // physical removal only: no visible-state change
+		case 12: // full visible-state audit mid-stream
+			seen := map[uint64][]byte{}
+			s.Range(func(rk uint64, rv []byte) bool {
+				seen[rk] = append([]byte(nil), rv...)
+				return true
+			})
+			ref.mu.Lock()
+			if len(seen) != len(ref.data) {
+				t.Fatalf("op %d: Range saw %d keys, model has %d", i, len(seen), len(ref.data))
+			}
+			for rk, rv := range ref.data {
+				if !bytes.Equal(seen[rk], rv) {
+					t.Fatalf("op %d: Range key %d = %x, model %x", i, rk, seen[rk], rv)
+				}
+			}
+			ref.mu.Unlock()
+		case 13: // MultiGet vs model, absent keys included
+			n := 1 + int(rng.Intn(8))
+			batch = batch[:0]
+			for j := 0; j < n; j++ {
+				batch = append(batch, rng.Intn(2*keyspace))
+			}
+			got := s.MultiGet(batch)
+			for j, bk := range batch {
+				wv, wok := ref.get(bk)
+				if wok != (got[j] != nil) || (wok && !bytes.Equal(got[j], wv)) {
+					t.Fatalf("op %d: MultiGet[%d] key %d = %v, model %v/%v", i, j, bk, got[j], wv, wok)
+				}
+			}
+		default: // Get (through the handle when the substrate supports it)
+			var got []byte
+			var ok bool
+			if h != nil && rng.Intn(2) == 0 {
+				got, ok = s.GetH(h, k)
+			} else {
+				got, ok = s.Get(k)
+			}
+			wv, wok := ref.get(k)
+			if ok != wok || (ok && !bytes.Equal(got, wv)) {
+				t.Fatalf("op %d: Get(%d) = %q/%v, model %q/%v", i, k, got, ok, wv, wok)
+			}
+		}
+	}
+	s.Flush()
+	ref.flush()
+	compareSnapshot(t, s, ref.data, "sequential final")
+	return ref
+}
+
+func TestModelSequentialEquivalence(t *testing.T) {
+	iters := 6000
+	if testing.Short() {
+		iters = 800
+	}
+	for _, tc := range []struct {
+		name string
+		mk   rwl.Factory
+	}{
+		{"go-rw", mkStd},
+		{"bravo-ba", mkBravo},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewSharded(8, tc.mk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runSequentialModel(t, s, 0xB1A5ED, iters, rwl.NewReader())
+		})
+	}
+}
+
+// TestModelSequentialEquivalenceDurable runs the same schedule on a
+// durable engine, then closes, reopens, and demands the recovered store
+// still equal the model — semantics and persistence certified together.
+func TestModelSequentialEquivalenceDurable(t *testing.T) {
+	iters := 4000
+	if testing.Short() {
+		iters = 600
+	}
+	dir := t.TempDir()
+	s := openTestKV(t, dir, 8, SyncNone)
+	ref := runSequentialModel(t, s, 0xD0_0D, iters, rwl.NewReader())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openTestKV(t, dir, 8, SyncNone)
+	defer r.Close()
+	compareSnapshot(t, r, ref.data, "recovered")
+}
+
+// runConcurrentModel storms the engine with workers that own disjoint key
+// ranges (each also running reads, reaps, and the async path with the
+// documented flush-before-mixing discipline) plus anonymous readers, then
+// compares the deterministic final state. Returns the merged model.
+func runConcurrentModel(t *testing.T, s *Sharded, workers, iters int) map[uint64][]byte {
+	t.Helper()
+	s.SetAsyncBatch(1 << 30) // apply only on Flush: keeps per-key order modelable
+	const keysPerWorker = 128
+	models := make([]map[uint64][]byte, workers)
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func(seed uint64) {
+			defer readers.Done()
+			h := rwl.NewReader()
+			rng := xrand.NewXorShift64(seed)
+			total := uint64(workers) * keysPerWorker
+			batch := make([]uint64, 4)
+			// Bounded, not free-running: on a single-CPU host an unbounded
+			// read loop against spinning substrates starves the writers it
+			// is supposed to race with.
+			for i := 0; i < iters; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				k := rng.Next() % total
+				switch rng.Intn(8) {
+				case 0:
+					for j := range batch {
+						batch[j] = rng.Next() % total
+					}
+					for _, v := range s.MultiGetH(h, batch) {
+						if v != nil && len(v) != 8 {
+							t.Errorf("reader: MultiGet returned %d bytes", len(v))
+						}
+					}
+				case 1:
+					s.Range(func(_ uint64, v []byte) bool {
+						if len(v) != 8 {
+							t.Errorf("reader: Range visited %d bytes", len(v))
+						}
+						return true
+					})
+				default:
+					if v, ok := s.GetH(h, k); ok && len(v) != 8 {
+						t.Errorf("reader: Get returned %d bytes", len(v))
+					}
+				}
+			}
+		}(uint64(1000 + r))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * keysPerWorker
+			model := map[uint64][]byte{}
+			pending := map[uint64]bool{}
+			// flushFor honours the async-mixing contract: before a sync
+			// write touches a key with a queued async write, Flush.
+			flushFor := func(keys ...uint64) {
+				for _, k := range keys {
+					if pending[k] {
+						s.Flush()
+						pending = map[uint64]bool{}
+						return
+					}
+				}
+			}
+			rng := xrand.NewXorShift64(uint64(w)*0x9E3779B9 + 7)
+			batch := make([]uint64, 0, 6)
+			bvals := make([][]byte, 0, 6)
+			for i := 0; i < iters; i++ {
+				k := base + rng.Next()%keysPerWorker
+				switch rng.Intn(16) {
+				case 0, 1, 2:
+					flushFor(k)
+					v := EncodeValue(rng.Next())
+					s.Put(k, v)
+					model[k] = v
+				case 3:
+					flushFor(k)
+					v := EncodeValue(rng.Next())
+					s.putDeadline(k, v, math.MaxInt64)
+					model[k] = v
+				case 4:
+					flushFor(k)
+					s.putDeadline(k, EncodeValue(rng.Next()), -1)
+					delete(model, k)
+				case 5:
+					flushFor(k)
+					s.Delete(k)
+					delete(model, k)
+				case 6: // MultiPut within the worker's own range
+					n := 1 + int(rng.Intn(6))
+					batch, bvals = batch[:0], bvals[:0]
+					for j := 0; j < n; j++ {
+						batch = append(batch, base+rng.Next()%keysPerWorker)
+						bvals = append(bvals, EncodeValue(rng.Next()))
+					}
+					flushFor(batch...)
+					s.MultiPut(batch, bvals)
+					for j, bk := range batch {
+						model[bk] = bvals[j]
+					}
+				case 7:
+					n := 1 + int(rng.Intn(6))
+					batch = batch[:0]
+					for j := 0; j < n; j++ {
+						batch = append(batch, base+rng.Next()%keysPerWorker)
+					}
+					flushFor(batch...)
+					s.MultiDelete(batch)
+					for _, bk := range batch {
+						delete(model, bk)
+					}
+				case 8, 9:
+					v := EncodeValue(rng.Next())
+					s.PutAsync(k, v)
+					model[k] = v
+					pending[k] = true
+				case 10:
+					s.Flush()
+					pending = map[uint64]bool{}
+				case 11:
+					s.Reap(32)
+				default:
+					// A key with no queued async write is stable: only this
+					// worker writes it, and its last sync write has applied.
+					if !pending[k] {
+						wv, wok := model[k]
+						gv, gok := s.Get(k)
+						if gok != wok || (gok && !bytes.Equal(gv, wv)) {
+							t.Errorf("worker %d: Get(%d) = %q/%v, model %q/%v", w, k, gv, gok, wv, wok)
+						}
+					}
+				}
+			}
+			models[w] = model
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	readers.Wait()
+	s.Flush()
+	merged := map[uint64][]byte{}
+	for _, m := range models {
+		for k, v := range m {
+			merged[k] = v
+		}
+	}
+	compareSnapshot(t, s, merged, "concurrent final")
+	return merged
+}
+
+func TestModelConcurrentEquivalence(t *testing.T) {
+	iters := 3000
+	if testing.Short() {
+		iters = 400
+	}
+	for _, tc := range []struct {
+		name string
+		mk   rwl.Factory
+	}{
+		{"go-rw", mkStd},
+		{"bravo-ba", mkBravo},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewSharded(8, tc.mk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runConcurrentModel(t, s, 4, iters)
+		})
+	}
+}
+
+// TestModelConcurrentEquivalenceDurable is the concurrent storm over a
+// live WAL, plus recovery: the reopened store must equal the model the
+// concurrent schedule determined.
+func TestModelConcurrentEquivalenceDurable(t *testing.T) {
+	iters := 1500
+	if testing.Short() {
+		iters = 300
+	}
+	dir := t.TempDir()
+	s := openTestKV(t, dir, 8, SyncNone)
+	merged := runConcurrentModel(t, s, 4, iters)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openTestKV(t, dir, 8, SyncNone)
+	defer r.Close()
+	compareSnapshot(t, r, merged, "recovered concurrent")
+}

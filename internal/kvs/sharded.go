@@ -3,6 +3,7 @@ package kvs
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -38,9 +39,20 @@ import (
 // invisible to every read path the instant the deadline passes (lazy
 // expiry), and Reap incrementally removes them under the ordinary shard
 // write locks — never a stop-the-world scan.
+//
+// With WithDurability (or OpenSharded) the engine is persistent: every
+// write appends to its shard's write-ahead log before applying, each of
+// the batches above is one log record — and, under SyncAlways, one fsync
+// (group commit; see wal.go) — Checkpoint bounds log growth with per-shard
+// snapshots, and reopening the directory recovers snapshot + log tail.
 type Sharded struct {
 	shards []kvShard
 	mask   uint64
+	// Durability state (durable.go); zero-valued on volatile engines.
+	dir     string
+	durable bool
+	policy  SyncPolicy
+	ckptMu  sync.Mutex
 	// reapCursor round-robins Reap's starting shard across calls, so an
 	// incremental budget eventually covers every shard.
 	reapCursor atomic.Uint64
@@ -62,6 +74,9 @@ type kvShard struct {
 	// exp tracks PutTTL deadlines (see ttlMap). Guarded by lock.
 	exp ttlMap
 	q   writeQueue
+	// wal is the shard's write-ahead log, nil on volatile engines. Its
+	// mutex orders before lock: writers append (and fsync) before applying.
+	wal *shardWAL
 	ops shardOps
 	_   arch.SectorPad
 }
@@ -110,6 +125,9 @@ type shardOps struct {
 	expired   atomic.Uint64
 	reaped    atomic.Uint64
 	snapshots atomic.Uint64
+	// checkpoints counts completed durable checkpoints of this shard; the
+	// WAL's own counters live on shardWAL.
+	checkpoints atomic.Uint64
 }
 
 // ShardStats is a point-in-time summary of one shard (or, via Total, of the
@@ -136,6 +154,18 @@ type ShardStats struct {
 	Expired   uint64 `json:"expired"`
 	Reaped    uint64 `json:"reaped"`
 	Snapshots uint64 `json:"snapshots"`
+	// WAL counters (zero on volatile engines). WALRecords is appended
+	// group-commit records, WALKeys the entries they carried —
+	// WALKeys/WALRecords is the achieved group-commit batch size. WALSyncs
+	// counts fsyncs, WALBytes bytes appended, WALErrors append/sync
+	// failures (the engine keeps serving from memory; see WALError), and
+	// Checkpoints completed snapshot checkpoints.
+	WALRecords  uint64 `json:"wal_records"`
+	WALKeys     uint64 `json:"wal_keys"`
+	WALSyncs    uint64 `json:"wal_syncs"`
+	WALBytes    uint64 `json:"wal_bytes"`
+	WALErrors   uint64 `json:"wal_errors"`
+	Checkpoints uint64 `json:"checkpoints"`
 }
 
 // add folds o into s.
@@ -156,6 +186,12 @@ func (s *ShardStats) add(o ShardStats) {
 	s.Expired += o.Expired
 	s.Reaped += o.Reaped
 	s.Snapshots += o.Snapshots
+	s.WALRecords += o.WALRecords
+	s.WALKeys += o.WALKeys
+	s.WALSyncs += o.WALSyncs
+	s.WALBytes += o.WALBytes
+	s.WALErrors += o.WALErrors
+	s.Checkpoints += o.Checkpoints
 }
 
 // ShardedStats aggregates the per-shard summaries of a Sharded engine.
@@ -173,16 +209,27 @@ func (st ShardedStats) Total() ShardStats {
 }
 
 // NewSharded returns an engine with the given number of shards (a positive
-// power of two), each guarded by a fresh lock from mkLock.
-func NewSharded(shards int, mkLock rwl.Factory) (*Sharded, error) {
+// power of two), each guarded by a fresh lock from mkLock. With no options
+// the engine is volatile; WithDurability makes it persistent (recovering
+// whatever the directory already holds — see OpenSharded).
+func NewSharded(shards int, mkLock rwl.Factory, opts ...Option) (*Sharded, error) {
 	if shards <= 0 || shards&(shards-1) != 0 {
 		return nil, fmt.Errorf("kvs: shard count %d is not a positive power of two", shards)
+	}
+	var cfg engineConfig
+	for _, opt := range opts {
+		opt(&cfg)
 	}
 	s := &Sharded{shards: make([]kvShard, shards), mask: uint64(shards - 1)}
 	for i := range s.shards {
 		s.shards[i].lock = mkLock()
 		s.shards[i].hlock, _ = s.shards[i].lock.(rwl.HandleRWLock)
 		s.shards[i].data = make(map[uint64][]byte)
+	}
+	if cfg.dir != "" {
+		if err := s.openDurable(cfg.dir, cfg.policy); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -281,10 +328,18 @@ func (s *Sharded) putDeadline(key uint64, value []byte, deadline int64) {
 
 func (s *Sharded) put(key uint64, value []byte, deadline int64) {
 	sh := s.shardOf(key)
+	w := sh.wal
+	w.lock()
+	if w != nil {
+		w.begin(1)
+		w.addPut(key, value, deadline)
+		w.commit(1)
+	}
 	sh.lock.Lock()
 	sh.ops.puts.Add(1) // total before rare: see the Stats load-order note
 	sh.putLocked(key, value, deadline)
 	sh.lock.Unlock()
+	w.unlock()
 }
 
 // putLocked applies one insert-or-update under the already-held shard write
@@ -310,10 +365,18 @@ func (sh *kvShard) putLocked(key uint64, value []byte, deadline int64) {
 // a reader would have observed.
 func (s *Sharded) Delete(key uint64) bool {
 	sh := s.shardOf(key)
+	w := sh.wal
+	w.lock()
+	if w != nil {
+		w.begin(1)
+		w.addDelete(key)
+		w.commit(1)
+	}
 	sh.lock.Lock()
 	sh.ops.deletes.Add(1) // total before rare: see the Stats load-order note
 	ok, expired := sh.deleteLocked(key)
 	sh.lock.Unlock()
+	w.unlock()
 	if !ok {
 		sh.ops.delMisses.Add(1)
 	}
@@ -400,12 +463,25 @@ func (s *Sharded) multiPut(keys []uint64, values [][]byte, deadline int64) {
 		panic(fmt.Sprintf("kvs: MultiPut with %d keys but %d values", len(keys), len(values)))
 	}
 	s.forEachShardGroup(keys, func(sh *kvShard, group []shardPos) {
+		// Group commit: the whole shard group is one WAL record and, under
+		// SyncAlways, one fsync — the log analogue of amortizing one bias
+		// revocation across the group.
+		w := sh.wal
+		w.lock()
+		if w != nil {
+			w.begin(len(group))
+			for _, p := range group {
+				w.addPut(keys[p.pos], values[p.pos], deadline)
+			}
+			w.commit(len(group))
+		}
 		sh.lock.Lock()
 		sh.ops.puts.Add(uint64(len(group))) // total before rare, as in Put
 		for _, p := range group {
 			sh.putLocked(keys[p.pos], values[p.pos], deadline)
 		}
 		sh.lock.Unlock()
+		w.unlock()
 		sh.ops.wbatches.Add(1)
 		sh.ops.wbatchKeys.Add(uint64(len(group)))
 	})
@@ -418,6 +494,15 @@ func (s *Sharded) MultiDelete(keys []uint64) int {
 	removed := 0
 	s.forEachShardGroup(keys, func(sh *kvShard, group []shardPos) {
 		hits, expired := 0, 0
+		w := sh.wal
+		w.lock()
+		if w != nil {
+			w.begin(len(group))
+			for _, p := range group {
+				w.addDelete(keys[p.pos])
+			}
+			w.commit(len(group))
+		}
 		sh.lock.Lock()
 		sh.ops.deletes.Add(uint64(len(group))) // total before rare, as in Delete
 		for _, p := range group {
@@ -430,6 +515,7 @@ func (s *Sharded) MultiDelete(keys []uint64) int {
 			}
 		}
 		sh.lock.Unlock()
+		w.unlock()
 		sh.ops.delMisses.Add(uint64(len(group) - hits))
 		if expired > 0 {
 			sh.ops.expired.Add(uint64(expired))
@@ -539,6 +625,10 @@ const DefaultReapBudget = 256
 // cover a shard's TTL set even when it exceeds the budget; lazy expiry
 // keeps not-yet-reaped entries invisible to readers regardless. Reap is
 // safe to call concurrently with every other operation (and with itself).
+// Reaping is not logged to the WAL: a recovered TTL entry replays as
+// already-expired (deadlines persist as remaining time), so it stays
+// invisible and is re-reaped — and checkpoints compact expired residue out
+// of the snapshot entirely.
 func (s *Sharded) Reap(budget int) int {
 	if budget <= 0 {
 		budget = DefaultReapBudget
@@ -621,6 +711,14 @@ func (s *Sharded) Stats() ShardedStats {
 			Expired:         sh.ops.expired.Load(),
 			Reaped:          sh.ops.reaped.Load(),
 			Snapshots:       sh.ops.snapshots.Load(),
+			Checkpoints:     sh.ops.checkpoints.Load(),
+		}
+		if w := sh.wal; w != nil {
+			st.Shards[i].WALRecords = w.records.Load()
+			st.Shards[i].WALKeys = w.keys.Load()
+			st.Shards[i].WALSyncs = w.syncs.Load()
+			st.Shards[i].WALBytes = w.bytes.Load()
+			st.Shards[i].WALErrors = w.errs.Load()
 		}
 	}
 	return st

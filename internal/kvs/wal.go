@@ -1,0 +1,401 @@
+package kvs
+
+// The write-ahead log: each shard owns an append-only log file, and every
+// mutating operation appends one CRC-framed record — containing the whole
+// per-shard batch — before applying it to the in-memory map. Group commit
+// is the point: the per-shard groups that MultiPut/MultiDelete already form
+// (forEachShardGroup) and the batches the async queue already detaches
+// become ONE log record and, under SyncAlways, ONE fsync, so the dominant
+// slow-path cost is amortized across the batch exactly the way BRAVO
+// amortizes bias revocation across the reads that follow it. A lone Put
+// pays a full fsync; a 64-key batch pays 1/64th of one per key.
+//
+// Ordering: a shard's WAL mutex is held across append+fsync+apply, so the
+// log's record order IS the apply order and replay reconstructs exactly the
+// state the maps held. Readers never touch the WAL mutex — the BRAVO read
+// fast path stays one CAS even while a batch is being synced.
+//
+// Record format (all integers little-endian, fixed width):
+//
+//	record  := u32 payloadLen | u32 crc32c(payload) | payload
+//	payload := u8 version(=1) | u32 count | count × entry
+//	entry   := u8 opPut    | u64 key | u32 vlen | vlen bytes
+//	         | u8 opPutTTL | u64 key | i64 remainingNanos | u32 vlen | vlen bytes
+//	         | u8 opDelete | u64 key
+//
+// TTL deadlines are persisted as *remaining* nanoseconds at append time,
+// not absolute deadlines: the process clock (internal/clock) has a
+// per-process epoch, so absolute values are meaningless across restarts.
+// Replay re-anchors them at recovery time — a TTL clock effectively pauses
+// while the store is down, and never fires early.
+//
+// Replay is prefix-consistent by construction: decoding stops at the first
+// record whose header is short, whose length is insane, whose CRC
+// mismatches, or whose payload is structurally malformed, and reports the
+// byte offset of the last fully-valid record so the opener can truncate the
+// torn tail before appending new records after it. A record is applied only
+// after its payload decodes completely — a torn or corrupt tail can lose
+// the suffix, never corrupt a key or value.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"github.com/bravolock/bravo/internal/clock"
+)
+
+// SyncPolicy selects when the WAL fsyncs.
+type SyncPolicy int
+
+const (
+	// SyncNone never fsyncs: records are written to the file (and survive a
+	// process crash) but an OS crash can lose the tail the kernel had not
+	// flushed. The cheapest durable mode.
+	SyncNone SyncPolicy = iota
+	// SyncAlways fsyncs once per appended record — which, with group
+	// commit, is once per shard batch, not once per key.
+	SyncAlways
+)
+
+// String returns the flag spelling of p.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncNone:
+		return "none"
+	case SyncAlways:
+		return "always"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses a -sync flag value.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "none":
+		return SyncNone, nil
+	case "always":
+		return SyncAlways, nil
+	}
+	return 0, fmt.Errorf("kvs: sync policy %q (want none or always)", s)
+}
+
+const (
+	walVersion    = 1
+	walHeaderSize = 8 // u32 payload length + u32 CRC32-C
+	// walMaxPayload bounds a record's declared payload length; anything
+	// larger is treated as a torn/corrupt tail rather than allocated.
+	walMaxPayload = 1 << 30
+
+	walOpPut    = 1
+	walOpPutTTL = 2
+	walOpDelete = 3
+)
+
+// walCRC is the Castagnoli table (hardware-accelerated on amd64/arm64).
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// errWALClosed reports an append attempted after Close.
+var errWALClosed = errors.New("kvs: write-ahead log is closed")
+
+// shardWAL is one shard's log. mu serializes append+fsync+apply (writers
+// and checkpoints take it before the shard lock; readers never take it), so
+// record order is apply order. It is nil on volatile engines — the lock and
+// log* methods are nil-receiver no-ops so the write paths stay branchless
+// apart from one nil check.
+type shardWAL struct {
+	mu     sync.Mutex
+	f      *os.File
+	policy SyncPolicy
+	buf    []byte // record scratch, reused under mu
+	// size is the file length up to the last fully-written record; a
+	// partial write rolls back to it (see commit) so no record is ever
+	// appended beyond torn bytes, where replay could not reach it.
+	size   int64
+	closed bool
+	err    error // first write/sync error; the engine stays available in memory
+
+	records atomic.Uint64
+	keys    atomic.Uint64
+	syncs   atomic.Uint64
+	bytes   atomic.Uint64
+	errs    atomic.Uint64
+}
+
+// lock acquires the WAL mutex; no-op without a WAL.
+func (w *shardWAL) lock() {
+	if w != nil {
+		w.mu.Lock()
+	}
+}
+
+// unlock releases the WAL mutex; no-op without a WAL.
+func (w *shardWAL) unlock() {
+	if w != nil {
+		w.mu.Unlock()
+	}
+}
+
+// begin starts a record of count entries in the scratch buffer. The caller
+// holds mu and follows with addPut/addDelete calls, then commit.
+func (w *shardWAL) begin(count int) {
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, make([]byte, walHeaderSize)...)
+	w.buf = append(w.buf, walVersion)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(count))
+}
+
+// addPut appends one put entry. A zero deadline is a plain put; a non-zero
+// one is encoded as remaining nanoseconds (see the package note).
+func (w *shardWAL) addPut(key uint64, value []byte, deadline int64) {
+	if deadline == 0 {
+		w.buf = append(w.buf, walOpPut)
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, key)
+	} else {
+		w.buf = append(w.buf, walOpPutTTL)
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, key)
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(deadline-clock.Nanos()))
+	}
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(value)))
+	w.buf = append(w.buf, value...)
+}
+
+// addDelete appends one delete entry.
+func (w *shardWAL) addDelete(key uint64) {
+	w.buf = append(w.buf, walOpDelete)
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, key)
+}
+
+// commit frames the pending record (length + CRC over the payload), writes
+// it, and fsyncs under SyncAlways. Write and sync failures are recorded
+// (first error wins, WALError reports it) rather than propagated: the
+// engine keeps serving from memory with durability degraded, the same
+// availability-over-durability call redis makes on a failing AOF disk.
+func (w *shardWAL) commit(count int) {
+	if w.closed {
+		w.setErr(errWALClosed)
+		return
+	}
+	payload := w.buf[walHeaderSize:]
+	binary.LittleEndian.PutUint32(w.buf[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.buf[4:], crc32.Checksum(payload, walCRC))
+	n, err := w.f.Write(w.buf)
+	w.bytes.Add(uint64(n))
+	if err != nil {
+		w.setErr(err)
+		// Roll the file back to the last complete record: replay stops at
+		// torn bytes, so anything appended beyond them would be durable in
+		// name only. If even the rollback fails, stop appending for good.
+		if terr := w.f.Truncate(w.size); terr != nil {
+			w.closed = true
+		}
+		return
+	}
+	w.size += int64(n)
+	w.records.Add(1)
+	w.keys.Add(uint64(count))
+	if w.policy == SyncAlways {
+		if err := w.f.Sync(); err != nil {
+			w.setErr(err)
+			return
+		}
+		w.syncs.Add(1)
+	}
+}
+
+// setErr records the first failure; the caller holds mu.
+func (w *shardWAL) setErr(err error) {
+	w.errs.Add(1)
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// rotate makes the current log the "old" generation and starts a fresh
+// one: sync, then rename cur → old and reopen cur empty. Called by
+// checkpoints with mu held, so no append can interleave with the swap.
+//
+// If a previous checkpoint died between its rotation and its prune, old
+// already exists and still holds records the published snapshot may not
+// cover — renaming over it would destroy the only copy of acknowledged
+// writes. In that case the current log is *appended* to old and truncated
+// in place instead: replay order (snap, old, cur) stays correct, and a
+// crash mid-merge only duplicates records that cur still holds, which
+// replay applies idempotently in log order.
+func (w *shardWAL) rotate(cur, old string) error {
+	if w.closed {
+		return errWALClosed
+	}
+	if err := w.f.Sync(); err != nil {
+		w.setErr(err)
+		return err
+	}
+	if _, err := os.Stat(old); err == nil {
+		if err := appendFile(old, cur); err != nil {
+			w.setErr(err)
+			return err
+		}
+		if err := w.f.Truncate(0); err != nil {
+			w.closed = true
+			w.setErr(err)
+			return err
+		}
+		w.size = 0
+		return nil
+	} else if !os.IsNotExist(err) {
+		w.setErr(err)
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		w.setErr(err)
+		return err
+	}
+	if err := os.Rename(cur, old); err != nil {
+		// Try to keep the engine writable on the old file.
+		if f, ferr := os.OpenFile(cur, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); ferr == nil {
+			w.f = f
+		} else {
+			w.closed = true
+		}
+		w.setErr(err)
+		return err
+	}
+	f, err := os.OpenFile(cur, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		w.closed = true
+		w.setErr(err)
+		return err
+	}
+	w.f = f
+	w.size = 0
+	return nil
+}
+
+// appendFile appends src's contents to dst and fsyncs dst.
+func appendFile(dst, src string) error {
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(dst, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// walEntry is one decoded log (or snapshot) entry. val aliases the decode
+// buffer; recovery copies it into the shard map via putLocked.
+type walEntry struct {
+	op  byte
+	key uint64
+	rem int64 // opPutTTL: remaining nanoseconds at append time
+	val []byte
+}
+
+// walReplay decodes records from data, invoking apply once per fully-valid
+// record, and returns the byte offset just past the last valid record.
+// Decoding stops — without applying anything from the bad record — at the
+// first short header, oversize length, CRC mismatch, or malformed payload:
+// the torn-tail rule. It never panics, whatever the bytes (FuzzWALReplay).
+func walReplay(data []byte, apply func([]walEntry)) (valid int) {
+	off := 0
+	for {
+		rest := data[off:]
+		if len(rest) < walHeaderSize {
+			return off
+		}
+		plen := int(binary.LittleEndian.Uint32(rest))
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		if plen > walMaxPayload || plen > len(rest)-walHeaderSize {
+			return off
+		}
+		payload := rest[walHeaderSize : walHeaderSize+plen]
+		if crc32.Checksum(payload, walCRC) != crc {
+			return off
+		}
+		entries, ok := walDecodePayload(payload)
+		if !ok {
+			return off
+		}
+		apply(entries)
+		off += walHeaderSize + plen
+	}
+}
+
+// walDecodePayload parses one record payload into entries, strictly: every
+// entry must parse and the payload must end exactly at the last one.
+func walDecodePayload(p []byte) ([]walEntry, bool) {
+	if len(p) < 5 || p[0] != walVersion {
+		return nil, false
+	}
+	count := int(binary.LittleEndian.Uint32(p[1:]))
+	// Each entry is at least 9 bytes; anything claiming more is malformed,
+	// and the bound keeps the preallocation honest on adversarial input.
+	if count < 0 || count > (len(p)-5)/9 {
+		return nil, false
+	}
+	entries := make([]walEntry, 0, count)
+	off := 5
+	for i := 0; i < count; i++ {
+		if len(p)-off < 9 {
+			return nil, false
+		}
+		e := walEntry{op: p[off], key: binary.LittleEndian.Uint64(p[off+1:])}
+		off += 9
+		switch e.op {
+		case walOpDelete:
+		case walOpPut, walOpPutTTL:
+			if e.op == walOpPutTTL {
+				if len(p)-off < 8 {
+					return nil, false
+				}
+				e.rem = int64(binary.LittleEndian.Uint64(p[off:]))
+				off += 8
+			}
+			if len(p)-off < 4 {
+				return nil, false
+			}
+			vlen := int(binary.LittleEndian.Uint32(p[off:]))
+			off += 4
+			if vlen < 0 || vlen > len(p)-off {
+				return nil, false
+			}
+			e.val = p[off : off+vlen]
+			off += vlen
+		default:
+			return nil, false
+		}
+		entries = append(entries, e)
+	}
+	return entries, off == len(p)
+}
+
+// deadlineFromRemaining re-anchors a persisted remaining-nanoseconds value
+// on the current process clock. Overflow saturates to "never" the way
+// ttlDeadline does, and the result avoids 0, which putLocked reserves for
+// "no TTL" — an entry that lands exactly on 0 is long expired anyway.
+func deadlineFromRemaining(rem int64) int64 {
+	now := clock.Nanos()
+	d := now + rem
+	if rem > 0 && d < now {
+		return math.MaxInt64
+	}
+	if d == 0 {
+		return -1
+	}
+	return d
+}

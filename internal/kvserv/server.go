@@ -16,7 +16,9 @@
 //	POST   /mput                {"entries":[{"key":1,"value":b64},...],
 //	                             "ttl":"1s"?} applied as one MultiPut
 //	POST   /flush               apply queued async writes: {"flushed":n}
-//	GET    /stats               engine ShardedStats + totals
+//	POST   /checkpoint          durable engines: snapshot every shard and
+//	                            truncate its WAL; 409 on volatile engines
+//	GET    /stats               engine ShardedStats + totals + durability
 //
 // The per-connection handle relies on HTTP/1.x serving a connection's
 // requests sequentially; the server does not enable h2, where concurrent
@@ -129,6 +131,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /mget", s.handleMGet)
 	mux.HandleFunc("POST /mput", s.handleMPut)
 	mux.HandleFunc("POST /flush", s.handleFlush)
+	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
 }
@@ -145,14 +148,18 @@ func (s *Server) Serve(l net.Listener) error {
 	return s.http.Serve(l)
 }
 
-// Close immediately closes the listener and active connections and stops
-// the reaper.
+// Close immediately closes the listener and active connections, stops the
+// reaper, and flushes the engine's queued async writes so nothing accepted
+// with a 202 is left invisible (or, on durable engines, unlogged). It does
+// not Close the engine itself — the caller owns that lifecycle (see
+// cmd/kvserv's shutdown path).
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		close(s.done)
 		err = s.http.Close()
 		s.wg.Wait()
+		s.engine.Flush()
 	})
 	return err
 }
@@ -335,22 +342,50 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]int{"flushed": s.engine.Flush()})
 }
 
-// statsResponse is /stats: the engine's per-shard counters plus the fold.
+// handleCheckpoint snapshots every shard and truncates its log. Volatile
+// engines answer 409 (the operator asked for durability the server was not
+// started with); real checkpoint IO failures are the one honest 500 here.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if !s.engine.Durable() {
+		http.Error(w, "engine is volatile: start kvserv with -data-dir", http.StatusConflict)
+		return
+	}
+	if err := s.engine.Checkpoint(); err != nil {
+		http.Error(w, fmt.Sprintf("checkpoint: %v", err), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]int{"checkpointed": s.engine.NumShards()})
+}
+
+// statsResponse is /stats: the engine's per-shard counters plus the fold
+// and the durability posture. WALError carries the first WAL failure so a
+// monitor can tell "serving but no longer durable" from healthy.
 type statsResponse struct {
 	NumShards     int              `json:"num_shards"`
 	HandleCapable bool             `json:"handle_capable"`
+	Durable       bool             `json:"durable"`
+	SyncPolicy    string           `json:"sync_policy,omitempty"`
+	WALError      string           `json:"wal_error,omitempty"`
 	Total         kvs.ShardStats   `json:"total"`
 	Shards        []kvs.ShardStats `json:"shards"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.engine.Stats()
-	writeJSON(w, statsResponse{
+	resp := statsResponse{
 		NumShards:     s.engine.NumShards(),
 		HandleCapable: s.engine.HandleCapable(),
+		Durable:       s.engine.Durable(),
 		Total:         st.Total(),
 		Shards:        st.Shards,
-	})
+	}
+	if resp.Durable {
+		resp.SyncPolicy = s.engine.SyncPolicy().String()
+		if err := s.engine.WALError(); err != nil {
+			resp.WALError = err.Error()
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

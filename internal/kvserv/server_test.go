@@ -25,6 +25,12 @@ func startServer(t *testing.T, cfg Config) (string, *kvs.Sharded) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return startServerWith(t, engine, cfg), engine
+}
+
+// startServerWith serves a caller-built engine (volatile or durable).
+func startServerWith(t *testing.T, engine *kvs.Sharded, cfg Config) string {
+	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -38,7 +44,7 @@ func startServer(t *testing.T, cfg Config) (string, *kvs.Sharded) {
 			t.Errorf("Serve returned %v, want http.ErrServerClosed", err)
 		}
 	})
-	return "http://" + l.Addr().String(), engine
+	return "http://" + l.Addr().String()
 }
 
 func do(t *testing.T, method, url string, body []byte) (*http.Response, []byte) {
@@ -154,6 +160,9 @@ func TestServerReusesConnectionHandle(t *testing.T) {
 }
 
 func TestServerTTLAndReaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: wall-clock TTL e2e (sleeps across a real deadline)")
+	}
 	base, engine := startServer(t, Config{ReapInterval: 10 * time.Millisecond, ReapBudget: 64})
 
 	// A TTL'd PUT is visible before the deadline, gone after it. The
@@ -218,6 +227,9 @@ func TestServerAsyncPutAndFlush(t *testing.T) {
 }
 
 func TestServerMPutTTL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: wall-clock TTL e2e (sleeps across a real deadline)")
+	}
 	base, _ := startServer(t, Config{ReapInterval: -1})
 	mput, _ := json.Marshal(mputRequest{
 		Entries: []mputEntry{{Key: 1, Value: []byte("x")}},
@@ -232,6 +244,96 @@ func TestServerMPutTTL(t *testing.T) {
 	time.Sleep(700 * time.Millisecond)
 	if resp, _ := do(t, http.MethodGet, base+"/kv/1", nil); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("GET after batch deadline != 404")
+	}
+}
+
+// TestServerDurableCheckpointAndRestart serves a durable engine over real
+// TCP: writes (sync, batched, and async-then-flushed) survive a server
+// stop and a fresh server over the same directory; /checkpoint truncates
+// the logs; /stats reports the durability posture.
+func TestServerDurableCheckpointAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() rwl.RWLock { return core.New(new(stdrw.Lock)) }
+	engine, err := kvs.OpenSharded(dir, 8, mk, kvs.SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startServerWith(t, engine, Config{ReapInterval: -1})
+
+	if resp, _ := do(t, http.MethodPut, base+"/kv/1", []byte("durable")); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT status = %d", resp.StatusCode)
+	}
+	mput, _ := json.Marshal(mputRequest{Entries: []mputEntry{
+		{Key: 2, Value: []byte("batched")},
+	}})
+	if resp, body := do(t, http.MethodPost, base+"/mput", mput); resp.StatusCode != http.StatusOK {
+		t.Fatalf("MPUT = %d %s", resp.StatusCode, body)
+	}
+	// An async write accepted with 202 must survive too: Server.Close
+	// flushes the queue (and the flush is logged) before the engine closes.
+	if resp, _ := do(t, http.MethodPut, base+"/kv/3?async=1", []byte("queued")); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async PUT status = %d", resp.StatusCode)
+	}
+
+	// Checkpoint over HTTP: logs truncate, stats count it.
+	resp, body := do(t, http.MethodPost, base+"/checkpoint", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint = %d %s", resp.StatusCode, body)
+	}
+	var st statsResponse
+	_, body = do(t, http.MethodGet, base+"/stats", nil)
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Durable || st.SyncPolicy != "none" || st.WALError != "" {
+		t.Fatalf("stats durability = %+v", st)
+	}
+	if st.Total.Checkpoints != uint64(st.NumShards) {
+		t.Fatalf("Checkpoints = %d, want %d", st.Total.Checkpoints, st.NumShards)
+	}
+
+	if resp, _ := do(t, http.MethodPut, base+"/kv/4?ttl=1h", []byte("ttl")); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT ttl status = %d", resp.StatusCode)
+	}
+
+	// "Restart": close the engine (which drains the async queue into the
+	// log, then syncs and closes it) and open a fresh engine + server over
+	// the same directory. The first server's deferred Close is harmless —
+	// its engine is already closed and quiet.
+	if err := engine.Close(); err != nil {
+		t.Fatalf("engine.Close: %v", err)
+	}
+	e2, err := kvs.OpenSharded(dir, 8, mk, kvs.SyncNone)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	t.Cleanup(func() { e2.Close() })
+	base2 := startServerWith(t, e2, Config{ReapInterval: -1})
+	for key, want := range map[string]string{"1": "durable", "2": "batched", "3": "queued", "4": "ttl"} {
+		resp, body := do(t, http.MethodGet, base2+"/kv/"+key, nil)
+		if resp.StatusCode != http.StatusOK || string(body) != want {
+			t.Fatalf("restarted GET /kv/%s = %d %q, want %q", key, resp.StatusCode, body, want)
+		}
+	}
+	if resp, _ := do(t, http.MethodPost, base2+"/checkpoint", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint on restarted server = %d", resp.StatusCode)
+	}
+}
+
+// TestServerCheckpointVolatileConflicts: /checkpoint without -data-dir is
+// an operator error, answered 409.
+func TestServerCheckpointVolatile(t *testing.T) {
+	base, _ := startServer(t, Config{ReapInterval: -1})
+	if resp, _ := do(t, http.MethodPost, base+"/checkpoint", nil); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("volatile checkpoint = %d, want 409", resp.StatusCode)
+	}
+	_, body := do(t, http.MethodGet, base+"/stats", nil)
+	var st statsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Durable || st.SyncPolicy != "" {
+		t.Fatalf("volatile stats claim durability: %+v", st)
 	}
 }
 

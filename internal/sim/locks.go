@@ -294,18 +294,17 @@ type Bravo struct {
 	n            float64
 }
 
-// lockAddrSeq spaces synthetic lock addresses like heap-allocated locks.
-var lockAddrSeq uint64 = 0xc000100000
-
-// NewBravo wraps a simulated lock with the BRAVO fast path.
+// NewBravo wraps a simulated lock with the BRAVO fast path. Its synthetic
+// address (for slot hashing) comes from the machine, so a fresh machine
+// always yields the same address sequence — figure points are
+// deterministic regardless of what else the process has simulated.
 func NewBravo(m *Machine, under RWLock, table *Table) *Bravo {
-	lockAddrSeq += 192
 	return &Bravo{
 		m:        m,
 		under:    under,
 		biasLine: m.NewLine(),
 		table:    table,
-		lockAddr: lockAddrSeq,
+		lockAddr: m.nextLockAddr(),
 		n:        9,
 	}
 }

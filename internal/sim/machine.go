@@ -113,6 +113,11 @@ type Machine struct {
 	Top  topo.Topology
 	Cost CostConfig
 	line []line
+	// lockAddrSeq spaces synthetic lock addresses like heap-allocated
+	// locks. Per-machine, not process-global: a figure point's slot
+	// hashing must not depend on how many locks earlier points (or earlier
+	// tests, in whatever order the runner picked) happened to build.
+	lockAddrSeq uint64
 }
 
 // NewMachine returns a machine with the given topology and costs.
@@ -120,7 +125,13 @@ func NewMachine(t topo.Topology, c CostConfig) *Machine {
 	if t.NumCPUs() > 256 {
 		panic("sim: topology exceeds 256 CPUs")
 	}
-	return &Machine{Top: t, Cost: c}
+	return &Machine{Top: t, Cost: c, lockAddrSeq: 0xc000100000}
+}
+
+// nextLockAddr returns a fresh synthetic lock address.
+func (m *Machine) nextLockAddr() uint64 {
+	m.lockAddrSeq += 192
+	return m.lockAddrSeq
 }
 
 // NewLine allocates a fresh, unwritten cache line.

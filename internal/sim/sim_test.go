@@ -178,6 +178,9 @@ func TestFigure2ShapeBravoBeatsBA(t *testing.T) {
 }
 
 func TestFigure3ShapeReadDominatedOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: 50-thread simulated figure (seconds of sim time)")
+	}
 	// test_rwlock is extremely read-dominated: Per-CPU best, BRAVO-BA ≫ BA
 	// at high thread counts (§5.3).
 	s := Figure3TestRWLock([]int{1, 10, 50})
@@ -207,6 +210,9 @@ func TestFigure4ShapeWriteHeavyParity(t *testing.T) {
 }
 
 func TestFigure4ShapeReadHeavyWin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: 50-thread simulated figure (seconds of sim time)")
+	}
 	// At 0.01% writes BRAVO-BA approaches Per-CPU and beats BA (§5.4f).
 	s := Figure4RWBench([]int{20, 50}, 0.0001)
 	i := 1
@@ -222,6 +228,12 @@ func TestFigure1InterferenceBounded(t *testing.T) {
 	// cost model overstates near-collision false sharing (it has no memory
 	// level parallelism), so we assert the qualitative property — the
 	// penalty is bounded and modest — with a wider band.
+	if testing.Short() {
+		// Every pool point simulates 64 threads across a full horizon twice
+		// (shared vs private tables) — seconds apiece, with no cheap
+		// reduced form. Regular mode runs the full band.
+		t.Skip("short mode: 64-thread interference simulation (seconds per pool size)")
+	}
 	pts := Figure1Interference([]int{1, 8, 64, 512})
 	for _, p := range pts {
 		if p.Value < 0.72 || p.Value > 1.15 {
