@@ -10,6 +10,7 @@ import (
 	"github.com/bravolock/bravo/internal/locks/pft"
 	"github.com/bravolock/bravo/internal/locks/ptl"
 	"github.com/bravolock/bravo/internal/locks/stdrw"
+	"github.com/bravolock/bravo/internal/repl"
 	"github.com/bravolock/bravo/internal/rwl"
 	"github.com/bravolock/bravo/internal/topo"
 )
@@ -193,4 +194,28 @@ const (
 // its MANIFEST: reopen with the count it was created with.
 func OpenShardedKV(dir string, shards int, mkLock func() RWLock, policy SyncPolicy) (*ShardedKV, error) {
 	return kvs.OpenSharded(dir, shards, mkLock, policy)
+}
+
+// FollowerKV is a read-only replica of a durable ShardedKV primary: it
+// tails the primary's per-shard, LSN-stamped write-ahead log over HTTP
+// (cmd/kvserv's GET /repl/stream) into an in-memory engine serving the
+// same biased read fast paths. Reads go through Engine(); AppliedLSN and
+// WaitMinLSN turn the primary's commit LSNs into read-your-writes
+// barriers; Close stops tailing (the replica stays readable, frozen).
+type FollowerKV = repl.Follower
+
+// FollowerKVStats summarizes a follower's per-shard replication progress.
+type FollowerKVStats = repl.Stats
+
+// OpenFollowerKV connects to a replication primary — a kvserv started
+// with -data-dir, at its base URL — sizes an in-memory replica to the
+// primary's shard count (each shard guarded by a fresh lock from mkLock),
+// and starts tailing its WAL streams. A fresh follower bootstraps through
+// the stream itself: the primary sends a full-state snapshot frame when
+// the requested history was checkpointed away, then the incremental tail.
+// This is the macro form of BRAVO's read bias: reads fan out to replicas
+// for the price of a bounded, explicit write-visibility delay, exactly as
+// biased readers fan out to table slots for the price of revocation.
+func OpenFollowerKV(primaryURL string, mkLock func() RWLock) (*FollowerKV, error) {
+	return repl.Open(repl.Config{Primary: primaryURL, MkLock: mkLock})
 }

@@ -30,6 +30,13 @@
 //	                       with one fsync per group-commit batch; -json
 //	                       writes BENCH_wal.json with durable-vs-volatile
 //	                       ratios and achieved group-commit batch sizes
+//	-workload repl         the replication axis: a durable primary behind a
+//	                       real kvserv TCP socket streams its LSN-stamped
+//	                       WAL to -followers in-memory replicas while one
+//	                       writer streams batches and per-follower readers
+//	                       hammer the replicas; -json writes BENCH_repl.json
+//	                       with follower-read scaling, replication lag, and
+//	                       post-storm convergence time
 //
 // Examples:
 //
@@ -42,6 +49,7 @@
 //	bravobench -workload readlatency -json -threads 8,16
 //	bravobench -workload kvserv -json -batch 64 -threads 8,16
 //	bravobench -workload wal -json -threads 2,8
+//	bravobench -workload repl -json -followers 1,2,4
 package main
 
 import (
@@ -66,13 +74,16 @@ var (
 	locksFlag    = flag.String("locks", "ba,bravo-ba,pthread,bravo-pthread,per-cpu,cohort-rw", "native lock lineup")
 	scanFlag     = flag.Bool("scanrate", false, "measure the revocation scan rate (ns/slot) and exit")
 
-	workloadFlag   = flag.String("workload", "figures", "figures, shardedkv, readlatency, kvserv, or wal")
-	jsonFlag       = flag.Bool("json", false, "shardedkv/readlatency/kvserv/wal: also write machine-readable results")
-	outFlag        = flag.String("out", "BENCH_shardedkv.json", "shardedkv/readlatency/kvserv/wal: -json output path (workload-specific default)")
-	shardsFlag     = flag.String("shards", "1,2,4,8", "shardedkv/kvserv/wal: shard counts (powers of two)")
+	workloadFlag   = flag.String("workload", "figures", "figures, shardedkv, readlatency, kvserv, wal, or repl")
+	jsonFlag       = flag.Bool("json", false, "shardedkv/readlatency/kvserv/wal/repl: also write machine-readable results")
+	outFlag        = flag.String("out", "BENCH_shardedkv.json", "shardedkv/readlatency/kvserv/wal/repl: -json output path (workload-specific default)")
+	shardsFlag     = flag.String("shards", "1,2,4,8", "shardedkv/kvserv/wal/repl: shard counts (powers of two)")
 	writeRatioFlag = flag.Float64("writeratio", 0.01, "shardedkv: fraction of operations that write")
-	valueSizeFlag  = flag.Int("valuesize", bench.ShardedKVDefaultValueSize, "shardedkv/kvserv/wal: value payload bytes (sets critical-section length)")
-	batchFlag      = flag.Int("batch", bench.KVServDefaultBatch, "kvserv/wal: MultiPut group size in batched mode")
+	valueSizeFlag  = flag.Int("valuesize", bench.ShardedKVDefaultValueSize, "shardedkv/kvserv/wal/repl: value payload bytes (sets critical-section length)")
+	batchFlag      = flag.Int("batch", bench.KVServDefaultBatch, "kvserv/wal/repl: MultiPut group size in batched mode")
+	followersFlag  = flag.String("followers", "1,2,4", "repl: follower fleet sizes")
+	readersFlag    = flag.Int("readers", bench.ReplDefaultReaders, "repl: reader goroutines per follower")
+	writeRateFlag  = flag.Int("writerate", bench.ReplDefaultWriteRate, "repl: paced primary write load in keys/sec (0: unpaced)")
 )
 
 // shardedKVDefaults replace the figure-oriented flag defaults when the
@@ -118,6 +129,15 @@ const (
 	walDefaultShards  = "8"
 	walDefaultThreads = "2,8"
 	walDefaultOut     = "BENCH_wal.json"
+)
+
+// replDefaults replace the figure-oriented defaults for the repl workload:
+// the serving substrate on both ends of the wire, the served shard count,
+// and the follower axis the report's read-scaling claim reads.
+const (
+	replDefaultLocks  = "bravo-go"
+	replDefaultShards = "8"
+	replDefaultOut    = "BENCH_repl.json"
 )
 
 // rwbenchSubs maps Figure 4's sub-plots to write probabilities.
@@ -181,6 +201,16 @@ func main() {
 			"batch":     func() { *batchFlag = bench.WALDefaultBatch },
 			"out":       func() { *outFlag = walDefaultOut },
 		})
+	case "repl":
+		applyWorkloadDefaults(map[string]func(){
+			"locks":     func() { *locksFlag = replDefaultLocks },
+			"shards":    func() { *shardsFlag = replDefaultShards },
+			"interval":  func() { *intervalFlag = 500 * time.Millisecond },
+			"runs":      func() { *runsFlag = 3 },
+			"valuesize": func() { *valueSizeFlag = bench.KVServDefaultValueSize },
+			"batch":     func() { *batchFlag = bench.WALDefaultBatch },
+			"out":       func() { *outFlag = replDefaultOut },
+		})
 	}
 	threads, err := cliutil.ParseInts(*threadsFlag)
 	if err != nil {
@@ -204,8 +234,12 @@ func main() {
 		runWAL(cfg, locks)
 		return
 	}
+	if *workloadFlag == "repl" {
+		runRepl(cfg, locks)
+		return
+	}
 	if *workloadFlag != "figures" {
-		fatal(fmt.Errorf("unknown workload %q (figures, shardedkv, readlatency, kvserv, wal)", *workloadFlag))
+		fatal(fmt.Errorf("unknown workload %q (figures, shardedkv, readlatency, kvserv, wal, repl)", *workloadFlag))
 	}
 	figs := []string{"1", "2", "3", "4", "5", "6"}
 	if *figFlag != "all" {
@@ -360,6 +394,44 @@ func runWAL(cfg bench.Config, locks []string) {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d results, %d comparisons)\n", *outFlag, len(results), len(comps))
+}
+
+func runRepl(cfg bench.Config, locks []string) {
+	shardCounts, err := cliutil.ParseInts(*shardsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	for _, sc := range shardCounts {
+		if sc <= 0 || sc&(sc-1) != 0 {
+			fatal(fmt.Errorf("-shards %d is not a positive power of two", sc))
+		}
+	}
+	followerCounts, err := cliutil.ParseInts(*followersFlag)
+	if err != nil {
+		fatal(err)
+	}
+	results, err := bench.ReplSweep(locks, shardCounts, followerCounts, *readersFlag, *batchFlag, *valueSizeFlag, *writeRateFlag, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# repl: %d keys, %dB values, batch %d, %d readers/follower, write rate %d keys/s, interval %v, median of %d\n",
+		bench.ReplWorkloadKeys, *valueSizeFlag, *batchFlag, *readersFlag, *writeRateFlag, cfg.Interval, cfg.Runs)
+	bench.WriteReplTable(os.Stdout, results)
+	if !*jsonFlag {
+		return
+	}
+	f, err := os.Create(*outFlag)
+	if err != nil {
+		fatal(err)
+	}
+	rep := bench.NewReplReport(cfg, *batchFlag, results)
+	if err := rep.WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d results)\n", *outFlag, len(results))
 }
 
 // applyWorkloadDefaults runs each override whose flag the user did not set

@@ -5,6 +5,7 @@
 //
 //	kvserv -addr :7070 -shards 16 -lock bravo-go
 //	kvserv -addr :7070 -data-dir /var/lib/kvserv -sync always
+//	kvserv -addr :7071 -follow http://primary:7070
 //
 // With -data-dir the engine is durable: every write is logged to a
 // per-shard write-ahead log before it is applied (batches are one record
@@ -14,10 +15,20 @@
 // server shuts down gracefully: stop accepting, flush queued async writes,
 // sync and close the logs.
 //
+// A durable kvserv is automatically a replication primary: it serves
+// GET /repl/stream (the per-shard LSN-stamped WAL, live) and /repl/status,
+// and stamps writes with X-Commit-Lsn read-your-writes tokens. With
+// -follow the process is instead a read-only follower: it tails the named
+// primary's streams into an in-memory replica (sized to the primary's
+// shard count; -shards and -data-dir are refused) and serves GET /kv/*,
+// /mget, /stats — honoring ?min_lsn= tokens by waiting or 409ing — while
+// writes answer 403.
+//
 // Endpoints: GET/PUT/DELETE /kv/{key} (PUT takes ?ttl=1s or ?async=1),
 // GET /mget?keys=1,2,3, POST /mput, POST /flush, POST /checkpoint,
-// GET /stats. See internal/kvserv and README's "Serving traffic" and
-// "Persistence" sections.
+// GET /stats, GET /repl/stream, GET /repl/status. See internal/kvserv,
+// internal/repl, and README's "Serving traffic", "Persistence", and
+// "Replication" sections.
 //
 // The lock lineup is the benchmark registry's (-lock accepts any name from
 // the README menu: go-rw, mutex, bravo-go, bravo-ba, ...), so the serving
@@ -36,6 +47,7 @@ import (
 	"github.com/bravolock/bravo/internal/kvs"
 	"github.com/bravolock/bravo/internal/kvserv"
 	_ "github.com/bravolock/bravo/internal/locks/all"
+	"github.com/bravolock/bravo/internal/repl"
 	"github.com/bravolock/bravo/internal/rwl"
 )
 
@@ -48,6 +60,7 @@ var (
 	asyncFlag      = flag.Int("asyncbatch", kvs.DefaultAsyncBatch, "per-shard async write queue coalescing threshold")
 	dataDirFlag    = flag.String("data-dir", "", "durable data directory (empty: volatile, lost on exit)")
 	syncFlag       = flag.String("sync", "always", "WAL sync policy with -data-dir: always (fsync per batch) or none")
+	followFlag     = flag.String("follow", "", "primary base URL: run as a read-only replication follower")
 )
 
 func main() {
@@ -56,6 +69,10 @@ func main() {
 	if !ok {
 		_, err := rwl.New(*lockFlag) // canonical unknown-name error with the menu
 		fatal(err)
+	}
+	if *followFlag != "" {
+		runFollower(mk)
+		return
 	}
 	opts := []kvs.Option{}
 	durability := "volatile (no -data-dir: state dies with the process)"
@@ -107,6 +124,49 @@ func main() {
 	if err := engine.Close(); err != nil {
 		fatal(err)
 	}
+}
+
+// runFollower is the -follow mode: tail the primary's WAL streams into an
+// in-memory replica and serve it read-only.
+func runFollower(mk rwl.Factory) {
+	if *dataDirFlag != "" {
+		fatal(fmt.Errorf("-follow and -data-dir are exclusive: a follower's log of record is its primary's WAL"))
+	}
+	flag.Visit(func(fl *flag.Flag) {
+		if fl.Name == "shards" {
+			fatal(fmt.Errorf("-follow and -shards are exclusive: the replica is sized to the primary's shard count"))
+		}
+	})
+	f, err := repl.Open(repl.Config{Primary: *followFlag, MkLock: mk})
+	if err != nil {
+		fatal(err)
+	}
+	l, err := net.Listen("tcp", *addrFlag)
+	if err != nil {
+		fatal(err)
+	}
+	srv := kvserv.NewFollower(f, kvserv.Config{
+		ReapInterval: *reapFlag,
+		ReapBudget:   *reapBudgetFlag,
+	})
+	fmt.Printf("kvserv: read-only follower of %s on %s — %d×%s shards, reap %v\n",
+		f.Primary(), l.Addr(), f.NumShards(), *lockFlag, *reapFlag)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	select {
+	case sig := <-sigc:
+		fmt.Printf("kvserv: %v — shutting down\n", sig)
+		srv.Close()
+		<-done
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			f.Close()
+			fatal(err)
+		}
+	}
+	f.Close()
 }
 
 func fatal(err error) {

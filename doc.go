@@ -44,11 +44,19 @@
 // truncation, and crash recovery that replays snapshot + log tail,
 // dropping a torn final record. See DESIGN.md's "Durability" section.
 //
+// OpenFollowerKV scales the reads out of the process entirely: every WAL
+// record carries a per-shard LSN, a durable primary streams the log over
+// HTTP, and followers replay it into in-memory replicas — read traffic
+// fans out to follower fleets while writes serialize through the primary,
+// with commit LSNs as read-your-writes tokens. See DESIGN.md's
+// "Replication" section and README's failure matrix.
+//
 // The Example functions in example_test.go are runnable documentation for
 // each of these surfaces: ExampleNew (the transformation), ExampleNewReader
 // (handles), ExampleNewShardedKV, ExampleShardedKV_MultiPut,
-// ExampleShardedKV_PutTTL, ExampleShardedKV_PutAsync, and
-// ExampleOpenShardedKV (durability); go test runs them all.
+// ExampleShardedKV_PutTTL, ExampleShardedKV_PutAsync, ExampleOpenShardedKV
+// (durability), and ExampleOpenFollowerKV (replication); go test runs them
+// all.
 //
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // reproduction of the paper's figures and tables, and the examples/

@@ -2,10 +2,12 @@ package bravo_test
 
 import (
 	"fmt"
+	"net"
 	"os"
 	"time"
 
 	bravo "github.com/bravolock/bravo"
+	"github.com/bravolock/bravo/internal/kvserv"
 )
 
 // ExampleNew shows the transformation itself: wrap any reader-writer lock
@@ -122,6 +124,35 @@ func ExampleOpenShardedKV() {
 	v, _ := kv.Get(1)
 	fmt.Println(string(v), kv.Len())
 	// Output: survives 3
+}
+
+// ExampleOpenFollowerKV replicates the engine: a durable primary served
+// over HTTP streams its LSN-stamped write-ahead log, and a follower
+// applies it into an in-memory replica serving the same biased read fast
+// paths. The primary's commit LSN is the read-your-writes token: a
+// follower read gated on it never sees an older state.
+func ExampleOpenFollowerKV() {
+	dir, _ := os.MkdirTemp("", "bravo-repl-*")
+	defer os.RemoveAll(dir)
+	mk := func() bravo.RWLock { return bravo.New(bravo.NewBA()) }
+
+	primary, _ := bravo.OpenShardedKV(dir, 4, mk, bravo.SyncNone)
+	defer primary.Close()
+	l, _ := net.Listen("tcp", "127.0.0.1:0")
+	srv := kvserv.New(primary, kvserv.Config{}) // durable ⇒ serves /repl/stream
+	go srv.Serve(l)
+	defer srv.Close()
+
+	primary.Put(1, []byte("replicated"))
+	shard := primary.ShardOf(1)
+	token := primary.ShardLSN(shard) // commit LSN: the read-your-writes token
+
+	follower, _ := bravo.OpenFollowerKV("http://"+l.Addr().String(), mk)
+	defer follower.Close()
+	follower.WaitMinLSN(shard, token, 5*time.Second)
+	v, _ := follower.Engine().Get(1)
+	fmt.Println(string(v))
+	// Output: replicated
 }
 
 // ExampleShardedKV_PutAsync coalesces writers through the per-shard write

@@ -1,0 +1,394 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bravolock/bravo/internal/kvs"
+	"github.com/bravolock/bravo/internal/kvserv"
+	"github.com/bravolock/bravo/internal/repl"
+	"github.com/bravolock/bravo/internal/rwl"
+	"github.com/bravolock/bravo/internal/xrand"
+)
+
+// The repl workload measures what the replication layer is for: follower
+// read throughput scaling with follower count while a writer streams
+// batches into the primary, and the price in replication lag. The full
+// pipeline runs — a durable primary behind a real kvserv TCP socket, its
+// LSN-stamped WAL streamed per shard over HTTP, followers applying into
+// in-memory replicas — with readers hitting the follower engines through
+// pinned handles, the way a follower kvserv serves them. Lag is sampled
+// in-process (primary applied LSN minus follower applied LSN, in
+// records), so the sampler never perturbs the wire.
+
+// ReplWorkloadKeys is the workload's keyspace.
+const ReplWorkloadKeys = 1 << 14
+
+// ReplDefaultReaders is the per-follower reader goroutine count.
+const ReplDefaultReaders = 4
+
+// ReplDefaultWriteRate is the writer's paced load in keys/sec. The write
+// load is an input here, not a race: an unpaced writer on a small host
+// starves the very streams whose lag is being measured, reporting only
+// "saturation lags saturation". 0 disables pacing (full-speed writer).
+const ReplDefaultWriteRate = 16384
+
+// ReplResult is one (lock, shards, followers) measurement.
+type ReplResult struct {
+	Lock      string `json:"lock"`
+	Shards    int    `json:"shards"`
+	Followers int    `json:"followers"`
+	// ReadersPerFollower readers stream GetH against each follower while
+	// one writer streams MultiPut batches of BatchSize into the primary,
+	// paced at WriteRate keys/sec (0: unpaced).
+	ReadersPerFollower int `json:"readers_per_follower"`
+	BatchSize          int `json:"batch_size"`
+	ValueSize          int `json:"value_size"`
+	WriteRate          int `json:"write_rate"`
+
+	// WriteKeysPerSec is the primary's write throughput during the
+	// measurement (median over runs).
+	WriteKeysPerSec float64 `json:"write_keys_per_sec"`
+	// ReadsPerSec is the aggregate follower read throughput (median over
+	// runs); ReadsPerSecPerFollower divides by the fleet size — flat means
+	// linear read scaling.
+	ReadsPerSec            float64 `json:"reads_per_sec"`
+	ReadsPerSecPerFollower float64 `json:"reads_per_sec_per_follower"`
+
+	// Lag metrics from the last run, sampled during the write storm:
+	// records behind the primary, summed over shards and averaged over the
+	// fleet. ConvergeMS is how long after the writer stopped the whole
+	// fleet took to drain to the primary's final LSNs.
+	MeanLagRecords float64 `json:"mean_lag_records"`
+	MaxLagRecords  uint64  `json:"max_lag_records"`
+	ConvergeMS     float64 `json:"converge_ms"`
+
+	// Stream shape, summed over the fleet, last run: records applied,
+	// snapshot-frame resyncs (0 once bootstrapped unless the stream fell
+	// behind a checkpoint), reconnects.
+	RecordsApplied uint64 `json:"records_applied"`
+	SnapshotFrames uint64 `json:"snapshot_frames"`
+	Reconnects     uint64 `json:"reconnects"`
+}
+
+// ReplReport is the top-level BENCH_repl.json document.
+type ReplReport struct {
+	Benchmark  string       `json:"benchmark"`
+	Meta       RunMeta      `json:"meta"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	IntervalMS int64        `json:"interval_ms"`
+	Runs       int          `json:"runs"`
+	Keys       int          `json:"keys"`
+	Batch      int          `json:"batch"`
+	Results    []ReplResult `json:"results"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r ReplReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// NewReplReport stamps the environment fields of a report.
+func NewReplReport(cfg Config, batch int, results []ReplResult) ReplReport {
+	return ReplReport{
+		Benchmark:  "repl",
+		Meta:       NewRunMeta(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		IntervalMS: cfg.Interval.Milliseconds(),
+		Runs:       cfg.Runs,
+		Keys:       ReplWorkloadKeys,
+		Batch:      batch,
+		Results:    results,
+	}
+}
+
+// ReplPoint measures one (lock, shards, followers) point: cfg.Runs fresh
+// primary+fleet deployments, median throughputs, last run's lag shape.
+func ReplPoint(lockName string, shards, followers, readers, batch, valueSize, writeRate int, cfg Config) (ReplResult, error) {
+	if followers < 1 {
+		return ReplResult{}, fmt.Errorf("bench: repl followers %d (want >= 1)", followers)
+	}
+	if readers < 1 {
+		readers = ReplDefaultReaders
+	}
+	if batch < 2 {
+		return ReplResult{}, fmt.Errorf("bench: repl batch %d (want >= 2)", batch)
+	}
+	mk, _, err := shardedKVFactory(lockName)
+	if err != nil {
+		return ReplResult{}, err
+	}
+	res := ReplResult{
+		Lock: lockName, Shards: shards, Followers: followers,
+		ReadersPerFollower: readers, BatchSize: batch, ValueSize: valueSize,
+		WriteRate: writeRate,
+	}
+	if res.ValueSize < 8 {
+		res.ValueSize = 8
+	}
+	var buildErr error
+	var lastWrite, lastRead float64
+	runOnce := func() {
+		w, r, err := replRun(mk, &res, cfg.Interval)
+		if err != nil {
+			buildErr = err
+			return
+		}
+		lastWrite, lastRead = w, r
+	}
+	writes := make([]float64, 0, cfg.Runs)
+	reads := make([]float64, 0, cfg.Runs)
+	runs := cfg.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	for i := 0; i < runs; i++ {
+		runOnce()
+		if buildErr != nil {
+			return res, buildErr
+		}
+		writes = append(writes, lastWrite)
+		reads = append(reads, lastRead)
+	}
+	res.WriteKeysPerSec = median(writes) / cfg.Interval.Seconds()
+	res.ReadsPerSec = median(reads) / cfg.Interval.Seconds()
+	res.ReadsPerSecPerFollower = res.ReadsPerSec / float64(followers)
+	return res, nil
+}
+
+// median of a small slice (destructive order not preserved).
+func median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), vals...)
+	for i := 1; i < len(cp); i++ { // insertion sort: n <= runs
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+// replRun deploys one primary + fleet, runs the measurement interval, and
+// returns (keys written, follower reads) raw counts, filling res's lag
+// and stream-shape fields.
+func replRun(mk rwl.Factory, res *ReplResult, interval time.Duration) (wrote, read float64, err error) {
+	dir, err := os.MkdirTemp("", "bravo-replbench-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	engine, err := kvs.OpenSharded(dir, res.Shards, mk, kvs.SyncNone)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer engine.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	srv := kvserv.New(engine, kvserv.Config{ReapInterval: -1})
+	serveDone := make(chan struct{})
+	go func() { srv.Serve(l); close(serveDone) }()
+	defer func() { srv.Close(); <-serveDone }()
+
+	// Prefill so readers hit resident keys, then checkpoint so followers
+	// bootstrap the way a production fleet would: snapshot + tail.
+	prefill := xrand.NewXorShift64(0x5EEDBEEF)
+	val := make([]byte, res.ValueSize)
+	keys := make([]uint64, res.BatchSize)
+	vals := make([][]byte, res.BatchSize)
+	for i := range vals {
+		vals[i] = val
+	}
+	for n := 0; n < ReplWorkloadKeys; n += res.BatchSize {
+		for i := range keys {
+			keys[i] = prefill.Next() % ReplWorkloadKeys
+		}
+		engine.MultiPut(keys, vals)
+	}
+	if err := engine.Checkpoint(); err != nil {
+		return 0, 0, err
+	}
+
+	fleet := make([]*repl.Follower, res.Followers)
+	primaryURL := "http://" + l.Addr().String()
+	for i := range fleet {
+		f, err := repl.Open(repl.Config{Primary: primaryURL, MkLock: mk, RetryInterval: 10 * time.Millisecond})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer f.Close()
+		if err := f.WaitCaughtUp(30 * time.Second); err != nil {
+			return 0, 0, err
+		}
+		fleet[i] = f
+	}
+
+	// The storm: one writer streaming batches into the primary, readers
+	// hammering every follower, a lag sampler on the side.
+	var stop atomic.Bool
+	var wroteKeys, readOps atomic.Uint64
+	var wg sync.WaitGroup
+	var pause time.Duration
+	if res.WriteRate > 0 {
+		pause = time.Duration(float64(res.BatchSize) / float64(res.WriteRate) * float64(time.Second))
+	}
+	wg.Add(1)
+	go func() { // writer, paced to WriteRate keys/sec
+		defer wg.Done()
+		rng := xrand.NewXorShift64(0xA11CE)
+		wkeys := make([]uint64, res.BatchSize)
+		for !stop.Load() {
+			for i := range wkeys {
+				wkeys[i] = rng.Next() % ReplWorkloadKeys
+			}
+			engine.MultiPut(wkeys, vals)
+			wroteKeys.Add(uint64(res.BatchSize))
+			if pause > 0 {
+				time.Sleep(pause)
+			}
+		}
+	}()
+	for fi, f := range fleet {
+		for r := 0; r < res.ReadersPerFollower; r++ {
+			wg.Add(1)
+			go func(seed uint64, e *kvs.Sharded) {
+				defer wg.Done()
+				h := rwl.NewReader()
+				rng := xrand.NewXorShift64(seed)
+				buf := make([]byte, 0, res.ValueSize)
+				n := uint64(0)
+				for !stop.Load() {
+					buf, _ = e.GetIntoH(h, rng.Next()%ReplWorkloadKeys, buf)
+					n++
+					if n&1023 == 0 {
+						// The biased read path never blocks; on hosts with
+						// fewer cores than goroutines an explicit yield
+						// keeps the pullers (whose lag we are measuring)
+						// from starving behind the spin.
+						runtime.Gosched()
+					}
+				}
+				readOps.Add(n)
+			}(uint64(fi*64+r+1), f.Engine())
+		}
+	}
+	// Lag sampler: fleet-averaged records-behind, sampled in-process.
+	var lagSum float64
+	var lagSamples int
+	var lagMax uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for !stop.Load() {
+			<-tick.C
+			var fleetLag uint64
+			for _, f := range fleet {
+				var lag uint64
+				for s := 0; s < res.Shards; s++ {
+					p := engine.ShardLSN(s)
+					if a := f.AppliedLSN(s); p > a {
+						lag += p - a
+					}
+				}
+				fleetLag += lag
+				if lag > lagMax {
+					lagMax = lag
+				}
+			}
+			lagSum += float64(fleetLag) / float64(len(fleet))
+			lagSamples++
+		}
+	}()
+	time.Sleep(interval)
+	stop.Store(true)
+	wg.Wait()
+
+	// Convergence: how long the fleet takes to drain once writes stop.
+	t0 := time.Now()
+	deadline := t0.Add(60 * time.Second)
+	for _, f := range fleet {
+		for s := 0; s < res.Shards; s++ {
+			want := engine.ShardLSN(s)
+			for f.AppliedLSN(s) < want {
+				if time.Now().After(deadline) {
+					return 0, 0, fmt.Errorf("bench: follower stuck at LSN %d on shard %d, primary at %d", f.AppliedLSN(s), s, want)
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}
+	res.ConvergeMS = float64(time.Since(t0).Microseconds()) / 1000
+	if lagSamples > 0 {
+		res.MeanLagRecords = lagSum / float64(lagSamples)
+	}
+	res.MaxLagRecords = lagMax
+	res.RecordsApplied, res.SnapshotFrames, res.Reconnects = 0, 0, 0
+	for _, f := range fleet {
+		st := f.Stats()
+		res.Reconnects += st.Reconnects
+		for _, sp := range st.Shards {
+			res.RecordsApplied += sp.Records
+			res.SnapshotFrames += sp.Snapshots
+		}
+	}
+	// Cheap divergence tripwire: a converged follower must hold exactly
+	// the primary's visible key count.
+	want := engine.Len()
+	for i, f := range fleet {
+		if got := f.Engine().Len(); got != want {
+			return 0, 0, fmt.Errorf("bench: follower %d converged to %d keys, primary has %d", i, got, want)
+		}
+	}
+	return float64(wroteKeys.Load()), float64(readOps.Load()), nil
+}
+
+// ReplSweep measures the follower axis for every lock × shards point.
+func ReplSweep(locks []string, shardCounts, followerCounts []int, readers, batch, valueSize, writeRate int, cfg Config) ([]ReplResult, error) {
+	var results []ReplResult
+	for _, lock := range locks {
+		for _, sc := range shardCounts {
+			for _, fc := range followerCounts {
+				r, err := ReplPoint(lock, sc, fc, readers, batch, valueSize, writeRate, cfg)
+				if err != nil {
+					return nil, err
+				}
+				results = append(results, r)
+			}
+		}
+	}
+	return results, nil
+}
+
+// WriteReplTable renders the measurements as the aligned human-readable
+// companion of the JSON report.
+func WriteReplTable(w io.Writer, results []ReplResult) {
+	const format = "%-10s %7s %10s %8s %12s %12s %14s %9s %9s %9s %6s %7s\n"
+	fmt.Fprintf(w, format, "lock", "shards", "followers", "readers",
+		"wkeys/sec", "reads/sec", "reads/s/foll", "meanlag", "maxlag", "conv(ms)", "snaps", "reconn")
+	for _, r := range results {
+		fmt.Fprintf(w, format, r.Lock,
+			fmt.Sprintf("%d", r.Shards), fmt.Sprintf("%d", r.Followers), fmt.Sprintf("%d", r.ReadersPerFollower),
+			fmt.Sprintf("%.0f", r.WriteKeysPerSec),
+			fmt.Sprintf("%.0f", r.ReadsPerSec),
+			fmt.Sprintf("%.0f", r.ReadsPerSecPerFollower),
+			fmt.Sprintf("%.1f", r.MeanLagRecords),
+			fmt.Sprintf("%d", r.MaxLagRecords),
+			fmt.Sprintf("%.1f", r.ConvergeMS),
+			fmt.Sprintf("%d", r.SnapshotFrames),
+			fmt.Sprintf("%d", r.Reconnects))
+	}
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	_ "github.com/bravolock/bravo/internal/locks/all"
+)
+
+func TestReplPointValidation(t *testing.T) {
+	cfg := Config{Interval: time.Millisecond, Runs: 1}
+	if _, err := ReplPoint("bravo-go", 2, 0, 2, 64, 64, 0, cfg); err == nil {
+		t.Fatal("zero followers accepted")
+	}
+	if _, err := ReplPoint("bravo-go", 2, 1, 2, 1, 64, 0, cfg); err == nil {
+		t.Fatal("batch < 2 accepted")
+	}
+	if _, err := ReplPoint("no-such-lock", 2, 1, 2, 64, 64, 0, cfg); err == nil {
+		t.Fatal("unknown lock accepted")
+	}
+}
+
+// TestReplSweepSmoke runs a tiny deployment end to end: primary over TCP,
+// a follower, paced writes, lag sampling, convergence, and a
+// JSON-marshalable report with the follower axis present.
+func TestReplSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a primary+follower deployment per point")
+	}
+	cfg := Config{Interval: 60 * time.Millisecond, Runs: 1}
+	results, err := ReplSweep([]string{"bravo-go"}, []int{2}, []int{1, 2}, 2, 16, 32, 8192, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("sweep returned %d results, want 2", len(results))
+	}
+	for _, r := range results {
+		if r.ReadsPerSec <= 0 || r.WriteKeysPerSec <= 0 {
+			t.Fatalf("degenerate result %+v", r)
+		}
+		// A fresh follower behind the prefill checkpoint bootstraps via
+		// one snapshot frame per shard.
+		if r.SnapshotFrames != uint64(r.Followers*r.Shards) {
+			t.Fatalf("snapshot frames %d, want %d", r.SnapshotFrames, r.Followers*r.Shards)
+		}
+	}
+	var buf bytes.Buffer
+	rep := NewReplReport(cfg, 16, results)
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ReplReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Benchmark != "repl" || len(back.Results) != 2 || back.Results[1].Followers != 2 {
+		t.Fatalf("report round-trip %+v", back)
+	}
+}

@@ -143,24 +143,32 @@ func (s *Sharded) openDurable(dir string, policy SyncPolicy) error {
 		sh := &s.shards[i]
 		// A .snap.tmp is an interrupted, unpublished checkpoint: garbage.
 		_ = os.Remove(s.snapPath(i) + ".tmp")
+		// last tracks the highest LSN recovered across snapshot, wal.old,
+		// and wal, in replay order; the reopened log continues from it.
+		// Legacy v1 records carry no LSN and are assigned sequential ones
+		// continuing from last — the in-place upgrade path.
+		var last uint64
 		if data, err := os.ReadFile(s.snapPath(i)); err == nil {
-			entries, err := loadSnapshot(data)
+			entries, snapLSN, err := loadSnapshot(data)
 			if err != nil {
 				return fmt.Errorf("kvs: shard %d snapshot: %w", i, err)
 			}
 			sh.recover(entries)
+			last = snapLSN
 		} else if !os.IsNotExist(err) {
 			return err
 		}
 		if data, err := os.ReadFile(s.walOldPath(i)); err == nil {
-			walReplay(data, sh.recover)
+			_, last = walReplay(data, last, sh.recoverRecord)
 			needCkpt = append(needCkpt, i)
 		} else if !os.IsNotExist(err) {
 			return err
 		}
 		walSize := int64(0)
 		if data, err := os.ReadFile(s.walPath(i)); err == nil {
-			walSize = int64(walReplay(data, sh.recover))
+			var valid int
+			valid, last = walReplay(data, last, sh.recoverRecord)
+			walSize = int64(valid)
 		} else if !os.IsNotExist(err) {
 			return err
 		}
@@ -173,7 +181,8 @@ func (s *Sharded) openDurable(dir string, policy SyncPolicy) error {
 		if err != nil {
 			return err
 		}
-		sh.wal = &shardWAL{f: f, policy: policy, size: walSize}
+		sh.wal = &shardWAL{f: f, policy: policy, size: walSize, lsn: last}
+		sh.wal.applied.Store(last)
 	}
 	// Make the freshly-created log files' directory entries durable: an
 	// fsynced record is worthless if the file itself vanishes with the
@@ -233,6 +242,12 @@ func (s *Sharded) hasShardFiles() bool {
 		}
 	}
 	return false
+}
+
+// recoverRecord is recover in walReplay's callback shape; the LSN is
+// tracked by the caller via walReplay's return value.
+func (sh *kvShard) recoverRecord(_ uint64, entries []walEntry) {
+	sh.recover(entries)
 }
 
 // recover applies decoded entries to a shard during single-threaded

@@ -33,18 +33,32 @@ func validPayload() []byte {
 	return payload
 }
 
+// legacyPayload encodes a v1 (pre-LSN) record payload by hand: the decoder
+// must still accept the old layout.
+func legacyPayload() []byte {
+	p := []byte{walVersion1}
+	p = binary.LittleEndian.AppendUint32(p, 1)
+	p = append(p, walOpPut)
+	p = binary.LittleEndian.AppendUint64(p, 42)
+	p = binary.LittleEndian.AppendUint32(p, 2)
+	return append(p, 'v', '1')
+}
+
 func FuzzWALReplay(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(buildRecord(validPayload()))
-	f.Add(buildRecord(validPayload())[:5])             // torn header
-	f.Add(append(buildRecord(validPayload()), 0xFF))   // trailing garbage
-	f.Add(buildRecord([]byte{walVersion, 0, 0, 0, 0})) // empty batch
-	f.Add(buildRecord([]byte{2, 1, 0, 0, 0}))          // wrong version
-	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0})  // insane length
-	f.Add(bytes.Repeat([]byte{0}, 64))                 // zero-length records... of garbage CRC
+	f.Add(buildRecord(validPayload())[:5])                                  // torn header
+	f.Add(append(buildRecord(validPayload()), 0xFF))                        // trailing garbage
+	f.Add(buildRecord(append([]byte{walVersion}, make([]byte, 12)...)))     // empty batch at LSN 0
+	f.Add(buildRecord([]byte{walVersion1, 1, 0, 0, 0}))                     // truncated legacy batch
+	f.Add(buildRecord(legacyPayload()))                                     // valid legacy record
+	f.Add(buildRecord(append([]byte{99}, make([]byte, 12)...)))             // unknown version
+	f.Add(buildRecord(append([]byte{walVersionSnap}, make([]byte, 12)...))) // snapshot record: wire-only
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0})                       // insane length
+	f.Add(bytes.Repeat([]byte{0}, 64))                                      // zero-length records... of garbage CRC
 	f.Fuzz(func(t *testing.T, data []byte) {
 		applied := 0
-		valid := walReplay(data, func(entries []walEntry) {
+		valid, last := walReplay(data, 0, func(lsn uint64, entries []walEntry) {
 			for _, e := range entries {
 				// Decoded entries must be internally sane: ops in range,
 				// values inside the input buffer.
@@ -64,9 +78,10 @@ func FuzzWALReplay(f *testing.F) {
 		}
 		// Replay must be deterministic and idempotent on the valid prefix.
 		applied2 := 0
-		valid2 := walReplay(data[:valid], func([]walEntry) { applied2++ })
-		if valid2 != valid || applied2 != applied {
-			t.Fatalf("replay of the valid prefix gave offset %d records %d, want %d/%d", valid2, applied2, valid, applied)
+		valid2, last2 := walReplay(data[:valid], 0, func(uint64, []walEntry) { applied2++ })
+		if valid2 != valid || applied2 != applied || last2 != last {
+			t.Fatalf("replay of the valid prefix gave offset %d records %d lsn %d, want %d/%d/%d",
+				valid2, applied2, last2, valid, applied, last)
 		}
 	})
 }
@@ -93,7 +108,7 @@ func FuzzSnapshotLoad(f *testing.F) {
 	f.Add(snap)
 	f.Add(snap[:len(snap)-2]) // torn trailer
 	f.Fuzz(func(t *testing.T, data []byte) {
-		entries, err := loadSnapshot(data)
+		entries, _, err := loadSnapshot(data)
 		if err != nil {
 			return
 		}

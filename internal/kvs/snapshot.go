@@ -19,15 +19,19 @@ package kvs
 // TTL-expired residue is compacted away: entries past their deadline at
 // checkpoint time are not written.
 //
-// Snapshot file format (integers little-endian, fixed width):
+// Snapshot file format v2 (integers little-endian, fixed width):
 //
-//	file    := magic "BRVOSNP1" | u64 count | count × entry | u32 crc32c
+//	file    := magic "BRVOSNP2" | u64 lsn | u64 count | count × entry | u32 crc32c
 //	entry   := u8 hasTTL | u64 key | [i64 remainingNanos] | u32 vlen | vlen bytes
 //
-// The trailing CRC covers everything between magic and itself. Snapshots
-// are written via tmp+rename, so a torn snapshot is impossible in normal
-// operation; a corrupt one fails recovery loudly instead of silently
-// dropping keys.
+// The lsn field records the WAL LSN the snapshot covers: every record with
+// a smaller-or-equal LSN is folded in, so recovery (and a replication
+// follower resuming from snapshot + LSN) continues the sequence from it.
+// Legacy "BRVOSNP1" files (no lsn field) still load, as LSN 0 — the
+// upgrade path for pre-LSN directories. The trailing CRC covers everything
+// between magic and itself. Snapshots are written via tmp+rename, so a
+// torn snapshot is impossible in normal operation; a corrupt one fails
+// recovery loudly instead of silently dropping keys.
 
 import (
 	"encoding/binary"
@@ -39,7 +43,10 @@ import (
 	"github.com/bravolock/bravo/internal/clock"
 )
 
-var snapMagic = []byte("BRVOSNP1")
+var (
+	snapMagic   = []byte("BRVOSNP2")
+	snapMagicV1 = []byte("BRVOSNP1")
+)
 
 // Checkpoint writes a snapshot of every shard and truncates its log.
 // Concurrent writes to a shard stall while that shard's state is copied
@@ -69,8 +76,12 @@ func (s *Sharded) checkpointShard(i int) error {
 
 	// Step 1: copy + rotate at one consistent point. The WAL mutex blocks
 	// writers (they take it before the shard lock); the read lock makes the
-	// copy safe against in-place value updates already in flight.
+	// copy safe against in-place value updates already in flight. The LSN
+	// captured here is exact: no record can commit while mu is held, so the
+	// copy is the state as of lsn and the snapshot covers precisely the
+	// records the rotation moves aside.
 	w.mu.Lock()
+	lsn := w.lsn
 	tok := sh.lock.RLock()
 	data := make(map[uint64][]byte, len(sh.data))
 	for k, v := range sh.data {
@@ -92,7 +103,7 @@ func (s *Sharded) checkpointShard(i int) error {
 
 	// Step 2: publish the snapshot atomically.
 	tmp := s.snapPath(i) + ".tmp"
-	if err := writeSnapshotFile(tmp, data, exp); err != nil {
+	if err := writeSnapshotFile(tmp, data, exp, lsn); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, s.snapPath(i)); err != nil {
@@ -115,8 +126,9 @@ func (s *Sharded) checkpointShard(i int) error {
 
 // writeSnapshotFile renders one shard's copied state and fsyncs it.
 // Entries already past their TTL deadline are compacted away; deadlines
-// are persisted as remaining nanoseconds, like WAL records.
-func writeSnapshotFile(path string, data map[uint64][]byte, exp ttlMap) error {
+// are persisted as remaining nanoseconds, like WAL records. lsn is the WAL
+// LSN the copy covers.
+func writeSnapshotFile(path string, data map[uint64][]byte, exp ttlMap, lsn uint64) error {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
@@ -143,6 +155,7 @@ func writeSnapshotFile(path string, data map[uint64][]byte, exp ttlMap) error {
 		count++
 	}
 	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, lsn)
 	buf = binary.LittleEndian.AppendUint64(buf, count)
 	buf = append(buf, body...)
 	crc := crc32.Checksum(buf[len(snapMagic):], walCRC)
@@ -159,42 +172,56 @@ func writeSnapshotFile(path string, data map[uint64][]byte, exp ttlMap) error {
 }
 
 // loadSnapshot parses a snapshot file's bytes into entries (put/putTTL
-// only). Unlike WAL replay there is no torn-tail tolerance: snapshots are
-// published atomically, so any damage is real corruption and errors out.
-// It never panics on arbitrary bytes (FuzzSnapshotLoad).
-func loadSnapshot(data []byte) ([]walEntry, error) {
+// only) plus the WAL LSN the snapshot covers (0 for legacy v1 files,
+// which predate LSNs). Unlike WAL replay there is no torn-tail tolerance:
+// snapshots are published atomically, so any damage is real corruption and
+// errors out. It never panics on arbitrary bytes (FuzzSnapshotLoad).
+func loadSnapshot(data []byte) ([]walEntry, uint64, error) {
 	if len(data) < len(snapMagic)+8+4 {
-		return nil, errors.New("snapshot too short")
+		return nil, 0, errors.New("snapshot too short")
 	}
-	if string(data[:len(snapMagic)]) != string(snapMagic) {
-		return nil, errors.New("bad snapshot magic")
+	legacy := string(data[:len(snapMagicV1)]) == string(snapMagicV1)
+	if !legacy && string(data[:len(snapMagic)]) != string(snapMagic) {
+		return nil, 0, errors.New("bad snapshot magic")
 	}
 	crcOff := len(data) - 4
 	want := binary.LittleEndian.Uint32(data[crcOff:])
 	if crc32.Checksum(data[len(snapMagic):crcOff], walCRC) != want {
-		return nil, errors.New("snapshot CRC mismatch")
+		return nil, 0, errors.New("snapshot CRC mismatch")
 	}
-	count := binary.LittleEndian.Uint64(data[len(snapMagic):])
-	body := data[len(snapMagic)+8 : crcOff]
+	var lsn uint64
+	off := len(snapMagic)
+	if !legacy {
+		if crcOff-off < 8 {
+			return nil, 0, errors.New("snapshot too short for lsn")
+		}
+		lsn = binary.LittleEndian.Uint64(data[off:])
+		off += 8
+	}
+	if crcOff-off < 8 {
+		return nil, 0, errors.New("snapshot too short for count")
+	}
+	count := binary.LittleEndian.Uint64(data[off:])
+	body := data[off+8 : crcOff]
 	// Every entry is at least 13 bytes; an insane count never preallocates.
 	if count > uint64(len(body)/13) {
-		return nil, fmt.Errorf("snapshot claims %d entries in %d bytes", count, len(body))
+		return nil, 0, fmt.Errorf("snapshot claims %d entries in %d bytes", count, len(body))
 	}
 	entries := make([]walEntry, 0, count)
-	off := 0
+	off = 0
 	for i := uint64(0); i < count; i++ {
 		if len(body)-off < 13 {
-			return nil, errors.New("snapshot entry truncated")
+			return nil, 0, errors.New("snapshot entry truncated")
 		}
 		hasTTL := body[off]
 		if hasTTL > 1 {
-			return nil, fmt.Errorf("snapshot entry flag %d", hasTTL)
+			return nil, 0, fmt.Errorf("snapshot entry flag %d", hasTTL)
 		}
 		e := walEntry{op: walOpPut, key: binary.LittleEndian.Uint64(body[off+1:])}
 		off += 9
 		if hasTTL == 1 {
 			if len(body)-off < 12 {
-				return nil, errors.New("snapshot TTL entry truncated")
+				return nil, 0, errors.New("snapshot TTL entry truncated")
 			}
 			e.op = walOpPutTTL
 			e.rem = int64(binary.LittleEndian.Uint64(body[off:]))
@@ -203,16 +230,16 @@ func loadSnapshot(data []byte) ([]walEntry, error) {
 		vlen := int(binary.LittleEndian.Uint32(body[off:]))
 		off += 4
 		if vlen < 0 || vlen > len(body)-off {
-			return nil, errors.New("snapshot value truncated")
+			return nil, 0, errors.New("snapshot value truncated")
 		}
 		e.val = body[off : off+vlen]
 		off += vlen
 		entries = append(entries, e)
 	}
 	if off != len(body) {
-		return nil, errors.New("snapshot has trailing bytes")
+		return nil, 0, errors.New("snapshot has trailing bytes")
 	}
-	return entries, nil
+	return entries, lsn, nil
 }
 
 // syncDir fsyncs a directory so renames and removals inside it are durable.

@@ -15,13 +15,22 @@ package kvs
 // state the maps held. Readers never touch the WAL mutex — the BRAVO read
 // fast path stays one CAS even while a batch is being synced.
 //
-// Record format (all integers little-endian, fixed width):
+// Record format v2 (all integers little-endian, fixed width):
 //
 //	record  := u32 payloadLen | u32 crc32c(payload) | payload
-//	payload := u8 version(=1) | u32 count | count × entry
+//	payload := u8 version(=2) | u64 lsn | u32 count | count × entry
 //	entry   := u8 opPut    | u64 key | u32 vlen | vlen bytes
 //	         | u8 opPutTTL | u64 key | i64 remainingNanos | u32 vlen | vlen bytes
 //	         | u8 opDelete | u64 key
+//
+// The LSN is a per-shard log sequence number, stamped under the WAL mutex
+// so it increases by exactly one per committed record — the replication
+// stream's resume token (see repl.go) and the read-your-writes token kvserv
+// hands back on writes. Version-1 payloads (no LSN field) still decode:
+// replay synthesizes sequential LSNs for them, so a pre-LSN directory
+// upgrades in place on its first reopen and new records continue the
+// sequence. Version 3 is the same layout as v2 but marks a full-state
+// snapshot record; it appears only on the replication wire, never on disk.
 //
 // TTL deadlines are persisted as *remaining* nanoseconds at append time,
 // not absolute deadlines: the process clock (internal/clock) has a
@@ -86,7 +95,16 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 }
 
 const (
-	walVersion    = 1
+	// walVersion1 is the legacy pre-LSN payload layout, still decoded (with
+	// synthesized LSNs) so existing directories upgrade in place.
+	walVersion1 = 1
+	// walVersion is the current on-disk payload layout: LSN-stamped.
+	walVersion = 2
+	// walVersionSnap marks a full-state snapshot record at its LSN. It is a
+	// replication wire format only: a decoder may see it in a stream, the
+	// appender never writes it to a log file.
+	walVersionSnap = 3
+
 	walHeaderSize = 8 // u32 payload length + u32 CRC32-C
 	// walMaxPayload bounds a record's declared payload length; anything
 	// larger is treated as a torn/corrupt tail rather than allocated.
@@ -119,6 +137,22 @@ type shardWAL struct {
 	size   int64
 	closed bool
 	err    error // first write/sync error; the engine stays available in memory
+	// lsn is the LSN of the last committed record (guarded by mu); begin
+	// stamps lsn+1 and a successful commit advances it, so a failed append
+	// reuses its LSN for the retry and the log never has holes.
+	lsn uint64
+
+	// applied publishes lsn after the record's entries are applied to the
+	// shard map (see unlock): the lock-free answer to "what LSN does a read
+	// against this shard observe", read by ShardLSN and /repl/status.
+	applied atomic.Uint64
+	// gen is a seqlock over the log files: rotate (holding mu) bumps it to
+	// odd on entry and back to even on exit, so the files are stable
+	// exactly when gen is even. Replication readers sample it around
+	// their lockless file reads — an even, unchanged gen brackets a read
+	// no rotation overlapped; odd, or changed, means retry. A single bump
+	// would miss a rotation already in flight when the read starts.
+	gen atomic.Uint64
 
 	records atomic.Uint64
 	keys    atomic.Uint64
@@ -134,19 +168,25 @@ func (w *shardWAL) lock() {
 	}
 }
 
-// unlock releases the WAL mutex; no-op without a WAL.
+// unlock publishes the applied LSN and releases the WAL mutex; no-op
+// without a WAL. The write paths call it after the record's entries are in
+// the shard map, so applied never names a record whose effects a read
+// could still miss.
 func (w *shardWAL) unlock() {
 	if w != nil {
+		w.applied.Store(w.lsn)
 		w.mu.Unlock()
 	}
 }
 
-// begin starts a record of count entries in the scratch buffer. The caller
-// holds mu and follows with addPut/addDelete calls, then commit.
+// begin starts a record of count entries in the scratch buffer, stamped
+// with the next LSN. The caller holds mu and follows with addPut/addDelete
+// calls, then commit.
 func (w *shardWAL) begin(count int) {
 	w.buf = w.buf[:0]
 	w.buf = append(w.buf, make([]byte, walHeaderSize)...)
 	w.buf = append(w.buf, walVersion)
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, w.lsn+1)
 	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(count))
 }
 
@@ -197,6 +237,7 @@ func (w *shardWAL) commit(count int) {
 		return
 	}
 	w.size += int64(n)
+	w.lsn++
 	w.records.Add(1)
 	w.keys.Add(uint64(count))
 	if w.policy == SyncAlways {
@@ -231,6 +272,11 @@ func (w *shardWAL) rotate(cur, old string) error {
 	if w.closed {
 		return errWALClosed
 	}
+	// Seqlock write section: gen is odd for the whole swap (every exit
+	// path), so a lockless reader either sees odd — retry — or sees the
+	// same even value on both sides of a read no rotation overlapped.
+	w.gen.Add(1)
+	defer w.gen.Add(1)
 	if err := w.f.Sync(); err != nil {
 		w.setErr(err)
 		return err
@@ -306,53 +352,113 @@ type walEntry struct {
 	val []byte
 }
 
+// walRecord is one decoded record: its payload version (distinguishing
+// snapshot stream records from incremental ones), its LSN (zero for legacy
+// v1 payloads, which carry none), and its entries.
+type walRecord struct {
+	version byte
+	lsn     uint64
+	entries []walEntry
+}
+
+// frame-splitting outcomes for splitFrame.
+const (
+	frameOK         = iota // a complete, CRC-valid record
+	frameIncomplete        // data ends inside the header or payload
+	frameCorrupt           // full length available but CRC or size insane
+)
+
+// splitFrame examines the record at the head of data: on frameOK, payload
+// is the record body and n the framed length consumed. frameIncomplete
+// means more bytes may turn the prefix into a record (a torn tail on disk,
+// or a stream mid-chunk); frameCorrupt means no suffix can (declared
+// length insane, or the CRC fails over the fully-present payload). Log
+// replay treats both as the torn-tail stop; stream consumers reconnect
+// only on frameCorrupt.
+func splitFrame(data []byte) (payload []byte, n int, status int) {
+	if len(data) < walHeaderSize {
+		return nil, 0, frameIncomplete
+	}
+	plen := int(binary.LittleEndian.Uint32(data))
+	crc := binary.LittleEndian.Uint32(data[4:])
+	if plen < 0 || plen > walMaxPayload {
+		return nil, 0, frameCorrupt
+	}
+	if plen > len(data)-walHeaderSize {
+		return nil, 0, frameIncomplete
+	}
+	payload = data[walHeaderSize : walHeaderSize+plen]
+	if crc32.Checksum(payload, walCRC) != crc {
+		return nil, 0, frameCorrupt
+	}
+	return payload, walHeaderSize + plen, frameOK
+}
+
 // walReplay decodes records from data, invoking apply once per fully-valid
-// record, and returns the byte offset just past the last valid record.
-// Decoding stops — without applying anything from the bad record — at the
-// first short header, oversize length, CRC mismatch, or malformed payload:
-// the torn-tail rule. It never panics, whatever the bytes (FuzzWALReplay).
-func walReplay(data []byte, apply func([]walEntry)) (valid int) {
+// record, and returns the byte offset just past the last valid record plus
+// the highest LSN seen. Decoding stops — without applying anything from
+// the bad record — at the first short header, oversize length, CRC
+// mismatch, or malformed payload: the torn-tail rule. Legacy v1 records
+// carry no LSN; they are assigned sequential LSNs continuing from last, so
+// a pre-LSN log upgrades in place. Snapshot-version records never appear
+// in log files and stop replay like corruption. It never panics, whatever
+// the bytes (FuzzWALReplay).
+func walReplay(data []byte, last uint64, apply func(lsn uint64, entries []walEntry)) (valid int, lastLSN uint64) {
 	off := 0
 	for {
-		rest := data[off:]
-		if len(rest) < walHeaderSize {
-			return off
+		payload, n, status := splitFrame(data[off:])
+		if status != frameOK {
+			return off, last
 		}
-		plen := int(binary.LittleEndian.Uint32(rest))
-		crc := binary.LittleEndian.Uint32(rest[4:])
-		if plen > walMaxPayload || plen > len(rest)-walHeaderSize {
-			return off
+		rec, ok := walDecodePayload(payload)
+		if !ok || rec.version == walVersionSnap {
+			return off, last
 		}
-		payload := rest[walHeaderSize : walHeaderSize+plen]
-		if crc32.Checksum(payload, walCRC) != crc {
-			return off
+		if rec.version == walVersion1 {
+			rec.lsn = last + 1
 		}
-		entries, ok := walDecodePayload(payload)
-		if !ok {
-			return off
+		apply(rec.lsn, rec.entries)
+		if rec.lsn > last {
+			last = rec.lsn
 		}
-		apply(entries)
-		off += walHeaderSize + plen
+		off += n
 	}
 }
 
-// walDecodePayload parses one record payload into entries, strictly: every
-// entry must parse and the payload must end exactly at the last one.
-func walDecodePayload(p []byte) ([]walEntry, bool) {
-	if len(p) < 5 || p[0] != walVersion {
-		return nil, false
+// walDecodePayload parses one record payload, strictly: every entry must
+// parse and the payload must end exactly at the last one.
+func walDecodePayload(p []byte) (walRecord, bool) {
+	var rec walRecord
+	if len(p) < 1 {
+		return rec, false
 	}
-	count := int(binary.LittleEndian.Uint32(p[1:]))
+	rec.version = p[0]
+	off := 1
+	switch rec.version {
+	case walVersion1:
+	case walVersion, walVersionSnap:
+		if len(p) < 1+8 {
+			return rec, false
+		}
+		rec.lsn = binary.LittleEndian.Uint64(p[1:])
+		off = 9
+	default:
+		return rec, false
+	}
+	if len(p)-off < 4 {
+		return rec, false
+	}
+	count := int(binary.LittleEndian.Uint32(p[off:]))
+	off += 4
 	// Each entry is at least 9 bytes; anything claiming more is malformed,
 	// and the bound keeps the preallocation honest on adversarial input.
-	if count < 0 || count > (len(p)-5)/9 {
-		return nil, false
+	if count < 0 || count > (len(p)-off)/9 {
+		return rec, false
 	}
 	entries := make([]walEntry, 0, count)
-	off := 5
 	for i := 0; i < count; i++ {
 		if len(p)-off < 9 {
-			return nil, false
+			return rec, false
 		}
 		e := walEntry{op: p[off], key: binary.LittleEndian.Uint64(p[off+1:])}
 		off += 9
@@ -361,27 +467,28 @@ func walDecodePayload(p []byte) ([]walEntry, bool) {
 		case walOpPut, walOpPutTTL:
 			if e.op == walOpPutTTL {
 				if len(p)-off < 8 {
-					return nil, false
+					return rec, false
 				}
 				e.rem = int64(binary.LittleEndian.Uint64(p[off:]))
 				off += 8
 			}
 			if len(p)-off < 4 {
-				return nil, false
+				return rec, false
 			}
 			vlen := int(binary.LittleEndian.Uint32(p[off:]))
 			off += 4
 			if vlen < 0 || vlen > len(p)-off {
-				return nil, false
+				return rec, false
 			}
 			e.val = p[off : off+vlen]
 			off += vlen
 		default:
-			return nil, false
+			return rec, false
 		}
 		entries = append(entries, e)
 	}
-	return entries, off == len(p)
+	rec.entries = entries
+	return rec, off == len(p)
 }
 
 // deadlineFromRemaining re-anchors a persisted remaining-nanoseconds value

@@ -19,6 +19,16 @@
 //	POST   /checkpoint          durable engines: snapshot every shard and
 //	                            truncate its WAL; 409 on volatile engines
 //	GET    /stats               engine ShardedStats + totals + durability
+//	                            (+ replication posture when replicating)
+//
+// Replication: a durable server is automatically a replication primary —
+// it mounts internal/repl's GET /repl/stream and /repl/status, and every
+// write answers with X-Commit-Lsn and X-Commit-Shard headers (batched
+// /mput returns a per-shard "lsns" map): the read-your-writes token.
+// NewFollower serves a repl.Follower's replica read-only: the read
+// endpoints work (plus ?min_lsn=, which waits for the token's LSN or
+// answers 409), writes answer 403, and /stats carries per-shard
+// applied_lsn and lag against the primary.
 //
 // The per-connection handle relies on HTTP/1.x serving a connection's
 // requests sequentially; the server does not enable h2, where concurrent
@@ -39,6 +49,7 @@ import (
 	"time"
 
 	"github.com/bravolock/bravo/internal/kvs"
+	"github.com/bravolock/bravo/internal/repl"
 	"github.com/bravolock/bravo/internal/rwl"
 )
 
@@ -62,6 +73,10 @@ const (
 	DefaultReapBudget   = kvs.DefaultReapBudget
 )
 
+// DefaultMinLSNWait bounds how long a read with ?min_lsn= blocks for the
+// replica to catch up before answering 409.
+const DefaultMinLSNWait = 2 * time.Second
+
 // Config tunes a Server.
 type Config struct {
 	// ReapInterval paces the background TTL reaper; 0 means
@@ -71,6 +86,9 @@ type Config struct {
 	// ReapBudget bounds entries examined per reap tick; 0 means
 	// DefaultReapBudget.
 	ReapBudget int
+	// MinLSNWait bounds a ?min_lsn= read's wait on a follower; 0 means
+	// DefaultMinLSNWait.
+	MinLSNWait time.Duration
 }
 
 // Server serves a kvs.Sharded engine over HTTP.
@@ -81,18 +99,53 @@ type Server struct {
 	done   chan struct{}
 	wg     sync.WaitGroup
 
+	// primary is the replication server side, mounted when the engine is
+	// durable (its WAL is the stream); nil otherwise.
+	primary *repl.Primary
+	// follower is set by NewFollower: the server serves its replica
+	// read-only and rejects writes.
+	follower *repl.Follower
+
 	closeOnce sync.Once
 }
 
 // New returns a server over engine. Serve starts it; Close stops it.
+// A durable engine's server doubles as a replication primary.
 func New(engine *kvs.Sharded, cfg Config) *Server {
+	s := newServer(engine, cfg)
+	if engine.Durable() {
+		s.primary = repl.NewPrimary(engine)
+	}
+	s.buildHTTP()
+	return s
+}
+
+// NewFollower returns a read-only server over f's replica: the read
+// endpoints (with ?min_lsn= honored against f's applied LSNs), /stats
+// with replication lag, and 403 on every mutating endpoint.
+func NewFollower(f *repl.Follower, cfg Config) *Server {
+	s := newServer(f.Engine(), cfg)
+	s.follower = f
+	s.buildHTTP()
+	return s
+}
+
+// newServer holds the mode-independent setup; the route table is built by
+// buildHTTP once the constructor has settled the mode fields.
+func newServer(engine *kvs.Sharded, cfg Config) *Server {
 	if cfg.ReapInterval == 0 {
 		cfg.ReapInterval = DefaultReapInterval
 	}
 	if cfg.ReapBudget <= 0 {
 		cfg.ReapBudget = DefaultReapBudget
 	}
-	s := &Server{engine: engine, cfg: cfg, done: make(chan struct{})}
+	if cfg.MinLSNWait <= 0 {
+		cfg.MinLSNWait = DefaultMinLSNWait
+	}
+	return &Server{engine: engine, cfg: cfg, done: make(chan struct{})}
+}
+
+func (s *Server) buildHTTP() {
 	s.http = &http.Server{
 		Handler: s.Handler(),
 		// Slow-client bounds: a connection that trickles header bytes or
@@ -107,7 +160,6 @@ func New(engine *kvs.Sharded, cfg Config) *Server {
 			return context.WithValue(ctx, readerKey{}, rwl.NewReader())
 		},
 	}
-	return s
 }
 
 // readerKey carries the per-connection reader handle in the request context.
@@ -126,14 +178,34 @@ func connReader(r *http.Request) *rwl.Reader {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /kv/{key}", s.handleGet)
+	mux.HandleFunc("GET /mget", s.handleMGet)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	if s.follower != nil {
+		// Read-only replica: every mutating endpoint answers 403, naming
+		// the primary so a misrouted client can fix itself.
+		for _, route := range []string{
+			"PUT /kv/{key}", "DELETE /kv/{key}", "POST /mput",
+			"POST /flush", "POST /checkpoint",
+		} {
+			mux.HandleFunc(route, s.handleReadOnly)
+		}
+		mux.HandleFunc("GET /repl/status", s.handleFollowerStatus)
+		return mux
+	}
 	mux.HandleFunc("PUT /kv/{key}", s.handlePut)
 	mux.HandleFunc("DELETE /kv/{key}", s.handleDelete)
-	mux.HandleFunc("GET /mget", s.handleMGet)
 	mux.HandleFunc("POST /mput", s.handleMPut)
 	mux.HandleFunc("POST /flush", s.handleFlush)
 	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	if s.primary != nil {
+		s.primary.Register(mux)
+	}
 	return mux
+}
+
+// handleReadOnly rejects writes on a follower.
+func (s *Server) handleReadOnly(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, fmt.Sprintf("read-only follower: write to the primary at %s", s.follower.Primary()), http.StatusForbidden)
 }
 
 // Serve accepts connections on l until Close. It also runs the background
@@ -188,10 +260,72 @@ func parseKey(r *http.Request) (uint64, error) {
 	return k, nil
 }
 
+// honorMinLSN enforces a read's ?min_lsn= read-your-writes token: every
+// shard the read touches must have applied at least that LSN. Followers
+// wait up to MinLSNWait for replication to cover the token, then 409; a
+// durable primary's position always covers the tokens it handed out, so
+// a lagging token there means a client confused about who it wrote to —
+// also 409. It reports whether the read may proceed, having written the
+// error response when not.
+func (s *Server) honorMinLSN(w http.ResponseWriter, r *http.Request, keys ...uint64) bool {
+	raw := r.URL.Query().Get("min_lsn")
+	if raw == "" {
+		return true
+	}
+	lsn, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad min_lsn %q: want a decimal LSN", raw), http.StatusBadRequest)
+		return false
+	}
+	if lsn == 0 {
+		return true
+	}
+	if s.follower == nil && !s.engine.Durable() {
+		http.Error(w, "min_lsn on a volatile server: it has no LSNs", http.StatusBadRequest)
+		return false
+	}
+	shards := map[int]bool{}
+	for _, k := range keys {
+		shards[s.engine.ShardOf(k)] = true
+	}
+	deadline := time.Now().Add(s.cfg.MinLSNWait)
+	for sh := range shards {
+		if s.follower != nil {
+			if s.follower.WaitMinLSN(sh, lsn, time.Until(deadline)) {
+				continue
+			}
+			http.Error(w, fmt.Sprintf("replica shard %d at LSN %d, need %d: retry, or read the primary", sh, s.follower.AppliedLSN(sh), lsn), http.StatusConflict)
+			return false
+		}
+		if s.engine.ShardLSN(sh) < lsn {
+			http.Error(w, fmt.Sprintf("shard %d at LSN %d, token says %d: this primary never issued it", sh, s.engine.ShardLSN(sh), lsn), http.StatusConflict)
+			return false
+		}
+	}
+	return true
+}
+
+// writeCommitHeaders stamps a write response with the shard's commit LSN:
+// the read-your-writes token a client hands to a follower as ?min_lsn=.
+// The LSN is read after the write applied, so it is at least the write's
+// own record (concurrent writers can only push it later — still a
+// covering token). Volatile engines stamp nothing.
+func (s *Server) writeCommitHeaders(w http.ResponseWriter, key uint64) {
+	if !s.engine.Durable() {
+		return
+	}
+	sh := s.engine.ShardOf(key)
+	w.Header().Set("X-Commit-Shard", strconv.Itoa(sh))
+	w.Header().Set("X-Commit-Lsn", strconv.FormatUint(s.engine.ShardLSN(sh), 10))
+}
+
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	key, err := parseKey(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !s.honorMinLSN(w, r, key) {
 		return
 	}
 	v, ok := s.engine.GetH(connReader(r), key)
@@ -246,6 +380,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.engine.Put(key, body)
 	}
+	s.writeCommitHeaders(w, key)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -255,7 +390,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if !s.engine.Delete(key) {
+	ok := s.engine.Delete(key)
+	// Even a miss appended a record (the delete is logged regardless), so
+	// the token is stamped on both outcomes.
+	s.writeCommitHeaders(w, key)
+	if !ok {
 		http.Error(w, "not found", http.StatusNotFound)
 		return
 	}
@@ -283,6 +422,9 @@ func (s *Server) handleMGet(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		keys[i] = k
+	}
+	if !s.honorMinLSN(w, r, keys...) {
+		return
 	}
 	writeJSON(w, mgetResponse{Values: s.engine.MultiGetH(connReader(r), keys)})
 }
@@ -335,7 +477,28 @@ func (s *Server) handleMPut(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.engine.MultiPut(keys, vals)
 	}
-	writeJSON(w, map[string]int{"applied": len(keys)})
+	resp := mputResponse{Applied: len(keys)}
+	if s.engine.Durable() {
+		// One commit LSN per shard the batch touched: the batch's
+		// read-your-writes tokens.
+		resp.LSNs = map[string]uint64{}
+		for _, k := range keys {
+			sh := s.engine.ShardOf(k)
+			shs := strconv.Itoa(sh)
+			if _, done := resp.LSNs[shs]; !done {
+				resp.LSNs[shs] = s.engine.ShardLSN(sh)
+			}
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// mputResponse is /mput's reply: the applied count and, on durable
+// engines, the commit LSN of every shard the batch touched (keys are
+// decimal shard indices).
+type mputResponse struct {
+	Applied int               `json:"applied"`
+	LSNs    map[string]uint64 `json:"lsns,omitempty"`
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
@@ -359,7 +522,9 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 
 // statsResponse is /stats: the engine's per-shard counters plus the fold
 // and the durability posture. WALError carries the first WAL failure so a
-// monitor can tell "serving but no longer durable" from healthy.
+// monitor can tell "serving but no longer durable" from healthy. Primaries
+// include their replication posture under "repl", followers their
+// per-shard positions and lag under "follower".
 type statsResponse struct {
 	NumShards     int              `json:"num_shards"`
 	HandleCapable bool             `json:"handle_capable"`
@@ -368,6 +533,67 @@ type statsResponse struct {
 	WALError      string           `json:"wal_error,omitempty"`
 	Total         kvs.ShardStats   `json:"total"`
 	Shards        []kvs.ShardStats `json:"shards"`
+	Repl          *repl.Status     `json:"repl,omitempty"`
+	Follower      *followerStatus  `json:"follower,omitempty"`
+}
+
+// followerStatus is a follower's replication view: where each shard is,
+// and — when the primary answers — how far behind.
+type followerStatus struct {
+	Primary      string               `json:"primary"`
+	Reconnects   uint64               `json:"reconnects"`
+	PrimaryError string               `json:"primary_error,omitempty"`
+	Shards       []followerShardStats `json:"shards"`
+}
+
+type followerShardStats struct {
+	AppliedLSN uint64 `json:"applied_lsn"`
+	Records    uint64 `json:"records"`
+	Snapshots  uint64 `json:"snapshots"`
+	// PrimaryLSN and Lag (primary minus applied, in records) are present
+	// when the primary's status was reachable.
+	PrimaryLSN uint64 `json:"primary_lsn,omitempty"`
+	Lag        uint64 `json:"lag,omitempty"`
+}
+
+// buildFollowerStatus folds the follower's local progress with the
+// primary's live LSNs into the lag view. A dead primary degrades to
+// positions-only plus the fetch error.
+func (s *Server) buildFollowerStatus() *followerStatus {
+	fst := s.follower.Stats()
+	out := &followerStatus{
+		Primary:    fst.Primary,
+		Reconnects: fst.Reconnects,
+		Shards:     make([]followerShardStats, len(fst.Shards)),
+	}
+	for i, sp := range fst.Shards {
+		out.Shards[i] = followerShardStats{
+			AppliedLSN: sp.AppliedLSN,
+			Records:    sp.Records,
+			Snapshots:  sp.Snapshots,
+		}
+	}
+	pst, err := s.follower.PrimaryStatus()
+	if err != nil {
+		out.PrimaryError = err.Error()
+		return out
+	}
+	for i := range out.Shards {
+		if i >= len(pst.LSNs) {
+			break
+		}
+		out.Shards[i].PrimaryLSN = pst.LSNs[i]
+		if pst.LSNs[i] > out.Shards[i].AppliedLSN {
+			out.Shards[i].Lag = pst.LSNs[i] - out.Shards[i].AppliedLSN
+		}
+	}
+	return out
+}
+
+// handleFollowerStatus is the follower's /repl/status: its own positions
+// and lag (the primary's /repl/status, same path, reports the other end).
+func (s *Server) handleFollowerStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.buildFollowerStatus())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -384,6 +610,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if err := s.engine.WALError(); err != nil {
 			resp.WALError = err.Error()
 		}
+	}
+	if s.primary != nil {
+		pst := s.primary.Status()
+		resp.Repl = &pst
+	}
+	if s.follower != nil {
+		resp.Follower = s.buildFollowerStatus()
 	}
 	writeJSON(w, resp)
 }
