@@ -16,9 +16,11 @@
 //	                       single-lock memtable baseline; -json additionally
 //	                       writes machine-readable BENCH_shardedkv.json
 //	-workload readlatency  compare read-acquisition latency through a reader
-//	                       handle (cached-slot CAS) against the anonymous
-//	                       hash-per-acquisition path on the same BRAVO lock;
-//	                       -json writes BENCH_readlatency.json
+//	                       handle (cached-slot CAS), the anonymous
+//	                       hash-per-acquisition path, and the optimistic
+//	                       seqlock section (zero-CAS, validated, handle
+//	                       fallback) on the same BRAVO lock, at 0% and 10%
+//	                       writes; -json writes BENCH_readlatency.json
 //	-workload kvserv       loadgen for the serving pipeline behind
 //	                       cmd/kvserv: handle-pinned readers stream GETs
 //	                       while writers stream single Puts vs batched
@@ -444,12 +446,12 @@ func applyWorkloadDefaults(overrides map[string]func()) {
 }
 
 func runReadLatency(cfg bench.Config, locks []string) {
-	results, err := bench.ReadLatencySweep(locks, cfg.Threads, cfg)
+	results, err := bench.ReadLatencySweep(locks, cfg.Threads, bench.DefaultReadLatencyWriteRatios, cfg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("# readlatency: handle (cached-slot) vs anonymous (hash-per-read), interval %v × %d runs per mode\n",
-		cfg.Interval, cfg.Runs)
+	fmt.Printf("# readlatency: handle (cached-slot) vs anonymous (hash-per-read) vs seq (optimistic zero-CAS), write ratios %v, interval %v × %d runs per mode\n",
+		bench.DefaultReadLatencyWriteRatios, cfg.Interval, cfg.Runs)
 	bench.WriteHandleLatencyTable(os.Stdout, results)
 	if !*jsonFlag {
 		return

@@ -12,30 +12,59 @@ import (
 	"github.com/bravolock/bravo/internal/core"
 	"github.com/bravolock/bravo/internal/histogram"
 	"github.com/bravolock/bravo/internal/rwl"
+	"github.com/bravolock/bravo/internal/xrand"
 )
 
 // The readlatency workload compares steady-state read-acquisition latency
 // through a reader handle (RLockH: cached-slot CAS, no identity derivation,
-// no hashing) against the anonymous path (RLock: self.ID() + Hash(L, Self)
-// per acquisition) on the same BRAVO lock. It is the experiment behind the
-// reader-handle layer: if the handle does not at least match the anonymous
-// fast path at p50, the slot cache is not carrying its weight.
+// no hashing), the anonymous path (RLock: self.ID() + Hash(L, Self) per
+// acquisition), and the optimistic seqlock section (ReadAttempt..
+// ReadValidate on the rwl.WrapOptimistic wrapper: zero shared-memory
+// writes, pessimistic handle fallback when validation fails) on the same
+// BRAVO lock. It is the experiment behind both read-path layers: the
+// handle must at least match the anonymous fast path at p50, and the seq
+// section must stay flat across the goroutine axis at 0% writes while
+// collapsing no worse than the handle path when writers join.
 
-// HandleLatencyResult is one (lock, goroutines) comparison point.
+// SeqReadBenchAttempts is the optimistic attempt budget the seq column
+// uses before taking the pessimistic fallback — the engine's default.
+const SeqReadBenchAttempts = 3
+
+// DefaultReadLatencyWriteRatios is the write-ratio axis of the sweep: pure
+// readers (the zero-CAS flatness claim) and 10% writes (the graceful-
+// collapse claim).
+var DefaultReadLatencyWriteRatios = []float64{0, 0.10}
+
+// HandleLatencyResult is one (lock, goroutines, write-ratio) comparison
+// point.
 type HandleLatencyResult struct {
 	Lock       string `json:"lock"`
 	Goroutines int    `json:"goroutines"`
-	// Handle* are the RLockH measurements, Plain* the RLock ones. The
-	// percentile values are log2-histogram upper bounds in nanoseconds.
-	HandleP50Ns      int64   `json:"handle_p50_ns"`
-	HandleP99Ns      int64   `json:"handle_p99_ns"`
-	PlainP50Ns       int64   `json:"plain_p50_ns"`
-	PlainP99Ns       int64   `json:"plain_p99_ns"`
-	HandleOpsPerSec  float64 `json:"handle_ops_per_sec"`
-	PlainOpsPerSec   float64 `json:"plain_ops_per_sec"`
-	HandleMeanNs     float64 `json:"handle_mean_ns"`
-	PlainMeanNs      float64 `json:"plain_mean_ns"`
+	// WriteRatio is the fraction of operations (uniformly per worker) that
+	// take the write lock instead of performing the measured read.
+	WriteRatio float64 `json:"write_ratio"`
+	// Handle* are the RLockH measurements, Plain* the RLock ones, Seq* the
+	// optimistic seqlock sections (a failed-validation read is measured to
+	// the end of its pessimistic fallback acquisition, so the seq column
+	// pays for its own misses). The percentile values are log2-histogram
+	// upper bounds in nanoseconds.
+	HandleP50Ns     int64   `json:"handle_p50_ns"`
+	HandleP99Ns     int64   `json:"handle_p99_ns"`
+	PlainP50Ns      int64   `json:"plain_p50_ns"`
+	PlainP99Ns      int64   `json:"plain_p99_ns"`
+	SeqP50Ns        int64   `json:"seq_p50_ns"`
+	SeqP99Ns        int64   `json:"seq_p99_ns"`
+	HandleOpsPerSec float64 `json:"handle_ops_per_sec"`
+	PlainOpsPerSec  float64 `json:"plain_ops_per_sec"`
+	SeqOpsPerSec    float64 `json:"seq_ops_per_sec"`
+	HandleMeanNs    float64 `json:"handle_mean_ns"`
+	PlainMeanNs     float64 `json:"plain_mean_ns"`
+	SeqMeanNs       float64 `json:"seq_mean_ns"`
+	// SeqFallbackRate is fallbacks / seq reads: the fraction of optimistic
+	// reads that exhausted their attempts and took the pessimistic lock.
+	SeqFallbackRate  float64 `json:"seq_fallback_rate"`
 	HandleP50LEPlain bool    `json:"handle_p50_le_plain"`
+	SeqP50LEHandle   bool    `json:"seq_p50_le_handle"`
 }
 
 // HandleLatencyReport is the top-level BENCH_readlatency.json document.
@@ -83,74 +112,147 @@ func handleLatencyLock(lockName string) (rwl.HandleRWLock, error) {
 	return core.New(mkUnder(), core.WithTable(core.NewTable(core.DefaultTableSize))), nil
 }
 
-// ReadLatencyCompare measures one (lock, goroutines) point: cfg.Runs
-// interleaved pairs of plain-then-handle intervals on fresh locks, with
-// per-run histograms merged.
-func ReadLatencyCompare(lockName string, goroutines int, cfg Config) (HandleLatencyResult, error) {
-	res := HandleLatencyResult{Lock: lockName, Goroutines: goroutines}
-	handleHist, plainHist := &histogram.Histogram{}, &histogram.Histogram{}
-	var handleOps, plainOps uint64
+// readMode selects which read path a run measures.
+type readMode int
+
+const (
+	plainMode readMode = iota
+	handleMode
+	seqMode
+)
+
+// ReadLatencyCompare measures one (lock, goroutines, writeRatio) point:
+// cfg.Runs interleaved triples of plain/handle/seq intervals on fresh
+// locks, with per-run histograms merged.
+func ReadLatencyCompare(lockName string, goroutines int, writeRatio float64, cfg Config) (HandleLatencyResult, error) {
+	res := HandleLatencyResult{Lock: lockName, Goroutines: goroutines, WriteRatio: writeRatio}
+	handleHist, plainHist, seqHist := &histogram.Histogram{}, &histogram.Histogram{}, &histogram.Histogram{}
+	var handleOps, plainOps, seqOps uint64
+	var seqFallbacks atomic.Uint64
 	for run := 0; run < cfg.Runs; run++ {
 		// Interleave the modes so scheduling and frequency drift spread
-		// evenly across both.
+		// evenly across all three.
 		l, err := handleLatencyLock(lockName)
 		if err != nil {
 			return res, err
 		}
-		plainOps += readLatencyRun(l, goroutines, cfg, plainHist, false)
+		plainOps += readLatencyRun(l, goroutines, cfg, plainHist, plainMode, writeRatio, &seqFallbacks)
 		if l, err = handleLatencyLock(lockName); err != nil {
 			return res, err
 		}
-		handleOps += readLatencyRun(l, goroutines, cfg, handleHist, true)
+		handleOps += readLatencyRun(l, goroutines, cfg, handleHist, handleMode, writeRatio, &seqFallbacks)
+		if l, err = handleLatencyLock(lockName); err != nil {
+			return res, err
+		}
+		// The seq column measures the wrapper the KV engine actually
+		// deploys: write sections bump the counter, reads attempt the
+		// zero-CAS section and fall back through the handle path.
+		wrapped := rwl.WrapOptimistic(l).(rwl.HandleRWLock)
+		seqOps += readLatencyRun(wrapped, goroutines, cfg, seqHist, seqMode, writeRatio, &seqFallbacks)
 	}
 	seconds := cfg.Interval.Seconds() * float64(cfg.Runs)
 	res.HandleOpsPerSec = float64(handleOps) / seconds
 	res.PlainOpsPerSec = float64(plainOps) / seconds
+	res.SeqOpsPerSec = float64(seqOps) / seconds
 	res.HandleP50Ns = handleHist.Percentile(50)
 	res.HandleP99Ns = handleHist.Percentile(99)
 	res.PlainP50Ns = plainHist.Percentile(50)
 	res.PlainP99Ns = plainHist.Percentile(99)
+	res.SeqP50Ns = seqHist.Percentile(50)
+	res.SeqP99Ns = seqHist.Percentile(99)
 	res.HandleMeanNs = handleHist.Mean()
 	res.PlainMeanNs = plainHist.Mean()
+	res.SeqMeanNs = seqHist.Mean()
+	if seqOps > 0 {
+		res.SeqFallbackRate = float64(seqFallbacks.Load()) / float64(seqOps)
+	}
 	res.HandleP50LEPlain = res.HandleP50Ns <= res.PlainP50Ns
+	res.SeqP50LEHandle = res.SeqP50Ns <= res.HandleP50Ns
 	return res, nil
 }
 
-// readLatencyRun drives goroutines read-only workers for one interval,
-// recording per-acquisition latency into hist, and returns total ops.
-func readLatencyRun(l rwl.HandleRWLock, goroutines int, cfg Config, hist *histogram.Histogram, useHandle bool) uint64 {
+// readLatencyRun drives goroutines workers for one interval, recording
+// per-read-acquisition latency into hist, and returns total read ops.
+// writeRatio is each worker's per-op probability of taking the write lock
+// instead (writes are not measured — they exist to collide with the reads).
+// For seqMode, l must be the rwl.WrapOptimistic wrapper and fallbacks
+// accumulates reads that exhausted SeqReadBenchAttempts.
+func readLatencyRun(l rwl.HandleRWLock, goroutines int, cfg Config, hist *histogram.Histogram, mode readMode, writeRatio float64, fallbacks *atomic.Uint64) uint64 {
 	var mu sync.Mutex
+	var sl rwl.SeqRWLock
+	if mode == seqMode {
+		sl = l.(rwl.SeqRWLock)
+	}
+	// Per-op write draw against a 2^20 grid: cheap, and exact enough for
+	// the 0 / 0.10 axis.
+	wcut := uint64(writeRatio * (1 << 20))
 	return RunWorkers(goroutines, cfg.Interval, func(id int, stop *atomic.Bool) uint64 {
 		local := &histogram.Histogram{}
 		var h *rwl.Reader
-		if useHandle {
-			h = rwl.NewReader()
+		if mode != plainMode {
+			h = rwl.NewReader() // seqMode uses the handle for its fallback
 		}
+		rng := xrand.NewXorShift64(uint64(id)*0x9E3779B97F4A7C15 + 0x5EC5EC)
 		// Warm-up: enable bias (first slow read) and settle the slot (or,
 		// for the anonymous path, the identity) before measuring.
 		for i := 0; i < 1000; i++ {
-			if useHandle {
+			switch mode {
+			case handleMode, seqMode:
 				tok := l.RLockH(h)
 				l.RUnlockH(h, tok)
-			} else {
+			default:
 				tok := l.RLock()
 				l.RUnlock(tok)
 			}
 		}
-		var ops uint64
+		var ops, falls uint64
 		for !stop.Load() {
-			if useHandle {
-				start := clock.Nanos()
-				tok := l.RLockH(h)
-				local.Record(clock.Nanos() - start)
-				l.RUnlockH(h, tok)
-			} else {
+			if wcut != 0 && rng.Next()&(1<<20-1) < wcut {
+				l.Lock()
+				l.Unlock()
+				continue
+			}
+			switch mode {
+			case plainMode:
 				start := clock.Nanos()
 				tok := l.RLock()
 				local.Record(clock.Nanos() - start)
 				l.RUnlock(tok)
+			case handleMode:
+				start := clock.Nanos()
+				tok := l.RLockH(h)
+				local.Record(clock.Nanos() - start)
+				l.RUnlockH(h, tok)
+			case seqMode:
+				start := clock.Nanos()
+				validated := false
+				for a := 0; a < SeqReadBenchAttempts; a++ {
+					s0, even := sl.ReadAttempt()
+					if !even {
+						continue
+					}
+					// The section body is empty on purpose: the engine's
+					// copy cost belongs to the KV benches; this column
+					// isolates the acquisition-protocol cost, like the
+					// other two.
+					if sl.ReadValidate(s0) {
+						validated = true
+						break
+					}
+				}
+				if validated {
+					local.Record(clock.Nanos() - start)
+				} else {
+					falls++
+					tok := l.RLockH(h)
+					local.Record(clock.Nanos() - start)
+					l.RUnlockH(h, tok)
+				}
 			}
 			ops++
+		}
+		if falls > 0 {
+			fallbacks.Add(falls)
 		}
 		mu.Lock()
 		hist.Merge(local)
@@ -159,16 +261,21 @@ func readLatencyRun(l rwl.HandleRWLock, goroutines int, cfg Config, hist *histog
 	})
 }
 
-// ReadLatencySweep runs the full lock × goroutines grid.
-func ReadLatencySweep(locks []string, goroutines []int, cfg Config) ([]HandleLatencyResult, error) {
+// ReadLatencySweep runs the full lock × goroutines × write-ratio grid.
+func ReadLatencySweep(locks []string, goroutines []int, writeRatios []float64, cfg Config) ([]HandleLatencyResult, error) {
+	if len(writeRatios) == 0 {
+		writeRatios = DefaultReadLatencyWriteRatios
+	}
 	var out []HandleLatencyResult
 	for _, lock := range locks {
-		for _, g := range goroutines {
-			r, err := ReadLatencyCompare(lock, g, cfg)
-			if err != nil {
-				return nil, err
+		for _, wr := range writeRatios {
+			for _, g := range goroutines {
+				r, err := ReadLatencyCompare(lock, g, wr, cfg)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r)
 			}
-			out = append(out, r)
 		}
 	}
 	return out, nil
@@ -177,13 +284,16 @@ func ReadLatencySweep(locks []string, goroutines []int, cfg Config) ([]HandleLat
 // WriteHandleLatencyTable renders sweep results as the human-readable
 // companion of the JSON report.
 func WriteHandleLatencyTable(w io.Writer, results []HandleLatencyResult) {
-	const format = "%-14s %6s %14s %14s %12s %12s %8s\n"
-	fmt.Fprintf(w, format, "lock", "gors", "handle-p50(ns)", "plain-p50(ns)", "handle-p99", "plain-p99", "h<=p@50")
+	const format = "%-14s %6s %5s %14s %14s %11s %10s %10s %8s %8s\n"
+	fmt.Fprintf(w, format, "lock", "gors", "wr", "handle-p50(ns)", "plain-p50(ns)", "seq-p50(ns)", "handle-p99", "seq-p99", "seq-fb", "s<=h@50")
 	for _, r := range results {
 		fmt.Fprintf(w, format, r.Lock,
 			fmt.Sprintf("%d", r.Goroutines),
+			fmt.Sprintf("%.2f", r.WriteRatio),
 			fmt.Sprintf("%d", r.HandleP50Ns), fmt.Sprintf("%d", r.PlainP50Ns),
-			fmt.Sprintf("%d", r.HandleP99Ns), fmt.Sprintf("%d", r.PlainP99Ns),
-			fmt.Sprintf("%v", r.HandleP50LEPlain))
+			fmt.Sprintf("%d", r.SeqP50Ns),
+			fmt.Sprintf("%d", r.HandleP99Ns), fmt.Sprintf("%d", r.SeqP99Ns),
+			fmt.Sprintf("%.4f", r.SeqFallbackRate),
+			fmt.Sprintf("%v", r.SeqP50LEHandle))
 	}
 }

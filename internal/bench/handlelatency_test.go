@@ -10,24 +10,51 @@ import (
 
 func TestReadLatencyCompareProducesSamples(t *testing.T) {
 	cfg := Config{Interval: 20 * time.Millisecond, Runs: 1}
-	r, err := ReadLatencyCompare("bravo-ba", 2, cfg)
+	r, err := ReadLatencyCompare("bravo-ba", 2, 0, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.HandleOpsPerSec <= 0 || r.PlainOpsPerSec <= 0 {
+	if r.HandleOpsPerSec <= 0 || r.PlainOpsPerSec <= 0 || r.SeqOpsPerSec <= 0 {
 		t.Fatalf("no throughput measured: %+v", r)
 	}
-	if r.HandleP50Ns <= 0 || r.PlainP50Ns <= 0 {
+	if r.HandleP50Ns <= 0 || r.PlainP50Ns <= 0 || r.SeqP50Ns <= 0 {
 		t.Fatalf("no latency percentiles: %+v", r)
 	}
 	if r.HandleP50LEPlain != (r.HandleP50Ns <= r.PlainP50Ns) {
 		t.Fatalf("comparison flag inconsistent: %+v", r)
 	}
+	if r.SeqP50LEHandle != (r.SeqP50Ns <= r.HandleP50Ns) {
+		t.Fatalf("seq comparison flag inconsistent: %+v", r)
+	}
+	// Pure readers: the counter never moves, so no optimistic read can fail.
+	if r.SeqFallbackRate != 0 {
+		t.Fatalf("fallbacks with zero writers: %+v", r)
+	}
+}
+
+// TestReadLatencyCompareWithWriters pins the write-ratio axis: with 10%
+// writers the seq column still measures, and the fallback rate stays a
+// rate (a failed validation falls back once, it does not retry forever).
+func TestReadLatencyCompareWithWriters(t *testing.T) {
+	cfg := Config{Interval: 20 * time.Millisecond, Runs: 1}
+	r, err := ReadLatencyCompare("bravo-go", 2, 0.10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WriteRatio != 0.10 {
+		t.Fatalf("write ratio not recorded: %+v", r)
+	}
+	if r.SeqOpsPerSec <= 0 || r.SeqP50Ns <= 0 {
+		t.Fatalf("seq column empty under writers: %+v", r)
+	}
+	if r.SeqFallbackRate < 0 || r.SeqFallbackRate > 1 {
+		t.Fatalf("fallback rate out of range: %+v", r)
+	}
 }
 
 func TestReadLatencyCompareRejectsNonBravoLocks(t *testing.T) {
 	cfg := Config{Interval: time.Millisecond, Runs: 1}
-	if _, err := ReadLatencyCompare("ba", 1, cfg); err == nil {
+	if _, err := ReadLatencyCompare("ba", 1, 0, cfg); err == nil {
 		t.Fatal("plain substrate accepted by readlatency")
 	}
 }

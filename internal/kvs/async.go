@@ -113,7 +113,7 @@ func (sh *kvShard) applyBatch(keys []uint64, vals [][]byte) {
 	sh.lock.Lock()
 	sh.ops.puts.Add(uint64(len(keys))) // total before rare, as in Put
 	for i, k := range keys {
-		sh.putLocked(k, vals[i], 0)
+		sh.putCounted(k, vals[i], 0)
 	}
 	sh.lock.Unlock()
 	w.unlock()

@@ -251,14 +251,17 @@ func (sh *kvShard) recoverRecord(_ uint64, entries []walEntry) {
 }
 
 // recover applies decoded entries to a shard during single-threaded
-// recovery, through the same putLocked/deleteLocked the live paths use.
+// recovery, through the same putLocked/deleteLocked the live paths use —
+// including seq index maintenance, so the optimistic read path is coherent
+// from the first post-recovery read. No bracketing is needed here: the
+// engine is not yet shared, so no optimistic reader exists to mislead.
 func (sh *kvShard) recover(entries []walEntry) {
 	for _, e := range entries {
 		switch e.op {
 		case walOpPut:
-			sh.putLocked(e.key, e.val, 0)
+			sh.putCounted(e.key, e.val, 0)
 		case walOpPutTTL:
-			sh.putLocked(e.key, e.val, deadlineFromRemaining(e.rem))
+			sh.putCounted(e.key, e.val, deadlineFromRemaining(e.rem))
 		case walOpDelete:
 			sh.deleteLocked(e.key)
 		}

@@ -29,6 +29,10 @@ func newBravoSharded(t *testing.T, shards int) (*Sharded, *bias.Stats, *bias.Tab
 
 func TestShardedHandleReadsRoundTrip(t *testing.T) {
 	s, st, tab := newBravoSharded(t, 8)
+	// This test measures the BRAVO handle fast path itself, so reads must
+	// actually reach the lock — disable the optimistic seqlock path that
+	// would otherwise serve them without any acquisition at all.
+	s.SetSeqReadAttempts(0)
 	if !s.HandleCapable() {
 		t.Fatal("BRAVO shards not handle-capable")
 	}

@@ -16,26 +16,37 @@ package kvs
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/bravolock/bravo/internal/hash"
+	"github.com/bravolock/bravo/internal/locks/seq"
 	"github.com/bravolock/bravo/internal/rwl"
 )
 
 // Memtable is a rocksdb-style in-memory table with in-place value updates
 // guarded by striped reader-writer locks.
+//
+// Like the Sharded engine, every stripe's write section is bracketed by a
+// sequence counter, so the table supports the optimistic zero-CAS read
+// path — but here it is opt-in (SetSeqReadAttempts, default 0): the
+// Memtable is the paper-figure substrate, and its benchmarks compare lock
+// implementations, which requires reads to actually take the lock.
 type Memtable struct {
 	stripes []stripe
 	mask    uint64
+	// seqAttempts is the optimistic read attempt budget per Get; 0 (the
+	// default) disables the optimistic path and keeps reads on the lock.
+	seqAttempts atomic.Int32
 }
 
 type stripe struct {
 	lock rwl.RWLock
-	data map[uint64][]byte
-	// exp tracks PutTTL deadlines (see ttlMap). Memtable expiry is
-	// lazy-only (no reaper): expired entries stay resident but invisible
-	// until overwritten. Guarded by lock.
-	exp ttlMap
+	seqc *seq.Count
+	// seqStore is the stripe's keyed storage (cell map + TTL deadlines +
+	// seq index); Memtable expiry is lazy-only (no reaper): expired
+	// entries stay resident but invisible until overwritten.
+	seqStore
 }
 
 // NewMemtable returns a memtable with the given number of GetLock stripes
@@ -46,9 +57,22 @@ func NewMemtable(stripes int, mkLock rwl.Factory) (*Memtable, error) {
 	}
 	m := &Memtable{stripes: make([]stripe, stripes), mask: uint64(stripes - 1)}
 	for i := range m.stripes {
-		m.stripes[i] = stripe{lock: mkLock(), data: make(map[uint64][]byte)}
+		wrapped := rwl.WrapOptimistic(mkLock())
+		m.stripes[i].lock = wrapped
+		m.stripes[i].seqc = wrapped.Seq()
+		m.stripes[i].data = make(map[uint64]*seqCell)
 	}
 	return m, nil
+}
+
+// SetSeqReadAttempts sets the optimistic read attempt budget per Get
+// (n <= 0 disables the optimistic path — the default, preserving the
+// lock-comparison character of the paper-figure benchmarks).
+func (m *Memtable) SetSeqReadAttempts(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.seqAttempts.Store(int32(n))
 }
 
 func (m *Memtable) stripeOf(key uint64) *stripe {
@@ -68,6 +92,11 @@ func (m *Memtable) Get(key uint64) ([]byte, bool) {
 // reused buffer makes reads allocation-free.
 func (m *Memtable) GetInto(key uint64, buf []byte) ([]byte, bool) {
 	s := m.stripeOf(key)
+	if att := int(m.seqAttempts.Load()); att > 0 {
+		if out, ok, _, _, done := s.seqGetInto(s.seqc, key, buf, att); done {
+			return out, ok
+		}
+	}
 	tok := s.lock.RLock()
 	v, ok := s.data[key]
 	if ok && s.exp.expired(key) {
@@ -75,7 +104,7 @@ func (m *Memtable) GetInto(key uint64, buf []byte) ([]byte, bool) {
 	}
 	out := buf[:0]
 	if ok {
-		out = append(out, v...)
+		out = v.appendTo(out)
 	}
 	s.lock.RUnlock(tok)
 	return out, ok
@@ -97,17 +126,10 @@ func (m *Memtable) PutTTL(key uint64, value []byte, ttl time.Duration) {
 func (m *Memtable) put(key uint64, value []byte, deadline int64) {
 	s := m.stripeOf(key)
 	s.lock.Lock()
-	// In-place update semantics: reuse the existing buffer when it fits,
-	// as rocksdb's inplace_update_support does.
-	if old, ok := s.data[key]; ok && len(old) >= len(value) {
-		copy(old, value)
-		s.data[key] = old[:len(value)]
-	} else {
-		buf := make([]byte, len(value))
-		copy(buf, value)
-		s.data[key] = buf
-	}
-	s.exp.set(key, deadline)
+	// In-place update semantics: putLocked reuses the existing cell when
+	// the value fits, as rocksdb's inplace_update_support does (at the
+	// cell's word granularity).
+	s.putLocked(key, value, deadline)
 	s.lock.Unlock()
 }
 

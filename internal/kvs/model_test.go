@@ -90,6 +90,39 @@ func compareSnapshot(t *testing.T, s *Sharded, want map[uint64][]byte, label str
 	}
 }
 
+// optimisticSweep re-reads every model key (plus a probe of absent ones)
+// on the quiescent engine and demands exact agreement served entirely by
+// the zero-CAS path: every read optimistic, zero retries, zero fallbacks.
+// With writers quiescent the seq counters cannot move, so any disagreement
+// here is a stale-after-quiescence read — a seq-bracketing bug, not a
+// tolerable race — and any retry or fallback means the counter was left
+// odd by an unbalanced write section.
+func optimisticSweep(t *testing.T, s *Sharded, want map[uint64][]byte, label string) {
+	t.Helper()
+	before := s.Stats().Total()
+	for k, wv := range want {
+		gv, ok := s.Get(k)
+		if !ok || !bytes.Equal(gv, wv) {
+			t.Fatalf("%s: optimistic Get(%d) = %x/%v, model %x", label, k, gv, ok, wv)
+		}
+	}
+	const probes = 64
+	for i := uint64(0); i < probes; i++ {
+		if _, ok := s.Get(^i); ok { // ^i: far outside every schedule's key space
+			t.Fatalf("%s: optimistic Get(%d) hit a key no schedule ever wrote", label, ^i)
+		}
+	}
+	after := s.Stats().Total()
+	if n := uint64(len(want) + probes); after.SeqReads-before.SeqReads != n {
+		t.Fatalf("%s: only %d of %d sweep reads were served optimistically",
+			label, after.SeqReads-before.SeqReads, n)
+	}
+	if after.SeqRetries != before.SeqRetries || after.SeqFallbacks != before.SeqFallbacks {
+		t.Fatalf("%s: quiescent sweep collided (retries +%d, fallbacks +%d): a write section left the counter odd",
+			label, after.SeqRetries-before.SeqRetries, after.SeqFallbacks-before.SeqFallbacks)
+	}
+}
+
 // runSequentialModel drives one goroutine's randomized schedule against
 // both the engine and the reference, checking every read.
 func runSequentialModel(t *testing.T, s *Sharded, seed uint64, iters int, h *rwl.Reader) *refKV {
@@ -203,19 +236,36 @@ func TestModelSequentialEquivalence(t *testing.T) {
 	if testing.Short() {
 		iters = 800
 	}
+	// lockOnly pins the control arm: the same schedule with the optimistic
+	// path disabled, so a divergence blames the right read path.
 	for _, tc := range []struct {
-		name string
-		mk   rwl.Factory
+		name     string
+		mk       rwl.Factory
+		lockOnly bool
 	}{
-		{"go-rw", mkStd},
-		{"bravo-ba", mkBravo},
+		{"go-rw", mkStd, false},
+		{"bravo-ba", mkBravo, false},
+		{"go-rw-lockonly", mkStd, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			s, err := NewSharded(8, tc.mk)
 			if err != nil {
 				t.Fatal(err)
 			}
-			runSequentialModel(t, s, 0xB1A5ED, iters, rwl.NewReader())
+			if tc.lockOnly {
+				s.SetSeqReadAttempts(0)
+			}
+			ref := runSequentialModel(t, s, 0xB1A5ED, iters, rwl.NewReader())
+			if tc.lockOnly {
+				if n := s.Stats().Total().SeqReads; n != 0 {
+					t.Fatalf("lock-only arm served %d optimistic reads", n)
+				}
+				return
+			}
+			if s.Stats().Total().SeqReads == 0 {
+				t.Fatal("schedule never exercised the optimistic read path")
+			}
+			optimisticSweep(t, s, ref.data, "sequential sweep")
 		})
 	}
 }
@@ -231,12 +281,16 @@ func TestModelSequentialEquivalenceDurable(t *testing.T) {
 	dir := t.TempDir()
 	s := openTestKV(t, dir, 8, SyncNone)
 	ref := runSequentialModel(t, s, 0xD0_0D, iters, rwl.NewReader())
+	optimisticSweep(t, s, ref.data, "durable pre-close sweep")
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
 	r := openTestKV(t, dir, 8, SyncNone)
 	defer r.Close()
 	compareSnapshot(t, r, ref.data, "recovered")
+	// Recovery rebuilds the seq index from the WAL before the engine is
+	// shared; the reopened store must serve the model optimistically too.
+	optimisticSweep(t, r, ref.data, "recovered sweep")
 }
 
 // runConcurrentModel storms the engine with workers that own disjoint key
@@ -395,6 +449,10 @@ func runConcurrentModel(t *testing.T, s *Sharded, workers, iters int) map[uint64
 		}
 	}
 	compareSnapshot(t, s, merged, "concurrent final")
+	if s.Stats().Total().SeqReads == 0 {
+		t.Error("concurrent schedule never exercised the optimistic read path")
+	}
+	optimisticSweep(t, s, merged, "concurrent sweep")
 	return merged
 }
 
@@ -437,4 +495,5 @@ func TestModelConcurrentEquivalenceDurable(t *testing.T) {
 	r := openTestKV(t, dir, 8, SyncNone)
 	defer r.Close()
 	compareSnapshot(t, r, merged, "recovered concurrent")
+	optimisticSweep(t, r, merged, "recovered concurrent sweep")
 }

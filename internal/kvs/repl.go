@@ -365,8 +365,8 @@ func (s *Sharded) ReplSnapshotFrame(shard int) ([]byte, uint64, error) {
 			buf = append(buf, walOpPut)
 			buf = binary.LittleEndian.AppendUint64(buf, k)
 		}
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
-		buf = append(buf, v...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(v.length()))
+		buf = v.appendTo(buf)
 		count++
 	}
 	sh.lock.RUnlock(tok)
@@ -407,8 +407,11 @@ func (s *Sharded) ApplyReplRecord(shard int, rec ReplRecord) error {
 	sh := &s.shards[shard]
 	sh.lock.Lock()
 	if rec.Snapshot {
-		sh.data = make(map[uint64][]byte, len(rec.Entries))
-		sh.exp = nil
+		// Wholesale replacement is a mutation site like any other: it runs
+		// inside the wrapped lock's write section, and replaceLocked resets
+		// the seq index with the map so optimistic readers never probe a
+		// table pointing at discarded cells as current.
+		sh.replaceLocked(len(rec.Entries))
 	}
 	// Totals before rares, as in multiPut: see the Stats load-order note.
 	if puts > 0 {
@@ -421,9 +424,9 @@ func (s *Sharded) ApplyReplRecord(shard int, rec ReplRecord) error {
 	for _, e := range rec.Entries {
 		switch e.Op {
 		case ReplPut:
-			sh.putLocked(e.Key, e.Value, 0)
+			sh.putCounted(e.Key, e.Value, 0)
 		case ReplPutTTL:
-			sh.putLocked(e.Key, e.Value, deadlineFromRemaining(e.Remaining))
+			sh.putCounted(e.Key, e.Value, deadlineFromRemaining(e.Remaining))
 		case ReplDelete:
 			ok, exp := sh.deleteLocked(e.Key)
 			if !ok {

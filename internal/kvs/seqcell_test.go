@@ -1,0 +1,61 @@
+package kvs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSeqCellRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 63, 64, 100} {
+		v := make([]byte, n)
+		for i := range v {
+			v[i] = byte(i*7 + 3)
+		}
+		c := newSeqCell(v, 0)
+		if got := c.bytes(); !bytes.Equal(got, v) {
+			t.Fatalf("len %d: round trip = %x, want %x", n, got, v)
+		}
+		if got := c.bytes(); got == nil {
+			t.Fatalf("len %d: bytes() returned nil; nil is the absence marker", n)
+		}
+		if !c.fits(n) {
+			t.Fatalf("len %d: cell does not fit its own value", n)
+		}
+	}
+}
+
+func TestSeqCellInPlaceShrinkAndRegrow(t *testing.T) {
+	c := newSeqCell([]byte("eightby!"), 0) // 8 bytes, one word
+	if !c.fits(2) || c.fits(9) {
+		t.Fatalf("fits(2)=%v fits(9)=%v, want true/false", c.fits(2), c.fits(9))
+	}
+	c.set([]byte("xy"), 0)
+	if got := c.bytes(); string(got) != "xy" {
+		t.Fatalf("after shrink = %q", got)
+	}
+	c.set([]byte("abcdefgh"), 42)
+	if got := c.bytes(); string(got) != "abcdefgh" {
+		t.Fatalf("after regrow = %q", got)
+	}
+	if d := c.deadline.Load(); d != 42 {
+		t.Fatalf("deadline = %d, want 42", d)
+	}
+}
+
+func TestSeqCellTornLengthClamps(t *testing.T) {
+	// A torn length must misreport the payload, never send the copy out of
+	// bounds: the clamp is the memory-safety half of the seqlock contract
+	// (the seq validation is the correctness half).
+	c := newSeqCell([]byte{1, 2, 3}, 0)
+	c.vlen.Store(1 << 40) // simulate a torn/insane visible length
+	if got := c.length(); got != len(c.words)*8 {
+		t.Fatalf("clamped length = %d, want %d", got, len(c.words)*8)
+	}
+	if got := c.appendTo(nil); len(got) != len(c.words)*8 {
+		t.Fatalf("torn appendTo returned %d bytes, want the clamp %d", len(got), len(c.words)*8)
+	}
+	c.vlen.Store(-5)
+	if got := c.appendTo(nil); len(got) != len(c.words)*8 {
+		t.Fatalf("negative-length appendTo returned %d bytes", len(got))
+	}
+}

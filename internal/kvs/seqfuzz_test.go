@@ -1,0 +1,141 @@
+package kvs
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/bravolock/bravo/internal/rwl"
+)
+
+// fuzzReader is the pinned handle identity the fuzz driver's handle-path
+// reads share; handle reuse (not churn) is the production pattern.
+var fuzzReader = rwl.NewReader()
+
+// FuzzSeqRead fuzzes the optimistic read path's one soundness claim: a read
+// returns a value that was actually stored for that key at some quiescent
+// instant inside the read's window — never a splice, never a resurrection.
+//
+// The schedule bytes drive a single-goroutine interpreter over a tiny key
+// space: puts and deletes of fuzzer-chosen sizes, interleaved with reads
+// whose copy→validate window is invaded deterministically through
+// seqReadHook (the hook re-enters Put/Delete mid-read; the optimistic
+// section holds no locks, so that is exactly a cross-goroutine writer,
+// minus the nondeterminism). Because the driver knows every state the key
+// passed through during the window, the check is exact linearizability for
+// the read, not a statistical smell test: a hit must equal one of the
+// window's present states, a miss requires one of them to be absent.
+func FuzzSeqRead(f *testing.F) {
+	// One seed per interesting shape: plain read, writer landing once
+	// mid-read (retry then validate), writer landing every attempt
+	// (fallback), delete mid-read, handle and MultiGet variants, size
+	// churn that forces cell regrow, and an attempt-budget change.
+	f.Add([]byte{0, 1, 8, 3, 1, 0})                                  // put then clean read
+	f.Add([]byte{0, 1, 8, 3, 1, 1, 12})                              // writer fires once mid-read
+	f.Add([]byte{0, 1, 8, 3, 1, 5, 20, 3, 1, 5, 9})                  // writer fires every attempt: fallback
+	f.Add([]byte{0, 1, 8, 3, 1, 2})                                  // delete lands mid-read
+	f.Add([]byte{0, 2, 30, 3, 2, 9, 3, 2, 17})                       // handle + MultiGet readers
+	f.Add([]byte{0, 1, 60, 0, 1, 2, 3, 1, 1, 40, 0, 1, 63, 3, 1, 0}) // shrink/regrow churn
+	f.Add([]byte{2, 3, 0, 1, 8, 3, 1, 5, 7, 1, 1, 3, 1, 2})          // attempts=4, storms, delete
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		s, err := NewSharded(2, mkStd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer seqReadHook.Store((*func(uint64))(nil))
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		var ctr byte
+		mkv := func() []byte {
+			ctr++
+			v := make([]byte, int(next())%64)
+			for i := range v {
+				v[i] = ctr ^ byte(i*31)
+			}
+			return v
+		}
+		cur := map[uint64][]byte{} // the model: key -> live value, absent = miss
+		for pos < len(data) {
+			op := next()
+			key := uint64(next() % 4)
+			switch op % 4 {
+			case 0: // put
+				v := mkv()
+				s.Put(key, v)
+				cur[key] = v
+			case 1: // delete
+				s.Delete(key)
+				delete(cur, key)
+			case 2: // retune the attempt budget mid-schedule
+				s.SetSeqReadAttempts(int(key) + 1)
+			case 3: // read, with a scheduled invader in the seqlock window
+				mode := next()
+				window := [][]byte{cur[key]} // states the key passes through; nil = absent
+				every := mode&4 != 0         // invade every attempt (forces fallback) or just the first
+				fired := false
+				hook := func(k uint64) {
+					if k != key || (fired && !every) {
+						return
+					}
+					fired = true
+					switch mode % 3 {
+					case 1:
+						v := mkv()
+						s.Put(key, v)
+						cur[key] = v
+						window = append(window, v)
+					case 2:
+						s.Delete(key)
+						delete(cur, key)
+						window = append(window, nil)
+					}
+				}
+				seqReadHook.Store(&hook)
+				var v []byte
+				var ok bool
+				switch {
+				case mode&8 != 0:
+					vals := s.MultiGet([]uint64{key})
+					v, ok = vals[0], vals[0] != nil
+				case mode&16 != 0:
+					v, ok = s.GetH(fuzzReader, key)
+				default:
+					v, ok = s.Get(key)
+				}
+				seqReadHook.Store(nil)
+				if ok {
+					legal := false
+					for _, w := range window {
+						if w != nil && bytes.Equal(w, v) {
+							legal = true
+							break
+						}
+					}
+					if !legal {
+						t.Fatalf("read of key %d returned %x, which was never a stored value during the read window %x", key, v, window)
+					}
+				} else {
+					legal := false
+					for _, w := range window {
+						if w == nil {
+							legal = true
+							break
+						}
+					}
+					if !legal {
+						t.Fatalf("read of key %d missed, but the key was present through the whole window %x", key, window)
+					}
+				}
+			}
+		}
+	})
+}

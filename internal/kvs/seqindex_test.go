@@ -1,0 +1,109 @@
+package kvs
+
+import (
+	"testing"
+)
+
+func TestSeqIndexPutLookupDelete(t *testing.T) {
+	var st seqStore
+	st.data = make(map[uint64]*seqCell)
+	if c := st.idx.lookup(7); c != nil {
+		t.Fatal("lookup on empty index hit")
+	}
+	cells := map[uint64]*seqCell{}
+	for k := uint64(0); k < 200; k++ {
+		c := newSeqCell([]byte{byte(k)}, 0)
+		st.data[k] = c
+		st.idx.put(st.data, k, c)
+		cells[k] = c
+	}
+	for k := uint64(0); k < 200; k++ {
+		if got := st.idx.lookup(k); got != cells[k] {
+			t.Fatalf("lookup(%d) = %p, want %p", k, got, cells[k])
+		}
+	}
+	if got := st.idx.lookup(999); got != nil {
+		t.Fatal("absent key hit")
+	}
+	// Delete half; survivors must stay reachable through the tombstones.
+	for k := uint64(0); k < 200; k += 2 {
+		delete(st.data, k)
+		st.idx.del(k)
+	}
+	for k := uint64(0); k < 200; k++ {
+		got := st.idx.lookup(k)
+		if k%2 == 0 && got != nil {
+			t.Fatalf("deleted key %d still resolves", k)
+		}
+		if k%2 == 1 && got != cells[k] {
+			t.Fatalf("survivor %d lost after deletions", k)
+		}
+	}
+}
+
+func TestSeqIndexUpdateRepublishesCell(t *testing.T) {
+	var st seqStore
+	st.data = make(map[uint64]*seqCell)
+	c1 := newSeqCell([]byte("one"), 0)
+	st.data[5] = c1
+	st.idx.put(st.data, 5, c1)
+	c2 := newSeqCell([]byte("twotwotwo"), 0) // outgrows c1: replacement cell
+	st.data[5] = c2
+	st.idx.put(st.data, 5, c2)
+	if got := st.idx.lookup(5); got != c2 {
+		t.Fatal("index still resolves the outgrown cell")
+	}
+}
+
+func TestSeqIndexTombstoneReuseAndRebuild(t *testing.T) {
+	var st seqStore
+	st.data = make(map[uint64]*seqCell)
+	// Churn keys through insert/delete cycles well past the minimum table
+	// size: tombstone accumulation must trigger rebuilds, not lookup decay.
+	for round := 0; round < 50; round++ {
+		for k := uint64(0); k < 40; k++ {
+			c := newSeqCell([]byte{byte(round)}, 0)
+			st.data[k] = c
+			st.idx.put(st.data, k, c)
+		}
+		for k := uint64(0); k < 40; k++ {
+			if got := st.idx.lookup(k); got == nil || got.bytes()[0] != byte(round) {
+				t.Fatalf("round %d: key %d resolves wrong cell", round, k)
+			}
+		}
+		for k := uint64(0); k < 40; k++ {
+			delete(st.data, k)
+			st.idx.del(k)
+		}
+	}
+	for k := uint64(0); k < 40; k++ {
+		if st.idx.lookup(k) != nil {
+			t.Fatalf("key %d resolves after final deletion round", k)
+		}
+	}
+	tab := st.idx.tab.Load()
+	if tab == nil {
+		t.Fatal("index never allocated a table")
+	}
+	if len(tab.slots) > 1024 {
+		t.Fatalf("table grew to %d slots for a 40-key working set; tombstones leak", len(tab.slots))
+	}
+}
+
+func TestSeqStoreResetDropsIndex(t *testing.T) {
+	var st seqStore
+	st.data = make(map[uint64]*seqCell)
+	st.putLocked(1, []byte("a"), 0)
+	st.replaceLocked(0)
+	if st.idx.lookup(1) != nil {
+		t.Fatal("index survived replaceLocked")
+	}
+	if len(st.data) != 0 {
+		t.Fatal("map survived replaceLocked")
+	}
+	// The store must be fully usable after the reset.
+	st.putLocked(2, []byte("b"), 0)
+	if c := st.idx.lookup(2); c == nil || string(c.bytes()) != "b" {
+		t.Fatal("post-reset insert not indexed")
+	}
+}

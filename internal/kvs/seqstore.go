@@ -1,0 +1,133 @@
+package kvs
+
+import (
+	"sync/atomic"
+
+	"github.com/bravolock/bravo/internal/clock"
+	"github.com/bravolock/bravo/internal/locks/seq"
+)
+
+// DefaultSeqReadAttempts is how many optimistic (seqlock) read attempts the
+// engine makes before falling back to the shard's read lock, when
+// SetSeqReadAttempts has not overridden it. Small on purpose: one writer
+// collision usually clears within an attempt or two, and a shard busy
+// enough to keep invalidating readers is exactly the case the BRAVO
+// pessimistic path exists for.
+const DefaultSeqReadAttempts = 3
+
+// seqStore is the keyed storage shared by a Sharded shard and a Memtable
+// stripe: the authoritative cell map, the TTL deadlines, and the seq index
+// that shadows the map for lock-free optimistic probes. All mutation goes
+// through putLocked/removeLocked/replaceLocked under the owner's write
+// lock, which keeps the three structures in lockstep — the bracketing
+// invariant (DESIGN.md) is that every such mutation happens inside the
+// wrapped lock's write section, so optimistic readers can never trust a
+// torn view of any of them.
+type seqStore struct {
+	data map[uint64]*seqCell
+	// exp tracks PutTTL deadlines (see ttlMap); authoritative for the
+	// locked paths and Reap. Cells mirror the deadline atomically for the
+	// optimistic path. Guarded by the owner's lock.
+	exp ttlMap
+	idx seqIndex
+}
+
+// putLocked applies one insert-or-update under the already-held write lock:
+// the in-place value reuse shared by Put, MultiPut, the async queue's flush,
+// replication apply, and recovery, plus TTL bookkeeping (deadline 0 = no
+// TTL, clearing any previous one). fresh reports that a new cell was
+// allocated (absent key, or a value that outgrew the cell) rather than
+// updated in place.
+func (st *seqStore) putLocked(key uint64, value []byte, deadline int64) (fresh bool) {
+	if c, ok := st.data[key]; ok && c.fits(len(value)) {
+		c.set(value, deadline)
+	} else {
+		c = newSeqCell(value, deadline)
+		st.data[key] = c
+		st.idx.put(st.data, key, c)
+		fresh = true
+	}
+	st.exp.set(key, deadline)
+	return fresh
+}
+
+// removeLocked unconditionally removes key from map, TTL table, and index,
+// under the already-held write lock.
+func (st *seqStore) removeLocked(key uint64) {
+	delete(st.data, key)
+	if len(st.exp) > 0 {
+		delete(st.exp, key)
+	}
+	st.idx.del(key)
+}
+
+// deleteLocked removes key under the already-held write lock, reporting
+// whether it was visibly present and whether it was a TTL-expired residue.
+func (st *seqStore) deleteLocked(key uint64) (ok, expired bool) {
+	if _, present := st.data[key]; !present {
+		return false, false
+	}
+	expired = st.expiredLocked(key)
+	st.removeLocked(key)
+	return !expired, expired
+}
+
+// replaceLocked resets the store to empty (a replication snapshot install),
+// under the already-held write lock.
+func (st *seqStore) replaceLocked(capacity int) {
+	st.data = make(map[uint64]*seqCell, capacity)
+	st.exp = nil
+	st.idx.reset()
+}
+
+// expiredLocked reports whether key carries a TTL whose deadline has passed
+// (inclusive; see ttlMap.expired). Callers hold the owner's lock, read or
+// write.
+func (st *seqStore) expiredLocked(key uint64) bool {
+	return st.exp.expired(key)
+}
+
+// seqReadHook, when set, runs between an optimistic read's copy and its
+// validation — the window a concurrent writer tears. Tests install it to
+// force deterministic collisions and to fuzz interleavings.
+var seqReadHook atomic.Pointer[func(key uint64)]
+
+// seqGetInto attempts up to attempts optimistic reads of key against cnt,
+// the owner's write-section counter. On success (done=true) it returns the
+// value appended to buf[:0], presence, and whether a present entry was
+// TTL-expired (reported as a miss, like the locked path); retries counts
+// the failed attempts before the success. done=false means every attempt
+// collided and the caller must take the pessimistic path; the returned
+// buffer then carries buf's storage back to the caller.
+func (st *seqStore) seqGetInto(cnt *seq.Count, key uint64, buf []byte, attempts int) (out []byte, ok, expired bool, retries int, done bool) {
+	for a := 0; a < attempts; a++ {
+		s0, even := cnt.TryBegin()
+		if !even {
+			retries++
+			continue
+		}
+		c := st.idx.lookup(key)
+		out = buf[:0]
+		var deadline int64
+		if c != nil {
+			out = c.appendTo(out)
+			deadline = c.deadline.Load()
+		}
+		if h := seqReadHook.Load(); h != nil {
+			(*h)(key)
+		}
+		if cnt.Retry(s0) {
+			retries++
+			continue
+		}
+		// Validated: the copy is exactly what some quiescent instant held.
+		if c == nil {
+			return buf[:0], false, false, retries, true
+		}
+		if deadline != 0 && clock.Nanos() >= deadline {
+			return buf[:0], false, true, retries, true
+		}
+		return out, true, false, retries, true
+	}
+	return buf[:0], false, false, retries, false
+}

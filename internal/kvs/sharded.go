@@ -10,6 +10,7 @@ import (
 	"github.com/bravolock/bravo/internal/arch"
 	"github.com/bravolock/bravo/internal/clock"
 	"github.com/bravolock/bravo/internal/hash"
+	"github.com/bravolock/bravo/internal/locks/seq"
 	"github.com/bravolock/bravo/internal/rwl"
 )
 
@@ -59,26 +60,45 @@ type Sharded struct {
 	// asyncN is the per-shard queue depth at which PutAsync applies the
 	// queued batch inline; 0 means DefaultAsyncBatch (see async.go).
 	asyncN atomic.Int64
+	// seqAttempts is the optimistic read attempt budget per read before
+	// falling back to the shard read lock; 0 disables the optimistic path.
+	seqAttempts atomic.Int32
 }
 
-// kvShard is one stripe: a lock, its map, and its operation counters.
+// kvShard is one stripe: a lock, its store, and its operation counters.
 // Shards are sector-padded so one shard's lock and counter traffic does not
 // false-share with its neighbours.
+//
+// The lock is the caller's substrate wrapped in rwl.WrapOptimistic, so
+// every write-lock section is bracketed by the shard's sequence counter
+// (seqc) — the structural guarantee that every mutation site bumps the
+// sequence, which the optimistic read path's validation depends on.
 type kvShard struct {
 	lock rwl.RWLock
 	// hlock is lock's handle-accepting view, nil when the lock does not
 	// implement rwl.HandleRWLock. Resolved once at construction so the read
 	// hot paths pay a nil check, not a type assertion, per acquisition.
 	hlock rwl.HandleRWLock
-	data  map[uint64][]byte
-	// exp tracks PutTTL deadlines (see ttlMap). Guarded by lock.
-	exp ttlMap
-	q   writeQueue
+	// seqc is the wrapped lock's write-section counter: even when
+	// quiescent, odd while a writer is inside. Optimistic reads bracket
+	// their lock-free copies with it.
+	seqc *seq.Count
+	// seqStore is the shard's keyed storage: cell map + TTL deadlines +
+	// the lock-free seq index, mutated only under lock's write sections.
+	seqStore
+	q writeQueue
 	// wal is the shard's write-ahead log, nil on volatile engines. Its
 	// mutex orders before lock: writers append (and fsync) before applying.
 	wal *shardWAL
 	ops shardOps
 	_   arch.SectorPad
+}
+
+// putCounted is putLocked plus the shard's fresh-insert accounting.
+func (sh *kvShard) putCounted(key uint64, value []byte, deadline int64) {
+	if sh.putLocked(key, value, deadline) {
+		sh.ops.putsFresh.Add(1)
+	}
 }
 
 // rlock acquires the shard's read lock, through the handle when both the
@@ -119,6 +139,15 @@ type shardOps struct {
 	wbatches   atomic.Uint64
 	wbatchKeys atomic.Uint64
 	asyncPuts  atomic.Uint64
+	// seqReads counts read sections served by the optimistic (seqlock)
+	// path — one per Get/GetInto served lock-free, one per MultiGet shard
+	// group validated as a unit. seqRetries counts optimistic attempts
+	// that collided with a writer (blocked on an odd sequence or failed
+	// validation); seqFallbacks counts read sections that exhausted their
+	// attempt budget and fell back to the shard read lock.
+	seqReads     atomic.Uint64
+	seqRetries   atomic.Uint64
+	seqFallbacks atomic.Uint64
 	// expired counts lazy TTL observations: reads (or deletes) that found a
 	// resident entry past its deadline and treated it as a miss. reaped
 	// counts entries Reap physically removed.
@@ -149,6 +178,15 @@ type ShardStats struct {
 	WriteBatches   uint64 `json:"write_batches"`
 	WriteBatchKeys uint64 `json:"write_batch_keys"`
 	AsyncPuts      uint64 `json:"async_puts"`
+	// SeqReads counts read sections served by the optimistic zero-CAS path
+	// (one per Get/GetInto, one per MultiGet shard group); SeqRetries
+	// counts attempts that collided with a writer and were discarded;
+	// SeqFallbacks counts reads that exhausted the attempt budget and took
+	// the shard read lock instead. Gets/GetHits count those reads too —
+	// the seq counters classify how reads were served, not extra traffic.
+	SeqReads     uint64 `json:"seq_reads"`
+	SeqRetries   uint64 `json:"seq_retries"`
+	SeqFallbacks uint64 `json:"seq_fallbacks"`
 	// Expired counts lazy TTL observations (reads and deletes that found an
 	// entry past its deadline); Reaped counts entries Reap removed.
 	Expired   uint64 `json:"expired"`
@@ -183,6 +221,9 @@ func (s *ShardStats) add(o ShardStats) {
 	s.WriteBatches += o.WriteBatches
 	s.WriteBatchKeys += o.WriteBatchKeys
 	s.AsyncPuts += o.AsyncPuts
+	s.SeqReads += o.SeqReads
+	s.SeqRetries += o.SeqRetries
+	s.SeqFallbacks += o.SeqFallbacks
 	s.Expired += o.Expired
 	s.Reaped += o.Reaped
 	s.Snapshots += o.Snapshots
@@ -221,10 +262,15 @@ func NewSharded(shards int, mkLock rwl.Factory, opts ...Option) (*Sharded, error
 		opt(&cfg)
 	}
 	s := &Sharded{shards: make([]kvShard, shards), mask: uint64(shards - 1)}
+	s.seqAttempts.Store(DefaultSeqReadAttempts)
 	for i := range s.shards {
-		s.shards[i].lock = mkLock()
-		s.shards[i].hlock, _ = s.shards[i].lock.(rwl.HandleRWLock)
-		s.shards[i].data = make(map[uint64][]byte)
+		// Wrap the substrate so every write section is seq-bracketed; the
+		// wrapper preserves the handle read path when the substrate has one.
+		wrapped := rwl.WrapOptimistic(mkLock())
+		s.shards[i].lock = wrapped
+		s.shards[i].hlock, _ = rwl.RWLock(wrapped).(rwl.HandleRWLock)
+		s.shards[i].seqc = wrapped.Seq()
+		s.shards[i].data = make(map[uint64]*seqCell)
 	}
 	if cfg.dir != "" {
 		if err := s.openDurable(cfg.dir, cfg.policy); err != nil {
@@ -276,17 +322,40 @@ func (s *Sharded) GetIntoH(h *rwl.Reader, key uint64, buf []byte) ([]byte, bool)
 
 func (s *Sharded) getInto(h *rwl.Reader, key uint64, buf []byte) ([]byte, bool) {
 	sh := s.shardOf(key)
-	tok := sh.rlock(h)
-	v, ok := sh.data[key]
-	expired := ok && sh.expiredLocked(key)
-	if expired {
-		ok = false
+	var out []byte
+	var ok, expired bool
+	served := false
+	// Zero-CAS fast path: copy the value with no lock held and validate
+	// the shard's write-section sequence around the copy. A validated
+	// section is exactly what some quiescent instant held; a collided one
+	// is discarded, and after the attempt budget the read falls back to
+	// the pessimistic BRAVO path below (handle or anonymous).
+	if att := int(s.seqAttempts.Load()); att > 0 {
+		var retries int
+		out, ok, expired, retries, served = sh.seqGetInto(sh.seqc, key, buf, att)
+		if retries > 0 {
+			sh.ops.seqRetries.Add(uint64(retries))
+		}
+		if served {
+			sh.ops.seqReads.Add(1)
+		} else {
+			sh.ops.seqFallbacks.Add(1)
+		}
 	}
-	out := buf[:0]
-	if ok {
-		out = append(out, v...)
+	if !served {
+		tok := sh.rlock(h)
+		v, present := sh.data[key]
+		ok = present
+		expired = ok && sh.expiredLocked(key)
+		if expired {
+			ok = false
+		}
+		out = buf[:0]
+		if ok {
+			out = v.appendTo(out)
+		}
+		sh.runlock(h, tok)
 	}
-	sh.runlock(h, tok)
 	sh.ops.gets.Add(1)
 	if !ok {
 		sh.ops.getMisses.Add(1)
@@ -297,12 +366,21 @@ func (s *Sharded) getInto(h *rwl.Reader, key uint64, buf []byte) ([]byte, bool) 
 	return out, ok
 }
 
-// expiredLocked reports whether key carries a TTL whose deadline has
-// passed (inclusive; see ttlMap.expired). Callers hold the shard lock,
-// read or write.
-func (sh *kvShard) expiredLocked(key uint64) bool {
-	return sh.exp.expired(key)
+// SetSeqReadAttempts sets the optimistic read attempt budget: how many
+// lock-free seq-validated copies a read tries before taking the shard read
+// lock. n <= 0 disables the optimistic path entirely (every read goes
+// through the BRAVO lock, the pre-seqlock behavior); n > 0 bounds the
+// retry loop. Safe to call at any time; the paper-figure benches and the
+// handle fast-path tests disable it to keep measuring the locks.
+func (s *Sharded) SetSeqReadAttempts(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.seqAttempts.Store(int32(n))
 }
+
+// SeqReadAttempts returns the current optimistic read attempt budget.
+func (s *Sharded) SeqReadAttempts() int { return int(s.seqAttempts.Load()) }
 
 // Put stores a copy of value under key, reusing the existing buffer in
 // place when it fits (Memtable's rocksdb-style in-place update). A plain
@@ -337,27 +415,9 @@ func (s *Sharded) put(key uint64, value []byte, deadline int64) {
 	}
 	sh.lock.Lock()
 	sh.ops.puts.Add(1) // total before rare: see the Stats load-order note
-	sh.putLocked(key, value, deadline)
+	sh.putCounted(key, value, deadline)
 	sh.lock.Unlock()
 	w.unlock()
-}
-
-// putLocked applies one insert-or-update under the already-held shard write
-// lock: the in-place buffer reuse shared by Put, MultiPut, and the async
-// queue's flush, plus TTL bookkeeping (deadline 0 = no TTL, clearing any
-// previous one).
-func (sh *kvShard) putLocked(key uint64, value []byte, deadline int64) {
-	if old, ok := sh.data[key]; ok && cap(old) >= len(value) {
-		old = old[:len(value)]
-		copy(old, value)
-		sh.data[key] = old
-	} else {
-		buf := make([]byte, len(value))
-		copy(buf, value)
-		sh.data[key] = buf
-		sh.ops.putsFresh.Add(1)
-	}
-	sh.exp.set(key, deadline)
 }
 
 // Delete removes key, reporting whether it was (visibly) present. Deleting
@@ -386,21 +446,6 @@ func (s *Sharded) Delete(key uint64) bool {
 	return ok
 }
 
-// deleteLocked removes key under the already-held shard write lock,
-// reporting whether it was visibly present and whether it was a
-// TTL-expired residue.
-func (sh *kvShard) deleteLocked(key uint64) (ok, expired bool) {
-	if _, present := sh.data[key]; !present {
-		return false, false
-	}
-	expired = sh.expiredLocked(key)
-	delete(sh.data, key)
-	if len(sh.exp) > 0 {
-		delete(sh.exp, key)
-	}
-	return !expired, expired
-}
-
 // MultiGet performs a batched lookup: keys are grouped by shard and each
 // shard's read lock is taken once per batch, not once per key. The result
 // is parallel to keys; absent keys yield nil entries.
@@ -418,20 +463,42 @@ func (s *Sharded) MultiGetH(h *rwl.Reader, keys []uint64) [][]byte {
 func (s *Sharded) multiGet(h *rwl.Reader, keys []uint64) [][]byte {
 	out := make([][]byte, len(keys))
 	s.forEachShardGroup(keys, func(sh *kvShard, group []shardPos) {
-		tok := sh.rlock(h)
 		expired := 0
-		for _, p := range group {
-			v, ok := sh.data[keys[p.pos]]
-			if ok && sh.expiredLocked(keys[p.pos]) {
-				expired++
-				continue
+		served := false
+		// Optimistic batch read: the whole shard group is copied under one
+		// seq bracket, so a validated group is a consistent point-in-time
+		// view of its shard — the same guarantee the read lock gives.
+		if att := int(s.seqAttempts.Load()); att > 0 {
+			var retries int
+			expired, retries, served = sh.seqMultiGet(keys, group, out, att)
+			if retries > 0 {
+				sh.ops.seqRetries.Add(uint64(retries))
 			}
-			if ok {
-				// Non-nil even for empty values: nil means absent here.
-				out[p.pos] = append(make([]byte, 0, len(v)), v...)
+			if served {
+				sh.ops.seqReads.Add(1)
+			} else {
+				sh.ops.seqFallbacks.Add(1)
+				for _, p := range group {
+					out[p.pos] = nil // discard torn optimistic copies
+				}
 			}
 		}
-		sh.runlock(h, tok)
+		if !served {
+			expired = 0
+			tok := sh.rlock(h)
+			for _, p := range group {
+				v, ok := sh.data[keys[p.pos]]
+				if ok && sh.expiredLocked(keys[p.pos]) {
+					expired++
+					continue
+				}
+				if ok {
+					// Non-nil even for empty values: nil means absent here.
+					out[p.pos] = v.bytes()
+				}
+			}
+			sh.runlock(h, tok)
+		}
 		sh.ops.batches.Add(1)
 		sh.ops.batchKeys.Add(uint64(len(group)))
 		if expired > 0 {
@@ -439,6 +506,51 @@ func (s *Sharded) multiGet(h *rwl.Reader, keys []uint64) [][]byte {
 		}
 	})
 	return out
+}
+
+// seqMultiGet optimistically copies one shard group under a single seq
+// bracket, filling out at the group's positions. done=false means every
+// attempt collided; the caller clears the group's positions and falls back
+// to the locked path.
+func (sh *kvShard) seqMultiGet(keys []uint64, group []shardPos, out [][]byte, attempts int) (expired, retries int, done bool) {
+	deadlines := make([]int64, len(group))
+	for a := 0; a < attempts; a++ {
+		s0, even := sh.seqc.TryBegin()
+		if !even {
+			retries++
+			continue
+		}
+		for gi, p := range group {
+			out[p.pos] = nil
+			deadlines[gi] = 0
+			if c := sh.idx.lookup(keys[p.pos]); c != nil {
+				out[p.pos] = c.bytes()
+				deadlines[gi] = c.deadline.Load()
+			}
+		}
+		if h := seqReadHook.Load(); h != nil {
+			(*h)(keys[group[0].pos])
+		}
+		if sh.seqc.Retry(s0) {
+			retries++
+			continue
+		}
+		// Validated: apply lazy expiry on the captured deadlines.
+		now := int64(0)
+		for gi, p := range group {
+			if d := deadlines[gi]; d != 0 && out[p.pos] != nil {
+				if now == 0 {
+					now = clock.Nanos()
+				}
+				if now >= d {
+					out[p.pos] = nil
+					expired++
+				}
+			}
+		}
+		return expired, retries, true
+	}
+	return 0, retries, false
 }
 
 // MultiPut stores a copy of each values[i] under keys[i], grouping the
@@ -478,7 +590,7 @@ func (s *Sharded) multiPut(keys []uint64, values [][]byte, deadline int64) {
 		sh.lock.Lock()
 		sh.ops.puts.Add(uint64(len(group))) // total before rare, as in Put
 		for _, p := range group {
-			sh.putLocked(keys[p.pos], values[p.pos], deadline)
+			sh.putCounted(keys[p.pos], values[p.pos], deadline)
 		}
 		sh.lock.Unlock()
 		w.unlock()
@@ -574,9 +686,11 @@ func (s *Sharded) Len() int {
 // Range calls fn for every visible (unexpired) key/value pair. Each shard
 // is visited atomically under its read lock; the engine-wide view is the
 // concatenation of per-shard snapshots, not a global snapshot. The value
-// slice passed to fn is the live buffer and must not be retained or
-// mutated after fn returns. Iteration stops early when fn returns false.
+// slice passed to fn is a scratch buffer reused between calls and must not
+// be retained or mutated after fn returns. Iteration stops early when fn
+// returns false.
 func (s *Sharded) Range(fn func(key uint64, value []byte) bool) {
+	var scratch []byte
 	for i := range s.shards {
 		sh := &s.shards[i]
 		tok := sh.lock.RLock()
@@ -584,7 +698,8 @@ func (s *Sharded) Range(fn func(key uint64, value []byte) bool) {
 			if sh.expiredLocked(k) {
 				continue
 			}
-			if !fn(k, v) {
+			scratch = v.appendTo(scratch[:0])
+			if !fn(k, scratch) {
 				sh.lock.RUnlock(tok)
 				return
 			}
@@ -603,7 +718,7 @@ func (s *Sharded) SnapshotShard(i int) map[uint64][]byte {
 		if sh.expiredLocked(k) {
 			continue
 		}
-		out[k] = append([]byte(nil), v...)
+		out[k] = v.bytes()
 	}
 	sh.lock.RUnlock(tok)
 	sh.ops.snapshots.Add(1)
@@ -647,8 +762,10 @@ func (s *Sharded) Reap(budget int) int {
 				}
 				examined++
 				if now >= d {
-					delete(sh.exp, k)
-					delete(sh.data, k)
+					// Through removeLocked so the seq index sheds the
+					// entry with the map — reaping is a mutation site
+					// like any other, bracketed by the shard write lock.
+					sh.removeLocked(k)
 					removed++
 				}
 			}
@@ -708,6 +825,9 @@ func (s *Sharded) Stats() ShardedStats {
 			WriteBatches:    sh.ops.wbatches.Load(),
 			WriteBatchKeys:  sh.ops.wbatchKeys.Load(),
 			AsyncPuts:       sh.ops.asyncPuts.Load(),
+			SeqReads:        sh.ops.seqReads.Load(),
+			SeqRetries:      sh.ops.seqRetries.Load(),
+			SeqFallbacks:    sh.ops.seqFallbacks.Load(),
 			Expired:         sh.ops.expired.Load(),
 			Reaped:          sh.ops.reaped.Load(),
 			Snapshots:       sh.ops.snapshots.Load(),

@@ -85,7 +85,7 @@ func (s *Sharded) checkpointShard(i int) error {
 	tok := sh.lock.RLock()
 	data := make(map[uint64][]byte, len(sh.data))
 	for k, v := range sh.data {
-		data[k] = append([]byte(nil), v...)
+		data[k] = v.bytes()
 	}
 	var exp ttlMap
 	if len(sh.exp) > 0 {

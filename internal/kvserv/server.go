@@ -526,15 +526,21 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 // include their replication posture under "repl", followers their
 // per-shard positions and lag under "follower".
 type statsResponse struct {
-	NumShards     int              `json:"num_shards"`
-	HandleCapable bool             `json:"handle_capable"`
-	Durable       bool             `json:"durable"`
-	SyncPolicy    string           `json:"sync_policy,omitempty"`
-	WALError      string           `json:"wal_error,omitempty"`
-	Total         kvs.ShardStats   `json:"total"`
-	Shards        []kvs.ShardStats `json:"shards"`
-	Repl          *repl.Status     `json:"repl,omitempty"`
-	Follower      *followerStatus  `json:"follower,omitempty"`
+	NumShards     int  `json:"num_shards"`
+	HandleCapable bool `json:"handle_capable"`
+	// SeqReadAttempts is the engine's optimistic read budget: how many
+	// lock-free seqlock read attempts a Get makes before falling back to
+	// the shard's BRAVO read lock (0 = optimistic path disabled). The
+	// per-path outcome counters are seq_reads/seq_retries/seq_fallbacks
+	// in the shard stats below.
+	SeqReadAttempts int              `json:"seq_read_attempts"`
+	Durable         bool             `json:"durable"`
+	SyncPolicy      string           `json:"sync_policy,omitempty"`
+	WALError        string           `json:"wal_error,omitempty"`
+	Total           kvs.ShardStats   `json:"total"`
+	Shards          []kvs.ShardStats `json:"shards"`
+	Repl            *repl.Status     `json:"repl,omitempty"`
+	Follower        *followerStatus  `json:"follower,omitempty"`
 }
 
 // followerStatus is a follower's replication view: where each shard is,
@@ -599,11 +605,12 @@ func (s *Server) handleFollowerStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.engine.Stats()
 	resp := statsResponse{
-		NumShards:     s.engine.NumShards(),
-		HandleCapable: s.engine.HandleCapable(),
-		Durable:       s.engine.Durable(),
-		Total:         st.Total(),
-		Shards:        st.Shards,
+		NumShards:       s.engine.NumShards(),
+		HandleCapable:   s.engine.HandleCapable(),
+		SeqReadAttempts: s.engine.SeqReadAttempts(),
+		Durable:         s.engine.Durable(),
+		Total:           st.Total(),
+		Shards:          st.Shards,
 	}
 	if resp.Durable {
 		resp.SyncPolicy = s.engine.SyncPolicy().String()

@@ -140,6 +140,15 @@ func TestServerEndToEnd(t *testing.T) {
 	if st.Total.Gets == 0 || st.Total.Puts == 0 {
 		t.Fatalf("stats counted gets=%d puts=%d, want traffic", st.Total.Gets, st.Total.Puts)
 	}
+	// The optimistic read posture surfaces: a positive attempt budget, and
+	// with this test's uncontended reads the seq path served them (each
+	// served read is classified exactly once across the three counters).
+	if st.SeqReadAttempts <= 0 {
+		t.Fatalf("seq_read_attempts = %d, want the engine default", st.SeqReadAttempts)
+	}
+	if st.Total.SeqReads == 0 {
+		t.Fatalf("seq_reads = 0 with %d gets; optimistic path never served", st.Total.Gets)
+	}
 }
 
 // TestServerReusesConnectionHandle checks the per-connection reader handle:

@@ -8,6 +8,15 @@
 // tolerate it; the read section here is therefore expressed as a retryable
 // function. This is the zero-coherence endpoint against which BRAVO's
 // pessimistic fast path can be compared in the ablation benches.
+//
+// The package exports two layers:
+//
+//   - Count is the bare sequence counter — odd while a writer is inside —
+//     with no writer serialization of its own. It is the piece lifted into
+//     the KV engine's optimistic read path, where the shard's existing
+//     BRAVO write lock already serializes writers and Count only has to
+//     version their critical sections.
+//   - Lock composes Count with a mutex into the classic standalone seqlock.
 package seq
 
 import (
@@ -17,42 +26,71 @@ import (
 	"github.com/bravolock/bravo/internal/spin"
 )
 
-// Lock is a sequence lock. The zero value is unlocked.
-type Lock struct {
-	seq atomic.Uint64 // odd while a writer is inside
-	mu  sync.Mutex    // serializes writers
+// Count is a bare sequence counter: even when quiescent, odd while a write
+// section is open. It does NOT serialize writers — callers must bracket
+// WriteBegin/WriteEnd inside whatever exclusion already covers the data
+// (a mutex here in Lock, the shard write lock in the KV engine). The zero
+// value is quiescent.
+type Count struct {
+	seq atomic.Uint64
 }
 
-// WriteLock begins a write section, making the sequence odd.
-func (l *Lock) WriteLock() {
-	l.mu.Lock()
-	l.seq.Add(1)
+// WriteBegin opens a write section, making the sequence odd. The caller must
+// already hold writer exclusion over the protected data.
+func (c *Count) WriteBegin() { c.seq.Add(1) }
+
+// WriteEnd closes a write section, making the sequence even.
+func (c *Count) WriteEnd() { c.seq.Add(1) }
+
+// TryBegin samples the sequence without waiting. ok is false when a write
+// section is open (sequence odd), in which case the caller should back off
+// or fall back rather than spin.
+func (c *Count) TryBegin() (s uint64, ok bool) {
+	s = c.seq.Load()
+	return s, s&1 == 0
 }
 
-// WriteUnlock ends a write section, making the sequence even.
-func (l *Lock) WriteUnlock() {
-	l.seq.Add(1)
-	l.mu.Unlock()
-}
-
-// ReadBegin waits for any in-progress write to finish and returns the
-// sequence to validate against.
-func (l *Lock) ReadBegin() uint64 {
+// Begin waits for any in-progress write to finish and returns the sequence
+// to validate against.
+func (c *Count) Begin() uint64 {
 	var b spin.Backoff
 	for {
-		s := l.seq.Load()
-		if s&1 == 0 {
+		if s, ok := c.TryBegin(); ok {
 			return s
 		}
 		b.Once()
 	}
 }
 
+// Retry reports whether a read section that started at sequence s overlapped
+// a write and must be retried (or abandoned for a pessimistic fallback).
+func (c *Count) Retry(s uint64) bool { return c.seq.Load() != s }
+
+// Lock is a sequence lock. The zero value is unlocked.
+type Lock struct {
+	cnt Count
+	mu  sync.Mutex // serializes writers
+}
+
+// WriteLock begins a write section, making the sequence odd.
+func (l *Lock) WriteLock() {
+	l.mu.Lock()
+	l.cnt.WriteBegin()
+}
+
+// WriteUnlock ends a write section, making the sequence even.
+func (l *Lock) WriteUnlock() {
+	l.cnt.WriteEnd()
+	l.mu.Unlock()
+}
+
+// ReadBegin waits for any in-progress write to finish and returns the
+// sequence to validate against.
+func (l *Lock) ReadBegin() uint64 { return l.cnt.Begin() }
+
 // ReadRetry reports whether a read section that started at sequence s
 // overlapped a write and must be retried.
-func (l *Lock) ReadRetry(s uint64) bool {
-	return l.seq.Load() != s
-}
+func (l *Lock) ReadRetry(s uint64) bool { return l.cnt.Retry(s) }
 
 // RunRead executes f as an optimistic read section, retrying until it runs
 // without writer interference. f may observe torn state while executing and

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestReadersSeeConsistentPairs(t *testing.T) {
@@ -49,12 +50,51 @@ func TestSequenceParity(t *testing.T) {
 		t.Fatalf("idle sequence %d is odd", s)
 	}
 	l.WriteLock()
-	if l.seq.Load()%2 != 1 {
+	if l.cnt.seq.Load()%2 != 1 {
 		t.Fatal("sequence even during write section")
 	}
 	l.WriteUnlock()
-	if l.seq.Load()%2 != 0 {
+	if l.cnt.seq.Load()%2 != 0 {
 		t.Fatal("sequence odd after write section")
+	}
+}
+
+func TestCountTryBegin(t *testing.T) {
+	var c Count
+	s, ok := c.TryBegin()
+	if !ok || s != 0 {
+		t.Fatalf("quiescent TryBegin = (%d, %v), want (0, true)", s, ok)
+	}
+	c.WriteBegin()
+	if _, ok := c.TryBegin(); ok {
+		t.Fatal("TryBegin succeeded inside an open write section")
+	}
+	c.WriteEnd()
+	s2, ok := c.TryBegin()
+	if !ok || s2 != 2 {
+		t.Fatalf("post-write TryBegin = (%d, %v), want (2, true)", s2, ok)
+	}
+	if !c.Retry(s) {
+		t.Fatal("Retry(0) = false after a completed write section")
+	}
+	if c.Retry(s2) {
+		t.Fatal("Retry invalidated a section with no intervening write")
+	}
+}
+
+func TestCountBeginWaitsOutWriter(t *testing.T) {
+	var c Count
+	c.WriteBegin()
+	done := make(chan uint64)
+	go func() { done <- c.Begin() }()
+	select {
+	case s := <-done:
+		t.Fatalf("Begin returned %d while a write section was open", s)
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.WriteEnd()
+	if s := <-done; s%2 != 0 {
+		t.Fatalf("Begin returned odd sequence %d", s)
 	}
 }
 

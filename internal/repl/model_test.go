@@ -187,6 +187,29 @@ func (m *replModel) finish() map[uint64][]byte {
 	return merged
 }
 
+// requireOptimisticSweep re-reads the whole model through the caught-up
+// follower's engine and demands both exact agreement and that every read
+// was served by the zero-CAS optimistic path: the stream is idle, so the
+// replica's seq counters cannot move, and a retry or fallback here means
+// an ApplyReplRecord write section left a counter unbalanced.
+func requireOptimisticSweep(t *testing.T, e *kvs.Sharded, want map[uint64][]byte, label string) {
+	t.Helper()
+	before := e.Stats().Total()
+	for k, wv := range want {
+		gv, ok := e.Get(k)
+		if !ok || !bytes.Equal(gv, wv) {
+			t.Fatalf("%s: optimistic Get(%d) = %x/%v, model %x", label, k, gv, ok, wv)
+		}
+	}
+	after := e.Stats().Total()
+	if got := after.SeqReads - before.SeqReads; got != uint64(len(want)) {
+		t.Fatalf("%s: only %d of %d sweep reads were served optimistically", label, got, len(want))
+	}
+	if after.SeqFallbacks != before.SeqFallbacks {
+		t.Fatalf("%s: quiescent sweep fell back %d times", label, after.SeqFallbacks-before.SeqFallbacks)
+	}
+}
+
 func requireStateEquals(t *testing.T, got, want map[uint64][]byte, label string) {
 	t.Helper()
 	if len(got) != len(want) {
@@ -245,6 +268,7 @@ func TestModelReplicationEquivalence(t *testing.T) {
 				t.Fatal(err)
 			}
 			requireStateEquals(t, f.Engine().Snapshot(), merged, "history quiescence")
+			requireOptimisticSweep(t, f.Engine(), merged, "history sweep")
 			if states.checked() == 0 {
 				t.Fatal("no sampled LSN was ever checked")
 			}
@@ -260,6 +284,7 @@ func TestModelReplicationEquivalence(t *testing.T) {
 				t.Fatal(err)
 			}
 			requireStateEquals(t, f.Engine().Snapshot(), merged, "live quiescence")
+			requireOptimisticSweep(t, f.Engine(), merged, "live sweep")
 		})
 	}
 }
@@ -315,4 +340,5 @@ func TestModelReplicationAcrossCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	requireStateEquals(t, f.Engine().Snapshot(), merged, "post-checkpoint quiescence")
+	requireOptimisticSweep(t, f.Engine(), merged, "post-checkpoint sweep")
 }

@@ -1,0 +1,103 @@
+package rwl
+
+import (
+	"github.com/bravolock/bravo/internal/locks/seq"
+)
+
+// SeqRWLock is an RWLock whose write sections are bracketed by a sequence
+// counter, so readers can attempt optimistic (zero shared-memory-write)
+// sections and validate them instead of acquiring the read lock. The
+// pessimistic RLock/RUnlock path remains available as the fallback when
+// validation keeps failing.
+type SeqRWLock interface {
+	RWLock
+	// ReadAttempt samples the sequence for an optimistic read section.
+	// ok is false when a writer is inside; the caller should retry or
+	// fall back to RLock rather than spin.
+	ReadAttempt() (s uint64, ok bool)
+	// ReadValidate reports whether an optimistic section begun at s
+	// completed without writer overlap. A false result means any data
+	// read during the section may be torn and must be discarded.
+	ReadValidate(s uint64) bool
+	// Seq exposes the underlying counter for callers that want to avoid
+	// interface dispatch on the hot path.
+	Seq() *seq.Count
+}
+
+// Optimistic wraps an RWLock so that every write section is bracketed by a
+// seq.Count: Lock makes the sequence odd after acquiring the underlying
+// write lock, Unlock makes it even before releasing. Because the underlying
+// lock already serializes writers, the counter needs no serialization of its
+// own, and the bracketing is structural — any mutation that goes through
+// Lock/Unlock is automatically versioned, which is the invariant the KV
+// engine's torn-read test artillery exists to defend.
+//
+// Read acquisitions pass through untouched, so the wrapped lock keeps the
+// substrate's admission policy and BRAVO's fast-path behavior.
+type Optimistic struct {
+	cnt   seq.Count
+	under RWLock
+}
+
+var _ SeqRWLock = (*Optimistic)(nil)
+
+// WrapOptimistic wraps l with a write-section sequence counter. When l also
+// supports handle reads (HandleRWLock), the returned lock does too, so
+// wrapping never narrows the read API: the result is an *OptimisticH in
+// that case and an *Optimistic otherwise.
+func WrapOptimistic(l RWLock) SeqRWLock {
+	if h, ok := l.(HandleRWLock); ok {
+		return &OptimisticH{Optimistic{under: l}, h}
+	}
+	return &Optimistic{under: l}
+}
+
+// RLock acquires read permission on the underlying lock.
+func (o *Optimistic) RLock() Token { return o.under.RLock() }
+
+// RUnlock releases a read acquisition on the underlying lock.
+func (o *Optimistic) RUnlock(t Token) { o.under.RUnlock(t) }
+
+// Lock acquires write permission and opens the write section (sequence odd).
+func (o *Optimistic) Lock() {
+	o.under.Lock()
+	o.cnt.WriteBegin()
+}
+
+// Unlock closes the write section (sequence even) and releases write
+// permission.
+func (o *Optimistic) Unlock() {
+	o.cnt.WriteEnd()
+	o.under.Unlock()
+}
+
+// ReadAttempt samples the sequence for an optimistic read section.
+func (o *Optimistic) ReadAttempt() (uint64, bool) { return o.cnt.TryBegin() }
+
+// ReadValidate reports whether an optimistic section begun at s saw no
+// writer.
+func (o *Optimistic) ReadValidate(s uint64) bool { return !o.cnt.Retry(s) }
+
+// Seq returns the write-section counter.
+func (o *Optimistic) Seq() *seq.Count { return &o.cnt }
+
+// Under returns the wrapped lock. Diagnostic — tests use it to drive the
+// substrate directly (e.g. to prove an unbracketed mutation is caught).
+func (o *Optimistic) Under() RWLock { return o.under }
+
+// OptimisticH is Optimistic over a handle-capable lock; it forwards the
+// handle read path so wrapped BRAVO locks keep their one-CAS reader
+// fast path for the pessimistic fallback.
+type OptimisticH struct {
+	Optimistic
+	hunder HandleRWLock
+}
+
+var _ HandleRWLock = (*OptimisticH)(nil)
+var _ SeqRWLock = (*OptimisticH)(nil)
+
+// RLockH acquires read permission for the handle's pinned identity.
+func (o *OptimisticH) RLockH(h *Reader) Token { return o.hunder.RLockH(h) }
+
+// RUnlockH releases a read acquisition made by RLockH.
+func (o *OptimisticH) RUnlockH(h *Reader, t Token) { o.hunder.RUnlockH(h, t) }

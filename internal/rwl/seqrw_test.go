@@ -1,0 +1,119 @@
+package rwl_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/bravolock/bravo/internal/core"
+	"github.com/bravolock/bravo/internal/locks/pfq"
+	"github.com/bravolock/bravo/internal/locks/stdrw"
+	"github.com/bravolock/bravo/internal/rwl"
+)
+
+func TestWrapOptimisticPreservesHandleCapability(t *testing.T) {
+	plain := rwl.WrapOptimistic(new(stdrw.Lock))
+	if _, ok := plain.(rwl.HandleRWLock); ok {
+		t.Fatal("wrapping a plain lock must not invent a handle read path")
+	}
+	bravo := rwl.WrapOptimistic(core.New(new(pfq.Lock)))
+	h, ok := bravo.(rwl.HandleRWLock)
+	if !ok {
+		t.Fatal("wrapping a handle-capable lock must keep RLockH/RUnlockH")
+	}
+	r := rwl.NewReader()
+	tok := h.RLockH(r)
+	h.RUnlockH(r, tok)
+}
+
+func TestOptimisticBracketsWriteSections(t *testing.T) {
+	o := rwl.WrapOptimistic(new(stdrw.Lock))
+	s0, ok := o.ReadAttempt()
+	if !ok {
+		t.Fatal("ReadAttempt failed with no writer present")
+	}
+	if !o.ReadValidate(s0) {
+		t.Fatal("ReadValidate failed with no intervening write")
+	}
+	o.Lock()
+	if _, ok := o.ReadAttempt(); ok {
+		t.Fatal("ReadAttempt succeeded inside a write section")
+	}
+	o.Unlock()
+	if o.ReadValidate(s0) {
+		t.Fatal("ReadValidate passed across a completed write section")
+	}
+	s1, ok := o.ReadAttempt()
+	if !ok || s1 == s0 {
+		t.Fatalf("post-write ReadAttempt = (%d, %v), want fresh even sequence", s1, ok)
+	}
+}
+
+func TestOptimisticReadLockPassthrough(t *testing.T) {
+	o := rwl.WrapOptimistic(new(stdrw.Lock))
+	tok := o.RLock()
+	// A pessimistic read must not disturb the write-section counter.
+	if s, ok := o.ReadAttempt(); !ok {
+		t.Fatalf("RLock perturbed the sequence counter (seq %d)", s)
+	}
+	o.RUnlock(tok)
+}
+
+// TestOptimisticConsistentPairs is the seqlock property on the wrapper:
+// writers under the wrapped Lock keep two words in lockstep, and a validated
+// optimistic section never observes them out of sync, while unvalidated
+// sections are discarded and retried against the pessimistic path.
+func TestOptimisticConsistentPairs(t *testing.T) {
+	o := rwl.WrapOptimistic(core.New(new(pfq.Lock)))
+	var a, b atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			o.Lock()
+			a.Store(i)
+			b.Store(i)
+			o.Unlock()
+		}
+	}()
+	var optimistic, fallback int
+	for i := 0; i < 5000; i++ {
+		var x, y uint64
+		validated := false
+		for attempt := 0; attempt < 3; attempt++ {
+			s, ok := o.ReadAttempt()
+			if !ok {
+				continue
+			}
+			x, y = a.Load(), b.Load()
+			if o.ReadValidate(s) {
+				validated = true
+				break
+			}
+		}
+		if validated {
+			optimistic++
+		} else {
+			tok := o.RLock()
+			x, y = a.Load(), b.Load()
+			o.RUnlock(tok)
+			fallback++
+		}
+		if x != y {
+			t.Fatalf("read %d observed torn pair (%d, %d) (optimistic=%v)", i, x, y, validated)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if optimistic == 0 {
+		t.Error("no read ever completed optimistically under a non-saturating writer")
+	}
+	t.Logf("optimistic=%d fallback=%d", optimistic, fallback)
+}
