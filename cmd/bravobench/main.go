@@ -39,6 +39,11 @@
 //	                       hammer the replicas; -json writes BENCH_repl.json
 //	                       with follower-read scaling, replication lag, and
 //	                       post-storm convergence time
+//	-workload wire         the transport axis: the pipelined binary wire
+//	                       protocol vs HTTP/1.1 over real TCP, same engine,
+//	                       same MPUT/MGET batches, across -conns connection
+//	                       counts and -depths pipeline depths; -json writes
+//	                       BENCH_wire.json with wire-over-HTTP ratios
 //
 // Examples:
 //
@@ -52,6 +57,7 @@
 //	bravobench -workload kvserv -json -batch 64 -threads 8,16
 //	bravobench -workload wal -json -threads 2,8
 //	bravobench -workload repl -json -followers 1,2,4
+//	bravobench -workload wire -json -conns 64,256 -depths 1,32
 package main
 
 import (
@@ -76,9 +82,9 @@ var (
 	locksFlag    = flag.String("locks", "ba,bravo-ba,pthread,bravo-pthread,per-cpu,cohort-rw", "native lock lineup")
 	scanFlag     = flag.Bool("scanrate", false, "measure the revocation scan rate (ns/slot) and exit")
 
-	workloadFlag   = flag.String("workload", "figures", "figures, shardedkv, readlatency, kvserv, wal, or repl")
-	jsonFlag       = flag.Bool("json", false, "shardedkv/readlatency/kvserv/wal/repl: also write machine-readable results")
-	outFlag        = flag.String("out", "BENCH_shardedkv.json", "shardedkv/readlatency/kvserv/wal/repl: -json output path (workload-specific default)")
+	workloadFlag   = flag.String("workload", "figures", "figures, shardedkv, readlatency, kvserv, wal, repl, or wire")
+	jsonFlag       = flag.Bool("json", false, "shardedkv/readlatency/kvserv/wal/repl/wire: also write machine-readable results")
+	outFlag        = flag.String("out", "BENCH_shardedkv.json", "shardedkv/readlatency/kvserv/wal/repl/wire: -json output path (workload-specific default)")
 	shardsFlag     = flag.String("shards", "1,2,4,8", "shardedkv/kvserv/wal/repl: shard counts (powers of two)")
 	writeRatioFlag = flag.Float64("writeratio", 0.01, "shardedkv: fraction of operations that write")
 	valueSizeFlag  = flag.Int("valuesize", bench.ShardedKVDefaultValueSize, "shardedkv/kvserv/wal/repl: value payload bytes (sets critical-section length)")
@@ -86,6 +92,8 @@ var (
 	followersFlag  = flag.String("followers", "1,2,4", "repl: follower fleet sizes")
 	readersFlag    = flag.Int("readers", bench.ReplDefaultReaders, "repl: reader goroutines per follower")
 	writeRateFlag  = flag.Int("writerate", bench.ReplDefaultWriteRate, "repl: paced primary write load in keys/sec (0: unpaced)")
+	connsFlag      = flag.String("conns", "64,256,1024,4096", "wire: client connection counts")
+	depthsFlag     = flag.String("depths", "1,8,32", "wire: pipeline depths for the binary protocol")
 )
 
 // shardedKVDefaults replace the figure-oriented flag defaults when the
@@ -140,6 +148,15 @@ const (
 	replDefaultLocks  = "bravo-go"
 	replDefaultShards = "8"
 	replDefaultOut    = "BENCH_repl.json"
+)
+
+// wireDefaults replace the figure-oriented defaults for the wire
+// workload: one serving substrate, one shard count — the sweep's axes are
+// protocol, connection count, and pipeline depth.
+const (
+	wireDefaultLocks  = "bravo-go"
+	wireDefaultShards = "8"
+	wireDefaultOut    = "BENCH_wire.json"
 )
 
 // rwbenchSubs maps Figure 4's sub-plots to write probabilities.
@@ -213,6 +230,16 @@ func main() {
 			"batch":     func() { *batchFlag = bench.WALDefaultBatch },
 			"out":       func() { *outFlag = replDefaultOut },
 		})
+	case "wire":
+		applyWorkloadDefaults(map[string]func(){
+			"locks":     func() { *locksFlag = wireDefaultLocks },
+			"shards":    func() { *shardsFlag = wireDefaultShards },
+			"interval":  func() { *intervalFlag = 500 * time.Millisecond },
+			"runs":      func() { *runsFlag = 3 },
+			"valuesize": func() { *valueSizeFlag = bench.WireDefaultValueSize },
+			"batch":     func() { *batchFlag = bench.WireDefaultBatch },
+			"out":       func() { *outFlag = wireDefaultOut },
+		})
 	}
 	threads, err := cliutil.ParseInts(*threadsFlag)
 	if err != nil {
@@ -240,8 +267,12 @@ func main() {
 		runRepl(cfg, locks)
 		return
 	}
+	if *workloadFlag == "wire" {
+		runWire(cfg, locks)
+		return
+	}
 	if *workloadFlag != "figures" {
-		fatal(fmt.Errorf("unknown workload %q (figures, shardedkv, readlatency, kvserv, wal, repl)", *workloadFlag))
+		fatal(fmt.Errorf("unknown workload %q (figures, shardedkv, readlatency, kvserv, wal, repl, wire)", *workloadFlag))
 	}
 	figs := []string{"1", "2", "3", "4", "5", "6"}
 	if *figFlag != "all" {
@@ -434,6 +465,52 @@ func runRepl(cfg bench.Config, locks []string) {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d results)\n", *outFlag, len(results))
+}
+
+func runWire(cfg bench.Config, locks []string) {
+	if len(locks) != 1 {
+		fatal(fmt.Errorf("wire workload takes exactly one -locks entry (the serving substrate), got %q", *locksFlag))
+	}
+	shardCounts, err := cliutil.ParseInts(*shardsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if len(shardCounts) != 1 || shardCounts[0] <= 0 || shardCounts[0]&(shardCounts[0]-1) != 0 {
+		fatal(fmt.Errorf("wire workload takes exactly one power-of-two -shards entry, got %q", *shardsFlag))
+	}
+	connCounts, err := cliutil.ParseInts(*connsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	depths, err := cliutil.ParseInts(*depthsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	results, comps, err := bench.WireSweep(locks[0], shardCounts[0], connCounts, depths, *batchFlag, *valueSizeFlag, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# wire: %d keys, %dB values, batch %d, %d×%s shards, interval %v, median of %d\n",
+		bench.WireKeys, *valueSizeFlag, *batchFlag, shardCounts[0], locks[0], cfg.Interval, cfg.Runs)
+	bench.WriteWireTable(os.Stdout, results)
+	fmt.Println()
+	fmt.Println("# binary wire protocol vs HTTP/1.1 (same engine, same batches)")
+	bench.WriteWireComparisons(os.Stdout, comps)
+	if !*jsonFlag {
+		return
+	}
+	f, err := os.Create(*outFlag)
+	if err != nil {
+		fatal(err)
+	}
+	rep := bench.NewWireReport(cfg, locks[0], shardCounts[0], *batchFlag, *valueSizeFlag, results, comps)
+	if err := rep.WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d results, %d comparisons)\n", *outFlag, len(results), len(comps))
 }
 
 // applyWorkloadDefaults runs each override whose flag the user did not set

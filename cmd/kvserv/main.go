@@ -24,6 +24,15 @@
 // /mget, /stats — honoring ?min_lsn= tokens by waiting or 409ing — while
 // writes answer 403.
 //
+// With -wire-addr the process also listens on the pipelined binary wire
+// protocol (internal/wire): length-prefixed CRC-framed requests with
+// request-id pipelining, multi-op batches that cost one lock acquisition
+// per shard they touch, and binary min_lsn/commit-LSN read-your-writes
+// tokens. HTTP stays up as the compatibility front-end; both serve the
+// same engine (a follower serves the wire read-only too).
+//
+//	kvserv -addr :7070 -wire-addr :7071 -data-dir /var/lib/kvserv
+//
 // Endpoints: GET/PUT/DELETE /kv/{key} (PUT takes ?ttl=1s or ?async=1),
 // GET /mget?keys=1,2,3, POST /mput, POST /flush, POST /checkpoint,
 // GET /stats, GET /repl/stream, GET /repl/status. See internal/kvserv,
@@ -52,7 +61,9 @@ import (
 )
 
 var (
-	addrFlag       = flag.String("addr", ":7070", "listen address")
+	addrFlag     = flag.String("addr", ":7070", "HTTP listen address")
+	wireAddrFlag = flag.String("wire-addr", "", "binary wire-protocol listen address (empty: HTTP only)")
+
 	shardsFlag     = flag.Int("shards", 16, "shard count (positive power of two)")
 	lockFlag       = flag.String("lock", "bravo-go", "per-shard lock (registry name)")
 	reapFlag       = flag.Duration("reap", kvserv.DefaultReapInterval, "TTL reap interval (<0 disables background reaping)")
@@ -103,6 +114,7 @@ func main() {
 	}
 	fmt.Printf("kvserv: serving on %s — %d×%s shards, %s, reap %v, %s\n",
 		l.Addr(), *shardsFlag, *lockFlag, handles, *reapFlag, durability)
+	startWire(srv)
 
 	// Graceful shutdown: stop accepting, flush the async queues, then sync
 	// and close the WAL so a restart recovers everything acknowledged.
@@ -151,6 +163,7 @@ func runFollower(mk rwl.Factory) {
 	})
 	fmt.Printf("kvserv: read-only follower of %s on %s — %d×%s shards, reap %v\n",
 		f.Primary(), l.Addr(), f.NumShards(), *lockFlag, *reapFlag)
+	startWire(srv)
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	done := make(chan error, 1)
@@ -167,6 +180,25 @@ func runFollower(mk rwl.Factory) {
 		}
 	}
 	f.Close()
+}
+
+// startWire mounts the binary wire front-end on -wire-addr (a no-op when
+// the flag is empty). It serves the same engine — and, in follower mode,
+// the same read-only posture — as the HTTP listener; srv.Close stops it.
+func startWire(srv *kvserv.Server) {
+	if *wireAddrFlag == "" {
+		return
+	}
+	wl, err := net.Listen("tcp", *wireAddrFlag)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("kvserv: wire protocol on %s\n", wl.Addr())
+	go func() {
+		if err := srv.ServeWire(wl); err != nil && err != kvserv.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "kvserv: wire:", err)
+		}
+	}()
 }
 
 func fatal(err error) {

@@ -1,0 +1,440 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bravolock/bravo/internal/clock"
+	"github.com/bravolock/bravo/internal/histogram"
+	"github.com/bravolock/bravo/internal/kvs"
+	"github.com/bravolock/bravo/internal/kvserv"
+	"github.com/bravolock/bravo/internal/wire"
+	"github.com/bravolock/bravo/internal/xrand"
+)
+
+// The wire workload benchmarks the serving stack's two front-ends against
+// each other over real TCP: the pipelined binary protocol (internal/wire)
+// versus HTTP/1.1, same engine, same batch sizes, same connection counts.
+// Every client request is a batch of WireBatch keys (MPUT or MGET), so
+// both protocols enjoy the engine's shard-group lock amortization; the
+// comparison isolates the transport — text parsing, JSON+base64 codec, and
+// one-request-per-round-trip on the HTTP side, against binary frames and
+// request pipelining on the wire side. The headline column is the
+// wire/HTTP throughput ratio per (connections, depth) point; the
+// acceptance bar is >= 2x on batched ops at 256 connections.
+
+// WireKeys is the workload's keyspace.
+const WireKeys = 1 << 14
+
+// WireDefaultBatch is the keys per request batch — the kvserv workload's
+// MultiPut group size, carried across the socket.
+const WireDefaultBatch = 64
+
+// WireDefaultValueSize keeps the payload small enough that codec and lock
+// traffic dominate, the axes this comparison isolates.
+const WireDefaultValueSize = 128
+
+// WireDefaultConns and WireDefaultDepths are the sweep grid: connection
+// counts spanning idle-pool to fd-pressure, pipeline depths from
+// request-response (1, HTTP-equivalent) to deep pipelining.
+var (
+	WireDefaultConns  = []int{64, 256, 1024, 4096}
+	WireDefaultDepths = []int{1, 8, 32}
+)
+
+// WireResult is one (proto, op, conns, depth) measurement.
+type WireResult struct {
+	// Proto is "wire" (binary, pipelined) or "http" (HTTP/1.1, depth
+	// pinned to 1 — the protocol serializes a connection's requests).
+	Proto string `json:"proto"`
+	// Op is "mput" or "mget": batched writes or batched reads.
+	Op    string `json:"op"`
+	Conns int    `json:"conns"`
+	Depth int    `json:"depth"`
+	Batch int    `json:"batch"`
+	// KeysPerSec is the median (over runs) rate of keys carried by
+	// completed requests; RequestsPerSec is the same in requests.
+	KeysPerSec     float64 `json:"keys_per_sec"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	// P50/P99 are per-request completion latency (issue to response, so a
+	// pipelined request's number includes queueing behind its window).
+	P50Nanos int64 `json:"p50_ns"`
+	P99Nanos int64 `json:"p99_ns"`
+}
+
+// WireComparison pairs the wire and HTTP measurements of one (op, conns)
+// point at each wire depth: the transport payoff.
+type WireComparison struct {
+	Op    string `json:"op"`
+	Conns int    `json:"conns"`
+	Depth int    `json:"depth"`
+	// HTTPKeysPerSec is the depth-1 HTTP baseline; WireKeysPerSec the
+	// binary protocol at Depth; WireOverHTTP their ratio.
+	HTTPKeysPerSec float64 `json:"http_keys_per_sec"`
+	WireKeysPerSec float64 `json:"wire_keys_per_sec"`
+	WireOverHTTP   float64 `json:"wire_over_http"`
+}
+
+// WireReport is the top-level BENCH_wire.json document.
+type WireReport struct {
+	Benchmark  string           `json:"benchmark"`
+	Meta       RunMeta          `json:"meta"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	IntervalMS int64            `json:"interval_ms"`
+	Runs       int              `json:"runs"`
+	Lock       string           `json:"lock"`
+	Shards     int              `json:"shards"`
+	Keys       int              `json:"keys"`
+	Batch      int              `json:"batch"`
+	ValueSize  int              `json:"value_size"`
+	Results    []WireResult     `json:"results"`
+	Comparison []WireComparison `json:"comparisons"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r WireReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// NewWireReport stamps the environment fields of a report.
+func NewWireReport(cfg Config, lock string, shards, batch, valueSize int, results []WireResult, comps []WireComparison) WireReport {
+	return WireReport{
+		Benchmark:  "wire",
+		Meta:       NewRunMeta(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		IntervalMS: cfg.Interval.Milliseconds(),
+		Runs:       cfg.Runs,
+		Lock:       lock,
+		Shards:     shards,
+		Keys:       WireKeys,
+		Batch:      batch,
+		ValueSize:  valueSize,
+		Results:    results,
+		Comparison: comps,
+	}
+}
+
+// wireBenchServer is one measurement run's server: a fresh engine behind
+// both front-ends on loopback TCP.
+type wireBenchServer struct {
+	srv      *kvserv.Server
+	engine   *kvs.Sharded
+	httpAddr string
+	wireAddr string
+	done     chan struct{}
+}
+
+func startWireBenchServer(lockName string, shards, valueSize int) (*wireBenchServer, error) {
+	mk, _, err := shardedKVFactory(lockName)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := kvs.NewSharded(shards, mk)
+	if err != nil {
+		return nil, err
+	}
+	// Prefill so MGETs hit resident keys and MPUTs overwrite in place.
+	value := make([]byte, valueSize)
+	for k := uint64(0); k < WireKeys; k++ {
+		copy(value, kvs.EncodeValue(k))
+		engine.Put(k, value)
+	}
+	hl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	wl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		hl.Close()
+		return nil, err
+	}
+	srv := kvserv.New(engine, kvserv.Config{ReapInterval: -1})
+	s := &wireBenchServer{
+		srv: srv, engine: engine,
+		httpAddr: hl.Addr().String(),
+		wireAddr: wl.Addr().String(),
+		done:     make(chan struct{}, 2),
+	}
+	go func() { srv.Serve(hl); s.done <- struct{}{} }()
+	go func() { srv.ServeWire(wl); s.done <- struct{}{} }()
+	return s, nil
+}
+
+func (s *wireBenchServer) Close() {
+	s.srv.Close()
+	<-s.done
+	<-s.done
+}
+
+// WirePoint measures one (proto, op, conns, depth) point: cfg.Runs runs
+// against fresh servers, median keys/sec, last run's latency histogram.
+func WirePoint(lockName string, shards, conns, depth, batch, valueSize int, proto, op string, cfg Config) (WireResult, error) {
+	if proto != "wire" && proto != "http" {
+		return WireResult{}, fmt.Errorf("bench: wire proto %q (want wire or http)", proto)
+	}
+	if op != "mput" && op != "mget" {
+		return WireResult{}, fmt.Errorf("bench: wire op %q (want mput or mget)", op)
+	}
+	if proto == "http" {
+		depth = 1 // HTTP/1.1 serializes a connection's requests
+	}
+	if depth < 1 || batch < 1 {
+		return WireResult{}, fmt.Errorf("bench: wire depth %d / batch %d (want >= 1)", depth, batch)
+	}
+	res := WireResult{Proto: proto, Op: op, Conns: conns, Depth: depth, Batch: batch}
+	var lastHist *histogram.Histogram
+	var lastReqs uint64
+	var runErr error
+	keys := cfg.Median(func() float64 {
+		srv, err := startWireBenchServer(lockName, shards, valueSize)
+		if err != nil {
+			runErr = err
+			return 0
+		}
+		defer srv.Close()
+		hist := &histogram.Histogram{}
+		var histMu sync.Mutex
+		var reqs atomic.Uint64
+		total := RunWorkers(conns, cfg.Interval, func(id int, stop *atomic.Bool) uint64 {
+			rng := xrand.NewXorShift64(uint64(id)*0x9e3779b97f4a7c15 + 1)
+			local := &histogram.Histogram{}
+			var n, r uint64
+			if proto == "wire" {
+				n, r = wireWorker(srv.wireAddr, op, depth, batch, valueSize, rng, local, stop)
+			} else {
+				n, r = httpWorker(srv.httpAddr, op, batch, valueSize, rng, local, stop)
+			}
+			histMu.Lock()
+			hist.Merge(local)
+			histMu.Unlock()
+			reqs.Add(r)
+			return n
+		})
+		lastHist = hist
+		lastReqs = reqs.Load()
+		return float64(total)
+	})
+	if runErr != nil {
+		return res, runErr
+	}
+	res.KeysPerSec = keys / cfg.Interval.Seconds()
+	res.RequestsPerSec = float64(lastReqs) / cfg.Interval.Seconds()
+	if lastHist != nil && lastHist.Count() > 0 {
+		res.P50Nanos = lastHist.Percentile(50)
+		res.P99Nanos = lastHist.Percentile(99)
+	}
+	return res, nil
+}
+
+// wireWorker drives one binary connection with a sliding window of depth
+// pipelined batch requests until stop. Returns (keys completed, requests
+// completed).
+func wireWorker(addr, op string, depth, batch, valueSize int, rng *xrand.XorShift64, hist *histogram.Histogram, stop *atomic.Bool) (uint64, uint64) {
+	conn, err := wire.Dial(addr, 5*time.Second)
+	if err != nil {
+		return 0, 0
+	}
+	defer conn.Close()
+	value := make([]byte, valueSize)
+	copy(value, kvs.EncodeValue(rng.Next()))
+	var b wire.Batch
+	for i := 0; i < batch; i++ {
+		b.Add(0, value)
+	}
+	var req *wire.Request
+	if op == "mput" {
+		req = b.MPutRequest(0)
+	} else {
+		req = b.MGetRequest(0)
+	}
+	type inflight struct {
+		p     *wire.Pending
+		start int64
+	}
+	window := make([]inflight, 0, depth)
+	var keys, reqs uint64
+	for !stop.Load() {
+		for len(window) < depth {
+			for i := range req.Keys {
+				req.Keys[i] = rng.Intn(WireKeys)
+			}
+			p, err := conn.Start(req)
+			if err != nil {
+				return keys, reqs
+			}
+			window = append(window, inflight{p: p, start: clock.Nanos()})
+		}
+		if err := conn.Flush(); err != nil {
+			return keys, reqs
+		}
+		head := window[0]
+		copy(window, window[1:])
+		window = window[:len(window)-1]
+		if _, err := head.p.Wait(); err != nil {
+			return keys, reqs
+		}
+		hist.Record(clock.Nanos() - head.start)
+		keys += uint64(batch)
+		reqs++
+	}
+	// Drain the window so the connection closes with nothing in flight.
+	conn.Flush()
+	for _, f := range window {
+		if _, err := f.p.Wait(); err != nil {
+			break
+		}
+		keys += uint64(batch)
+		reqs++
+	}
+	return keys, reqs
+}
+
+// httpWorker drives one HTTP/1.1 connection with sequential batch
+// requests (POST /mput or GET /mget) until stop.
+func httpWorker(addr, op string, batch, valueSize int, rng *xrand.XorShift64, hist *histogram.Histogram, stop *atomic.Bool) (uint64, uint64) {
+	// One transport per worker pinned to one connection: the HTTP analogue
+	// of the wire worker's single pipelined conn.
+	tr := &http.Transport{
+		MaxIdleConns:        1,
+		MaxIdleConnsPerHost: 1,
+		MaxConnsPerHost:     1,
+	}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Transport: tr, Timeout: 10 * time.Second}
+
+	value := make([]byte, valueSize)
+	copy(value, kvs.EncodeValue(rng.Next()))
+	type entry struct {
+		Key   uint64 `json:"key"`
+		Value []byte `json:"value"`
+	}
+	type mputBody struct {
+		Entries []entry `json:"entries"`
+	}
+	body := mputBody{Entries: make([]entry, batch)}
+	for i := range body.Entries {
+		body.Entries[i].Value = value
+	}
+	var buf bytes.Buffer
+	var urlBuf bytes.Buffer
+	var keys, reqs uint64
+	for !stop.Load() {
+		start := clock.Nanos()
+		var resp *http.Response
+		var err error
+		if op == "mput" {
+			for i := range body.Entries {
+				body.Entries[i].Key = rng.Intn(WireKeys)
+			}
+			buf.Reset()
+			if err := json.NewEncoder(&buf).Encode(&body); err != nil {
+				return keys, reqs
+			}
+			resp, err = client.Post("http://"+addr+"/mput", "application/json", bytes.NewReader(buf.Bytes()))
+		} else {
+			urlBuf.Reset()
+			urlBuf.WriteString("http://")
+			urlBuf.WriteString(addr)
+			urlBuf.WriteString("/mget?keys=")
+			for i := 0; i < batch; i++ {
+				if i > 0 {
+					urlBuf.WriteByte(',')
+				}
+				urlBuf.WriteString(strconv.FormatUint(rng.Intn(WireKeys), 10))
+			}
+			resp, err = client.Get(urlBuf.String())
+		}
+		if err != nil {
+			return keys, reqs
+		}
+		// Decode what a real client would: the MGET body is the values
+		// (base64 inside JSON — part of HTTP's cost, as binary decode is
+		// part of the wire client's); write responses are a small ack.
+		if op == "mget" {
+			var got struct {
+				Values [][]byte `json:"values"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&got)
+		} else {
+			_, err = io.Copy(io.Discard, resp.Body)
+		}
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return keys, reqs
+		}
+		hist.Record(clock.Nanos() - start)
+		keys += uint64(batch)
+		reqs++
+	}
+	return keys, reqs
+}
+
+// WireSweep measures the grid: for each op and connection count, the HTTP
+// baseline then the wire protocol at every depth, paired into comparisons.
+func WireSweep(lockName string, shards int, connCounts, depths []int, batch, valueSize int, cfg Config) ([]WireResult, []WireComparison, error) {
+	var results []WireResult
+	var comps []WireComparison
+	for _, op := range []string{"mput", "mget"} {
+		for _, conns := range connCounts {
+			httpRes, err := WirePoint(lockName, shards, conns, 1, batch, valueSize, "http", op, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			results = append(results, httpRes)
+			for _, depth := range depths {
+				wireRes, err := WirePoint(lockName, shards, conns, depth, batch, valueSize, "wire", op, cfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				results = append(results, wireRes)
+				comp := WireComparison{
+					Op: op, Conns: conns, Depth: depth,
+					HTTPKeysPerSec: httpRes.KeysPerSec,
+					WireKeysPerSec: wireRes.KeysPerSec,
+				}
+				if httpRes.KeysPerSec > 0 {
+					comp.WireOverHTTP = wireRes.KeysPerSec / httpRes.KeysPerSec
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return results, comps, nil
+}
+
+// WriteWireTable renders the per-point measurements as the aligned
+// human-readable companion of the JSON report.
+func WriteWireTable(w io.Writer, results []WireResult) {
+	const format = "%-6s %-6s %7s %7s %7s %14s %12s %10s %10s\n"
+	fmt.Fprintf(w, format, "proto", "op", "conns", "depth", "batch", "keys/sec", "reqs/sec", "p50(ns)", "p99(ns)")
+	for _, r := range results {
+		fmt.Fprintf(w, format, r.Proto, r.Op,
+			fmt.Sprintf("%d", r.Conns), fmt.Sprintf("%d", r.Depth), fmt.Sprintf("%d", r.Batch),
+			fmt.Sprintf("%.0f", r.KeysPerSec), fmt.Sprintf("%.0f", r.RequestsPerSec),
+			fmt.Sprintf("%d", r.P50Nanos), fmt.Sprintf("%d", r.P99Nanos))
+	}
+}
+
+// WriteWireComparisons renders the wire-vs-HTTP pairing: the transport
+// payoff per (op, conns, depth) point.
+func WriteWireComparisons(w io.Writer, comps []WireComparison) {
+	const format = "%-6s %7s %7s %16s %16s %9s\n"
+	fmt.Fprintf(w, format, "op", "conns", "depth", "http(keys/s)", "wire(keys/s)", "ratio")
+	for _, c := range comps {
+		fmt.Fprintf(w, format, c.Op,
+			fmt.Sprintf("%d", c.Conns), fmt.Sprintf("%d", c.Depth),
+			fmt.Sprintf("%.0f", c.HTTPKeysPerSec), fmt.Sprintf("%.0f", c.WireKeysPerSec),
+			fmt.Sprintf("%.2fx", c.WireOverHTTP))
+	}
+}

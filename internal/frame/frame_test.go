@@ -1,0 +1,72 @@
+package frame
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("abc"), 1000)} {
+		f := Append(nil, payload)
+		if len(f) != HeaderSize+len(payload) {
+			t.Fatalf("framed length %d, want %d", len(f), HeaderSize+len(payload))
+		}
+		got, n, status := Split(f)
+		if status != OK || n != len(f) || !bytes.Equal(got, payload) {
+			t.Fatalf("Split(Append(%q)) = %q, %d, %v", payload, got, n, status)
+		}
+		// Seal over a reserved-header build must produce identical bytes.
+		sealed := append(make([]byte, HeaderSize), payload...)
+		Seal(sealed)
+		if !bytes.Equal(sealed, f) {
+			t.Fatalf("Seal produced %x, Append produced %x", sealed, f)
+		}
+	}
+}
+
+func TestSplitConcatenated(t *testing.T) {
+	f := Append(Append(nil, []byte("one")), []byte("two"))
+	p1, n1, s1 := Split(f)
+	if s1 != OK || string(p1) != "one" {
+		t.Fatalf("first frame: %q, %v", p1, s1)
+	}
+	p2, n2, s2 := Split(f[n1:])
+	if s2 != OK || string(p2) != "two" || n1+n2 != len(f) {
+		t.Fatalf("second frame: %q, %v, consumed %d of %d", p2, s2, n1+n2, len(f))
+	}
+}
+
+func TestSplitIncomplete(t *testing.T) {
+	f := Append(nil, []byte("payload"))
+	for cut := 0; cut < len(f); cut++ {
+		if _, _, status := Split(f[:cut]); status != Incomplete {
+			t.Fatalf("Split of %d/%d bytes = %v, want Incomplete", cut, len(f), status)
+		}
+	}
+}
+
+func TestSplitCorrupt(t *testing.T) {
+	// CRC mismatch over a fully-present payload.
+	f := Append(nil, []byte("payload"))
+	f[HeaderSize]++
+	if _, _, status := Split(f); status != Corrupt {
+		t.Fatalf("flipped payload byte: %v, want Corrupt", status)
+	}
+	// Insane declared length: corrupt immediately, not a 1GB wait.
+	var huge [HeaderSize]byte
+	binary.LittleEndian.PutUint32(huge[:], MaxPayload+1)
+	if _, _, status := Split(huge[:]); status != Corrupt {
+		t.Fatalf("oversize length: %v, want Corrupt", status)
+	}
+}
+
+func TestPeekLen(t *testing.T) {
+	f := Append(nil, []byte("abc"))
+	if got := PeekLen(f); got != len(f) {
+		t.Fatalf("PeekLen = %d, want %d", got, len(f))
+	}
+	if got := PeekLen(f[:HeaderSize-1]); got != 0 {
+		t.Fatalf("PeekLen on a short header = %d, want 0", got)
+	}
+}

@@ -8,9 +8,10 @@ package kvs
 import (
 	"bytes"
 	"encoding/binary"
-	"hash/crc32"
 	"os"
 	"testing"
+
+	"github.com/bravolock/bravo/internal/frame"
 )
 
 // buildRecord frames a payload the way commit does, so seeds include
@@ -18,7 +19,7 @@ import (
 func buildRecord(payload []byte) []byte {
 	rec := make([]byte, walHeaderSize, walHeaderSize+len(payload))
 	binary.LittleEndian.PutUint32(rec, uint32(len(payload)))
-	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(payload, walCRC))
+	binary.LittleEndian.PutUint32(rec[4:], frame.Checksum(payload))
 	return append(rec, payload...)
 }
 

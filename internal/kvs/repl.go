@@ -35,11 +35,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 
 	"github.com/bravolock/bravo/internal/clock"
+	"github.com/bravolock/bravo/internal/frame"
 )
 
 // ReplOp identifies a replicated entry's operation.
@@ -372,9 +372,7 @@ func (s *Sharded) ReplSnapshotFrame(shard int) ([]byte, uint64, error) {
 	sh.lock.RUnlock(tok)
 	w.mu.Unlock()
 	binary.LittleEndian.PutUint32(buf[countOff:], uint32(count))
-	payload := buf[walHeaderSize:]
-	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, walCRC))
+	frame.Seal(buf)
 	sh.ops.snapshots.Add(1)
 	return buf, lsn, nil
 }

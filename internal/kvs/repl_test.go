@@ -7,12 +7,13 @@ package kvs
 import (
 	"bytes"
 	"encoding/binary"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/bravolock/bravo/internal/frame"
 )
 
 // decodeAll decodes every frame in chunk, failing the test on corruption
@@ -126,15 +127,15 @@ func TestReplSnapshotNeededAfterCheckpoint(t *testing.T) {
 	if _, err := s.ReplRead(0, &cur, 0); err != ErrReplSnapshotNeeded {
 		t.Fatalf("ReplRead from 1 after checkpoint: %v, want ErrReplSnapshotNeeded", err)
 	}
-	frame, lsn, err := s.ReplSnapshotFrame(0)
+	snapFrame, lsn, err := s.ReplSnapshotFrame(0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if lsn != 33 {
 		t.Fatalf("snapshot frame at LSN %d, want 33", lsn)
 	}
-	rec, n, err := DecodeReplFrame(frame)
-	if err != nil || n != len(frame) {
+	rec, n, err := DecodeReplFrame(snapFrame)
+	if err != nil || n != len(snapFrame) {
 		t.Fatalf("snapshot frame decode: n=%d err=%v", n, err)
 	}
 	if !rec.Snapshot || rec.LSN != lsn {
@@ -296,7 +297,7 @@ func TestReplLegacyV1LogUpgrades(t *testing.T) {
 		p = append(p, val...)
 		rec := make([]byte, walHeaderSize, walHeaderSize+len(p))
 		binary.LittleEndian.PutUint32(rec, uint32(len(p)))
-		binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(p, walCRC))
+		binary.LittleEndian.PutUint32(rec[4:], frame.Checksum(p))
 		return append(rec, p...)
 	}
 	wal := append(v1rec(1, "one"), v1rec(2, "two")...)
@@ -356,7 +357,7 @@ func TestReplLegacySnapshotLoads(t *testing.T) {
 	v1 = append(v1, snapMagicV1...)
 	body := data[len(snapMagic)+8 : len(data)-4] // count + entries
 	v1 = append(v1, body...)
-	v1 = binary.LittleEndian.AppendUint32(v1, crc32.Checksum(v1[len(snapMagicV1):], walCRC))
+	v1 = binary.LittleEndian.AppendUint32(v1, frame.Checksum(v1[len(snapMagicV1):]))
 	entries, lsn, err = loadSnapshot(v1)
 	if err != nil || lsn != 0 || len(entries) != 1 {
 		t.Fatalf("v1 snapshot: entries=%d lsn=%d err=%v", len(entries), lsn, err)

@@ -2,7 +2,7 @@ package kvs
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -450,18 +450,36 @@ func (s *Sharded) Delete(key uint64) bool {
 // shard's read lock is taken once per batch, not once per key. The result
 // is parallel to keys; absent keys yield nil entries.
 func (s *Sharded) MultiGet(keys []uint64) [][]byte {
-	return s.multiGet(nil, keys)
+	return s.multiGet(nil, keys, nil)
 }
 
 // MultiGetH is MultiGet through a reader handle: one pinned identity covers
 // every shard the batch touches, rather than a fresh derivation per shard
 // lock acquisition.
 func (s *Sharded) MultiGetH(h *rwl.Reader, keys []uint64) [][]byte {
-	return s.multiGet(h, keys)
+	return s.multiGet(h, keys, nil)
 }
 
-func (s *Sharded) multiGet(h *rwl.Reader, keys []uint64) [][]byte {
-	out := make([][]byte, len(keys))
+// MultiGetIntoH is MultiGetH with a caller-reused result slice: when dst
+// has capacity for the batch it is cleared, resliced, and filled in place,
+// so a serving loop's steady-state MGET does not allocate the
+// slice-of-slices. The values themselves are still fresh copies (they leave
+// the shard's critical section). Returns the filled slice, parallel to
+// keys.
+func (s *Sharded) MultiGetIntoH(h *rwl.Reader, keys []uint64, dst [][]byte) [][]byte {
+	return s.multiGet(h, keys, dst)
+}
+
+func (s *Sharded) multiGet(h *rwl.Reader, keys []uint64, dst [][]byte) [][]byte {
+	out := dst
+	if cap(out) >= len(keys) {
+		out = out[:len(keys)]
+		// The locked path only writes hits; stale entries must not survive
+		// as phantom values.
+		clear(out)
+	} else {
+		out = make([][]byte, len(keys))
+	}
 	s.forEachShardGroup(keys, func(sh *kvShard, group []shardPos) {
 		expired := 0
 		served := false
@@ -513,7 +531,14 @@ func (s *Sharded) multiGet(h *rwl.Reader, keys []uint64) [][]byte {
 // attempt collided; the caller clears the group's positions and falls back
 // to the locked path.
 func (sh *kvShard) seqMultiGet(keys []uint64, group []shardPos, out [][]byte, attempts int) (expired, retries int, done bool) {
-	deadlines := make([]int64, len(group))
+	// Typical shard groups (batch size / shard count) fit on the stack;
+	// heap-allocating the deadline scratch per group made every MGET pay
+	// one allocation per shard touched.
+	var dstack [32]int64
+	deadlines := dstack[:]
+	if len(group) > len(dstack) {
+		deadlines = make([]int64, len(group))
+	}
 	for a := 0; a < attempts; a++ {
 		s0, even := sh.seqc.TryBegin()
 		if !even {
@@ -658,7 +683,7 @@ func (s *Sharded) forEachShardGroup(keys []uint64, fn func(sh *kvShard, group []
 	}
 	// Stable, so positions stay ascending within a group and duplicate keys
 	// in a MultiPut batch resolve later-position-wins.
-	sort.SliceStable(pairs, func(a, b int) bool { return pairs[a].shard < pairs[b].shard })
+	slices.SortStableFunc(pairs, func(a, b shardPos) int { return a.shard - b.shard })
 	for lo := 0; lo < len(pairs); {
 		hi := lo + 1
 		for hi < len(pairs) && pairs[hi].shard == pairs[lo].shard {

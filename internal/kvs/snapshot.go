@@ -37,10 +37,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"os"
 
 	"github.com/bravolock/bravo/internal/clock"
+	"github.com/bravolock/bravo/internal/frame"
 )
 
 var (
@@ -158,7 +158,7 @@ func writeSnapshotFile(path string, data map[uint64][]byte, exp ttlMap, lsn uint
 	buf = binary.LittleEndian.AppendUint64(buf, lsn)
 	buf = binary.LittleEndian.AppendUint64(buf, count)
 	buf = append(buf, body...)
-	crc := crc32.Checksum(buf[len(snapMagic):], walCRC)
+	crc := frame.Checksum(buf[len(snapMagic):])
 	buf = binary.LittleEndian.AppendUint32(buf, crc)
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
@@ -186,7 +186,7 @@ func loadSnapshot(data []byte) ([]walEntry, uint64, error) {
 	}
 	crcOff := len(data) - 4
 	want := binary.LittleEndian.Uint32(data[crcOff:])
-	if crc32.Checksum(data[len(snapMagic):crcOff], walCRC) != want {
+	if frame.Checksum(data[len(snapMagic):crcOff]) != want {
 		return nil, 0, errors.New("snapshot CRC mismatch")
 	}
 	var lsn uint64

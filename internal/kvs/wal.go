@@ -50,13 +50,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"math"
 	"os"
 	"sync"
 	"sync/atomic"
 
 	"github.com/bravolock/bravo/internal/clock"
+	"github.com/bravolock/bravo/internal/frame"
 )
 
 // SyncPolicy selects when the WAL fsyncs.
@@ -105,18 +105,14 @@ const (
 	// appender never writes it to a log file.
 	walVersionSnap = 3
 
-	walHeaderSize = 8 // u32 payload length + u32 CRC32-C
-	// walMaxPayload bounds a record's declared payload length; anything
-	// larger is treated as a torn/corrupt tail rather than allocated.
-	walMaxPayload = 1 << 30
+	// walHeaderSize is the shared frame envelope's header (internal/frame):
+	// u32 payload length + u32 CRC32-C.
+	walHeaderSize = frame.HeaderSize
 
 	walOpPut    = 1
 	walOpPutTTL = 2
 	walOpDelete = 3
 )
-
-// walCRC is the Castagnoli table (hardware-accelerated on amd64/arm64).
-var walCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // errWALClosed reports an append attempted after Close.
 var errWALClosed = errors.New("kvs: write-ahead log is closed")
@@ -221,9 +217,7 @@ func (w *shardWAL) commit(count int) {
 		w.setErr(errWALClosed)
 		return
 	}
-	payload := w.buf[walHeaderSize:]
-	binary.LittleEndian.PutUint32(w.buf[0:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(w.buf[4:], crc32.Checksum(payload, walCRC))
+	frame.Seal(w.buf)
 	n, err := w.f.Write(w.buf)
 	w.bytes.Add(uint64(n))
 	if err != nil {
@@ -361,37 +355,21 @@ type walRecord struct {
 	entries []walEntry
 }
 
-// frame-splitting outcomes for splitFrame.
+// frame-splitting outcomes, aliased from the shared codec so the WAL's
+// torn-tail vocabulary reads locally.
 const (
-	frameOK         = iota // a complete, CRC-valid record
-	frameIncomplete        // data ends inside the header or payload
-	frameCorrupt           // full length available but CRC or size insane
+	frameOK         = frame.OK         // a complete, CRC-valid record
+	frameIncomplete = frame.Incomplete // data ends inside the header or payload
+	frameCorrupt    = frame.Corrupt    // full length available but CRC or size insane
 )
 
-// splitFrame examines the record at the head of data: on frameOK, payload
-// is the record body and n the framed length consumed. frameIncomplete
-// means more bytes may turn the prefix into a record (a torn tail on disk,
-// or a stream mid-chunk); frameCorrupt means no suffix can (declared
-// length insane, or the CRC fails over the fully-present payload). Log
-// replay treats both as the torn-tail stop; stream consumers reconnect
-// only on frameCorrupt.
-func splitFrame(data []byte) (payload []byte, n int, status int) {
-	if len(data) < walHeaderSize {
-		return nil, 0, frameIncomplete
-	}
-	plen := int(binary.LittleEndian.Uint32(data))
-	crc := binary.LittleEndian.Uint32(data[4:])
-	if plen < 0 || plen > walMaxPayload {
-		return nil, 0, frameCorrupt
-	}
-	if plen > len(data)-walHeaderSize {
-		return nil, 0, frameIncomplete
-	}
-	payload = data[walHeaderSize : walHeaderSize+plen]
-	if crc32.Checksum(payload, walCRC) != crc {
-		return nil, 0, frameCorrupt
-	}
-	return payload, walHeaderSize + plen, frameOK
+// splitFrame examines the record at the head of data through the shared
+// codec (internal/frame — the WAL, the replication stream, and the binary
+// wire all carry the same envelope). Log replay treats frameIncomplete and
+// frameCorrupt both as the torn-tail stop; stream consumers reconnect only
+// on frameCorrupt.
+func splitFrame(data []byte) (payload []byte, n int, status frame.Status) {
+	return frame.Split(data)
 }
 
 // walReplay decodes records from data, invoking apply once per fully-valid

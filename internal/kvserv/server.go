@@ -77,6 +77,13 @@ const (
 // replica to catch up before answering 409.
 const DefaultMinLSNWait = 2 * time.Second
 
+// DefaultDrainTimeout bounds how long a closing server keeps reading a
+// wire connection's already-sent pipelined requests before cutting it off.
+// In-flight bytes are in the kernel buffer and readable immediately, so
+// this only needs to cover one scheduling round trip, not client think
+// time.
+const DefaultDrainTimeout = 250 * time.Millisecond
+
 // Config tunes a Server.
 type Config struct {
 	// ReapInterval paces the background TTL reaper; 0 means
@@ -89,6 +96,9 @@ type Config struct {
 	// MinLSNWait bounds a ?min_lsn= read's wait on a follower; 0 means
 	// DefaultMinLSNWait.
 	MinLSNWait time.Duration
+	// DrainTimeout bounds a closing wire connection's read of already-sent
+	// pipelined requests; 0 means DefaultDrainTimeout.
+	DrainTimeout time.Duration
 }
 
 // Server serves a kvs.Sharded engine over HTTP.
@@ -105,6 +115,13 @@ type Server struct {
 	// follower is set by NewFollower: the server serves its replica
 	// read-only and rejects writes.
 	follower *repl.Follower
+
+	// Wire front-end state: the listeners ServeWire is accepting on and
+	// the connections currently being served, so Close can stop the former
+	// and drain the latter.
+	wireMu    sync.Mutex
+	wireLns   map[net.Listener]bool
+	wireConns map[net.Conn]bool
 
 	closeOnce sync.Once
 }
@@ -142,7 +159,16 @@ func newServer(engine *kvs.Sharded, cfg Config) *Server {
 	if cfg.MinLSNWait <= 0 {
 		cfg.MinLSNWait = DefaultMinLSNWait
 	}
-	return &Server{engine: engine, cfg: cfg, done: make(chan struct{})}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	return &Server{
+		engine:    engine,
+		cfg:       cfg,
+		done:      make(chan struct{}),
+		wireLns:   make(map[net.Listener]bool),
+		wireConns: make(map[net.Conn]bool),
+	}
 }
 
 func (s *Server) buildHTTP() {
@@ -220,16 +246,29 @@ func (s *Server) Serve(l net.Listener) error {
 	return s.http.Serve(l)
 }
 
-// Close immediately closes the listener and active connections, stops the
-// reaper, and flushes the engine's queued async writes so nothing accepted
-// with a 202 is left invisible (or, on durable engines, unlogged). It does
-// not Close the engine itself — the caller owns that lifecycle (see
-// cmd/kvserv's shutdown path).
+// Close stops the server: HTTP listeners and connections close
+// immediately; wire listeners close and each wire connection gets
+// DrainTimeout to finish answering the pipelined requests its client
+// already sent (the read deadline cuts the stream, buffered frames are
+// still served — see ServeWire). Then the reaper stops and the engine's
+// queued async writes flush so nothing accepted with a 202 is left
+// invisible (or, on durable engines, unlogged). It does not Close the
+// engine itself — the caller owns that lifecycle (see cmd/kvserv's
+// shutdown path).
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		close(s.done)
 		err = s.http.Close()
+		s.wireMu.Lock()
+		for l := range s.wireLns {
+			l.Close()
+		}
+		deadline := time.Now().Add(s.cfg.DrainTimeout)
+		for c := range s.wireConns {
+			c.SetReadDeadline(deadline)
+		}
+		s.wireMu.Unlock()
 		s.wg.Wait()
 		s.engine.Flush()
 	})
@@ -260,29 +299,29 @@ func parseKey(r *http.Request) (uint64, error) {
 	return k, nil
 }
 
-// honorMinLSN enforces a read's ?min_lsn= read-your-writes token: every
+// minLSNError is a read-your-writes token the serving side cannot honor:
+// Conflict reports 409-vs-400 (retryable lag vs a token that can never be
+// valid here).
+type minLSNError struct {
+	Msg      string
+	Conflict bool
+}
+
+func (e *minLSNError) Error() string { return e.Msg }
+
+// checkMinLSN enforces a read's min_lsn read-your-writes token: every
 // shard the read touches must have applied at least that LSN. Followers
-// wait up to MinLSNWait for replication to cover the token, then 409; a
-// durable primary's position always covers the tokens it handed out, so
-// a lagging token there means a client confused about who it wrote to —
-// also 409. It reports whether the read may proceed, having written the
-// error response when not.
-func (s *Server) honorMinLSN(w http.ResponseWriter, r *http.Request, keys ...uint64) bool {
-	raw := r.URL.Query().Get("min_lsn")
-	if raw == "" {
-		return true
-	}
-	lsn, err := strconv.ParseUint(raw, 10, 64)
-	if err != nil {
-		http.Error(w, fmt.Sprintf("bad min_lsn %q: want a decimal LSN", raw), http.StatusBadRequest)
-		return false
-	}
+// wait up to MinLSNWait for replication to cover the token; a durable
+// primary's position always covers the tokens it handed out, so a lagging
+// token there means a client confused about who it wrote to. The
+// transport-independent core of the HTTP ?min_lsn= and the wire MinLSN
+// field — nil means the read may proceed.
+func (s *Server) checkMinLSN(lsn uint64, keys []uint64) *minLSNError {
 	if lsn == 0 {
-		return true
+		return nil
 	}
 	if s.follower == nil && !s.engine.Durable() {
-		http.Error(w, "min_lsn on a volatile server: it has no LSNs", http.StatusBadRequest)
-		return false
+		return &minLSNError{Msg: "min_lsn on a volatile server: it has no LSNs"}
 	}
 	shards := map[int]bool{}
 	for _, k := range keys {
@@ -294,13 +333,45 @@ func (s *Server) honorMinLSN(w http.ResponseWriter, r *http.Request, keys ...uin
 			if s.follower.WaitMinLSN(sh, lsn, time.Until(deadline)) {
 				continue
 			}
-			http.Error(w, fmt.Sprintf("replica shard %d at LSN %d, need %d: retry, or read the primary", sh, s.follower.AppliedLSN(sh), lsn), http.StatusConflict)
-			return false
+			return &minLSNError{
+				Msg:      fmt.Sprintf("replica shard %d at LSN %d, need %d: retry, or read the primary", sh, s.follower.AppliedLSN(sh), lsn),
+				Conflict: true,
+			}
 		}
 		if s.engine.ShardLSN(sh) < lsn {
-			http.Error(w, fmt.Sprintf("shard %d at LSN %d, token says %d: this primary never issued it", sh, s.engine.ShardLSN(sh), lsn), http.StatusConflict)
-			return false
+			return &minLSNError{
+				Msg:      fmt.Sprintf("shard %d at LSN %d, token says %d: this primary never issued it", sh, s.engine.ShardLSN(sh), lsn),
+				Conflict: true,
+			}
 		}
+	}
+	return nil
+}
+
+// honorMinLSN is checkMinLSN's HTTP face: parse ?min_lsn=, write the error
+// response on failure, report whether the read may proceed.
+func (s *Server) honorMinLSN(w http.ResponseWriter, r *http.Request, keys ...uint64) bool {
+	// Query() builds a map per call; the hot read path carries no token at
+	// all, and a plain substring probe keeps it allocation-free.
+	if !strings.Contains(r.URL.RawQuery, "min_lsn") {
+		return true
+	}
+	raw := r.URL.Query().Get("min_lsn")
+	if raw == "" {
+		return true
+	}
+	lsn, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad min_lsn %q: want a decimal LSN", raw), http.StatusBadRequest)
+		return false
+	}
+	if merr := s.checkMinLSN(lsn, keys); merr != nil {
+		code := http.StatusBadRequest
+		if merr.Conflict {
+			code = http.StatusConflict
+		}
+		http.Error(w, merr.Msg, code)
+		return false
 	}
 	return true
 }
@@ -319,6 +390,16 @@ func (s *Server) writeCommitHeaders(w http.ResponseWriter, key uint64) {
 	w.Header().Set("X-Commit-Lsn", strconv.FormatUint(s.engine.ShardLSN(sh), 10))
 }
 
+// getBufPool recycles GET value buffers across requests (and goroutines —
+// HTTP handlers run one per connection). The engine appends into the
+// buffer and the handler writes it out before putting it back, so
+// steady-state point reads skip the per-request value-copy allocation.
+// Pointer-typed so Put does not box a fresh slice header each time.
+var getBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	key, err := parseKey(r)
 	if err != nil {
@@ -328,13 +409,17 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	if !s.honorMinLSN(w, r, key) {
 		return
 	}
-	v, ok := s.engine.GetH(connReader(r), key)
+	bp := getBufPool.Get().(*[]byte)
+	v, ok := s.engine.GetIntoH(connReader(r), key, (*bp)[:0])
+	*bp = v[:0] // keep the possibly-grown buffer
 	if !ok {
+		getBufPool.Put(bp)
 		http.Error(w, "not found", http.StatusNotFound)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(v)
+	getBufPool.Put(bp)
 }
 
 func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
@@ -602,7 +687,9 @@ func (s *Server) handleFollowerStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.buildFollowerStatus())
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+// buildStats assembles the stats document both front-ends serve (HTTP
+// GET /stats, wire STATS).
+func (s *Server) buildStats() statsResponse {
 	st := s.engine.Stats()
 	resp := statsResponse{
 		NumShards:       s.engine.NumShards(),
@@ -625,7 +712,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.follower != nil {
 		resp.Follower = s.buildFollowerStatus()
 	}
-	writeJSON(w, resp)
+	return resp
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.buildStats())
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,334 @@
+// The wire front-end: the same engine and serving semantics as the HTTP
+// handlers, over internal/wire's pipelined binary protocol. The point is
+// lock amortization end to end — a client batches N keys into one MPUT/
+// MGET frame, the server decodes it straight into the engine's MultiPut/
+// MultiGet, and the engine's shard-grouping pass makes the whole network
+// batch cost one write-lock acquisition (one bias revocation, one WAL
+// group commit) per shard it touches. HTTP answers one op per round trip
+// and spends its time in text parsing and header allocation; the wire path
+// spends its time in the engine.
+//
+// Each connection is served by one goroutine holding one pinned
+// rwl.Reader, the same contract the HTTP front-end gets from HTTP/1.x
+// sequential request serving: requests on a connection are processed in
+// arrival order (pipelining overlaps network and processing, not engine
+// calls on one connection), and every read costs one cached-slot CAS.
+// Responses are batched: the server writes into a buffered writer and
+// flushes only when the decoder has no complete request frame left — a
+// pipelined burst of N requests is answered with one (or few) TCP writes.
+package kvserv
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+
+	"github.com/bravolock/bravo/internal/rwl"
+	"github.com/bravolock/bravo/internal/wire"
+)
+
+// ErrServerClosed is ServeWire's return after Close, mirroring
+// http.ErrServerClosed.
+var ErrServerClosed = errors.New("kvserv: server closed")
+
+// ServeWire accepts wire-protocol connections on l until Close. It may
+// run alongside Serve (the HTTP front-end) on a different listener; both
+// serve the same engine with the same semantics. Like Serve, it always
+// returns a non-nil error; after Close that error is ErrServerClosed.
+func (s *Server) ServeWire(l net.Listener) error {
+	s.wireMu.Lock()
+	select {
+	case <-s.done:
+		s.wireMu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	default:
+	}
+	s.wireLns[l] = true
+	s.wireMu.Unlock()
+
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return ErrServerClosed
+			default:
+				return err
+			}
+		}
+		s.wireMu.Lock()
+		select {
+		case <-s.done:
+			s.wireMu.Unlock()
+			nc.Close()
+			return ErrServerClosed
+		default:
+		}
+		s.wireConns[nc] = true
+		s.wg.Add(1)
+		s.wireMu.Unlock()
+		go s.serveWireConn(nc)
+	}
+}
+
+// serveWireConn runs one connection: decode request frames, serve each
+// through the engine, batch responses until the request backlog drains.
+// A protocol error (corrupt frame, undecodable header) closes the
+// connection — frame boundaries are gone, nothing more can be answered.
+func (s *Server) serveWireConn(nc net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		nc.Close()
+		s.wireMu.Lock()
+		delete(s.wireConns, nc)
+		s.wireMu.Unlock()
+	}()
+
+	// The connection's pinned reader handle: every GET/MGET on this
+	// connection reads through it, one cached-slot CAS per acquisition.
+	reader := rwl.NewReader()
+	dec := wire.NewStreamDecoder(nc, wire.DefaultMaxFrame)
+	bw := bufio.NewWriterSize(nc, 64<<10)
+	scratch := newWireScratch(s.engine.NumShards())
+	var out []byte // response encode scratch, reused across requests
+
+	for {
+		payload, err := dec.Next()
+		if err != nil {
+			// Cut stream: EOF, deadline (Close's drain), or corruption.
+			// Whatever was answered is already flushed or about to be.
+			bw.Flush()
+			return
+		}
+		req, ok := wire.DecodeRequest(payload)
+		var resp wire.Response
+		if ok {
+			resp = s.serveWireRequest(reader, &req, scratch)
+		} else if op, id, headerOK := wireHeader(payload); headerOK {
+			// The frame's envelope was sound and its header parsed — the
+			// client can be told which request was malformed, and the
+			// connection survives (frame boundaries are intact).
+			resp = wire.Response{Op: op, ID: id, Status: wire.StatusBadRequest, Msg: "malformed request body"}
+		} else {
+			// Not even a header: answer nothing (no id to echo) and close.
+			bw.Flush()
+			return
+		}
+		out = wire.AppendResponse(out[:0], &resp)
+		if _, err := bw.Write(out); err != nil {
+			return
+		}
+		// Flush when no complete request frame is buffered: a pipelined
+		// burst is answered in one write, a lone request immediately.
+		if !dec.HasFrame() {
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// wireHeader leniently parses just a request's version/op/id prefix so a
+// malformed-body frame can still be answered by id.
+func wireHeader(p []byte) (wire.Op, uint64, bool) {
+	if len(p) < 11 || p[0] != wire.Version {
+		return 0, 0, false
+	}
+	return wire.Op(p[1]), binary.LittleEndian.Uint64(p[3:]), true
+}
+
+// wireScratch is a connection's reusable serving memory. Responses alias
+// it, which is safe because serveWireConn encodes each response into the
+// output buffer before decoding the next request — the scratch is never
+// live across two requests. It exists because the wire path's whole point
+// is being cheaper than HTTP: without it every GET paid a value-copy
+// allocation and every durable write a map plus slice for its commit LSNs.
+type wireScratch struct {
+	val  []byte          // GET value buffer, grown to the largest value served
+	vals [][]byte        // MGET result slice (the values are fresh copies)
+	lsns []wire.ShardLSN // commit-LSN stamp under construction
+	seen []bool          // per-shard dedup for lsns, cleared after each use
+	doc  []byte          // STATS JSON document buffer
+}
+
+func newWireScratch(numShards int) *wireScratch {
+	return &wireScratch{seen: make([]bool, numShards)}
+}
+
+// serveWireRequest serves one decoded request through the engine: the wire
+// counterpart of the HTTP handler table, same statuses, same caps, same
+// read-your-writes semantics. The response may alias sc; encode it before
+// the next call.
+func (s *Server) serveWireRequest(reader *rwl.Reader, req *wire.Request, sc *wireScratch) wire.Response {
+	resp := wire.Response{Op: req.Op, ID: req.ID}
+	switch req.Op {
+	case wire.OpGet:
+		if !s.wireMinLSN(&resp, req.MinLSN, req.Key) {
+			return resp
+		}
+		v, ok := s.engine.GetIntoH(reader, req.Key, sc.val[:0])
+		if !ok {
+			resp.Status = wire.StatusNotFound
+			return resp
+		}
+		sc.val = v
+		resp.Value = v
+
+	case wire.OpMGet:
+		if !s.wireMinLSN(&resp, req.MinLSN, req.Keys...) {
+			return resp
+		}
+		sc.vals = s.engine.MultiGetIntoH(reader, req.Keys, sc.vals)
+		resp.Values = sc.vals
+
+	case wire.OpPut:
+		if !s.wireWritable(&resp) {
+			return resp
+		}
+		if len(req.Value) > MaxValueBytes {
+			resp.Status = wire.StatusTooLarge
+			resp.Msg = fmt.Sprintf("value exceeds %d bytes", MaxValueBytes)
+			return resp
+		}
+		if req.Async {
+			if req.TTL > 0 {
+				resp.Status = wire.StatusBadRequest
+				resp.Msg = "ttl and async are exclusive: the queue applies without TTL"
+				return resp
+			}
+			// PutAsync keeps the value past the call; the decode buffer is
+			// the connection's, so detach.
+			s.engine.PutAsync(req.Key, append([]byte(nil), req.Value...))
+			return resp // no LSNs: the write has not applied yet
+		}
+		if req.TTL > 0 {
+			s.engine.PutTTL(req.Key, req.Value, req.TTL)
+		} else {
+			s.engine.Put(req.Key, req.Value)
+		}
+		resp.LSNs = s.wireCommitLSNs(sc, req.Key)
+
+	case wire.OpDelete:
+		if !s.wireWritable(&resp) {
+			return resp
+		}
+		ok := s.engine.Delete(req.Key)
+		// Even a miss appended a record (the delete is logged regardless),
+		// so the token is stamped on both outcomes.
+		resp.LSNs = s.wireCommitLSNs(sc, req.Key)
+		if !ok {
+			resp.Status = wire.StatusNotFound
+		}
+
+	case wire.OpMPut:
+		if !s.wireWritable(&resp) {
+			return resp
+		}
+		for i, v := range req.Values {
+			if len(v) > MaxValueBytes {
+				resp.Status = wire.StatusTooLarge
+				resp.Msg = fmt.Sprintf("entry %d: value exceeds %d bytes", i, MaxValueBytes)
+				return resp
+			}
+		}
+		if req.TTL > 0 {
+			s.engine.MultiPutTTL(req.Keys, req.Values, req.TTL)
+		} else {
+			s.engine.MultiPut(req.Keys, req.Values)
+		}
+		resp.Applied = uint32(len(req.Keys))
+		resp.LSNs = s.wireCommitLSNs(sc, req.Keys...)
+
+	case wire.OpMDelete:
+		if !s.wireWritable(&resp) {
+			return resp
+		}
+		resp.Applied = uint32(s.engine.MultiDelete(req.Keys))
+		resp.LSNs = s.wireCommitLSNs(sc, req.Keys...)
+
+	case wire.OpFlush:
+		if !s.wireWritable(&resp) {
+			return resp
+		}
+		resp.Applied = uint32(s.engine.Flush())
+
+	case wire.OpStats:
+		// Encode into the connection's document buffer: steady-state STATS
+		// polling reuses one allocation instead of re-marshaling ~5KB per
+		// request.
+		buf := bytes.NewBuffer(sc.doc[:0])
+		if err := json.NewEncoder(buf).Encode(s.buildStats()); err != nil {
+			// Stats marshaling cannot fail on the types involved; surfacing
+			// it beats hiding it.
+			fmt.Fprintf(os.Stderr, "kvserv: stats marshal: %v\n", err)
+			resp.Status = wire.StatusBadRequest
+			resp.Msg = "stats marshal failed"
+			return resp
+		}
+		sc.doc = buf.Bytes()
+		// Trim the Encoder's trailing newline: STATS carries the document,
+		// not a stream line.
+		resp.Stats = sc.doc[:len(sc.doc)-1]
+
+	default:
+		resp.Status = wire.StatusUnsupported
+		resp.Msg = "unknown op"
+	}
+	return resp
+}
+
+// wireWritable rejects writes on a follower, mirroring handleReadOnly.
+func (s *Server) wireWritable(resp *wire.Response) bool {
+	if s.follower == nil {
+		return true
+	}
+	resp.Status = wire.StatusReadOnly
+	resp.Msg = fmt.Sprintf("read-only follower: write to the primary at %s", s.follower.Primary())
+	return false
+}
+
+// wireMinLSN enforces a read's MinLSN token, mirroring honorMinLSN.
+func (s *Server) wireMinLSN(resp *wire.Response, lsn uint64, keys ...uint64) bool {
+	merr := s.checkMinLSN(lsn, keys)
+	if merr == nil {
+		return true
+	}
+	if merr.Conflict {
+		resp.Status = wire.StatusConflict
+	} else {
+		resp.Status = wire.StatusBadRequest
+	}
+	resp.Msg = merr.Msg
+	return false
+}
+
+// wireCommitLSNs reads the commit LSN of every shard the write's keys
+// touched — the binary X-Commit-Shard/X-Commit-Lsn. Read after the write
+// applied, so each is at least the write's own record; volatile engines
+// stamp nothing.
+func (s *Server) wireCommitLSNs(sc *wireScratch, keys ...uint64) []wire.ShardLSN {
+	if !s.engine.Durable() || len(keys) == 0 {
+		return nil
+	}
+	lsns := sc.lsns[:0]
+	for _, k := range keys {
+		sh := uint32(s.engine.ShardOf(k))
+		if sc.seen[sh] {
+			continue
+		}
+		sc.seen[sh] = true
+		lsns = append(lsns, wire.ShardLSN{Shard: sh, LSN: s.engine.ShardLSN(int(sh))})
+	}
+	// Reset the dedup marks by walking what was set, not the whole array.
+	for _, l := range lsns {
+		sc.seen[l.Shard] = false
+	}
+	sc.lsns = lsns
+	return lsns
+}

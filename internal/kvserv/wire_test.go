@@ -1,0 +1,370 @@
+package kvserv
+
+// The wire front-end's serving contract: same engine, same semantics as
+// HTTP, over the pipelined binary protocol — plus the properties the
+// protocol exists for (batch = one lock acquisition per shard group,
+// responses batched per pipeline burst, malformed frames answered or the
+// connection closed cleanly).
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/bravolock/bravo/internal/core"
+	"github.com/bravolock/bravo/internal/frame"
+	"github.com/bravolock/bravo/internal/kvs"
+	"github.com/bravolock/bravo/internal/locks/stdrw"
+	"github.com/bravolock/bravo/internal/rwl"
+	"github.com/bravolock/bravo/internal/wire"
+)
+
+// startWireServer boots a wire listener over engine (built fresh when
+// nil) and returns its address, the engine, and the server.
+func startWireServer(t *testing.T, engine *kvs.Sharded, cfg Config) (string, *kvs.Sharded, *Server) {
+	t.Helper()
+	if engine == nil {
+		var err error
+		engine, err = kvs.NewSharded(8, func() rwl.RWLock { return core.New(new(stdrw.Lock)) })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(engine, cfg)
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeWire(l) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != ErrServerClosed {
+			t.Errorf("ServeWire returned %v, want ErrServerClosed", err)
+		}
+	})
+	return l.Addr().String(), engine, srv
+}
+
+func TestWireCRUD(t *testing.T) {
+	addr, _, _ := startWireServer(t, nil, Config{ReapInterval: -1})
+	cl := wire.NewClient(addr, time.Second)
+	defer cl.Close()
+
+	if _, ok, err := cl.Get(1, 0); err != nil || ok {
+		t.Fatalf("get before put: ok=%v err=%v", ok, err)
+	}
+	if _, err := cl.Put(1, []byte("hello"), 0, false); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	v, ok, err := cl.Get(1, 0)
+	if err != nil || !ok || !bytes.Equal(v, []byte("hello")) {
+		t.Fatalf("get: %q, %v, %v", v, ok, err)
+	}
+	if _, removed, err := cl.Delete(1); err != nil || !removed {
+		t.Fatalf("delete: removed=%v err=%v", removed, err)
+	}
+	if _, removed, err := cl.Delete(1); err != nil || removed {
+		t.Fatalf("delete miss: removed=%v err=%v", removed, err)
+	}
+
+	// TTL attaches an expiry the read path honors.
+	if _, err := cl.Put(2, []byte("fleeting"), 10*time.Millisecond, false); err != nil {
+		t.Fatalf("put ttl: %v", err)
+	}
+	if _, ok, _ := cl.Get(2, 0); !ok {
+		t.Fatal("ttl value missing before expiry")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, ok, _ := cl.Get(2, 0); ok {
+		t.Fatal("ttl value visible after expiry")
+	}
+
+	// Async enqueues; Flush applies.
+	if _, err := cl.Put(3, []byte("queued"), 0, true); err != nil {
+		t.Fatalf("put async: %v", err)
+	}
+	if n, err := cl.Flush(); err != nil || n < 1 {
+		t.Fatalf("flush: %d, %v", n, err)
+	}
+	if v, ok, _ := cl.Get(3, 0); !ok || !bytes.Equal(v, []byte("queued")) {
+		t.Fatalf("async value after flush: %q, %v", v, ok)
+	}
+
+	// Batches.
+	keys := []uint64{10, 11, 12}
+	vals := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	if _, err := cl.MPut(keys, vals, 0); err != nil {
+		t.Fatalf("mput: %v", err)
+	}
+	got, err := cl.MGet([]uint64{10, 11, 12, 99}, 0)
+	if err != nil || len(got) != 4 {
+		t.Fatalf("mget: %v, %v", got, err)
+	}
+	for i := range keys {
+		if !bytes.Equal(got[i], vals[i]) {
+			t.Fatalf("mget[%d] = %q, want %q", i, got[i], vals[i])
+		}
+	}
+	if got[3] != nil {
+		t.Fatalf("mget absent key = %q, want nil", got[3])
+	}
+	removed, _, err := cl.MDelete([]uint64{10, 11, 99})
+	if err != nil || removed != 2 {
+		t.Fatalf("mdelete: %d, %v", removed, err)
+	}
+
+	// Stats over the wire is the /stats document.
+	stats, err := cl.Stats()
+	if err != nil || !bytes.Contains(stats, []byte(`"num_shards":8`)) {
+		t.Fatalf("stats: %v, %.120s", err, stats)
+	}
+}
+
+// TestWireBatchOneLockPerShardGroup is the acceptance check for the
+// protocol's whole point: one wire batch of N keys spanning S shards is
+// applied as exactly S combined write batches — S write-lock acquisitions
+// — not N. Asserted on the engine's own counters, not timing.
+func TestWireBatchOneLockPerShardGroup(t *testing.T) {
+	addr, engine, _ := startWireServer(t, nil, Config{ReapInterval: -1})
+	cl := wire.NewClient(addr, time.Second)
+	defer cl.Close()
+
+	const n = 64
+	keys := make([]uint64, n)
+	vals := make([][]byte, n)
+	shards := map[int]bool{}
+	for i := range keys {
+		keys[i] = uint64(i * 3)
+		vals[i] = []byte("v")
+		shards[engine.ShardOf(keys[i])] = true
+	}
+	s := len(shards)
+	if s < 2 || s >= n {
+		t.Fatalf("test keys span %d shards of %d keys: pick a better spread", s, n)
+	}
+
+	before := engine.Stats().Total()
+	if _, err := cl.MPut(keys, vals, 0); err != nil {
+		t.Fatalf("mput: %v", err)
+	}
+	after := engine.Stats().Total()
+
+	if got := after.WriteBatches - before.WriteBatches; got != uint64(s) {
+		t.Fatalf("MPUT of %d keys over %d shards took %d write-lock batches, want exactly %d", n, s, got, s)
+	}
+	if got := after.Puts - before.Puts; got != n {
+		t.Fatalf("MPUT applied %d puts, want %d", got, n)
+	}
+
+	// Same contract on the delete batch.
+	before = after
+	if _, _, err := cl.MDelete(keys); err != nil {
+		t.Fatalf("mdelete: %v", err)
+	}
+	after = engine.Stats().Total()
+	if got := after.WriteBatches - before.WriteBatches; got != uint64(s) {
+		t.Fatalf("MDELETE of %d keys over %d shards took %d write-lock batches, want exactly %d", n, s, got, s)
+	}
+
+	// And the read side: one shard-group batch per shard, not N gets
+	// (MultiGetBatches counts per shard group).
+	before = after
+	if _, err := cl.MGet(keys, 0); err != nil {
+		t.Fatalf("mget: %v", err)
+	}
+	after = engine.Stats().Total()
+	if got := after.MultiGetBatches - before.MultiGetBatches; got != uint64(s) {
+		t.Fatalf("MGET of %d keys over %d shards ran %d shard-group batches, want exactly %d", n, s, got, s)
+	}
+	if got := after.MultiGetKeys - before.MultiGetKeys; got != n {
+		t.Fatalf("MGET carried %d keys, want %d", got, n)
+	}
+}
+
+// TestWireMinLSNPrimary: a durable primary's commit tokens round-trip
+// through the wire and gate reads the same way ?min_lsn= does.
+func TestWireMinLSNPrimary(t *testing.T) {
+	dir := t.TempDir()
+	engine, err := kvs.OpenSharded(dir, 8, func() rwl.RWLock { return core.New(new(stdrw.Lock)) }, kvs.SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { engine.Close() })
+	addr, _, _ := startWireServer(t, engine, Config{ReapInterval: -1, MinLSNWait: 50 * time.Millisecond})
+	cl := wire.NewClient(addr, time.Second)
+	defer cl.Close()
+
+	lsns, err := cl.Put(7, []byte("x"), 0, false)
+	if err != nil || len(lsns) != 1 {
+		t.Fatalf("put: lsns=%v err=%v", lsns, err)
+	}
+	// The token the write handed out covers the read.
+	if _, ok, err := cl.Get(7, lsns[0].LSN); err != nil || !ok {
+		t.Fatalf("get with own token: ok=%v err=%v", ok, err)
+	}
+	// A token this primary never issued is a conflict, not a wait.
+	_, _, err = cl.Get(7, lsns[0].LSN+1000)
+	se, isStatus := err.(*wire.StatusError)
+	if !isStatus || se.Status != wire.StatusConflict {
+		t.Fatalf("get with future token: %v, want StatusConflict", err)
+	}
+}
+
+// TestWireMinLSNVolatile: tokens against a volatile server are a client
+// bug and answer BadRequest, as on HTTP.
+func TestWireMinLSNVolatile(t *testing.T) {
+	addr, _, _ := startWireServer(t, nil, Config{ReapInterval: -1})
+	cl := wire.NewClient(addr, time.Second)
+	defer cl.Close()
+	_, _, err := cl.Get(1, 5)
+	se, ok := err.(*wire.StatusError)
+	if !ok || se.Status != wire.StatusBadRequest {
+		t.Fatalf("min_lsn on volatile: %v, want StatusBadRequest", err)
+	}
+}
+
+// TestWireValueCaps: per-value caps answer StatusTooLarge, same limit as
+// HTTP's 413.
+func TestWireValueCaps(t *testing.T) {
+	addr, _, _ := startWireServer(t, nil, Config{ReapInterval: -1})
+	cl := wire.NewClient(addr, time.Second)
+	defer cl.Close()
+	big := make([]byte, MaxValueBytes+1)
+	_, err := cl.Put(1, big, 0, false)
+	se, ok := err.(*wire.StatusError)
+	if !ok || se.Status != wire.StatusTooLarge {
+		t.Fatalf("oversize put: %v, want StatusTooLarge", err)
+	}
+	_, err = cl.MPut([]uint64{1}, [][]byte{big}, 0)
+	se, ok = err.(*wire.StatusError)
+	if !ok || se.Status != wire.StatusTooLarge {
+		t.Fatalf("oversize mput entry: %v, want StatusTooLarge", err)
+	}
+	// ttl+async is the one semantic exclusion.
+	conn, err := cl.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := conn.Do(&wire.Request{Op: wire.OpPut, Key: 1, Value: []byte("x"), TTL: time.Second, Async: true})
+	cl.Release(conn)
+	if err != nil || resp.Status != wire.StatusBadRequest {
+		t.Fatalf("ttl+async: %v status %v, want StatusBadRequest", err, resp.Status)
+	}
+}
+
+// TestWireMalformedBody: a sound frame whose body does not decode is
+// answered StatusBadRequest by id, and the connection keeps serving.
+func TestWireMalformedBody(t *testing.T) {
+	addr, _, _ := startWireServer(t, nil, Config{ReapInterval: -1})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	// Header parses (version, op GET, id 77) but the body is one byte
+	// short of a key.
+	bad := frame.Append(nil, []byte{wire.Version, byte(wire.OpGet), 0, 77, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3})
+	if _, err := nc.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+	dec := wire.NewStreamDecoder(nc, 0)
+	payload, err := dec.Next()
+	if err != nil {
+		t.Fatalf("reading malformed-body response: %v", err)
+	}
+	resp, ok := wire.DecodeResponse(payload)
+	if !ok || resp.ID != 77 || resp.Status != wire.StatusBadRequest {
+		t.Fatalf("malformed body answered %+v, want BadRequest id=77", resp)
+	}
+
+	// The connection survived: a valid request on it still works.
+	good := wire.AppendRequest(nil, &wire.Request{Op: wire.OpGet, ID: 78, Key: 5})
+	if _, err := nc.Write(good); err != nil {
+		t.Fatal(err)
+	}
+	payload, err = dec.Next()
+	if err != nil {
+		t.Fatalf("reading post-malformed response: %v", err)
+	}
+	if resp, ok := wire.DecodeResponse(payload); !ok || resp.ID != 78 || resp.Status != wire.StatusNotFound {
+		t.Fatalf("follow-up request answered %+v", resp)
+	}
+}
+
+// TestWireCorruptFrameCloses: a corrupt envelope loses frame boundaries;
+// the server closes the connection rather than guessing.
+func TestWireCorruptFrameCloses(t *testing.T) {
+	addr, _, _ := startWireServer(t, nil, Config{ReapInterval: -1})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	f := wire.AppendRequest(nil, &wire.Request{Op: wire.OpGet, ID: 1, Key: 5})
+	f[len(f)-1]++ // CRC mismatch
+	if _, err := nc.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var buf [64]byte
+	if n, err := nc.Read(buf[:]); err == nil {
+		t.Fatalf("server answered %d bytes to a corrupt frame, want close", n)
+	}
+}
+
+// TestWireUnknownOp: an op the server does not recognize still gets a
+// typed answer (DecodeRequest rejects it, the header fallback names it).
+func TestWireUnknownOp(t *testing.T) {
+	addr, _, _ := startWireServer(t, nil, Config{ReapInterval: -1})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	f := frame.Append(nil, []byte{wire.Version, 99, 0, 42, 0, 0, 0, 0, 0, 0, 0})
+	if _, err := nc.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	dec := wire.NewStreamDecoder(nc, 0)
+	payload, err := dec.Next()
+	if err != nil {
+		t.Fatalf("reading unknown-op response: %v", err)
+	}
+	resp, ok := wire.DecodeResponse(payload)
+	if !ok || resp.ID != 42 || resp.Status != wire.StatusBadRequest {
+		t.Fatalf("unknown op answered %+v", resp)
+	}
+}
+
+// TestWireResponseBatching: a pipelined burst is answered in one (or few)
+// TCP segments — observable as all responses arriving without interleaved
+// flush round trips. Functional check: every response of a 100-deep burst
+// arrives and correlates.
+func TestWireResponseBatching(t *testing.T) {
+	addr, _, _ := startWireServer(t, nil, Config{ReapInterval: -1})
+	conn, err := wire.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	const depth = 100
+	pendings := make([]*wire.Pending, depth)
+	for i := range pendings {
+		p, err := conn.Start(&wire.Request{Op: wire.OpPut, Key: uint64(i), Value: []byte("v")})
+		if err != nil {
+			t.Fatalf("Start %d: %v", i, err)
+		}
+		pendings[i] = p
+	}
+	if err := conn.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pendings {
+		if _, err := p.Wait(); err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+	}
+}

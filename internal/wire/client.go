@@ -1,0 +1,408 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrConnClosed reports an operation on a closed (or failed) connection;
+// the underlying cause, when known, is wrapped.
+var ErrConnClosed = errors.New("wire: connection closed")
+
+// Conn is one pipelined protocol connection: any number of requests may be
+// in flight at once, each matched to its response through the in-flight
+// table by request id. Start/Flush/Wait is the pipelined form; Do is the
+// one-shot convenience. Start and Do are safe for concurrent use by
+// multiple goroutines (responses are routed by id, not order), though the
+// intended shape is one goroutine driving a window of Starts.
+type Conn struct {
+	nc net.Conn
+
+	wmu  sync.Mutex // serializes encode+write (and Flush)
+	bw   *bufio.Writer
+	wbuf []byte // encode scratch, reused under wmu
+	werr error  // first write-side failure
+
+	tmu      sync.Mutex
+	inflight map[uint64]*Pending
+	nextID   uint64
+	closed   error // terminal state, set once under tmu
+
+	readerDone chan struct{}
+}
+
+// Pending is an in-flight request's handle: Wait blocks for its response.
+type Pending struct {
+	ch   chan Response
+	conn *Conn
+}
+
+// NewConn wraps an established connection in the protocol. The caller
+// hands over nc's lifecycle: Close closes it.
+func NewConn(nc net.Conn) *Conn {
+	c := &Conn{
+		nc:         nc,
+		bw:         bufio.NewWriterSize(nc, 64<<10),
+		inflight:   make(map[uint64]*Pending),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Dial connects to addr and wraps the connection.
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // pipelined batches flush explicitly
+	}
+	return NewConn(nc), nil
+}
+
+// readLoop is the connection's demultiplexer: decode responses, deliver
+// each to its Pending by id. Any decode or transport error is terminal —
+// it fails every in-flight request and all future ones.
+func (c *Conn) readLoop() {
+	defer close(c.readerDone)
+	dec := NewStreamDecoder(c.nc, DefaultMaxFrame)
+	for {
+		payload, err := dec.Next()
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrConnClosed, err))
+			return
+		}
+		// One clone detaches the frame from the decoder's reused buffer;
+		// the decoded response's Value/Values/Stats alias the clone, so a
+		// 64-value MGET costs one allocation here, not 64.
+		buf := append(make([]byte, 0, len(payload)), payload...)
+		resp, ok := DecodeResponse(buf)
+		if !ok {
+			c.fail(fmt.Errorf("%w: undecodable response", ErrConnClosed))
+			return
+		}
+		c.tmu.Lock()
+		p := c.inflight[resp.ID]
+		delete(c.inflight, resp.ID)
+		c.tmu.Unlock()
+		if p != nil {
+			p.ch <- resp
+		}
+	}
+}
+
+// fail marks the connection dead and releases every waiter.
+func (c *Conn) fail(err error) {
+	c.tmu.Lock()
+	if c.closed == nil {
+		c.closed = err
+	}
+	pending := c.inflight
+	c.inflight = make(map[uint64]*Pending)
+	c.tmu.Unlock()
+	c.nc.Close()
+	for _, p := range pending {
+		close(p.ch)
+	}
+}
+
+// Close tears the connection down, failing any in-flight requests.
+func (c *Conn) Close() error {
+	c.fail(ErrConnClosed)
+	<-c.readerDone
+	return nil
+}
+
+// Err returns the connection's terminal error, nil while it is healthy.
+func (c *Conn) Err() error {
+	c.tmu.Lock()
+	defer c.tmu.Unlock()
+	return c.closed
+}
+
+// Start enqueues req on the pipeline and returns its Pending without
+// waiting for the response — the pipelining primitive. The request is
+// buffered; call Flush when the window is issued (or use Do). req.ID is
+// assigned by the connection; the caller's value is ignored.
+func (c *Conn) Start(req *Request) (*Pending, error) {
+	p := &Pending{ch: make(chan Response, 1), conn: c}
+	c.tmu.Lock()
+	if c.closed != nil {
+		err := c.closed
+		c.tmu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.inflight[req.ID] = p
+	c.tmu.Unlock()
+
+	c.wmu.Lock()
+	if c.werr == nil {
+		c.wbuf = AppendRequest(c.wbuf[:0], req)
+		if _, err := c.bw.Write(c.wbuf); err != nil {
+			c.werr = err
+		}
+	}
+	err := c.werr
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(fmt.Errorf("%w: %v", ErrConnClosed, err))
+		return nil, err
+	}
+	return p, nil
+}
+
+// Flush pushes buffered requests to the wire. A pipelined caller issues a
+// window of Starts, one Flush, then Waits.
+func (c *Conn) Flush() error {
+	c.wmu.Lock()
+	if c.werr == nil {
+		c.werr = c.bw.Flush()
+	}
+	err := c.werr
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(fmt.Errorf("%w: %v", ErrConnClosed, err))
+	}
+	return err
+}
+
+// Wait blocks for the response. A closed connection yields its terminal
+// error.
+func (p *Pending) Wait() (Response, error) {
+	resp, ok := <-p.ch
+	if !ok {
+		err := p.conn.Err()
+		if err == nil {
+			err = ErrConnClosed
+		}
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// Do is Start+Flush+Wait: the unpipelined convenience.
+func (c *Conn) Do(req *Request) (Response, error) {
+	p, err := c.Start(req)
+	if err != nil {
+		return Response{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return Response{}, err
+	}
+	return p.Wait()
+}
+
+// Batch accumulates a multi-op request — the builder the serving path
+// turns into one lock acquisition per shard group. Add entries, then
+// MPutRequest/MGetRequest/MDeleteRequest to produce the request (the batch
+// may be reused after Reset). Values are aliased, not copied; they must
+// stay immutable until the request is written.
+type Batch struct {
+	keys []uint64
+	vals [][]byte
+}
+
+// Add appends one key (for MGET/MDELETE) or key/value pair (for MPUT).
+func (b *Batch) Add(key uint64, value []byte) {
+	b.keys = append(b.keys, key)
+	b.vals = append(b.vals, value)
+}
+
+// Len returns the number of accumulated entries.
+func (b *Batch) Len() int { return len(b.keys) }
+
+// Reset empties the batch, keeping capacity.
+func (b *Batch) Reset() {
+	b.keys = b.keys[:0]
+	b.vals = b.vals[:0]
+}
+
+// Keys exposes the accumulated keys (aliased, valid until Reset).
+func (b *Batch) Keys() []uint64 { return b.keys }
+
+// MPutRequest builds the batch's MPUT (ttl <= 0 means no expiry).
+func (b *Batch) MPutRequest(ttl time.Duration) *Request {
+	return &Request{Op: OpMPut, Keys: b.keys, Values: b.vals, TTL: ttl}
+}
+
+// MGetRequest builds the batch's MGET (minLSN 0 means no token).
+func (b *Batch) MGetRequest(minLSN uint64) *Request {
+	return &Request{Op: OpMGet, Keys: b.keys, MinLSN: minLSN}
+}
+
+// MDeleteRequest builds the batch's MDELETE.
+func (b *Batch) MDeleteRequest() *Request {
+	return &Request{Op: OpMDelete, Keys: b.keys}
+}
+
+// Client is a connection-pooled protocol client: the drop-in counterpart
+// of an http.Client against the HTTP front-end. Connections are created on
+// demand, reused when idle, and dropped on failure. The convenience
+// methods are synchronous; for pipelining, take a Conn (Acquire/Release)
+// and drive Start/Flush/Wait directly.
+type Client struct {
+	addr    string
+	timeout time.Duration
+
+	mu     sync.Mutex
+	idle   []*Conn
+	closed bool
+}
+
+// NewClient returns a pool dialing addr. dialTimeout <= 0 means 5s.
+func NewClient(addr string, dialTimeout time.Duration) *Client {
+	if dialTimeout <= 0 {
+		dialTimeout = 5 * time.Second
+	}
+	return &Client{addr: addr, timeout: dialTimeout}
+}
+
+// Acquire returns a healthy pooled connection, dialing when none is idle.
+func (c *Client) Acquire() (*Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrConnClosed
+	}
+	for len(c.idle) > 0 {
+		conn := c.idle[len(c.idle)-1]
+		c.idle = c.idle[:len(c.idle)-1]
+		if conn.Err() == nil {
+			c.mu.Unlock()
+			return conn, nil
+		}
+	}
+	c.mu.Unlock()
+	return Dial(c.addr, c.timeout)
+}
+
+// Release returns a connection to the pool (failed ones are dropped).
+func (c *Client) Release(conn *Conn) {
+	if conn.Err() != nil {
+		return
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+	c.mu.Unlock()
+}
+
+// Close drops every idle connection. Connections currently Acquired are
+// the holder's to close.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+	}
+	return nil
+}
+
+// do runs one request on a pooled connection.
+func (c *Client) do(req *Request) (Response, error) {
+	conn, err := c.Acquire()
+	if err != nil {
+		return Response{}, err
+	}
+	resp, err := conn.Do(req)
+	c.Release(conn)
+	if err != nil {
+		return Response{}, err
+	}
+	return resp, resp.Err()
+}
+
+// Get fetches key; ok reports presence. minLSN, when nonzero, is the
+// read-your-writes token.
+func (c *Client) Get(key uint64, minLSN uint64) (value []byte, ok bool, err error) {
+	resp, err := c.do(&Request{Op: OpGet, Key: key, MinLSN: minLSN})
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.Status == StatusNotFound {
+		return nil, false, nil
+	}
+	return resp.Value, true, nil
+}
+
+// Put stores value under key (ttl <= 0 means no expiry; async enqueues on
+// the shard write queue). It returns the write's commit LSNs — the
+// read-your-writes tokens (nil on volatile servers and async writes).
+func (c *Client) Put(key uint64, value []byte, ttl time.Duration, async bool) ([]ShardLSN, error) {
+	resp, err := c.do(&Request{Op: OpPut, Key: key, Value: value, TTL: ttl, Async: async})
+	if err != nil {
+		return nil, err
+	}
+	return resp.LSNs, nil
+}
+
+// Delete removes key; ok reports whether it was visibly present.
+func (c *Client) Delete(key uint64) (lsns []ShardLSN, ok bool, err error) {
+	resp, err := c.do(&Request{Op: OpDelete, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.LSNs, resp.Status != StatusNotFound, nil
+}
+
+// MGet fetches keys as one wire batch → one lock acquisition per shard
+// group server-side. The result is parallel to keys, nil marking absent.
+func (c *Client) MGet(keys []uint64, minLSN uint64) ([][]byte, error) {
+	resp, err := c.do(&Request{Op: OpMGet, Keys: keys, MinLSN: minLSN})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Values, nil
+}
+
+// MPut stores the batch as one MultiPut, returning the commit LSN of every
+// shard the batch touched.
+func (c *Client) MPut(keys []uint64, values [][]byte, ttl time.Duration) ([]ShardLSN, error) {
+	resp, err := c.do(&Request{Op: OpMPut, Keys: keys, Values: values, TTL: ttl})
+	if err != nil {
+		return nil, err
+	}
+	return resp.LSNs, nil
+}
+
+// MDelete removes the batch, returning how many keys were visibly present.
+func (c *Client) MDelete(keys []uint64) (removed int, lsns []ShardLSN, err error) {
+	resp, err := c.do(&Request{Op: OpMDelete, Keys: keys})
+	if err != nil {
+		return 0, nil, err
+	}
+	return int(resp.Applied), resp.LSNs, nil
+}
+
+// Flush applies the server's queued async writes, returning the count.
+func (c *Client) Flush() (int, error) {
+	resp, err := c.do(&Request{Op: OpFlush})
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.Applied), nil
+}
+
+// Stats fetches the server's stats document (the /stats JSON).
+func (c *Client) Stats() ([]byte, error) {
+	resp, err := c.do(&Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}

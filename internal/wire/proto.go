@@ -1,0 +1,552 @@
+// Package wire is the engine's pipelined binary protocol: the front-end
+// that turns one network batch into one lock acquisition per shard, end to
+// end. HTTP/1.x parses text, allocates headers, and serializes one op per
+// round trip; the wire protocol frames fixed-width binary requests with
+// the same length-prefixed CRC envelope the WAL and the replication stream
+// already use (internal/frame), supports multi-op batches (MGET/MPUT/
+// MDELETE) that the server feeds straight into the engine's shard-grouping
+// pass, and pipelines: a client may have any number of requests in flight
+// on one connection, matched to responses by request id.
+//
+// Message layout (integers little-endian; the envelope is
+// internal/frame's `u32 len | u32 crc32c | payload`):
+//
+//	request  := u8 version(=1) | u8 op | u8 flags | u64 id
+//	            [u64 minLSN]  when flagMinLSN    (read-your-writes token)
+//	            [u64 ttlNanos] when flagTTL
+//	            body
+//	body     := GET/DELETE:   u64 key
+//	            PUT:          u64 key | u32 vlen | vlen bytes
+//	            MGET/MDELETE: u32 count | count × u64 key
+//	            MPUT:         u32 count | count × (u64 key | u32 vlen | vlen bytes)
+//	            FLUSH/STATS:  empty
+//
+//	response := u8 version(=1) | u8 op | u8 status | u8 flags | u64 id
+//	            [u32 mlen | mlen bytes]  when status != OK (detail message)
+//	            [body]                   when status == OK
+//	            [u32 n | n × (u32 shard | u64 lsn)]  when flagLSNs
+//	body     := GET:          u32 vlen | vlen bytes
+//	            MGET:         u32 count | count × (u8 present | present? u32 vlen | vlen bytes)
+//	            MPUT/MDELETE/FLUSH: u32 applied
+//	            STATS:        u32 jlen | jlen bytes (the /stats JSON document)
+//	            PUT/DELETE:   empty
+//
+// The trailing shard/LSN pairs are the binary form of the HTTP front-end's
+// X-Commit-Shard/X-Commit-Lsn headers (and /mput's "lsns" map): the commit
+// LSN of every shard a write touched, which a client hands back as a
+// request's MinLSN to read its writes from a follower. Replication
+// semantics survive the transport change byte for byte.
+//
+// Decoders are strict — every field must parse and the payload must end
+// exactly at the last one — and never panic, whatever the bytes
+// (FuzzWireFrame). Framing errors split the same way the WAL's do:
+// Incomplete means wait for more bytes, Corrupt means the connection is
+// unrecoverable and closes.
+package wire
+
+import (
+	"encoding/binary"
+	"time"
+
+	"github.com/bravolock/bravo/internal/frame"
+)
+
+// Version is the protocol version every message leads with.
+const Version = 1
+
+// DefaultMaxFrame bounds an accepted frame's total length (header +
+// payload): a shade over the HTTP front-end's 16MB batch cap, so any batch
+// admissible there is admissible here, while a malicious length header
+// cannot make a peer buffer gigabytes. frame.MaxPayload is the codec's
+// absolute bound; this is the wire's admission cap on top of it.
+const DefaultMaxFrame = 17 << 20
+
+// Op identifies a request's operation; responses echo it.
+type Op byte
+
+// Operations. The multi-op batches (MGET/MPUT/MDELETE) are the protocol's
+// point: the server applies each through the engine's shard-grouping pass,
+// so one wire batch is one lock acquisition — and one bias revocation —
+// per shard it touches.
+const (
+	OpGet     Op = 1
+	OpPut     Op = 2
+	OpDelete  Op = 3
+	OpMGet    Op = 4
+	OpMPut    Op = 5
+	OpMDelete Op = 6
+	OpFlush   Op = 7
+	OpStats   Op = 8
+)
+
+// String names op for errors and stats.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpDelete:
+		return "DELETE"
+	case OpMGet:
+		return "MGET"
+	case OpMPut:
+		return "MPUT"
+	case OpMDelete:
+		return "MDELETE"
+	case OpFlush:
+		return "FLUSH"
+	case OpStats:
+		return "STATS"
+	}
+	return "Op(?)"
+}
+
+// Status is a response's outcome, mirroring the HTTP front-end's statuses.
+type Status byte
+
+const (
+	// StatusOK: the operation succeeded; the body is op-specific.
+	StatusOK Status = 0
+	// StatusNotFound: GET miss or DELETE of an absent key (the HTTP 404).
+	StatusNotFound Status = 1
+	// StatusBadRequest: the request decoded but is semantically invalid
+	// (e.g. ttl+async together, MinLSN against a volatile server).
+	StatusBadRequest Status = 2
+	// StatusReadOnly: a write sent to a follower (the HTTP 403).
+	StatusReadOnly Status = 3
+	// StatusConflict: a MinLSN token the serving side cannot cover (the
+	// HTTP 409) — retry, or read the primary.
+	StatusConflict Status = 4
+	// StatusTooLarge: a value over the server's per-value cap (HTTP 413).
+	StatusTooLarge Status = 5
+	// StatusUnsupported: an op the server does not recognize — the one
+	// response a server sends for a frame it could parse but not serve.
+	StatusUnsupported Status = 6
+)
+
+// String names st for errors.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusNotFound:
+		return "not found"
+	case StatusBadRequest:
+		return "bad request"
+	case StatusReadOnly:
+		return "read-only"
+	case StatusConflict:
+		return "conflict"
+	case StatusTooLarge:
+		return "too large"
+	case StatusUnsupported:
+		return "unsupported"
+	}
+	return "Status(?)"
+}
+
+// Request flag bits.
+const (
+	reqFlagTTL    = 1 << 0
+	reqFlagAsync  = 1 << 1
+	reqFlagMinLSN = 1 << 2
+)
+
+// Response flag bits.
+const respFlagLSNs = 1 << 0
+
+// Request is one decoded (or to-be-encoded) wire request.
+type Request struct {
+	Op Op
+	// ID is the pipelining correlation token: the client picks it, the
+	// response echoes it. Conn manages IDs itself; hand-built requests
+	// choose their own.
+	ID uint64
+	// Async marks a PUT for the shard write queue (the HTTP ?async=1).
+	Async bool
+	// TTL, when positive, attaches an expiry to PUT/MPUT.
+	TTL time.Duration
+	// MinLSN, when nonzero, is a read-your-writes token: every shard the
+	// read touches must have applied at least this LSN.
+	MinLSN uint64
+
+	Key    uint64   // GET/PUT/DELETE
+	Value  []byte   // PUT (aliases the decode buffer)
+	Keys   []uint64 // MGET/MPUT/MDELETE
+	Values [][]byte // MPUT, parallel to Keys (alias the decode buffer)
+}
+
+// ShardLSN is one shard's commit LSN in a response: the read-your-writes
+// token, binary form of the X-Commit-Shard/X-Commit-Lsn header pair.
+type ShardLSN struct {
+	Shard uint32
+	LSN   uint64
+}
+
+// Response is one decoded (or to-be-encoded) wire response.
+type Response struct {
+	Op     Op
+	ID     uint64
+	Status Status
+	// Msg is the non-OK detail (the HTTP error body).
+	Msg string
+	// Value is a GET hit's bytes (aliases the decode buffer).
+	Value []byte
+	// Values answers MGET, parallel to the request's keys; nil marks
+	// absent (entries alias the decode buffer).
+	Values [][]byte
+	// Applied is MPUT's applied count, MDELETE's removed count, or FLUSH's
+	// flushed count.
+	Applied uint32
+	// Stats is STATS's JSON document (the /stats response body).
+	Stats []byte
+	// LSNs carries the commit LSN of every shard a write touched.
+	LSNs []ShardLSN
+}
+
+// Err converts a non-OK response into an error (nil for OK and for
+// StatusNotFound, which is an outcome, not a failure).
+func (r *Response) Err() error {
+	switch r.Status {
+	case StatusOK, StatusNotFound:
+		return nil
+	}
+	return &StatusError{Op: r.Op, Status: r.Status, Msg: r.Msg}
+}
+
+// StatusError is a non-OK wire response as an error.
+type StatusError struct {
+	Op     Op
+	Status Status
+	Msg    string
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg == "" {
+		return "wire: " + e.Op.String() + ": " + e.Status.String()
+	}
+	return "wire: " + e.Op.String() + ": " + e.Status.String() + ": " + e.Msg
+}
+
+// AppendRequest frames req onto dst and returns the extended slice: one
+// ready-to-write wire frame (envelope included). The zero-copy form —
+// header reserved, payload built in place, sealed once.
+func AppendRequest(dst []byte, req *Request) []byte {
+	base := len(dst)
+	dst = append(dst, make([]byte, frame.HeaderSize)...)
+	flags := byte(0)
+	if req.TTL > 0 {
+		flags |= reqFlagTTL
+	}
+	if req.Async {
+		flags |= reqFlagAsync
+	}
+	if req.MinLSN > 0 {
+		flags |= reqFlagMinLSN
+	}
+	dst = append(dst, Version, byte(req.Op), flags)
+	dst = binary.LittleEndian.AppendUint64(dst, req.ID)
+	if flags&reqFlagMinLSN != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, req.MinLSN)
+	}
+	if flags&reqFlagTTL != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(req.TTL))
+	}
+	switch req.Op {
+	case OpGet, OpDelete:
+		dst = binary.LittleEndian.AppendUint64(dst, req.Key)
+	case OpPut:
+		dst = binary.LittleEndian.AppendUint64(dst, req.Key)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(req.Value)))
+		dst = append(dst, req.Value...)
+	case OpMGet, OpMDelete:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(req.Keys)))
+		for _, k := range req.Keys {
+			dst = binary.LittleEndian.AppendUint64(dst, k)
+		}
+	case OpMPut:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(req.Keys)))
+		for i, k := range req.Keys {
+			dst = binary.LittleEndian.AppendUint64(dst, k)
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(req.Values[i])))
+			dst = append(dst, req.Values[i]...)
+		}
+	}
+	frame.Seal(dst[base:])
+	return dst
+}
+
+// DecodeRequest parses one request payload (the frame body, after
+// frame.Split). Strict: every field must parse and the payload must end
+// exactly at the last one. It never panics, whatever the bytes.
+func DecodeRequest(p []byte) (Request, bool) {
+	var req Request
+	if len(p) < 3+8 || p[0] != Version {
+		return req, false
+	}
+	req.Op = Op(p[1])
+	flags := p[2]
+	// Unknown flag bits are rejected, not ignored: silently dropping them
+	// would make a request mean something other than what its sender
+	// encoded (and break decode→encode canonical stability).
+	if flags&^(reqFlagTTL|reqFlagAsync|reqFlagMinLSN) != 0 {
+		return req, false
+	}
+	req.ID = binary.LittleEndian.Uint64(p[3:])
+	off := 11
+	if flags&reqFlagMinLSN != 0 {
+		if len(p)-off < 8 {
+			return req, false
+		}
+		req.MinLSN = binary.LittleEndian.Uint64(p[off:])
+		off += 8
+		if req.MinLSN == 0 {
+			// The encoder expresses "no token" by clearing the flag; a
+			// zero token under the flag is not a canonical encoding.
+			return req, false
+		}
+	}
+	if flags&reqFlagTTL != 0 {
+		if len(p)-off < 8 {
+			return req, false
+		}
+		req.TTL = time.Duration(binary.LittleEndian.Uint64(p[off:]))
+		off += 8
+		if req.TTL <= 0 {
+			return req, false // same: the flag promises a positive TTL
+		}
+	}
+	req.Async = flags&reqFlagAsync != 0
+	switch req.Op {
+	case OpGet, OpDelete:
+		if len(p)-off != 8 {
+			return req, false
+		}
+		req.Key = binary.LittleEndian.Uint64(p[off:])
+	case OpPut:
+		if len(p)-off < 12 {
+			return req, false
+		}
+		req.Key = binary.LittleEndian.Uint64(p[off:])
+		vlen := int(binary.LittleEndian.Uint32(p[off+8:]))
+		off += 12
+		if vlen < 0 || vlen != len(p)-off {
+			return req, false
+		}
+		req.Value = p[off : off+vlen]
+	case OpMGet, OpMDelete:
+		if len(p)-off < 4 {
+			return req, false
+		}
+		count := int(binary.LittleEndian.Uint32(p[off:]))
+		off += 4
+		if count < 0 || count*8 != len(p)-off {
+			return req, false
+		}
+		req.Keys = make([]uint64, count)
+		for i := range req.Keys {
+			req.Keys[i] = binary.LittleEndian.Uint64(p[off:])
+			off += 8
+		}
+	case OpMPut:
+		if len(p)-off < 4 {
+			return req, false
+		}
+		count := int(binary.LittleEndian.Uint32(p[off:]))
+		off += 4
+		// Each entry is at least 12 bytes; the bound keeps the
+		// preallocation honest on adversarial counts.
+		if count < 0 || count > (len(p)-off)/12 {
+			return req, false
+		}
+		req.Keys = make([]uint64, 0, count)
+		req.Values = make([][]byte, 0, count)
+		for i := 0; i < count; i++ {
+			if len(p)-off < 12 {
+				return req, false
+			}
+			key := binary.LittleEndian.Uint64(p[off:])
+			vlen := int(binary.LittleEndian.Uint32(p[off+8:]))
+			off += 12
+			if vlen < 0 || vlen > len(p)-off {
+				return req, false
+			}
+			req.Keys = append(req.Keys, key)
+			req.Values = append(req.Values, p[off:off+vlen])
+			off += vlen
+		}
+		if off != len(p) {
+			return req, false
+		}
+	case OpFlush, OpStats:
+		if off != len(p) {
+			return req, false
+		}
+	default:
+		return req, false
+	}
+	return req, true
+}
+
+// AppendResponse frames resp onto dst and returns the extended slice.
+func AppendResponse(dst []byte, resp *Response) []byte {
+	base := len(dst)
+	dst = append(dst, make([]byte, frame.HeaderSize)...)
+	flags := byte(0)
+	if len(resp.LSNs) > 0 {
+		flags |= respFlagLSNs
+	}
+	dst = append(dst, Version, byte(resp.Op), byte(resp.Status), flags)
+	dst = binary.LittleEndian.AppendUint64(dst, resp.ID)
+	if resp.Status != StatusOK {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Msg)))
+		dst = append(dst, resp.Msg...)
+	} else {
+		switch resp.Op {
+		case OpGet:
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Value)))
+			dst = append(dst, resp.Value...)
+		case OpMGet:
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Values)))
+			for _, v := range resp.Values {
+				if v == nil {
+					dst = append(dst, 0)
+					continue
+				}
+				dst = append(dst, 1)
+				dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v)))
+				dst = append(dst, v...)
+			}
+		case OpMPut, OpMDelete, OpFlush:
+			dst = binary.LittleEndian.AppendUint32(dst, resp.Applied)
+		case OpStats:
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Stats)))
+			dst = append(dst, resp.Stats...)
+		}
+	}
+	if flags&respFlagLSNs != 0 {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.LSNs)))
+		for _, sl := range resp.LSNs {
+			dst = binary.LittleEndian.AppendUint32(dst, sl.Shard)
+			dst = binary.LittleEndian.AppendUint64(dst, sl.LSN)
+		}
+	}
+	frame.Seal(dst[base:])
+	return dst
+}
+
+// DecodeResponse parses one response payload. Strict, panic-free, same
+// contract as DecodeRequest.
+func DecodeResponse(p []byte) (Response, bool) {
+	var resp Response
+	if len(p) < 4+8 || p[0] != Version {
+		return resp, false
+	}
+	resp.Op = Op(p[1])
+	resp.Status = Status(p[2])
+	flags := p[3]
+	if flags&^respFlagLSNs != 0 {
+		return resp, false // unknown flag bits: see DecodeRequest
+	}
+	resp.ID = binary.LittleEndian.Uint64(p[4:])
+	off := 12
+	if resp.Status != StatusOK {
+		if len(p)-off < 4 {
+			return resp, false
+		}
+		mlen := int(binary.LittleEndian.Uint32(p[off:]))
+		off += 4
+		if mlen < 0 || mlen > len(p)-off {
+			return resp, false
+		}
+		resp.Msg = string(p[off : off+mlen])
+		off += mlen
+	} else {
+		switch resp.Op {
+		case OpGet:
+			if len(p)-off < 4 {
+				return resp, false
+			}
+			vlen := int(binary.LittleEndian.Uint32(p[off:]))
+			off += 4
+			if vlen < 0 || vlen > len(p)-off {
+				return resp, false
+			}
+			resp.Value = p[off : off+vlen]
+			off += vlen
+		case OpMGet:
+			if len(p)-off < 4 {
+				return resp, false
+			}
+			count := int(binary.LittleEndian.Uint32(p[off:]))
+			off += 4
+			if count < 0 || count > len(p)-off {
+				return resp, false
+			}
+			resp.Values = make([][]byte, count)
+			for i := 0; i < count; i++ {
+				if len(p)-off < 1 {
+					return resp, false
+				}
+				present := p[off]
+				off++
+				if present == 0 {
+					continue
+				}
+				if present != 1 || len(p)-off < 4 {
+					return resp, false
+				}
+				vlen := int(binary.LittleEndian.Uint32(p[off:]))
+				off += 4
+				if vlen < 0 || vlen > len(p)-off {
+					return resp, false
+				}
+				resp.Values[i] = p[off : off+vlen]
+				off += vlen
+			}
+		case OpMPut, OpMDelete, OpFlush:
+			if len(p)-off < 4 {
+				return resp, false
+			}
+			resp.Applied = binary.LittleEndian.Uint32(p[off:])
+			off += 4
+		case OpStats:
+			if len(p)-off < 4 {
+				return resp, false
+			}
+			jlen := int(binary.LittleEndian.Uint32(p[off:]))
+			off += 4
+			if jlen < 0 || jlen > len(p)-off {
+				return resp, false
+			}
+			resp.Stats = p[off : off+jlen]
+			off += jlen
+		case OpPut, OpDelete:
+		default:
+			return resp, false
+		}
+	}
+	if flags&respFlagLSNs != 0 {
+		if len(p)-off < 4 {
+			return resp, false
+		}
+		count := int(binary.LittleEndian.Uint32(p[off:]))
+		off += 4
+		// count == 0 is rejected too: the encoder expresses "no LSNs" by
+		// clearing the flag, so the empty-list-with-flag shape is not a
+		// canonical encoding.
+		if count <= 0 || count > (len(p)-off)/12 {
+			return resp, false
+		}
+		resp.LSNs = make([]ShardLSN, count)
+		for i := range resp.LSNs {
+			resp.LSNs[i] = ShardLSN{
+				Shard: binary.LittleEndian.Uint32(p[off:]),
+				LSN:   binary.LittleEndian.Uint64(p[off+4:]),
+			}
+			off += 12
+		}
+	}
+	return resp, off == len(p)
+}

@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/bravolock/bravo/internal/frame"
+)
+
+// ErrCorruptFrame reports stream bytes that can never become a valid
+// frame: an insane or over-cap declared length, or a CRC mismatch over a
+// fully-present payload. A connection that produces it is unrecoverable —
+// frame boundaries are lost — and closes.
+var ErrCorruptFrame = errors.New("wire: corrupt frame")
+
+// StreamDecoder incrementally splits frames off an io.Reader: the wire's
+// analogue of WAL replay's torn-tail walk, with the same codec underneath
+// (internal/frame) and the stream consumer's posture — Incomplete reads
+// more, Corrupt fails the stream.
+type StreamDecoder struct {
+	r   io.Reader
+	max int
+	buf []byte
+	off int // consumed prefix of buf
+	tmp []byte
+}
+
+// NewStreamDecoder returns a decoder over r. maxFrame bounds an accepted
+// frame's total length (<= 0 means DefaultMaxFrame); a peer declaring more
+// is treated as corrupt before any of it is buffered.
+func NewStreamDecoder(r io.Reader, maxFrame int) *StreamDecoder {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &StreamDecoder{r: r, max: maxFrame, tmp: make([]byte, 32<<10)}
+}
+
+// Next returns the next frame's payload, reading from the underlying
+// stream only when no complete frame is already buffered. The payload
+// aliases the decoder's buffer and is valid until the following Next call.
+// Errors are ErrCorruptFrame (connection unrecoverable) or the underlying
+// reader's error (io.EOF between frames for a clean end-of-stream,
+// io.ErrUnexpectedEOF inside one).
+//
+// The buffered-first order is what lets a draining server answer every
+// fully-received pipelined request after its listener closes: Next keeps
+// yielding buffered frames until it genuinely needs bytes the peer never
+// sent, and only then surfaces the read error.
+func (d *StreamDecoder) Next() ([]byte, error) {
+	for {
+		payload, n, status := frame.Split(d.buf[d.off:])
+		if status == frame.Corrupt {
+			return nil, ErrCorruptFrame
+		}
+		if want := frame.PeekLen(d.buf[d.off:]); want > d.max {
+			return nil, fmt.Errorf("%w: declared frame length %d over the %d cap", ErrCorruptFrame, want, d.max)
+		}
+		if status == frame.OK {
+			d.off += n
+			return payload, nil
+		}
+		// Compact the consumed prefix before growing the buffer.
+		if d.off > 0 {
+			d.buf = append(d.buf[:0], d.buf[d.off:]...)
+			d.off = 0
+		}
+		n, err := d.r.Read(d.tmp)
+		if n > 0 {
+			d.buf = append(d.buf, d.tmp[:n]...)
+			continue // a read may complete the frame even if err != nil
+		}
+		if err == nil {
+			continue
+		}
+		if err == io.EOF && len(d.buf) > 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+}
+
+// HasFrame reports whether a complete frame is already buffered — the next
+// Next will not touch the underlying reader. Servers use it to batch
+// pipelined responses: flush only when the request backlog is empty.
+func (d *StreamDecoder) HasFrame() bool {
+	_, _, status := frame.Split(d.buf[d.off:])
+	return status == frame.OK
+}
