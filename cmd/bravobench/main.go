@@ -44,6 +44,12 @@
 //	                       same MPUT/MGET batches, across -conns connection
 //	                       counts and -depths pipeline depths; -json writes
 //	                       BENCH_wire.json with wire-over-HTTP ratios
+//	-workload cluster      the partition axis: hash-routed partitioned
+//	                       primaries under a routed read/write storm across
+//	                       -partitions counts, then a graceful failover of
+//	                       every partition measuring
+//	                       recovery-time-to-first-write; -json writes
+//	                       BENCH_cluster.json
 //
 // Examples:
 //
@@ -58,6 +64,7 @@
 //	bravobench -workload wal -json -threads 2,8
 //	bravobench -workload repl -json -followers 1,2,4
 //	bravobench -workload wire -json -conns 64,256 -depths 1,32
+//	bravobench -workload cluster -json -partitions 1,2,4
 package main
 
 import (
@@ -82,18 +89,19 @@ var (
 	locksFlag    = flag.String("locks", "ba,bravo-ba,pthread,bravo-pthread,per-cpu,cohort-rw", "native lock lineup")
 	scanFlag     = flag.Bool("scanrate", false, "measure the revocation scan rate (ns/slot) and exit")
 
-	workloadFlag   = flag.String("workload", "figures", "figures, shardedkv, readlatency, kvserv, wal, repl, or wire")
+	workloadFlag   = flag.String("workload", "figures", "figures, shardedkv, readlatency, kvserv, wal, repl, wire, or cluster")
 	jsonFlag       = flag.Bool("json", false, "shardedkv/readlatency/kvserv/wal/repl/wire: also write machine-readable results")
 	outFlag        = flag.String("out", "BENCH_shardedkv.json", "shardedkv/readlatency/kvserv/wal/repl/wire: -json output path (workload-specific default)")
 	shardsFlag     = flag.String("shards", "1,2,4,8", "shardedkv/kvserv/wal/repl: shard counts (powers of two)")
 	writeRatioFlag = flag.Float64("writeratio", 0.01, "shardedkv: fraction of operations that write")
 	valueSizeFlag  = flag.Int("valuesize", bench.ShardedKVDefaultValueSize, "shardedkv/kvserv/wal/repl: value payload bytes (sets critical-section length)")
 	batchFlag      = flag.Int("batch", bench.KVServDefaultBatch, "kvserv/wal/repl: MultiPut group size in batched mode")
-	followersFlag  = flag.String("followers", "1,2,4", "repl: follower fleet sizes")
-	readersFlag    = flag.Int("readers", bench.ReplDefaultReaders, "repl: reader goroutines per follower")
+	followersFlag  = flag.String("followers", "1,2,4", "repl: follower fleet sizes; cluster: followers per partition (one entry)")
+	readersFlag    = flag.Int("readers", bench.ReplDefaultReaders, "repl: reader goroutines per follower; cluster: total reader goroutines")
 	writeRateFlag  = flag.Int("writerate", bench.ReplDefaultWriteRate, "repl: paced primary write load in keys/sec (0: unpaced)")
 	connsFlag      = flag.String("conns", "64,256,1024,4096", "wire: client connection counts")
 	depthsFlag     = flag.String("depths", "1,8,32", "wire: pipeline depths for the binary protocol")
+	partitionsFlag = flag.String("partitions", "1,2,4", "cluster: partitioned primary counts")
 )
 
 // shardedKVDefaults replace the figure-oriented flag defaults when the
@@ -157,6 +165,17 @@ const (
 	wireDefaultLocks  = "bravo-go"
 	wireDefaultShards = "8"
 	wireDefaultOut    = "BENCH_wire.json"
+)
+
+// clusterDefaults replace the figure-oriented defaults for the cluster
+// workload: one serving substrate, a modest per-partition shard count (the
+// sweep's axis is partitions, not shards), one follower per partition (the
+// failover pool the recovery measurement promotes from).
+const (
+	clusterDefaultLocks     = "bravo-go"
+	clusterDefaultShards    = "4"
+	clusterDefaultFollowers = "1"
+	clusterDefaultOut       = "BENCH_cluster.json"
 )
 
 // rwbenchSubs maps Figure 4's sub-plots to write probabilities.
@@ -240,6 +259,17 @@ func main() {
 			"batch":     func() { *batchFlag = bench.WireDefaultBatch },
 			"out":       func() { *outFlag = wireDefaultOut },
 		})
+	case "cluster":
+		applyWorkloadDefaults(map[string]func(){
+			"locks":     func() { *locksFlag = clusterDefaultLocks },
+			"shards":    func() { *shardsFlag = clusterDefaultShards },
+			"followers": func() { *followersFlag = clusterDefaultFollowers },
+			"interval":  func() { *intervalFlag = 500 * time.Millisecond },
+			"runs":      func() { *runsFlag = 3 },
+			"valuesize": func() { *valueSizeFlag = bench.KVServDefaultValueSize },
+			"batch":     func() { *batchFlag = bench.WALDefaultBatch },
+			"out":       func() { *outFlag = clusterDefaultOut },
+		})
 	}
 	threads, err := cliutil.ParseInts(*threadsFlag)
 	if err != nil {
@@ -271,8 +301,12 @@ func main() {
 		runWire(cfg, locks)
 		return
 	}
+	if *workloadFlag == "cluster" {
+		runCluster(cfg, locks)
+		return
+	}
 	if *workloadFlag != "figures" {
-		fatal(fmt.Errorf("unknown workload %q (figures, shardedkv, readlatency, kvserv, wal, repl, wire)", *workloadFlag))
+		fatal(fmt.Errorf("unknown workload %q (figures, shardedkv, readlatency, kvserv, wal, repl, wire, cluster)", *workloadFlag))
 	}
 	figs := []string{"1", "2", "3", "4", "5", "6"}
 	if *figFlag != "all" {
@@ -511,6 +545,49 @@ func runWire(cfg bench.Config, locks []string) {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d results, %d comparisons)\n", *outFlag, len(results), len(comps))
+}
+
+func runCluster(cfg bench.Config, locks []string) {
+	shardCounts, err := cliutil.ParseInts(*shardsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if len(shardCounts) != 1 || shardCounts[0] <= 0 || shardCounts[0]&(shardCounts[0]-1) != 0 {
+		fatal(fmt.Errorf("cluster workload takes exactly one power-of-two -shards entry (per-partition shard count), got %q", *shardsFlag))
+	}
+	followerCounts, err := cliutil.ParseInts(*followersFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if len(followerCounts) != 1 || followerCounts[0] < 1 {
+		fatal(fmt.Errorf("cluster workload takes exactly one -followers entry >= 1 (the failover pool), got %q", *followersFlag))
+	}
+	partitionCounts, err := cliutil.ParseInts(*partitionsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	results, err := bench.ClusterSweep(locks, partitionCounts, shardCounts[0], followerCounts[0], *readersFlag, *batchFlag, *valueSizeFlag, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# cluster: %d keys, %dB values, batch %d, %d readers, %d shards/partition, %d followers/partition, interval %v, median of %d\n",
+		bench.ClusterWorkloadKeys, *valueSizeFlag, *batchFlag, *readersFlag, shardCounts[0], followerCounts[0], cfg.Interval, cfg.Runs)
+	bench.WriteClusterTable(os.Stdout, results)
+	if !*jsonFlag {
+		return
+	}
+	f, err := os.Create(*outFlag)
+	if err != nil {
+		fatal(err)
+	}
+	rep := bench.NewClusterReport(cfg, *batchFlag, results)
+	if err := rep.WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d results)\n", *outFlag, len(results))
 }
 
 // applyWorkloadDefaults runs each override whose flag the user did not set

@@ -33,11 +33,23 @@
 //
 //	kvserv -addr :7070 -wire-addr :7071 -data-dir /var/lib/kvserv
 //
+// With -cluster N the process runs as a hash-routed cluster of N
+// partitioned primaries (internal/cluster), each with -cluster-followers
+// live replicas as its failover pool. The keyspace splits by rendezvous
+// hashing, MGET/MPUT fan out per partition, write tokens widen to
+// (epoch, shard, lsn) triples (X-Commit-Epoch joins the headers), and
+// POST /failover/{partition} promotes the most-caught-up follower behind
+// an LSN-fenced epoch bump. -data-dir is required (primaries are durable)
+// and -follow is refused.
+//
+//	kvserv -addr :7070 -cluster 4 -cluster-followers 2 -data-dir /var/lib/kvserv
+//
 // Endpoints: GET/PUT/DELETE /kv/{key} (PUT takes ?ttl=1s or ?async=1),
 // GET /mget?keys=1,2,3, POST /mput, POST /flush, POST /checkpoint,
-// GET /stats, GET /repl/stream, GET /repl/status. See internal/kvserv,
-// internal/repl, and README's "Serving traffic", "Persistence", and
-// "Replication" sections.
+// GET /stats, GET /repl/stream, GET /repl/status, and in cluster mode
+// POST /failover/{partition}. See internal/kvserv, internal/repl,
+// internal/cluster, and README's "Serving traffic", "Persistence",
+// "Replication", and "Cluster" sections.
 //
 // The lock lineup is the benchmark registry's (-lock accepts any name from
 // the README menu: go-rw, mutex, bravo-go, bravo-ba, ...), so the serving
@@ -53,6 +65,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"github.com/bravolock/bravo/internal/cluster"
 	"github.com/bravolock/bravo/internal/kvs"
 	"github.com/bravolock/bravo/internal/kvserv"
 	_ "github.com/bravolock/bravo/internal/locks/all"
@@ -72,6 +85,9 @@ var (
 	dataDirFlag    = flag.String("data-dir", "", "durable data directory (empty: volatile, lost on exit)")
 	syncFlag       = flag.String("sync", "always", "WAL sync policy with -data-dir: always (fsync per batch) or none")
 	followFlag     = flag.String("follow", "", "primary base URL: run as a read-only replication follower")
+
+	clusterFlag          = flag.Int("cluster", 0, "partition count: run as a hash-routed cluster of N primaries (requires -data-dir)")
+	clusterFollowersFlag = flag.Int("cluster-followers", 1, "replicas per partition with -cluster: the failover pool")
 )
 
 func main() {
@@ -82,7 +98,14 @@ func main() {
 		fatal(err)
 	}
 	if *followFlag != "" {
+		if *clusterFlag > 0 {
+			fatal(fmt.Errorf("-follow and -cluster are exclusive: a cluster runs its own follower pools"))
+		}
 		runFollower(mk)
+		return
+	}
+	if *clusterFlag > 0 {
+		runCluster(mk)
 		return
 	}
 	opts := []kvs.Option{}
@@ -134,6 +157,60 @@ func main() {
 		}
 	}
 	if err := engine.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+// runCluster is the -cluster mode: open N hash-routed partitioned
+// primaries under -data-dir, each with its follower pool, and serve the
+// whole keyspace through the cluster front-end.
+func runCluster(mk rwl.Factory) {
+	if *dataDirFlag == "" {
+		fatal(fmt.Errorf("-cluster requires -data-dir: partition primaries are durable (failover needs their WALs)"))
+	}
+	policy, err := kvs.ParseSyncPolicy(*syncFlag)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := cluster.Open(cluster.Config{
+		Partitions: *clusterFlag,
+		Shards:     *shardsFlag,
+		Followers:  *clusterFollowersFlag,
+		Dir:        *dataDirFlag,
+		Policy:     policy,
+		MkLock:     mk,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	l, err := net.Listen("tcp", *addrFlag)
+	if err != nil {
+		c.Close()
+		fatal(err)
+	}
+	srv := kvserv.NewClusterServer(c, kvserv.Config{
+		ReapInterval: *reapFlag,
+		ReapBudget:   *reapBudgetFlag,
+	})
+	fmt.Printf("kvserv: cluster of %d primaries on %s — %d×%s shards each, %d followers each, durable in %s (sync %s), reap %v\n",
+		*clusterFlag, l.Addr(), *shardsFlag, *lockFlag, *clusterFollowersFlag, *dataDirFlag, policy, *reapFlag)
+	startWire(srv)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	select {
+	case sig := <-sigc:
+		fmt.Printf("kvserv: %v — shutting down\n", sig)
+		srv.Close()
+		<-done
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			c.Close()
+			fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
 		fatal(err)
 	}
 }

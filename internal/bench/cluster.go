@@ -1,0 +1,311 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bravolock/bravo/internal/cluster"
+	"github.com/bravolock/bravo/internal/kvs"
+	"github.com/bravolock/bravo/internal/rwl"
+	"github.com/bravolock/bravo/internal/xrand"
+)
+
+// The cluster workload measures what partitioning buys and what failover
+// costs: aggregate write/read throughput across partition counts (the
+// write path serializes per partition, so aggregate write throughput is
+// the scaling claim), and recovery-time-to-first-write — how long a
+// partition's keys are unwritable while a kill-and-promote failover runs.
+// The full stack is exercised in-process: hash routing, per-partition
+// durable primaries, follower streaming, fencing, and promotion; writers
+// stream cross-partition MultiPut batches the way the MPUT front-end fans
+// them out, readers hit the routed read path through pinned handles.
+
+// ClusterWorkloadKeys is the workload's keyspace.
+const ClusterWorkloadKeys = 1 << 14
+
+// ClusterDefaultReaders is the total reader goroutine count.
+const ClusterDefaultReaders = 4
+
+// ClusterResult is one (lock, partitions) measurement.
+type ClusterResult struct {
+	Lock       string `json:"lock"`
+	Partitions int    `json:"partitions"`
+	// Shards is each partition engine's shard count: the write-parallelism
+	// within a partition, as distinct from across them.
+	Shards    int `json:"shards_per_partition"`
+	Followers int `json:"followers_per_partition"`
+	// Writers writer goroutines (one per partition) stream MultiPut batches
+	// of BatchSize random keys — each batch fans out across partitions the
+	// way the MPUT front-end routes it — while Readers reader goroutines
+	// stream routed Gets through pinned handles.
+	Writers   int `json:"writers"`
+	Readers   int `json:"readers"`
+	BatchSize int `json:"batch_size"`
+	ValueSize int `json:"value_size"`
+
+	// Aggregate throughput during the storm (median over runs).
+	WriteKeysPerSec float64 `json:"write_keys_per_sec"`
+	ReadsPerSec     float64 `json:"reads_per_sec"`
+
+	// Failover cost, last run: every partition is failed over once
+	// (graceful: caught-up followers), and recovery is the wall time from
+	// entering Failover to the first acknowledged write on the promoted
+	// primary — the window the partition's keys are unwritable.
+	Failovers      int     `json:"failovers"`
+	RecoveryMeanMS float64 `json:"recovery_mean_ms"`
+	RecoveryMaxMS  float64 `json:"recovery_max_ms"`
+}
+
+// ClusterReport is the top-level BENCH_cluster.json document.
+type ClusterReport struct {
+	Benchmark  string          `json:"benchmark"`
+	Meta       RunMeta         `json:"meta"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	IntervalMS int64           `json:"interval_ms"`
+	Runs       int             `json:"runs"`
+	Keys       int             `json:"keys"`
+	Batch      int             `json:"batch"`
+	Results    []ClusterResult `json:"results"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r ClusterReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// NewClusterReport stamps the environment fields of a report.
+func NewClusterReport(cfg Config, batch int, results []ClusterResult) ClusterReport {
+	return ClusterReport{
+		Benchmark:  "cluster",
+		Meta:       NewRunMeta(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		IntervalMS: cfg.Interval.Milliseconds(),
+		Runs:       cfg.Runs,
+		Keys:       ClusterWorkloadKeys,
+		Batch:      batch,
+		Results:    results,
+	}
+}
+
+// ClusterPoint measures one (lock, partitions) point: cfg.Runs fresh
+// cluster deployments, median throughputs, last run's failover costs.
+func ClusterPoint(lockName string, partitions, shards, followers, readers, batch, valueSize int, cfg Config) (ClusterResult, error) {
+	if partitions < 1 {
+		return ClusterResult{}, fmt.Errorf("bench: cluster partitions %d (want >= 1)", partitions)
+	}
+	if followers < 1 {
+		return ClusterResult{}, fmt.Errorf("bench: cluster followers %d (want >= 1: the failover pool)", followers)
+	}
+	if batch < 2 {
+		return ClusterResult{}, fmt.Errorf("bench: cluster batch %d (want >= 2)", batch)
+	}
+	if readers < 1 {
+		readers = ClusterDefaultReaders
+	}
+	mk, _, err := shardedKVFactory(lockName)
+	if err != nil {
+		return ClusterResult{}, err
+	}
+	res := ClusterResult{
+		Lock: lockName, Partitions: partitions, Shards: shards, Followers: followers,
+		Writers: partitions, Readers: readers, BatchSize: batch, ValueSize: valueSize,
+	}
+	if res.ValueSize < 8 {
+		res.ValueSize = 8
+	}
+	writes := make([]float64, 0, cfg.Runs)
+	reads := make([]float64, 0, cfg.Runs)
+	runs := cfg.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	for i := 0; i < runs; i++ {
+		w, r, err := clusterRun(mk, &res, cfg.Interval)
+		if err != nil {
+			return res, err
+		}
+		writes = append(writes, w)
+		reads = append(reads, r)
+	}
+	res.WriteKeysPerSec = median(writes) / cfg.Interval.Seconds()
+	res.ReadsPerSec = median(reads) / cfg.Interval.Seconds()
+	return res, nil
+}
+
+// clusterRun deploys one cluster, runs the storm interval, then fails over
+// every partition measuring recovery-time-to-first-write. Returns raw
+// (keys written, reads) counts and fills res's failover fields.
+func clusterRun(mk rwl.Factory, res *ClusterResult, interval time.Duration) (wrote, read float64, err error) {
+	dir, err := os.MkdirTemp("", "bravo-clusterbench-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	c, err := cluster.Open(cluster.Config{
+		Partitions:    res.Partitions,
+		Shards:        res.Shards,
+		Followers:     res.Followers,
+		Dir:           dir,
+		Policy:        kvs.SyncNone,
+		MkLock:        mk,
+		RetryInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.Close()
+
+	// Prefill so readers hit resident keys.
+	val := make([]byte, res.ValueSize)
+	keys := make([]uint64, res.BatchSize)
+	vals := make([][]byte, res.BatchSize)
+	for i := range vals {
+		vals[i] = val
+	}
+	prefill := xrand.NewXorShift64(0x5EEDBEEF)
+	for n := 0; n < ClusterWorkloadKeys; n += res.BatchSize {
+		for i := range keys {
+			keys[i] = prefill.Next() % ClusterWorkloadKeys
+		}
+		if _, err := c.MultiPut(keys, vals, 0); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	// The storm: one writer per partition streaming fan-out batches,
+	// readers hammering the routed read path.
+	var stop atomic.Bool
+	var wroteKeys, readOps atomic.Uint64
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	for w := 0; w < res.Writers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := xrand.NewXorShift64(seed)
+			wkeys := make([]uint64, res.BatchSize)
+			for !stop.Load() {
+				for i := range wkeys {
+					wkeys[i] = rng.Next() % ClusterWorkloadKeys
+				}
+				if _, err := c.MultiPut(wkeys, vals, 0); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				wroteKeys.Add(uint64(res.BatchSize))
+			}
+		}(uint64(0xA11CE + w))
+	}
+	for r := 0; r < res.Readers; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			h := rwl.NewReader()
+			rng := xrand.NewXorShift64(seed)
+			buf := make([]byte, 0, res.ValueSize)
+			n := uint64(0)
+			for !stop.Load() {
+				buf, _ = c.Get(h, rng.Next()%ClusterWorkloadKeys, buf[:0])
+				n++
+				if n&1023 == 0 {
+					runtime.Gosched()
+				}
+			}
+			readOps.Add(n)
+		}(uint64(0xBEAD + r))
+	}
+	time.Sleep(interval)
+	stop.Store(true)
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		return 0, 0, e.(error)
+	}
+
+	// Recovery-time-to-first-write: fail over every partition (graceful —
+	// followers drained first, so the cut is lossless and the clock charges
+	// promotion, not catch-up) and probe until a routed write lands on the
+	// promoted primary.
+	probe := make([]uint64, res.Partitions) // one owned key per partition, +1
+	for k, found := uint64(0), 0; found < res.Partitions && k < ClusterWorkloadKeys; k++ {
+		if pi := c.Partition(k); probe[pi] == 0 {
+			probe[pi] = k + 1 // store key+1 so 0 means "not found yet"
+			found++
+		}
+	}
+	var recoverSum, recoverMax float64
+	for pi := 0; pi < res.Partitions; pi++ {
+		if probe[pi] == 0 {
+			return 0, 0, fmt.Errorf("bench: partition %d owns none of the %d workload keys", pi, ClusterWorkloadKeys)
+		}
+		if err := c.WaitCaughtUp(30 * time.Second); err != nil {
+			return 0, 0, err
+		}
+		t0 := time.Now()
+		for {
+			if _, err := c.Failover(pi); err == nil {
+				break
+			} else if !errors.Is(err, cluster.ErrNotReady) {
+				return 0, 0, fmt.Errorf("bench: failover partition %d: %w", pi, err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		key := probe[pi] - 1
+		for {
+			if _, err := c.Put(key, val, 0); err == nil {
+				break
+			} else if !errors.Is(err, cluster.ErrFenced) {
+				return 0, 0, fmt.Errorf("bench: post-failover write partition %d: %w", pi, err)
+			}
+		}
+		ms := float64(time.Since(t0).Microseconds()) / 1000
+		recoverSum += ms
+		if ms > recoverMax {
+			recoverMax = ms
+		}
+	}
+	res.Failovers = res.Partitions
+	res.RecoveryMeanMS = recoverSum / float64(res.Partitions)
+	res.RecoveryMaxMS = recoverMax
+	return float64(wroteKeys.Load()), float64(readOps.Load()), nil
+}
+
+// ClusterSweep measures the partition axis for every lock.
+func ClusterSweep(locks []string, partitionCounts []int, shards, followers, readers, batch, valueSize int, cfg Config) ([]ClusterResult, error) {
+	var results []ClusterResult
+	for _, lock := range locks {
+		for _, pc := range partitionCounts {
+			r, err := ClusterPoint(lock, pc, shards, followers, readers, batch, valueSize, cfg)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, r)
+		}
+	}
+	return results, nil
+}
+
+// WriteClusterTable renders the measurements as the aligned human-readable
+// companion of the JSON report.
+func WriteClusterTable(w io.Writer, results []ClusterResult) {
+	const format = "%-10s %11s %7s %10s %12s %12s %10s %12s %11s\n"
+	fmt.Fprintf(w, format, "lock", "partitions", "shards", "followers",
+		"wkeys/sec", "reads/sec", "failovers", "recover(ms)", "recmax(ms)")
+	for _, r := range results {
+		fmt.Fprintf(w, format, r.Lock,
+			fmt.Sprintf("%d", r.Partitions), fmt.Sprintf("%d", r.Shards), fmt.Sprintf("%d", r.Followers),
+			fmt.Sprintf("%.0f", r.WriteKeysPerSec),
+			fmt.Sprintf("%.0f", r.ReadsPerSec),
+			fmt.Sprintf("%d", r.Failovers),
+			fmt.Sprintf("%.1f", r.RecoveryMeanMS),
+			fmt.Sprintf("%.1f", r.RecoveryMaxMS))
+	}
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	_ "github.com/bravolock/bravo/internal/locks/all"
+)
+
+func TestClusterPointValidation(t *testing.T) {
+	cfg := Config{Interval: time.Millisecond, Runs: 1}
+	if _, err := ClusterPoint("bravo-go", 0, 2, 1, 2, 16, 32, cfg); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+	if _, err := ClusterPoint("bravo-go", 2, 2, 0, 2, 16, 32, cfg); err == nil {
+		t.Fatal("zero followers accepted (no failover pool)")
+	}
+	if _, err := ClusterPoint("bravo-go", 2, 2, 1, 2, 1, 32, cfg); err == nil {
+		t.Fatal("batch < 2 accepted")
+	}
+	if _, err := ClusterPoint("no-such-lock", 2, 2, 1, 2, 16, 32, cfg); err == nil {
+		t.Fatal("unknown lock accepted")
+	}
+}
+
+// TestClusterSweepSmoke runs a tiny partitioned deployment end to end:
+// routed storm traffic, a graceful failover of every partition with
+// recovery-time-to-first-write, and a JSON-marshalable report carrying the
+// partition axis.
+func TestClusterSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a primaries+followers deployment per point")
+	}
+	cfg := Config{Interval: 60 * time.Millisecond, Runs: 1}
+	results, err := ClusterSweep([]string{"bravo-go"}, []int{1, 2}, 2, 1, 2, 16, 32, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("sweep returned %d results, want 2", len(results))
+	}
+	for _, r := range results {
+		if r.WriteKeysPerSec <= 0 || r.ReadsPerSec <= 0 {
+			t.Fatalf("degenerate result %+v", r)
+		}
+		if r.Failovers != r.Partitions || r.RecoveryMaxMS <= 0 {
+			t.Fatalf("failover fields %+v, want one measured failover per partition", r)
+		}
+	}
+	var buf bytes.Buffer
+	rep := NewClusterReport(cfg, 16, results)
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ClusterReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Benchmark != "cluster" || len(back.Results) != 2 || back.Results[1].Partitions != 2 {
+		t.Fatalf("report round-trip %+v", back)
+	}
+	WriteClusterTable(&buf, results)
+}

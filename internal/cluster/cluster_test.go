@@ -1,0 +1,316 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/bravolock/bravo/internal/kvs"
+)
+
+func testConfig(t *testing.T, partitions, followers int) Config {
+	t.Helper()
+	return Config{
+		Partitions:    partitions,
+		Shards:        4,
+		Followers:     followers,
+		Dir:           t.TempDir(),
+		Policy:        kvs.SyncNone,
+		RetryInterval: 5 * time.Millisecond,
+	}
+}
+
+func openCluster(t *testing.T, partitions, followers int) *Cluster {
+	t.Helper()
+	c, err := Open(testConfig(t, partitions, followers))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClusterPutGetRoundTrip(t *testing.T) {
+	c := openCluster(t, 3, 1)
+	const n = 500
+	for k := uint64(0); k < n; k++ {
+		if _, err := c.Put(k, []byte(fmt.Sprintf("v%d", k)), 0); err != nil {
+			t.Fatalf("Put(%d): %v", k, err)
+		}
+	}
+	for k := uint64(0); k < n; k++ {
+		v, ok := c.Get(nil, k, nil)
+		if !ok || string(v) != fmt.Sprintf("v%d", k) {
+			t.Fatalf("Get(%d) = %q, %v", k, v, ok)
+		}
+	}
+	// The keyspace actually spread: every partition owns something.
+	st := c.Stats()
+	for _, ps := range st.Members {
+		var total uint64
+		for _, l := range ps.LSNs {
+			total += l
+		}
+		if total == 0 {
+			t.Fatalf("partition %d received no writes out of %d keys", ps.Partition, n)
+		}
+	}
+}
+
+func TestClusterMultiOpsFanOut(t *testing.T) {
+	c := openCluster(t, 4, 1)
+	const n = 200
+	keys := make([]uint64, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = uint64(i * 7)
+		vals[i] = []byte(fmt.Sprintf("batch-%d", i))
+	}
+	lsns, err := c.MultiPut(keys, vals, 0)
+	if err != nil {
+		t.Fatalf("MultiPut: %v", err)
+	}
+	if len(lsns) == 0 {
+		t.Fatal("MultiPut returned no tokens on a durable cluster")
+	}
+	seen := map[uint32]bool{}
+	for _, tok := range lsns {
+		if tok.Epoch != 1 {
+			t.Fatalf("token epoch %d before any failover", tok.Epoch)
+		}
+		if seen[tok.Shard] {
+			t.Fatalf("duplicate global shard %d in tokens", tok.Shard)
+		}
+		seen[tok.Shard] = true
+		if _, _, ok := c.SplitGlobalShard(tok.Shard); !ok {
+			t.Fatalf("token shard %d out of range", tok.Shard)
+		}
+	}
+	got := c.MultiGet(nil, keys)
+	for i, v := range got {
+		if !bytes.Equal(v, vals[i]) {
+			t.Fatalf("MultiGet[%d] = %q, want %q", i, v, vals[i])
+		}
+	}
+	// Tokens admit the read (all current-epoch).
+	for _, tok := range lsns {
+		if terr := c.CheckToken(tok.Epoch, tok.LSN, keys); terr != nil {
+			t.Fatalf("CheckToken: %v", terr)
+		}
+	}
+	removed, dLsns, err := c.MultiDelete(keys[:50])
+	if err != nil {
+		t.Fatalf("MultiDelete: %v", err)
+	}
+	if removed != 50 {
+		t.Fatalf("MultiDelete removed %d, want 50", removed)
+	}
+	if len(dLsns) == 0 {
+		t.Fatal("MultiDelete returned no tokens")
+	}
+	for i := 0; i < 50; i++ {
+		if _, ok := c.Get(nil, keys[i], nil); ok {
+			t.Fatalf("key %d survived MultiDelete", keys[i])
+		}
+	}
+}
+
+func TestClusterFailoverPromotesAndFences(t *testing.T) {
+	c := openCluster(t, 2, 2)
+	const n = 300
+	toks := make(map[uint64]ShardLSN, n)
+	for k := uint64(0); k < n; k++ {
+		tok, err := c.Put(k, []byte(fmt.Sprintf("v%d", k)), 0)
+		if err != nil {
+			t.Fatalf("Put(%d): %v", k, err)
+		}
+		toks[k] = tok
+	}
+	if err := c.WaitCaughtUp(5 * time.Second); err != nil {
+		t.Fatalf("WaitCaughtUp: %v", err)
+	}
+
+	old := c.Member(0)
+	epoch, err := c.Failover(0)
+	if err != nil {
+		t.Fatalf("Failover: %v", err)
+	}
+	if epoch != 2 || c.Epoch(0) != 2 {
+		t.Fatalf("epoch after failover: returned %d, partition at %d", epoch, c.Epoch(0))
+	}
+
+	// The fenced corpse rejects everything, wherever the write enters.
+	if _, _, err := old.Put(1, []byte("zombie"), 0); err != ErrFenced {
+		t.Fatalf("corpse Put: %v, want ErrFenced", err)
+	}
+	if _, err := old.Flush(); err != ErrFenced {
+		t.Fatalf("corpse Flush: %v, want ErrFenced", err)
+	}
+
+	// Caught-up failover loses nothing: every key reads back, every old
+	// token is honored (it survived the cut).
+	for k := uint64(0); k < n; k++ {
+		v, ok := c.Get(nil, k, nil)
+		if !ok || string(v) != fmt.Sprintf("v%d", k) {
+			t.Fatalf("Get(%d) after failover = %q, %v", k, v, ok)
+		}
+		tok := toks[k]
+		if terr := c.CheckToken(tok.Epoch, tok.LSN, []uint64{k}); terr != nil {
+			t.Fatalf("old token for key %d rejected: %v", k, terr)
+		}
+	}
+
+	// The promoted primary continues the LSN sequence and serves writes at
+	// the new epoch.
+	tok, err := c.Put(7, []byte("after"), 0)
+	if err != nil {
+		t.Fatalf("Put after failover: %v", err)
+	}
+	if c.Partition(7) == 0 && tok.Epoch != 2 {
+		t.Fatalf("post-failover token epoch %d, want 2", tok.Epoch)
+	}
+}
+
+func TestClusterLostTokenConflicts(t *testing.T) {
+	c := openCluster(t, 1, 1)
+	// Replicate one write, then pause the follower and write more: the
+	// extra writes are acknowledged but never replicated, so the failover
+	// cut loses them.
+	tok0, err := c.Put(1, []byte("kept"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitCaughtUp(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Followers(0)[0].Stop()
+	var lost ShardLSN
+	for i := 0; i < 10; i++ {
+		// Same key: same shard, strictly increasing LSNs past the cut.
+		if lost, err = c.Put(1, []byte("lost"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Failover(0); err != nil {
+		t.Fatalf("Failover: %v", err)
+	}
+	if terr := c.CheckToken(tok0.Epoch, tok0.LSN, []uint64{1}); terr != nil {
+		t.Fatalf("replicated token rejected: %v", terr)
+	}
+	terr := c.CheckToken(lost.Epoch, lost.LSN, []uint64{1})
+	if terr == nil || !terr.Conflict {
+		t.Fatalf("lost token: got %v, want conflict", terr)
+	}
+	// The value rolled back to the survived prefix.
+	if v, ok := c.Get(nil, 1, nil); !ok || string(v) != "kept" {
+		t.Fatalf("Get after lossy failover = %q, %v; want %q", v, ok, "kept")
+	}
+	// A token from a future epoch is impossible here: not a conflict, a
+	// bad request.
+	terr = c.CheckToken(99, 1, []uint64{1})
+	if terr == nil || terr.Conflict {
+		t.Fatalf("future-epoch token: got %v, want non-conflict error", terr)
+	}
+}
+
+// TestClusterMaintenanceSurface covers the operational methods the
+// failover tests don't route through: topology accessors, async writes
+// with Flush, TTL reaping, checkpoints, single-key Delete, and data
+// removal after close.
+func TestClusterMaintenanceSurface(t *testing.T) {
+	c := openCluster(t, 2, 1)
+	if c.NumPartitions() != 2 || c.ShardsPerPartition() != 4 {
+		t.Fatalf("topology = %d×%d, want 2×4", c.NumPartitions(), c.ShardsPerPartition())
+	}
+	if r := c.Router(); r.NumPartitions() != 2 || len(r.IDs()) != 2 {
+		t.Fatalf("router reports %d partitions, %d ids", r.NumPartitions(), len(r.IDs()))
+	}
+	if c.Epoch(0) != 1 || c.Member(0).Epoch() != 1 {
+		t.Fatalf("fresh cluster epochs = %d/%d, want 1/1", c.Epoch(0), c.Member(0).Epoch())
+	}
+
+	// Async writes route like sync ones and land on Flush.
+	for k := uint64(0); k < 8; k++ {
+		if err := c.PutAsync(k, []byte("queued")); err != nil {
+			t.Fatalf("PutAsync(%d): %v", k, err)
+		}
+	}
+	if n := c.Flush(); n != 8 {
+		t.Fatalf("Flush applied %d, want 8", n)
+	}
+	if v, ok := c.Get(nil, 3, nil); !ok || string(v) != "queued" {
+		t.Fatalf("async write invisible after Flush: %q, %v", v, ok)
+	}
+
+	// Expired TTL residue is reapable across every partition.
+	for k := uint64(100); k < 120; k++ {
+		if _, err := c.Put(k, []byte("brief"), time.Nanosecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(time.Millisecond)
+	if reaped := c.Reap(1000); reaped != 20 {
+		t.Fatalf("Reap removed %d, want 20", reaped)
+	}
+
+	if err := c.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+
+	ok, tok, err := c.Delete(3)
+	if err != nil || !ok || tok.LSN == 0 || tok.Epoch != 1 {
+		t.Fatalf("Delete(3) = %v, %+v, %v", ok, tok, err)
+	}
+	if ok, _, err = c.Delete(3); err != nil || ok {
+		t.Fatalf("second Delete(3) = %v, %v; want a miss", ok, err)
+	}
+
+	// A token error renders a usable message.
+	if terr := c.CheckToken(99, 1, []uint64{1}); terr == nil || terr.Error() == "" {
+		t.Fatalf("future-epoch CheckToken = %v, want a described error", terr)
+	}
+}
+
+func TestClusterRemoveDataAfterClose(t *testing.T) {
+	cfg := testConfig(t, 1, 1)
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put(1, []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := c.RemoveData(); err != nil {
+		t.Fatalf("RemoveData: %v", err)
+	}
+	if _, err := os.Stat(cfg.Dir); !os.IsNotExist(err) {
+		t.Fatalf("data dir survived RemoveData: %v", err)
+	}
+}
+
+func TestClusterTTLSurvivesFailover(t *testing.T) {
+	c := openCluster(t, 1, 1)
+	if _, err := c.Put(1, []byte("expiring"), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put(2, []byte("expired"), time.Nanosecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitCaughtUp(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Failover(0); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Get(nil, 1, nil); !ok || string(v) != "expiring" {
+		t.Fatalf("TTL key lost in failover: %q, %v", v, ok)
+	}
+	if _, ok := c.Get(nil, 2, nil); ok {
+		t.Fatal("expired key resurrected by failover")
+	}
+}

@@ -1,0 +1,206 @@
+package cluster
+
+// Routing certification: the router is the cluster's correctness
+// foundation — a key that routes to two different partitions is two
+// divergent histories — so its properties are checked directly. Totality
+// and determinism (every key maps to exactly one partition, the same one
+// on every call and under membership reordering), the rendezvous rebalance
+// bound (a join moves at most ~1/N of the keyspace, all of it to the
+// joiner; a leave moves exactly the departed member's keys), and Split's
+// exact partition of the index space.
+
+import (
+	"testing"
+
+	"github.com/bravolock/bravo/internal/xrand"
+)
+
+func routerFor(t *testing.T, ids []uint64) *Router {
+	t.Helper()
+	r, err := NewRouter(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRouterRejectsBadMembership(t *testing.T) {
+	if _, err := NewRouter(nil); err == nil {
+		t.Fatal("empty membership must be rejected")
+	}
+	if _, err := NewRouter([]uint64{3, 7, 3}); err == nil {
+		t.Fatal("duplicate IDs must be rejected")
+	}
+}
+
+// TestRouterTotalAndDeterministic: every key owns exactly one in-range
+// partition, stable across calls, and ownership follows the ID — not the
+// slice position — under membership permutations.
+func TestRouterTotalAndDeterministic(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ids  []uint64
+		perm []uint64
+	}{
+		{"single", []uint64{0}, []uint64{0}},
+		{"pair", []uint64{0, 1}, []uint64{1, 0}},
+		{"dense", []uint64{0, 1, 2, 3, 4}, []uint64{4, 2, 0, 3, 1}},
+		{"sparse", []uint64{11, 1 << 40, 7, 0xDEAD}, []uint64{7, 0xDEAD, 11, 1 << 40}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := routerFor(t, tc.ids)
+			p := routerFor(t, tc.perm)
+			rng := xrand.NewXorShift64(0x0707)
+			for i := 0; i < 4000; i++ {
+				k := rng.Next()
+				pi := r.Partition(k)
+				if pi < 0 || pi >= len(tc.ids) {
+					t.Fatalf("Partition(%d) = %d, out of range", k, pi)
+				}
+				if again := r.Partition(k); again != pi {
+					t.Fatalf("Partition(%d) unstable: %d then %d", k, pi, again)
+				}
+				if got, want := tc.perm[p.Partition(k)], tc.ids[pi]; got != want {
+					t.Fatalf("key %d owned by ID %d, but %d under permuted membership", k, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestRouterRebalanceBound: growing the membership from N to N+1 moves
+// only keys that land on the joiner, and about 1/(N+1) of the keyspace;
+// shrinking moves exactly the departed member's keys. This is the
+// rendezvous minimal-disruption property a failover-heavy cluster leans
+// on: membership churn never reshuffles keys between surviving members.
+func TestRouterRebalanceBound(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{1, 2, 4, 8} {
+		ids := make([]uint64, n+1)
+		for i := range ids {
+			ids[i] = uint64(i)
+		}
+		small := routerFor(t, ids[:n])
+		big := routerFor(t, ids)
+		rng := xrand.NewXorShift64(uint64(0xBA1A + n))
+		moved := 0
+		for i := 0; i < keys; i++ {
+			k := rng.Next()
+			before, after := small.Partition(k), big.Partition(k)
+			if ids[before] == ids[after] {
+				continue
+			}
+			moved++
+			if ids[after] != uint64(n) {
+				t.Fatalf("n=%d: key %d moved %d→%d, not to the joiner", n, k, ids[before], ids[after])
+			}
+		}
+		// Expected moved fraction is 1/(n+1); allow generous sampling slack
+		// but fail on anything structurally wrong (2× the expectation).
+		if limit := 2 * keys / (n + 1); moved > limit {
+			t.Fatalf("n=%d→%d: %d of %d keys moved, bound %d", n, n+1, moved, keys, limit)
+		}
+		if moved == 0 {
+			t.Fatalf("n=%d→%d: no key moved to the joiner (dead member)", n, n+1)
+		}
+	}
+}
+
+func TestRouterSplitPartitionsIndexSpace(t *testing.T) {
+	r := routerFor(t, []uint64{0, 1, 2})
+	rng := xrand.NewXorShift64(0x5111)
+	keys := make([]uint64, 257)
+	for i := range keys {
+		keys[i] = rng.Next()
+	}
+	groups := r.Split(keys)
+	if len(groups) != 3 {
+		t.Fatalf("Split returned %d groups, want 3", len(groups))
+	}
+	seen := make([]bool, len(keys))
+	for p, group := range groups {
+		for _, i := range group {
+			if seen[i] {
+				t.Fatalf("index %d appears in two groups", i)
+			}
+			seen[i] = true
+			if r.Partition(keys[i]) != p {
+				t.Fatalf("index %d grouped under %d, owned by %d", i, p, r.Partition(keys[i]))
+			}
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d missing from every group", i)
+		}
+	}
+}
+
+// FuzzClusterRoute drives the routing invariants over fuzzer-chosen keys
+// and memberships: in-range and deterministic (totality), position-free
+// under permutation, and minimally disruptive — removing a member the key
+// does not own never changes the key's owner.
+func FuzzClusterRoute(f *testing.F) {
+	f.Add(uint64(42), uint8(3), uint64(0xF00D))
+	f.Add(uint64(0), uint8(1), uint64(1))
+	f.Add(^uint64(0), uint8(16), uint64(0xD1CEB))
+	f.Fuzz(func(t *testing.T, key uint64, n uint8, seed uint64) {
+		size := int(n%16) + 1
+		rng := xrand.NewXorShift64(seed | 1)
+		ids := make([]uint64, 0, size)
+		used := map[uint64]bool{}
+		for len(ids) < size {
+			id := rng.Next()
+			if !used[id] {
+				used[id] = true
+				ids = append(ids, id)
+			}
+		}
+		r, err := NewRouter(ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi := r.Partition(key)
+		if pi < 0 || pi >= size {
+			t.Fatalf("Partition(%d) = %d with %d members", key, pi, size)
+		}
+		if again := r.Partition(key); again != pi {
+			t.Fatalf("Partition(%d) unstable: %d then %d", key, pi, again)
+		}
+		owner := ids[pi]
+
+		// Reverse the membership: same owning ID.
+		rev := make([]uint64, size)
+		for i, id := range ids {
+			rev[size-1-i] = id
+		}
+		rr, err := NewRouter(rev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rev[rr.Partition(key)]; got != owner {
+			t.Fatalf("owner %d became %d under reversed membership", owner, got)
+		}
+
+		// Remove one non-owner: the key must not move.
+		if size > 1 {
+			victim := (pi + 1 + int(rng.Intn(uint64(size-1)))) % size
+			if ids[victim] == owner {
+				t.Fatalf("victim selection picked the owner")
+			}
+			left := make([]uint64, 0, size-1)
+			for i, id := range ids {
+				if i != victim {
+					left = append(left, id)
+				}
+			}
+			lr, err := NewRouter(left)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := left[lr.Partition(key)]; got != owner {
+				t.Fatalf("removing non-owner %d moved key %d: %d → %d", ids[victim], key, owner, got)
+			}
+		}
+	})
+}

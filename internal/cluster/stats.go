@@ -1,0 +1,52 @@
+package cluster
+
+import "github.com/bravolock/bravo/internal/kvs"
+
+// FollowerPosition is one replica's applied prefix.
+type FollowerPosition struct {
+	AppliedLSNs []uint64 `json:"applied_lsns"`
+}
+
+// PartitionStatus is one partition's posture: who leads, at which epoch,
+// how far its log and replicas have gotten.
+type PartitionStatus struct {
+	Partition int                `json:"partition"`
+	Epoch     uint64             `json:"epoch"`
+	Failovers int                `json:"failovers"`
+	LSNs      []uint64           `json:"lsns"`
+	Total     kvs.ShardStats     `json:"total"`
+	Followers []FollowerPosition `json:"followers"`
+}
+
+// Status is the cluster's point-in-time topology and progress summary,
+// served under "cluster" in /stats and wire STATS.
+type Status struct {
+	Partitions         int               `json:"partitions"`
+	ShardsPerPartition int               `json:"shards_per_partition"`
+	Members            []PartitionStatus `json:"members"`
+}
+
+// Stats summarizes every partition.
+func (c *Cluster) Stats() Status {
+	st := Status{
+		Partitions:         c.cfg.Partitions,
+		ShardsPerPartition: c.cfg.Shards,
+		Members:            make([]PartitionStatus, len(c.parts)),
+	}
+	for i, p := range c.parts {
+		p.mu.RLock()
+		ps := PartitionStatus{
+			Partition: i,
+			Epoch:     p.epoch,
+			Failovers: len(p.promotions),
+			LSNs:      p.member.engine.ReplLSNs(),
+			Total:     p.member.engine.Stats().Total(),
+		}
+		for _, f := range p.followers {
+			ps.Followers = append(ps.Followers, FollowerPosition{AppliedLSNs: f.AppliedLSNs()})
+		}
+		p.mu.RUnlock()
+		st.Members[i] = ps
+	}
+	return st
+}

@@ -1,0 +1,40 @@
+package hash
+
+// Rendezvous (highest-random-weight) hashing: every (key, member) pair gets
+// a pseudorandom score from the same Mix64 finalizer the lock table uses,
+// and the key belongs to the member with the highest score. The properties
+// the cluster router leans on all fall out of scoring pairs independently:
+//
+//   - total and deterministic: any key maps to exactly one live member, the
+//     same one on every node that agrees on the member list;
+//   - minimal disruption: adding or removing one member only moves the keys
+//     whose top score involved that member — an expected 1/N of the keyspace
+//     on join, and exactly the departed member's keys on leave. No other
+//     key's argmax can change, because the surviving pair scores didn't.
+//
+// Members are identified by stable uint64 IDs, not list positions, so the
+// mapping survives reordering and compaction of the membership slice.
+
+// RendezvousScore returns the weight of (key, member). Exported so tests
+// can pin the argmax semantics independently of RendezvousOwner.
+func RendezvousScore(key, member uint64) uint64 {
+	// Pre-mixing the member ID before folding in the key keeps small dense
+	// IDs (0, 1, 2, ...) from producing correlated scores across members.
+	return Mix64(key ^ Mix64(member))
+}
+
+// RendezvousOwner returns the index into members of the member owning key:
+// the argmax of RendezvousScore over the list, ties broken toward the lower
+// member ID so the winner is a function of the ID set alone. Returns -1 for
+// an empty member list.
+func RendezvousOwner(key uint64, members []uint64) int {
+	best := -1
+	var bestScore, bestID uint64
+	for i, id := range members {
+		s := RendezvousScore(key, id)
+		if best < 0 || s > bestScore || (s == bestScore && id < bestID) {
+			best, bestScore, bestID = i, s, id
+		}
+	}
+	return best
+}

@@ -31,8 +31,9 @@ import (
 type Option func(*engineConfig)
 
 type engineConfig struct {
-	dir    string
-	policy SyncPolicy
+	dir     string
+	policy  SyncPolicy
+	lsnBase []uint64
 }
 
 // WithDurability makes the engine durable: state lives in dir (created if
@@ -44,6 +45,20 @@ func WithDurability(dir string, policy SyncPolicy) Option {
 	return func(c *engineConfig) {
 		c.dir = dir
 		c.policy = policy
+	}
+}
+
+// WithLSNBase floors each shard's log sequence numbers: shard i's first
+// record is stamped base[i]+1 (unless recovery already found a higher LSN
+// in the directory). Failover promotion uses it so a freshly-promoted
+// primary continues the per-shard LSN sequence from the point the promoted
+// follower had applied — read-your-writes tokens issued before the
+// failover stay comparable against the new primary's log, and the base is
+// exactly the fence cut between survived and lost history. Only meaningful
+// together with WithDurability; base must have one entry per shard.
+func WithLSNBase(base []uint64) Option {
+	return func(c *engineConfig) {
+		c.lsnBase = base
 	}
 }
 
@@ -130,7 +145,10 @@ const manifestName = "MANIFEST"
 // openDurable attaches a WAL to every shard of a freshly-built engine,
 // recovering any state already in dir. Runs before the engine is shared,
 // so it touches the maps without locks.
-func (s *Sharded) openDurable(dir string, policy SyncPolicy) error {
+func (s *Sharded) openDurable(dir string, policy SyncPolicy, lsnBase []uint64) error {
+	if lsnBase != nil && len(lsnBase) != len(s.shards) {
+		return fmt.Errorf("kvs: LSN base has %d entries for %d shards", len(lsnBase), len(s.shards))
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -177,6 +195,11 @@ func (s *Sharded) openDurable(dir string, policy SyncPolicy) error {
 		if err := truncateTo(s.walPath(i), walSize); err != nil {
 			return err
 		}
+		// The LSN floor (failover promotion): the sequence continues from
+		// the base unless the directory already recovered past it.
+		if lsnBase != nil && lsnBase[i] > last {
+			last = lsnBase[i]
+		}
 		f, err := os.OpenFile(s.walPath(i), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return err
@@ -208,15 +231,7 @@ func (s *Sharded) checkManifest() error {
 		if s.hasShardFiles() {
 			return fmt.Errorf("kvs: %s has shard files but no %s", s.dir, manifestName)
 		}
-		buf, _ := json.Marshal(manifest{Version: 1, Shards: len(s.shards)})
-		tmp := path + ".tmp"
-		if err := os.WriteFile(tmp, append(buf, '\n'), 0o644); err != nil {
-			return err
-		}
-		if err := os.Rename(tmp, path); err != nil {
-			return err
-		}
-		return syncDir(s.dir)
+		return writeManifest(s.dir, len(s.shards))
 	}
 	if err != nil {
 		return err
@@ -232,6 +247,21 @@ func (s *Sharded) checkManifest() error {
 		return fmt.Errorf("kvs: %s was written with %d shards, reopened with %d — keys are sharded by hash, so the layout is not portable across shard counts", s.dir, m.Shards, len(s.shards))
 	}
 	return nil
+}
+
+// writeManifest publishes the layout pin atomically (tmp + rename + dir
+// sync).
+func writeManifest(dir string, shards int) error {
+	path := filepath.Join(dir, manifestName)
+	buf, _ := json.Marshal(manifest{Version: 1, Shards: shards})
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(dir)
 }
 
 // hasShardFiles reports whether dir already holds shard state.

@@ -206,6 +206,10 @@ type ShardStats struct {
 	Checkpoints uint64 `json:"checkpoints"`
 }
 
+// Add folds o into s: cross-engine aggregation, e.g. a cluster front-end
+// totaling its partitions.
+func (s *ShardStats) Add(o ShardStats) { s.add(o) }
+
 // add folds o into s.
 func (s *ShardStats) add(o ShardStats) {
 	s.Keys += o.Keys
@@ -273,7 +277,7 @@ func NewSharded(shards int, mkLock rwl.Factory, opts ...Option) (*Sharded, error
 		s.shards[i].data = make(map[uint64]*seqCell)
 	}
 	if cfg.dir != "" {
-		if err := s.openDurable(cfg.dir, cfg.policy); err != nil {
+		if err := s.openDurable(cfg.dir, cfg.policy, cfg.lsnBase); err != nil {
 			return nil, err
 		}
 	}
@@ -725,6 +729,37 @@ func (s *Sharded) Range(fn func(key uint64, value []byte) bool) {
 			}
 			scratch = v.appendTo(scratch[:0])
 			if !fn(k, scratch) {
+				sh.lock.RUnlock(tok)
+				return
+			}
+		}
+		sh.lock.RUnlock(tok)
+	}
+}
+
+// RangeTTL is Range with each key's remaining TTL: zero for keys without a
+// deadline, otherwise the positive time left before expiry. Failover
+// promotion uses it to copy a follower's state — values and deadlines both
+// — into a fresh durable engine.
+func (s *Sharded) RangeTTL(fn func(key uint64, value []byte, remaining time.Duration) bool) {
+	var scratch []byte
+	for i := range s.shards {
+		sh := &s.shards[i]
+		tok := sh.lock.RLock()
+		now := int64(0)
+		if len(sh.exp) > 0 {
+			now = clock.Nanos()
+		}
+		for k, v := range sh.data {
+			if sh.expiredLocked(k) {
+				continue
+			}
+			var rem time.Duration
+			if d, ok := sh.exp[k]; ok {
+				rem = time.Duration(d - now)
+			}
+			scratch = v.appendTo(scratch[:0])
+			if !fn(k, scratch, rem) {
 				sh.lock.RUnlock(tok)
 				return
 			}

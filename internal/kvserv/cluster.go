@@ -1,0 +1,247 @@
+// The cluster front-end: the same endpoints as a single-primary server,
+// fronting internal/cluster's hash-routed partitioned primaries. Routing
+// is invisible to clients except in the tokens — a write's
+// read-your-writes token is an (epoch, shard, lsn) triple (shard is
+// cluster-global), returned as X-Commit-Epoch alongside the existing
+// headers, and a read presents it back as ?min_lsn=&epoch=. A token from
+// before a failover is adjudicated against the promotion cut: honored if
+// the write survived into the promoted history, 409 if it was lost.
+// Writes racing a failover answer 503 (retry; the partition is promoting).
+package kvserv
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/bravolock/bravo/internal/cluster"
+)
+
+// registerClusterRoutes is Handler's cluster-mode route table.
+func (s *Server) registerClusterRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("GET /kv/{key}", s.handleClusterGet)
+	mux.HandleFunc("PUT /kv/{key}", s.handleClusterPut)
+	mux.HandleFunc("DELETE /kv/{key}", s.handleClusterDelete)
+	mux.HandleFunc("GET /mget", s.handleClusterMGet)
+	mux.HandleFunc("POST /mput", s.handleClusterMPut)
+	mux.HandleFunc("POST /flush", s.handleClusterFlush)
+	mux.HandleFunc("POST /checkpoint", s.handleClusterCheckpoint)
+	mux.HandleFunc("POST /failover/{partition}", s.handleClusterFailover)
+	mux.HandleFunc("GET /stats", s.handleStats)
+}
+
+// clusterUnavailable maps a write error (a fenced member racing failover)
+// to 503: the partition is promoting, retry shortly.
+func clusterUnavailable(w http.ResponseWriter, err error) {
+	code := http.StatusServiceUnavailable
+	if !errors.Is(err, cluster.ErrFenced) {
+		code = http.StatusInternalServerError
+	}
+	http.Error(w, err.Error(), code)
+}
+
+// honorClusterToken enforces a read's (?min_lsn=, ?epoch=) token, the
+// cluster face of honorMinLSN. Reports whether the read may proceed.
+func (s *Server) honorClusterToken(w http.ResponseWriter, r *http.Request, keys ...uint64) bool {
+	if !strings.Contains(r.URL.RawQuery, "min_lsn") {
+		return true
+	}
+	q := r.URL.Query()
+	raw := q.Get("min_lsn")
+	if raw == "" {
+		return true
+	}
+	lsn, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad min_lsn %q: want a decimal LSN", raw), http.StatusBadRequest)
+		return false
+	}
+	var epoch uint64
+	if rawE := q.Get("epoch"); rawE != "" {
+		if epoch, err = strconv.ParseUint(rawE, 10, 64); err != nil {
+			http.Error(w, fmt.Sprintf("bad epoch %q: want a decimal epoch", rawE), http.StatusBadRequest)
+			return false
+		}
+	}
+	if terr := s.clu.CheckToken(epoch, lsn, keys); terr != nil {
+		code := http.StatusBadRequest
+		if terr.Conflict {
+			code = http.StatusConflict
+		}
+		http.Error(w, terr.Msg, code)
+		return false
+	}
+	return true
+}
+
+// writeClusterCommitHeaders stamps a write response with its token triple.
+func writeClusterCommitHeaders(w http.ResponseWriter, tok cluster.ShardLSN) {
+	h := w.Header()
+	h.Set("X-Commit-Shard", strconv.FormatUint(uint64(tok.Shard), 10))
+	h.Set("X-Commit-Lsn", strconv.FormatUint(tok.LSN, 10))
+	h.Set("X-Commit-Epoch", strconv.FormatUint(tok.Epoch, 10))
+}
+
+func (s *Server) handleClusterGet(w http.ResponseWriter, r *http.Request) {
+	key, err := parseKey(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !s.honorClusterToken(w, r, key) {
+		return
+	}
+	bp := getBufPool.Get().(*[]byte)
+	v, ok := s.clu.Get(connReader(r), key, (*bp)[:0])
+	*bp = v[:0]
+	if !ok {
+		getBufPool.Put(bp)
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(v)
+	getBufPool.Put(bp)
+}
+
+func (s *Server) handleClusterPut(w http.ResponseWriter, r *http.Request) {
+	key, err := parseKey(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	body, ok := readPutBody(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	if av := q.Get("async"); av != "" {
+		async, err := strconv.ParseBool(av)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad async %q: want a boolean", av), http.StatusBadRequest)
+			return
+		}
+		if async {
+			if q.Get("ttl") != "" {
+				http.Error(w, "ttl and async are exclusive: the queue applies without TTL", http.StatusBadRequest)
+				return
+			}
+			if err := s.clu.PutAsync(key, body); err != nil {
+				clusterUnavailable(w, err)
+				return
+			}
+			w.WriteHeader(http.StatusAccepted)
+			return
+		}
+	}
+	var ttl time.Duration
+	if ttlStr := q.Get("ttl"); ttlStr != "" {
+		if ttl, err = time.ParseDuration(ttlStr); err != nil {
+			http.Error(w, fmt.Sprintf("bad ttl %q: %v", ttlStr, err), http.StatusBadRequest)
+			return
+		}
+	}
+	tok, err := s.clu.Put(key, body, ttl)
+	if err != nil {
+		clusterUnavailable(w, err)
+		return
+	}
+	writeClusterCommitHeaders(w, tok)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleClusterDelete(w http.ResponseWriter, r *http.Request) {
+	key, err := parseKey(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ok, tok, err := s.clu.Delete(key)
+	if err != nil {
+		clusterUnavailable(w, err)
+		return
+	}
+	writeClusterCommitHeaders(w, tok)
+	if !ok {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleClusterMGet(w http.ResponseWriter, r *http.Request) {
+	keys, ok := parseMGetKeys(w, r)
+	if !ok {
+		return
+	}
+	if !s.honorClusterToken(w, r, keys...) {
+		return
+	}
+	writeJSON(w, mgetResponse{Values: s.clu.MultiGet(connReader(r), keys)})
+}
+
+// clusterCommit is one token triple in /mput's cluster response.
+type clusterCommit struct {
+	Shard uint32 `json:"shard"`
+	LSN   uint64 `json:"lsn"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// clusterMPutResponse is /mput's cluster reply: the applied count plus the
+// token triple of every global shard the batch touched.
+type clusterMPutResponse struct {
+	Applied int             `json:"applied"`
+	Commits []clusterCommit `json:"commits"`
+}
+
+func (s *Server) handleClusterMPut(w http.ResponseWriter, r *http.Request) {
+	keys, vals, ttl, ok := readMPutBody(w, r)
+	if !ok {
+		return
+	}
+	lsns, err := s.clu.MultiPut(keys, vals, ttl)
+	if err != nil {
+		clusterUnavailable(w, err)
+		return
+	}
+	resp := clusterMPutResponse{Applied: len(keys), Commits: make([]clusterCommit, len(lsns))}
+	for i, t := range lsns {
+		resp.Commits[i] = clusterCommit{Shard: t.Shard, LSN: t.LSN, Epoch: t.Epoch}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleClusterFlush(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]int{"flushed": s.clu.Flush()})
+}
+
+func (s *Server) handleClusterCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if err := s.clu.Checkpoint(); err != nil {
+		http.Error(w, fmt.Sprintf("checkpoint: %v", err), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]int{"checkpointed": s.clu.NumPartitions() * s.clu.ShardsPerPartition()})
+}
+
+// handleClusterFailover promotes the named partition's most-caught-up
+// follower: the operator's kill switch and the e2e chaos suite's lever.
+func (s *Server) handleClusterFailover(w http.ResponseWriter, r *http.Request) {
+	pi, err := strconv.Atoi(r.PathValue("partition"))
+	if err != nil || pi < 0 || pi >= s.clu.NumPartitions() {
+		http.Error(w, fmt.Sprintf("bad partition %q: want 0..%d", r.PathValue("partition"), s.clu.NumPartitions()-1), http.StatusBadRequest)
+		return
+	}
+	epoch, err := s.clu.Failover(pi)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, cluster.ErrNotReady) {
+			code = http.StatusServiceUnavailable // retry once a follower bootstraps
+		}
+		http.Error(w, fmt.Sprintf("failover: %v", err), code)
+		return
+	}
+	writeJSON(w, map[string]uint64{"partition": uint64(pi), "epoch": epoch})
+}

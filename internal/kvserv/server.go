@@ -48,6 +48,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/bravolock/bravo/internal/cluster"
 	"github.com/bravolock/bravo/internal/kvs"
 	"github.com/bravolock/bravo/internal/repl"
 	"github.com/bravolock/bravo/internal/rwl"
@@ -115,6 +116,9 @@ type Server struct {
 	// follower is set by NewFollower: the server serves its replica
 	// read-only and rejects writes.
 	follower *repl.Follower
+	// clu is set by NewClusterServer: the server fronts a whole cluster
+	// (engine is nil; every op routes through the cluster's partitions).
+	clu *cluster.Cluster
 
 	// Wire front-end state: the listeners ServeWire is accepting on and
 	// the connections currently being served, so Close can stop the former
@@ -143,6 +147,19 @@ func New(engine *kvs.Sharded, cfg Config) *Server {
 func NewFollower(f *repl.Follower, cfg Config) *Server {
 	s := newServer(f.Engine(), cfg)
 	s.follower = f
+	s.buildHTTP()
+	return s
+}
+
+// NewClusterServer returns a server fronting c: the same endpoints and
+// wire ops as a single-primary server, routed per key across the
+// cluster's partitions, with read-your-writes tokens widened to (epoch,
+// shard, lsn) triples and POST /failover/{partition} for operator-driven
+// promotion. Closing the server does not close the cluster — the caller
+// owns that lifecycle, like the engine's.
+func NewClusterServer(c *cluster.Cluster, cfg Config) *Server {
+	s := newServer(nil, cfg)
+	s.clu = c
 	s.buildHTTP()
 	return s
 }
@@ -203,6 +220,10 @@ func connReader(r *http.Request) *rwl.Reader {
 // only connections served via Serve get per-connection reader handles.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	if s.clu != nil {
+		s.registerClusterRoutes(mux)
+		return mux
+	}
 	mux.HandleFunc("GET /kv/{key}", s.handleGet)
 	mux.HandleFunc("GET /mget", s.handleMGet)
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -270,7 +291,11 @@ func (s *Server) Close() error {
 		}
 		s.wireMu.Unlock()
 		s.wg.Wait()
-		s.engine.Flush()
+		if s.clu != nil {
+			s.clu.Flush()
+		} else {
+			s.engine.Flush()
+		}
 	})
 	return err
 }
@@ -286,7 +311,11 @@ func (s *Server) reapLoop() {
 		case <-s.done:
 			return
 		case <-t.C:
-			s.engine.Reap(s.cfg.ReapBudget)
+			if s.clu != nil {
+				s.clu.Reap(s.cfg.ReapBudget)
+			} else {
+				s.engine.Reap(s.cfg.ReapBudget)
+			}
 		}
 	}
 }
@@ -422,12 +451,9 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	getBufPool.Put(bp)
 }
 
-func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
-	key, err := parseKey(r)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
+// readPutBody reads a PUT value under the per-value cap, answering the
+// error response itself; ok reports whether the handler may proceed.
+func readPutBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxValueBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
@@ -436,6 +462,19 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		} else {
 			http.Error(w, fmt.Sprintf("body: %v", err), http.StatusBadRequest)
 		}
+		return nil, false
+	}
+	return body, true
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	key, err := parseKey(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	body, ok := readPutBody(w, r)
+	if !ok {
 		return
 	}
 	q := r.URL.Query()
@@ -492,11 +531,12 @@ type mgetResponse struct {
 	Values [][]byte `json:"values"`
 }
 
-func (s *Server) handleMGet(w http.ResponseWriter, r *http.Request) {
+// parseMGetKeys parses ?keys=1,2,3, answering the error response itself.
+func parseMGetKeys(w http.ResponseWriter, r *http.Request) ([]uint64, bool) {
 	raw := r.URL.Query().Get("keys")
 	if raw == "" {
 		http.Error(w, "missing keys=1,2,3", http.StatusBadRequest)
-		return
+		return nil, false
 	}
 	parts := strings.Split(raw, ",")
 	keys := make([]uint64, len(parts))
@@ -504,9 +544,17 @@ func (s *Server) handleMGet(w http.ResponseWriter, r *http.Request) {
 		k, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
 		if err != nil {
 			http.Error(w, fmt.Sprintf("bad key %q: want decimal uint64", p), http.StatusBadRequest)
-			return
+			return nil, false
 		}
 		keys[i] = k
+	}
+	return keys, true
+}
+
+func (s *Server) handleMGet(w http.ResponseWriter, r *http.Request) {
+	keys, ok := parseMGetKeys(w, r)
+	if !ok {
+		return
 	}
 	if !s.honorMinLSN(w, r, keys...) {
 		return
@@ -527,7 +575,10 @@ type mputEntry struct {
 	Value []byte `json:"value"`
 }
 
-func (s *Server) handleMPut(w http.ResponseWriter, r *http.Request) {
+// readMPutBody decodes /mput's JSON body under the batch cap, validating
+// per-entry sizes and the optional batch TTL; it answers the error
+// response itself.
+func readMPutBody(w http.ResponseWriter, r *http.Request) (keys []uint64, vals [][]byte, ttl time.Duration, ok bool) {
 	var req mputRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxMPutBodyBytes))
 	if err := dec.Decode(&req); err != nil {
@@ -537,27 +588,34 @@ func (s *Server) handleMPut(w http.ResponseWriter, r *http.Request) {
 		} else {
 			http.Error(w, fmt.Sprintf("body: %v", err), http.StatusBadRequest)
 		}
-		return
+		return nil, nil, 0, false
 	}
-	var ttl time.Duration
 	if req.TTL != "" {
 		var err error
 		if ttl, err = time.ParseDuration(req.TTL); err != nil {
 			http.Error(w, fmt.Sprintf("bad ttl %q: %v", req.TTL, err), http.StatusBadRequest)
-			return
+			return nil, nil, 0, false
 		}
 	}
-	keys := make([]uint64, len(req.Entries))
-	vals := make([][]byte, len(req.Entries))
+	keys = make([]uint64, len(req.Entries))
+	vals = make([][]byte, len(req.Entries))
 	for i, e := range req.Entries {
 		if len(e.Value) > MaxValueBytes {
 			http.Error(w, fmt.Sprintf("entry %d: value exceeds %d bytes", i, MaxValueBytes), http.StatusRequestEntityTooLarge)
-			return
+			return nil, nil, 0, false
 		}
 		keys[i] = e.Key
 		vals[i] = e.Value
 	}
-	if req.TTL != "" {
+	return keys, vals, ttl, true
+}
+
+func (s *Server) handleMPut(w http.ResponseWriter, r *http.Request) {
+	keys, vals, ttl, ok := readMPutBody(w, r)
+	if !ok {
+		return
+	}
+	if ttl > 0 {
 		s.engine.MultiPutTTL(keys, vals, ttl)
 	} else {
 		s.engine.MultiPut(keys, vals)
@@ -626,6 +684,7 @@ type statsResponse struct {
 	Shards          []kvs.ShardStats `json:"shards"`
 	Repl            *repl.Status     `json:"repl,omitempty"`
 	Follower        *followerStatus  `json:"follower,omitempty"`
+	Cluster         *cluster.Status  `json:"cluster,omitempty"`
 }
 
 // followerStatus is a follower's replication view: where each shard is,
@@ -690,6 +749,18 @@ func (s *Server) handleFollowerStatus(w http.ResponseWriter, r *http.Request) {
 // buildStats assembles the stats document both front-ends serve (HTTP
 // GET /stats, wire STATS).
 func (s *Server) buildStats() statsResponse {
+	if s.clu != nil {
+		cst := s.clu.Stats()
+		resp := statsResponse{
+			NumShards: cst.Partitions * cst.ShardsPerPartition,
+			Durable:   true, // cluster primaries are always durable
+			Cluster:   &cst,
+		}
+		for _, ps := range cst.Members {
+			resp.Total.Add(ps.Total)
+		}
+		return resp
+	}
 	st := s.engine.Stats()
 	resp := statsResponse{
 		NumShards:       s.engine.NumShards(),

@@ -95,7 +95,7 @@ func (s *Server) serveWireConn(nc net.Conn) {
 	reader := rwl.NewReader()
 	dec := wire.NewStreamDecoder(nc, wire.DefaultMaxFrame)
 	bw := bufio.NewWriterSize(nc, 64<<10)
-	scratch := newWireScratch(s.engine.NumShards())
+	scratch := newWireScratch(s.numWireShards())
 	var out []byte // response encode scratch, reused across requests
 
 	for {
@@ -161,11 +161,23 @@ func newWireScratch(numShards int) *wireScratch {
 	return &wireScratch{seen: make([]bool, numShards)}
 }
 
+// numWireShards sizes a connection's scratch: the engine's shard count, or
+// in cluster mode the global token namespace (partitions × shards).
+func (s *Server) numWireShards() int {
+	if s.clu != nil {
+		return s.clu.NumPartitions() * s.clu.ShardsPerPartition()
+	}
+	return s.engine.NumShards()
+}
+
 // serveWireRequest serves one decoded request through the engine: the wire
 // counterpart of the HTTP handler table, same statuses, same caps, same
 // read-your-writes semantics. The response may alias sc; encode it before
 // the next call.
 func (s *Server) serveWireRequest(reader *rwl.Reader, req *wire.Request, sc *wireScratch) wire.Response {
+	if s.clu != nil {
+		return s.serveClusterWireRequest(reader, req, sc)
+	}
 	resp := wire.Response{Op: req.Op, ID: req.ID}
 	switch req.Op {
 	case wire.OpGet:

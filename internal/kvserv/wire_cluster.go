@@ -1,0 +1,172 @@
+// The wire front-end's cluster branch: the same ops as the single-engine
+// path, routed through internal/cluster. Tokens widen to triples — a
+// write's LSN list carries (global shard, lsn, epoch), a read presents
+// MinLSN+Epoch back — and a write racing a failover answers
+// StatusUnavailable (retry; the partition is promoting), the binary twin
+// of the HTTP front-end's 503.
+package kvserv
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"github.com/bravolock/bravo/internal/cluster"
+	"github.com/bravolock/bravo/internal/rwl"
+	"github.com/bravolock/bravo/internal/wire"
+)
+
+// serveClusterWireRequest serves one decoded request through the cluster:
+// serveWireRequest's routing twin, same statuses and caps plus the
+// epoch-aware token semantics. The response may alias sc; encode it before
+// the next call.
+func (s *Server) serveClusterWireRequest(reader *rwl.Reader, req *wire.Request, sc *wireScratch) wire.Response {
+	resp := wire.Response{Op: req.Op, ID: req.ID}
+	switch req.Op {
+	case wire.OpGet:
+		if !s.wireClusterToken(&resp, req, req.Key) {
+			return resp
+		}
+		v, ok := s.clu.Get(reader, req.Key, sc.val[:0])
+		if !ok {
+			resp.Status = wire.StatusNotFound
+			return resp
+		}
+		sc.val = v
+		resp.Value = v
+
+	case wire.OpMGet:
+		if !s.wireClusterToken(&resp, req, req.Keys...) {
+			return resp
+		}
+		resp.Values = s.clu.MultiGet(reader, req.Keys)
+
+	case wire.OpPut:
+		if len(req.Value) > MaxValueBytes {
+			resp.Status = wire.StatusTooLarge
+			resp.Msg = fmt.Sprintf("value exceeds %d bytes", MaxValueBytes)
+			return resp
+		}
+		if req.Async {
+			if req.TTL > 0 {
+				resp.Status = wire.StatusBadRequest
+				resp.Msg = "ttl and async are exclusive: the queue applies without TTL"
+				return resp
+			}
+			// PutAsync keeps the value past the call; the decode buffer is
+			// the connection's, so detach.
+			if err := s.clu.PutAsync(req.Key, append([]byte(nil), req.Value...)); err != nil {
+				wireClusterFailure(&resp, err)
+			}
+			return resp // no LSNs: the write has not applied yet
+		}
+		tok, err := s.clu.Put(req.Key, req.Value, req.TTL)
+		if err != nil {
+			wireClusterFailure(&resp, err)
+			return resp
+		}
+		resp.LSNs = stampClusterToken(sc, tok)
+
+	case wire.OpDelete:
+		ok, tok, err := s.clu.Delete(req.Key)
+		if err != nil {
+			wireClusterFailure(&resp, err)
+			return resp
+		}
+		resp.LSNs = stampClusterToken(sc, tok)
+		if !ok {
+			resp.Status = wire.StatusNotFound
+		}
+
+	case wire.OpMPut:
+		for i, v := range req.Values {
+			if len(v) > MaxValueBytes {
+				resp.Status = wire.StatusTooLarge
+				resp.Msg = fmt.Sprintf("entry %d: value exceeds %d bytes", i, MaxValueBytes)
+				return resp
+			}
+		}
+		toks, err := s.clu.MultiPut(req.Keys, req.Values, req.TTL)
+		if err != nil {
+			// Partial tokens are dropped with the error status: the client
+			// retries the whole batch (idempotent puts) like HTTP's 503.
+			wireClusterFailure(&resp, err)
+			return resp
+		}
+		resp.Applied = uint32(len(req.Keys))
+		resp.LSNs = stampClusterTokens(sc, toks)
+
+	case wire.OpMDelete:
+		removed, toks, err := s.clu.MultiDelete(req.Keys)
+		if err != nil {
+			wireClusterFailure(&resp, err)
+			return resp
+		}
+		resp.Applied = uint32(removed)
+		resp.LSNs = stampClusterTokens(sc, toks)
+
+	case wire.OpFlush:
+		resp.Applied = uint32(s.clu.Flush())
+
+	case wire.OpStats:
+		buf := bytes.NewBuffer(sc.doc[:0])
+		if err := json.NewEncoder(buf).Encode(s.buildStats()); err != nil {
+			fmt.Fprintf(os.Stderr, "kvserv: stats marshal: %v\n", err)
+			resp.Status = wire.StatusBadRequest
+			resp.Msg = "stats marshal failed"
+			return resp
+		}
+		sc.doc = buf.Bytes()
+		resp.Stats = sc.doc[:len(sc.doc)-1]
+
+	default:
+		resp.Status = wire.StatusUnsupported
+		resp.Msg = "unknown op"
+	}
+	return resp
+}
+
+// wireClusterFailure maps a cluster write error onto the wire: a fenced
+// member racing failover answers StatusUnavailable (retry shortly).
+func wireClusterFailure(resp *wire.Response, err error) {
+	if errors.Is(err, cluster.ErrFenced) {
+		resp.Status = wire.StatusUnavailable
+	} else {
+		resp.Status = wire.StatusBadRequest
+	}
+	resp.Msg = err.Error()
+}
+
+// wireClusterToken enforces a read's (MinLSN, Epoch) token through the
+// cluster's epoch adjudication, mirroring honorClusterToken.
+func (s *Server) wireClusterToken(resp *wire.Response, req *wire.Request, keys ...uint64) bool {
+	terr := s.clu.CheckToken(req.Epoch, req.MinLSN, keys)
+	if terr == nil {
+		return true
+	}
+	if terr.Conflict {
+		resp.Status = wire.StatusConflict
+	} else {
+		resp.Status = wire.StatusBadRequest
+	}
+	resp.Msg = terr.Msg
+	return false
+}
+
+// stampClusterToken stamps one commit triple into the scratch LSN list.
+func stampClusterToken(sc *wireScratch, tok cluster.ShardLSN) []wire.ShardLSN {
+	sc.lsns = append(sc.lsns[:0], wire.ShardLSN{Shard: tok.Shard, LSN: tok.LSN, Epoch: tok.Epoch})
+	return sc.lsns
+}
+
+// stampClusterTokens widens a batch's cluster tokens into the scratch list.
+func stampClusterTokens(sc *wireScratch, toks []cluster.ShardLSN) []wire.ShardLSN {
+	lsns := sc.lsns[:0]
+	for _, t := range toks {
+		lsns = append(lsns, wire.ShardLSN{Shard: t.Shard, LSN: t.LSN, Epoch: t.Epoch})
+	}
+	sc.lsns = lsns
+	return lsns
+}

@@ -360,10 +360,34 @@ func (c *Client) Delete(key uint64) (lsns []ShardLSN, ok bool, err error) {
 	return resp.LSNs, resp.Status != StatusNotFound, nil
 }
 
+// GetWithToken is Get presenting a full cluster token: minLSN plus the
+// fencing epoch it was earned under. Against a clustered server a stale
+// epoch's token is adjudicated at the promotion cut (honored or
+// StatusConflict); single-primary servers take minLSN alone (epoch 0).
+func (c *Client) GetWithToken(key, minLSN, epoch uint64) (value []byte, ok bool, err error) {
+	resp, err := c.do(&Request{Op: OpGet, Key: key, MinLSN: minLSN, Epoch: epoch})
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.Status == StatusNotFound {
+		return nil, false, nil
+	}
+	return resp.Value, true, nil
+}
+
 // MGet fetches keys as one wire batch → one lock acquisition per shard
 // group server-side. The result is parallel to keys, nil marking absent.
 func (c *Client) MGet(keys []uint64, minLSN uint64) ([][]byte, error) {
 	resp, err := c.do(&Request{Op: OpMGet, Keys: keys, MinLSN: minLSN})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Values, nil
+}
+
+// MGetWithToken is MGet under a full (minLSN, epoch) cluster token.
+func (c *Client) MGetWithToken(keys []uint64, minLSN, epoch uint64) ([][]byte, error) {
+	resp, err := c.do(&Request{Op: OpMGet, Keys: keys, MinLSN: minLSN, Epoch: epoch})
 	if err != nil {
 		return nil, err
 	}

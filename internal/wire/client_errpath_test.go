@@ -1,0 +1,211 @@
+package wire
+
+// Error-path coverage for the pipelined client: a server dying mid-window
+// must fail exactly the unanswered tail, every Pending must drain (never
+// hang) on a broken connection, a failed Conn must refuse new work with
+// its terminal error, and the pool must drop dead connections on Release.
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// partialServer reads exactly total requests off nc, answers the first
+// answer of them (echo-style PUT responses), then closes the connection —
+// a server crashing mid-pipeline with a window still in flight.
+func partialServer(t *testing.T, nc net.Conn, total, answer int) {
+	t.Helper()
+	dec := NewStreamDecoder(nc, 0)
+	var out []byte
+	answered := 0
+	for i := 0; i < total; i++ {
+		payload, err := dec.Next()
+		if err != nil {
+			t.Errorf("partialServer: decode request %d: %v", i, err)
+			nc.Close()
+			return
+		}
+		req, ok := DecodeRequest(payload)
+		if !ok {
+			t.Errorf("partialServer: undecodable request %d", i)
+			nc.Close()
+			return
+		}
+		if answered >= answer {
+			continue // read it, never answer it
+		}
+		answered++
+		resp := Response{Op: req.Op, ID: req.ID, LSNs: []ShardLSN{{Shard: uint32(req.Key % 4), LSN: req.Key}}}
+		out = AppendResponse(out[:0], &resp)
+		if _, err := nc.Write(out); err != nil {
+			t.Errorf("partialServer: write response %d: %v", i, err)
+			nc.Close()
+			return
+		}
+	}
+	nc.Close()
+}
+
+// TestConnServerCloseMidPipeline: the server answers the head of the
+// window and dies. The answered Pendings resolve normally; every
+// unanswered one fails with ErrConnClosed instead of hanging.
+func TestConnServerCloseMidPipeline(t *testing.T) {
+	const depth, answered = 16, 5
+	cNC, sNC := net.Pipe()
+	go partialServer(t, sNC, depth, answered)
+	c := NewConn(cNC)
+	defer c.Close()
+
+	pendings := make([]*Pending, depth)
+	for i := range pendings {
+		p, err := c.Start(&Request{Op: OpPut, Key: uint64(i)})
+		if err != nil {
+			t.Fatalf("Start %d: %v", i, err)
+		}
+		pendings[i] = p
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	for i, p := range pendings[:answered] {
+		resp, err := p.Wait()
+		if err != nil {
+			t.Fatalf("Wait %d (answered half): %v", i, err)
+		}
+		if len(resp.LSNs) != 1 || resp.LSNs[0].LSN != uint64(i) {
+			t.Fatalf("Wait %d: response carried LSNs %v", i, resp.LSNs)
+		}
+	}
+	for i, p := range pendings[answered:] {
+		if _, err := p.Wait(); !errors.Is(err, ErrConnClosed) {
+			t.Fatalf("Wait %d (orphaned half): err = %v, want ErrConnClosed", answered+i, err)
+		}
+	}
+	if c.Err() == nil {
+		t.Fatal("Err() = nil after server close, want terminal error")
+	}
+}
+
+// TestConnPendingDrainOnBrokenConn: the server vanishes without answering
+// anything. Draining every Pending — including from a separate goroutine
+// already blocked in Wait — returns promptly with ErrConnClosed, and a
+// second Wait on the same handle repeats the error rather than hanging.
+func TestConnPendingDrainOnBrokenConn(t *testing.T) {
+	cNC, sNC := net.Pipe()
+	c := NewConn(cNC)
+	defer c.Close()
+
+	// One waiter parked before the break.
+	early, err := c.Start(&Request{Op: OpGet, Key: 1})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	parked := make(chan error, 1)
+	go func() {
+		_, err := early.Wait()
+		parked <- err
+	}()
+
+	var rest []*Pending
+	for i := 0; i < 8; i++ {
+		p, err := c.Start(&Request{Op: OpGet, Key: uint64(i)})
+		if err != nil {
+			t.Fatalf("Start %d: %v", i, err)
+		}
+		rest = append(rest, p)
+	}
+	sNC.Close() // the break: nothing was ever answered
+
+	select {
+	case err := <-parked:
+		if !errors.Is(err, ErrConnClosed) {
+			t.Fatalf("parked Wait: err = %v, want ErrConnClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked Wait hung after the connection broke")
+	}
+	for i, p := range rest {
+		if _, err := p.Wait(); !errors.Is(err, ErrConnClosed) {
+			t.Fatalf("drain Wait %d: err = %v, want ErrConnClosed", i, err)
+		}
+	}
+	// Wait is sticky: asking the same handle again repeats the error.
+	if _, err := rest[0].Wait(); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("repeated Wait: err = %v, want ErrConnClosed", err)
+	}
+}
+
+// TestConnFailedConnRefusesNewWork: once the terminal error is set, Start,
+// Flush, and Do all report it immediately instead of queueing doomed work.
+func TestConnFailedConnRefusesNewWork(t *testing.T) {
+	cNC, sNC := net.Pipe()
+	c := NewConn(cNC)
+	defer c.Close()
+	sNC.Close()
+
+	// The read loop notices the break asynchronously; Err flips non-nil.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("Err() stayed nil after peer close")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := c.Start(&Request{Op: OpGet, Key: 1}); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("Start on failed conn: err = %v, want ErrConnClosed", err)
+	}
+	if _, err := c.Do(&Request{Op: OpGet, Key: 1}); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("Do on failed conn: err = %v, want ErrConnClosed", err)
+	}
+}
+
+// TestClientPoolDropsFailedConn: Release of a dead connection must not
+// poison the pool — the next Acquire yields a healthy connection.
+func TestClientPoolDropsFailedConn(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			nc, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go echoServer(t, nc)
+		}
+	}()
+
+	cl := NewClient(l.Addr().String(), time.Second)
+	defer cl.Close()
+
+	conn, err := cl.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Do(&Request{Op: OpGet, Key: 1}); err != nil {
+		t.Fatalf("Do on fresh conn: %v", err)
+	}
+	conn.Close() // the connection dies in the caller's hands...
+	cl.Release(conn)
+
+	conn2, err := cl.Acquire() // ...and the pool must not hand it back
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn2 == conn {
+		t.Fatal("Acquire returned the failed connection")
+	}
+	if _, err := conn2.Do(&Request{Op: OpGet, Key: 2}); err != nil {
+		t.Fatalf("Do on re-dialed conn: %v", err)
+	}
+	cl.Release(conn2)
+
+	// The pool's convenience surface rides the same drop-and-redial path.
+	if _, _, err := cl.Get(1, 0); err != nil {
+		t.Fatalf("pooled Get after drop: %v", err)
+	}
+}

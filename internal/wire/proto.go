@@ -13,6 +13,8 @@
 //
 //	request  := u8 version(=1) | u8 op | u8 flags | u64 id
 //	            [u64 minLSN]  when flagMinLSN    (read-your-writes token)
+//	            [u64 epoch]   when flagEpoch     (the token's fencing epoch;
+//	                                              requires flagMinLSN)
 //	            [u64 ttlNanos] when flagTTL
 //	            body
 //	body     := GET/DELETE:   u64 key
@@ -25,6 +27,8 @@
 //	            [u32 mlen | mlen bytes]  when status != OK (detail message)
 //	            [body]                   when status == OK
 //	            [u32 n | n × (u32 shard | u64 lsn)]  when flagLSNs
+//	            ... or n × (u32 shard | u64 lsn | u64 epoch) when flagEpochs
+//	                too (cluster responses; requires flagLSNs)
 //	body     := GET:          u32 vlen | vlen bytes
 //	            MGET:         u32 count | count × (u8 present | present? u32 vlen | vlen bytes)
 //	            MPUT/MDELETE/FLUSH: u32 applied
@@ -123,6 +127,10 @@ const (
 	// StatusUnsupported: an op the server does not recognize — the one
 	// response a server sends for a frame it could parse but not serve.
 	StatusUnsupported Status = 6
+	// StatusUnavailable: the partition owning the key is mid-failover (its
+	// primary is fenced and a follower is being promoted) — retry shortly
+	// (the HTTP 503).
+	StatusUnavailable Status = 7
 )
 
 // String names st for errors.
@@ -142,6 +150,8 @@ func (s Status) String() string {
 		return "too large"
 	case StatusUnsupported:
 		return "unsupported"
+	case StatusUnavailable:
+		return "unavailable"
 	}
 	return "Status(?)"
 }
@@ -151,10 +161,21 @@ const (
 	reqFlagTTL    = 1 << 0
 	reqFlagAsync  = 1 << 1
 	reqFlagMinLSN = 1 << 2
+	// reqFlagEpoch accompanies reqFlagMinLSN on cluster reads: a u64 fencing
+	// epoch follows the minLSN, scoping the token to the primary generation
+	// that issued it. Requires reqFlagMinLSN (an epoch without a token is
+	// meaningless and rejected).
+	reqFlagEpoch = 1 << 3
 )
 
 // Response flag bits.
-const respFlagLSNs = 1 << 0
+const (
+	respFlagLSNs = 1 << 0
+	// respFlagEpochs widens the trailing commit-LSN list from (shard, lsn)
+	// pairs to (shard, lsn, epoch) triples — the cluster's fenced
+	// read-your-writes token. Requires respFlagLSNs.
+	respFlagEpochs = 1 << 1
+)
 
 // Request is one decoded (or to-be-encoded) wire request.
 type Request struct {
@@ -170,6 +191,10 @@ type Request struct {
 	// MinLSN, when nonzero, is a read-your-writes token: every shard the
 	// read touches must have applied at least this LSN.
 	MinLSN uint64
+	// Epoch, when nonzero, scopes MinLSN to the fencing epoch of the cluster
+	// primary that issued it. Only meaningful with MinLSN set; a cluster
+	// front-end uses it to adjudicate tokens issued before a failover.
+	Epoch uint64
 
 	Key    uint64   // GET/PUT/DELETE
 	Value  []byte   // PUT (aliases the decode buffer)
@@ -178,10 +203,13 @@ type Request struct {
 }
 
 // ShardLSN is one shard's commit LSN in a response: the read-your-writes
-// token, binary form of the X-Commit-Shard/X-Commit-Lsn header pair.
+// token, binary form of the X-Commit-Shard/X-Commit-Lsn header pair. In
+// cluster responses Epoch carries the issuing partition's fencing epoch
+// (respFlagEpochs); single-primary responses leave it zero.
 type ShardLSN struct {
 	Shard uint32
 	LSN   uint64
+	Epoch uint64
 }
 
 // Response is one decoded (or to-be-encoded) wire response.
@@ -244,11 +272,17 @@ func AppendRequest(dst []byte, req *Request) []byte {
 	}
 	if req.MinLSN > 0 {
 		flags |= reqFlagMinLSN
+		if req.Epoch > 0 {
+			flags |= reqFlagEpoch
+		}
 	}
 	dst = append(dst, Version, byte(req.Op), flags)
 	dst = binary.LittleEndian.AppendUint64(dst, req.ID)
 	if flags&reqFlagMinLSN != 0 {
 		dst = binary.LittleEndian.AppendUint64(dst, req.MinLSN)
+	}
+	if flags&reqFlagEpoch != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, req.Epoch)
 	}
 	if flags&reqFlagTTL != 0 {
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(req.TTL))
@@ -290,7 +324,12 @@ func DecodeRequest(p []byte) (Request, bool) {
 	// Unknown flag bits are rejected, not ignored: silently dropping them
 	// would make a request mean something other than what its sender
 	// encoded (and break decode→encode canonical stability).
-	if flags&^(reqFlagTTL|reqFlagAsync|reqFlagMinLSN) != 0 {
+	if flags&^(reqFlagTTL|reqFlagAsync|reqFlagMinLSN|reqFlagEpoch) != 0 {
+		return req, false
+	}
+	if flags&reqFlagEpoch != 0 && flags&reqFlagMinLSN == 0 {
+		// An epoch scopes a token; an epoch without one is not a canonical
+		// encoding.
 		return req, false
 	}
 	req.ID = binary.LittleEndian.Uint64(p[3:])
@@ -305,6 +344,16 @@ func DecodeRequest(p []byte) (Request, bool) {
 			// The encoder expresses "no token" by clearing the flag; a
 			// zero token under the flag is not a canonical encoding.
 			return req, false
+		}
+	}
+	if flags&reqFlagEpoch != 0 {
+		if len(p)-off < 8 {
+			return req, false
+		}
+		req.Epoch = binary.LittleEndian.Uint64(p[off:])
+		off += 8
+		if req.Epoch == 0 {
+			return req, false // same: the flag promises a nonzero epoch
 		}
 	}
 	if flags&reqFlagTTL != 0 {
@@ -396,6 +445,14 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 	flags := byte(0)
 	if len(resp.LSNs) > 0 {
 		flags |= respFlagLSNs
+		// Any nonzero epoch widens the whole list to triples: the entries
+		// come from one cluster partition, so they share an encoding.
+		for _, sl := range resp.LSNs {
+			if sl.Epoch > 0 {
+				flags |= respFlagEpochs
+				break
+			}
+		}
 	}
 	dst = append(dst, Version, byte(resp.Op), byte(resp.Status), flags)
 	dst = binary.LittleEndian.AppendUint64(dst, resp.ID)
@@ -430,6 +487,9 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 		for _, sl := range resp.LSNs {
 			dst = binary.LittleEndian.AppendUint32(dst, sl.Shard)
 			dst = binary.LittleEndian.AppendUint64(dst, sl.LSN)
+			if flags&respFlagEpochs != 0 {
+				dst = binary.LittleEndian.AppendUint64(dst, sl.Epoch)
+			}
 		}
 	}
 	frame.Seal(dst[base:])
@@ -446,8 +506,11 @@ func DecodeResponse(p []byte) (Response, bool) {
 	resp.Op = Op(p[1])
 	resp.Status = Status(p[2])
 	flags := p[3]
-	if flags&^respFlagLSNs != 0 {
+	if flags&^(respFlagLSNs|respFlagEpochs) != 0 {
 		return resp, false // unknown flag bits: see DecodeRequest
+	}
+	if flags&respFlagEpochs != 0 && flags&respFlagLSNs == 0 {
+		return resp, false // epochs widen the LSN list; alone they carry nothing
 	}
 	resp.ID = binary.LittleEndian.Uint64(p[4:])
 	off := 12
@@ -533,19 +596,34 @@ func DecodeResponse(p []byte) (Response, bool) {
 		}
 		count := int(binary.LittleEndian.Uint32(p[off:]))
 		off += 4
+		width := 12
+		if flags&respFlagEpochs != 0 {
+			width = 20
+		}
 		// count == 0 is rejected too: the encoder expresses "no LSNs" by
 		// clearing the flag, so the empty-list-with-flag shape is not a
 		// canonical encoding.
-		if count <= 0 || count > (len(p)-off)/12 {
+		if count <= 0 || count > (len(p)-off)/width {
 			return resp, false
 		}
 		resp.LSNs = make([]ShardLSN, count)
+		sawEpoch := false
 		for i := range resp.LSNs {
-			resp.LSNs[i] = ShardLSN{
+			sl := ShardLSN{
 				Shard: binary.LittleEndian.Uint32(p[off:]),
 				LSN:   binary.LittleEndian.Uint64(p[off+4:]),
 			}
-			off += 12
+			if width == 20 {
+				sl.Epoch = binary.LittleEndian.Uint64(p[off+12:])
+				sawEpoch = sawEpoch || sl.Epoch > 0
+			}
+			resp.LSNs[i] = sl
+			off += width
+		}
+		if width == 20 && !sawEpoch {
+			// All-zero epochs under the flag re-encode as pairs — not a
+			// canonical triple encoding.
+			return resp, false
 		}
 	}
 	return resp, off == len(p)

@@ -74,7 +74,7 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Op: OpPut, ID: 3, LSNs: []ShardLSN{{Shard: 2, LSN: 77}}},
 		{Op: OpDelete, ID: 4},
 		{Op: OpMGet, ID: 5, Values: [][]byte{[]byte("a"), nil, []byte("")}},
-		{Op: OpMPut, ID: 6, Applied: 9, LSNs: []ShardLSN{{0, 5}, {3, 6}}},
+		{Op: OpMPut, ID: 6, Applied: 9, LSNs: []ShardLSN{{Shard: 0, LSN: 5}, {Shard: 3, LSN: 6}}},
 		{Op: OpMDelete, ID: 7, Applied: 2},
 		{Op: OpFlush, ID: 8, Applied: 100},
 		{Op: OpStats, ID: 9, Stats: []byte(`{"shards":4}`)},
@@ -177,7 +177,7 @@ func TestDecodeRequestStrict(t *testing.T) {
 func TestDecodeResponseStrict(t *testing.T) {
 	valid := splitOne(t, AppendResponse(nil, &Response{
 		Op: OpMGet, ID: 3, Values: [][]byte{[]byte("aa"), nil},
-		LSNs: []ShardLSN{{1, 2}},
+		LSNs: []ShardLSN{{Shard: 1, LSN: 2}},
 	}))
 	if _, ok := DecodeResponse(valid); !ok {
 		t.Fatal("control: valid payload rejected")
