@@ -1,9 +1,12 @@
 package bravo
 
 import (
+	"github.com/bravolock/bravo/internal/bias"
 	"github.com/bravolock/bravo/internal/core"
 	"github.com/bravolock/bravo/internal/kvs"
+	"github.com/bravolock/bravo/internal/locks/adaptive"
 	"github.com/bravolock/bravo/internal/locks/cohort"
+	"github.com/bravolock/bravo/internal/locks/fairrw"
 	"github.com/bravolock/bravo/internal/locks/mutexrw"
 	"github.com/bravolock/bravo/internal/locks/percpu"
 	"github.com/bravolock/bravo/internal/locks/pfq"
@@ -124,6 +127,59 @@ func NewGoRW() RWLock { return new(stdrw.Lock) }
 // the BRAVO-over-mutex variant (§7).
 func NewMutexRW() RWLock { return new(mutexrw.Lock) }
 
+// NewFair returns a ticket-based fair (FIFO) reader-writer lock: strict
+// arrival order, no starvation in either direction, and none of BRAVO's
+// read-side scalability. It is the write-heavy end of the adaptive lock's
+// mode range and is registered as "fair" in the lock registry.
+func NewFair() RWLock { return new(fairrw.Lock) }
+
+// Adaptive per-lock biasing. An AdaptiveLock watches its own read/write mix
+// (as reported by its owner through the BiasAdaptor) and flips among three
+// modes: biased (BRAVO fast paths on), neutral (BRAVO inhibited, underlying
+// lock admission), and fair (strict FIFO gate). The hysteresis band in
+// AdaptiveThresholds generalizes the paper's static inhibit multiplier into
+// a closed loop — see internal/bias and internal/locks/adaptive.
+
+// BiasMode is an adaptive lock's current operating mode.
+type BiasMode = bias.Mode
+
+// Adaptive bias modes, ordered from read-optimized to write-optimized.
+const (
+	BiasModeBiased  = bias.ModeBiased
+	BiasModeNeutral = bias.ModeNeutral
+	BiasModeFair    = bias.ModeFair
+)
+
+// AdaptiveThresholds parameterizes the mode-flip hysteresis band: enter/exit
+// read-ratio thresholds for the biased and fair modes, the sampling window,
+// and the revocation-overload multiplier (the paper's InhibitN).
+type AdaptiveThresholds = bias.Thresholds
+
+// DefaultAdaptiveThresholds returns the tuned defaults (window 4096,
+// biased ≥ 0.90 enter / < 0.80 exit, fair < 0.50 enter / ≥ 0.60 exit).
+func DefaultAdaptiveThresholds() AdaptiveThresholds { return bias.DefaultThresholds() }
+
+// BiasAdaptor is the per-lock mode controller; owners feed it cumulative
+// read/write counts via Offer and read its decisions via Mode/Snapshot.
+type BiasAdaptor = bias.Adaptor
+
+// BiasAdaptorSnapshot is a coherent point-in-time view of one adaptor.
+type BiasAdaptorSnapshot = bias.AdaptorSnapshot
+
+// AdaptiveLock composes a fair FIFO gate over an inner (typically
+// BRAVO-wrapped) lock, routing readers by the adaptor's current mode.
+type AdaptiveLock = adaptive.Lock
+
+// NewAdaptive wraps under with mode-adaptive routing at default thresholds.
+// If under exposes a BRAVO bias engine (e.g. a bravo.New result), the
+// adaptor is wired into it so biased fast paths obey the mode.
+func NewAdaptive(under RWLock) *AdaptiveLock { return adaptive.New(under) }
+
+// NewAdaptiveWithThresholds is NewAdaptive with an explicit hysteresis band.
+func NewAdaptiveWithThresholds(under RWLock, th AdaptiveThresholds) *AdaptiveLock {
+	return adaptive.NewWithThresholds(under, th)
+}
+
 // Topology describes a sockets × cores × SMT machine shape for the
 // topology-sized locks below. BRAVO itself is topology-oblivious.
 type Topology = topo.Topology
@@ -155,7 +211,10 @@ func NewCohortRW(t Topology) RWLock { return cohort.New(t) }
 // Writes batch (MultiPut/MultiDelete: one write-lock acquisition per shard
 // group) or coalesce asynchronously (PutAsync/Flush), and keys may carry a
 // TTL (PutTTL, lazily expired on read and incrementally removed by Reap).
-// cmd/kvserv serves this engine over HTTP.
+// Built over adaptive locks (NewAdaptive), each shard self-tunes its bias
+// mode from its own traffic; SetAdaptive and SetAdaptiveThresholds steer the
+// loop, and per-shard modes surface in Stats. cmd/kvserv serves this engine
+// over HTTP.
 type ShardedKV = kvs.Sharded
 
 // ShardedKVStats aggregates a ShardedKV's per-shard operation counters.

@@ -50,6 +50,13 @@
 //	                       every partition measuring
 //	                       recovery-time-to-first-write; -json writes
 //	                       BENCH_cluster.json
+//	-workload adaptive     the bias-policy axis: the self-tuning adaptive
+//	                       lock vs its static endpoints (always-biased
+//	                       BRAVO, always-fair FIFO) over read-only,
+//	                       zipf-skewed, write-heavy, and phase-shifting
+//	                       mixes; -json writes BENCH_adaptive.json with
+//	                       adaptive-vs-best-static ratios and the
+//	                       acceptance verdict
 //
 // Examples:
 //
@@ -65,6 +72,7 @@
 //	bravobench -workload repl -json -followers 1,2,4
 //	bravobench -workload wire -json -conns 64,256 -depths 1,32
 //	bravobench -workload cluster -json -partitions 1,2,4
+//	bravobench -workload adaptive -json -threads 8
 package main
 
 import (
@@ -89,7 +97,7 @@ var (
 	locksFlag    = flag.String("locks", "ba,bravo-ba,pthread,bravo-pthread,per-cpu,cohort-rw", "native lock lineup")
 	scanFlag     = flag.Bool("scanrate", false, "measure the revocation scan rate (ns/slot) and exit")
 
-	workloadFlag   = flag.String("workload", "figures", "figures, shardedkv, readlatency, kvserv, wal, repl, wire, or cluster")
+	workloadFlag   = flag.String("workload", "figures", "figures, shardedkv, readlatency, kvserv, wal, repl, wire, cluster, or adaptive")
 	jsonFlag       = flag.Bool("json", false, "shardedkv/readlatency/kvserv/wal/repl/wire: also write machine-readable results")
 	outFlag        = flag.String("out", "BENCH_shardedkv.json", "shardedkv/readlatency/kvserv/wal/repl/wire: -json output path (workload-specific default)")
 	shardsFlag     = flag.String("shards", "1,2,4,8", "shardedkv/kvserv/wal/repl: shard counts (powers of two)")
@@ -176,6 +184,16 @@ const (
 	clusterDefaultShards    = "4"
 	clusterDefaultFollowers = "1"
 	clusterDefaultOut       = "BENCH_cluster.json"
+)
+
+// adaptiveDefaults replace the figure-oriented defaults for the adaptive
+// workload: the settings lineup is fixed inside the sweep (adaptive-go vs
+// bravo-go vs fair), one thread count (the axis is the mix, not threads),
+// and intervals long enough that the phase-shifting rows hold each phase
+// across many adaptor windows.
+const (
+	adaptiveDefaultThreads = "8"
+	adaptiveDefaultOut     = "BENCH_adaptive.json"
 )
 
 // rwbenchSubs maps Figure 4's sub-plots to write probabilities.
@@ -270,6 +288,13 @@ func main() {
 			"batch":     func() { *batchFlag = bench.WALDefaultBatch },
 			"out":       func() { *outFlag = clusterDefaultOut },
 		})
+	case "adaptive":
+		applyWorkloadDefaults(map[string]func(){
+			"threads":  func() { *threadsFlag = adaptiveDefaultThreads },
+			"interval": func() { *intervalFlag = 500 * time.Millisecond },
+			"runs":     func() { *runsFlag = 3 },
+			"out":      func() { *outFlag = adaptiveDefaultOut },
+		})
 	}
 	threads, err := cliutil.ParseInts(*threadsFlag)
 	if err != nil {
@@ -305,8 +330,12 @@ func main() {
 		runCluster(cfg, locks)
 		return
 	}
+	if *workloadFlag == "adaptive" {
+		runAdaptive(cfg)
+		return
+	}
 	if *workloadFlag != "figures" {
-		fatal(fmt.Errorf("unknown workload %q (figures, shardedkv, readlatency, kvserv, wal, repl, wire, cluster)", *workloadFlag))
+		fatal(fmt.Errorf("unknown workload %q (figures, shardedkv, readlatency, kvserv, wal, repl, wire, cluster, adaptive)", *workloadFlag))
 	}
 	figs := []string{"1", "2", "3", "4", "5", "6"}
 	if *figFlag != "all" {
@@ -588,6 +617,34 @@ func runCluster(cfg bench.Config, locks []string) {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d results)\n", *outFlag, len(results))
+}
+
+func runAdaptive(cfg bench.Config) {
+	if len(cfg.Threads) != 1 || cfg.Threads[0] < 1 {
+		fatal(fmt.Errorf("adaptive workload takes exactly one -threads entry >= 1, got %q", *threadsFlag))
+	}
+	results, comps, acc, err := bench.AdaptiveSweep(cfg.Threads[0], cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# adaptive: %d keys, %d shards, %d threads, interval %v, median of %d\n",
+		bench.AdaptiveKeys, bench.AdaptiveShards, cfg.Threads[0], cfg.Interval, cfg.Runs)
+	bench.WriteAdaptiveTable(os.Stdout, results, comps)
+	if !*jsonFlag {
+		return
+	}
+	f, err := os.Create(*outFlag)
+	if err != nil {
+		fatal(err)
+	}
+	rep := bench.NewAdaptiveReport(cfg, results, comps, acc)
+	if err := rep.WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d results, %d comparisons)\n", *outFlag, len(results), len(comps))
 }
 
 // applyWorkloadDefaults runs each override whose flag the user did not set

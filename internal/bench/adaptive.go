@@ -1,0 +1,537 @@
+package bench
+
+// The adaptive workload family pits the self-tuning adaptive lock against
+// its two static endpoints — always-biased BRAVO and the always-fair ticket
+// gate — on the mixes where a single static choice must lose somewhere:
+//
+//	readonly   uniform reads, no writes: biased BRAVO's home turf. The
+//	           adaptive lock must track it (the acceptance bar is within
+//	           5% — its only read-path cost is one mode branch).
+//	zipf       uniform reads plus zipf-skewed writes: write volume piles
+//	           onto the few shards owning the hot keys, so per-shard mixes
+//	           diverge — hot shards demote while cold shards stay biased,
+//	           the case no engine-global policy can express.
+//	writeheavy a write-dominated uniform mix: fair territory; adaptive
+//	           shards demote off the biased fast path and stop paying
+//	           revocation sweeps.
+//	phaseshift the tentpole: the mix alternates between read-only and
+//	           write-heavy phases inside one measurement interval. A
+//	           static lock is wrong for half the run; the adaptive lock
+//	           flips per phase and must meet or beat the better static.
+//
+// Each result row carries its own RunMeta (stamped when the row starts) so
+// the phaseshift rows can pair their phase-boundary timestamps with a
+// same-clock row start; a process-wide stamp could be minutes stale by the
+// time the last row runs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bravolock/bravo/internal/bias"
+	"github.com/bravolock/bravo/internal/clock"
+	"github.com/bravolock/bravo/internal/histogram"
+	"github.com/bravolock/bravo/internal/kvs"
+	"github.com/bravolock/bravo/internal/rwl"
+	"github.com/bravolock/bravo/internal/xrand"
+)
+
+// AdaptiveKeys is the workload keyspace (shared with shardedkv).
+const AdaptiveKeys = ShardedKVKeys
+
+// AdaptiveShards is the engine width: enough shards that zipf-skewed writes
+// leave some shards effectively read-only.
+const AdaptiveShards = 8
+
+// adaptiveValueSize sizes the payload copy inside each critical section.
+// 256 bytes keeps the lock path the dominant per-op cost (the settings
+// still separate by 1.3–1.8× on write mixes) while representing a realistic
+// small record rather than a degenerate empty one.
+const adaptiveValueSize = 256
+
+// adaptiveZipfTheta is the write-skew exponent. 1.5 concentrates roughly
+// three quarters of write volume on the top eight keys, i.e. on at most
+// eight of the shards — usually fewer.
+const adaptiveZipfTheta = 1.5
+
+// AdaptiveSettings are the three lock configurations every workload runs
+// under, in report order. Each maps to a registry lineup over the same
+// inner substrate (sync.RWMutex) so the deltas are pure policy:
+// adaptive-go flips modes, bravo-go is the static biased endpoint, fair is
+// the static FIFO endpoint.
+var AdaptiveSettings = []struct {
+	Setting string
+	Lock    string
+}{
+	{"adaptive", "adaptive-go"},
+	{"static-biased", "bravo-go"},
+	{"static-fair", "fair"},
+}
+
+// AdaptiveWorkloads are the mix rows, in report order.
+var AdaptiveWorkloads = []string{"readonly", "zipf", "writeheavy", "phaseshift"}
+
+// adaptiveSmokeTolerance is the slack applied to the boolean acceptance
+// fields (not to the raw ratios, which are always reported exactly): a
+// ratio r counts as "≥" when r ≥ tolerance. CI smoke runs on shared,
+// 1-CPU runners with sub-second intervals where scheduling noise alone
+// swings throughput several percent; the checked-in BENCH_adaptive.json is
+// produced with full intervals and must show the raw ratios genuinely
+// ≥ 1.0 (see EXPERIMENTS.md).
+const adaptiveSmokeTolerance = 0.90
+
+// phaseShiftPhases is the number of alternating phases per measurement
+// interval (even: starts read-only, ends write-heavy).
+const phaseShiftPhases = 6
+
+// writeRatioScale converts a write ratio to the integer threshold compared
+// against 20 random bits per operation.
+const writeRatioScale = 1 << 20
+
+// AdaptiveResult is one (workload, setting) row of BENCH_adaptive.json.
+type AdaptiveResult struct {
+	Workload string `json:"workload"`
+	// Setting names the lock policy; Lock is the registry lineup behind it.
+	Setting string `json:"setting"`
+	Lock    string `json:"lock"`
+	Threads int    `json:"threads"`
+	// WriteRatio is the steady mix, or the write-phase ratio for phaseshift.
+	WriteRatio float64 `json:"write_ratio"`
+	// Meta is stamped when this row starts (not once per process): the
+	// phaseshift boundary timestamps below share its clock.
+	Meta RunMeta `json:"meta"`
+	// Ops is the median total operation count per measurement interval;
+	// RunOps lists every run's count in execution order (run r of every
+	// setting executes before run r+1 of any, so same-index entries across
+	// a workload's rows are back-to-back in time — the comparisons are
+	// computed per-index for that reason).
+	Ops                 float64   `json:"ops"`
+	RunOps              []float64 `json:"run_ops"`
+	ThroughputOpsPerSec float64   `json:"throughput_ops_per_sec"`
+	ReadP50Nanos        int64     `json:"read_p50_ns"`
+	ReadP99Nanos        int64     `json:"read_p99_ns"`
+	// BiasFlips and FinalModes (mode name → shard count, last run) show
+	// what the adaptive setting actually did; absent for static settings.
+	BiasFlips  uint64         `json:"bias_flips,omitempty"`
+	FinalModes map[string]int `json:"final_modes,omitempty"`
+	// Phases and PhaseBoundaries (RFC3339Nano, last run) are set on
+	// phaseshift rows only.
+	Phases          int      `json:"phases,omitempty"`
+	PhaseBoundaries []string `json:"phase_boundaries,omitempty"`
+}
+
+// AdaptiveComparison reduces one workload's three rows to the ratios the
+// acceptance bars are stated in. Each ratio is the median over rounds of
+// the per-round ratio (round r ran the two settings back-to-back), not the
+// ratio of medians: host-level slowdowns that span seconds hit both
+// settings of a round alike and cancel, where a ratio of medians would
+// charge them to whichever setting's median run was unlucky. The booleans
+// apply adaptiveSmokeTolerance; the ratios do not.
+type AdaptiveComparison struct {
+	Workload                 string  `json:"workload"`
+	AdaptiveOverStaticBiased float64 `json:"adaptive_over_static_biased"`
+	AdaptiveOverStaticFair   float64 `json:"adaptive_over_static_fair"`
+	AdaptiveGeBestStatic     bool    `json:"adaptive_ge_best_static"`
+}
+
+// AdaptiveAcceptance is the report's machine-checkable verdict (CI greps
+// these fields by name).
+type AdaptiveAcceptance struct {
+	// PhaseShiftAdaptiveGeBestStatic: on the phase-shifting mix the
+	// adaptive lock meets or beats the better static endpoint.
+	PhaseShiftAdaptiveGeBestStatic bool `json:"phaseshift_adaptive_ge_best_static"`
+	// ReadonlyAdaptiveWithin5Pct: on pure reads the adaptive lock stays
+	// within 5% of static-biased (the mode branch is its only read cost).
+	ReadonlyAdaptiveWithin5Pct bool `json:"readonly_adaptive_within_5pct_of_biased"`
+}
+
+// AdaptiveReport is the top-level BENCH_adaptive.json document.
+type AdaptiveReport struct {
+	Benchmark  string               `json:"benchmark"`
+	Meta       RunMeta              `json:"meta"`
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	IntervalMS int64                `json:"interval_ms"`
+	Runs       int                  `json:"runs"`
+	Keys       int                  `json:"keys"`
+	Shards     int                  `json:"shards"`
+	Results    []AdaptiveResult     `json:"results"`
+	Compare    []AdaptiveComparison `json:"comparisons"`
+	Acceptance AdaptiveAcceptance   `json:"acceptance"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r AdaptiveReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// zipfCDF is the cumulative rank distribution for write-key sampling,
+// built once per process.
+var (
+	zipfOnce sync.Once
+	zipfCDF  []float64
+)
+
+func zipfSetup() {
+	zipfOnce.Do(func() {
+		zipfCDF = make([]float64, AdaptiveKeys)
+		sum := 0.0
+		for k := 0; k < AdaptiveKeys; k++ {
+			sum += 1.0 / math.Pow(float64(k+1), adaptiveZipfTheta)
+			zipfCDF[k] = sum
+		}
+		for k := range zipfCDF {
+			zipfCDF[k] /= sum
+		}
+	})
+}
+
+// zipfKey draws a key with zipf-distributed rank. Rank r maps to key r
+// directly: the engine's shard mix function scatters adjacent keys across
+// shards, so the hot ranks land on a small, arbitrary set of shards —
+// exactly the divergence the workload wants.
+func zipfKey(rng *xrand.XorShift64) uint64 {
+	u := float64(rng.Next()>>11) / (1 << 53)
+	return uint64(sort.SearchFloat64s(zipfCDF, u))
+}
+
+// adaptiveMix describes how one workload drives the engine.
+type adaptiveMix struct {
+	// steadyRatio is the write fraction — for phaseshift, the write
+	// phases' fraction (read phases run at zero).
+	steadyRatio float64
+	phases      int
+	zipfWrites  bool
+}
+
+func adaptiveMixFor(workload string) (adaptiveMix, error) {
+	switch workload {
+	case "readonly":
+		return adaptiveMix{}, nil
+	case "zipf":
+		zipfSetup()
+		return adaptiveMix{steadyRatio: 0.2, zipfWrites: true}, nil
+	case "writeheavy":
+		return adaptiveMix{steadyRatio: 0.7}, nil
+	case "phaseshift":
+		return adaptiveMix{steadyRatio: 0.7, phases: phaseShiftPhases}, nil
+	}
+	return adaptiveMix{}, fmt.Errorf("bench: unknown adaptive workload %q", workload)
+}
+
+// adaptiveRunOut is one measurement interval's raw output.
+type adaptiveRunOut struct {
+	ops        float64
+	hist       *histogram.Histogram
+	stats      kvs.ShardedStats
+	flipsBase  uint64
+	adaptive   bool
+	boundaries []string
+}
+
+// adaptiveRunOnce builds a fresh engine and drives one measurement
+// interval of the mix against it.
+func adaptiveRunOnce(mix adaptiveMix, mk rwl.Factory, threads int, cfg Config) (adaptiveRunOut, error) {
+	var out adaptiveRunOut
+	e, err := kvs.NewSharded(AdaptiveShards, mk)
+	if err != nil {
+		return out, err
+	}
+	// Optimistic seq reads bypass the shard lock entirely and would mask
+	// every difference the workload exists to measure.
+	e.SetSeqReadAttempts(0)
+	value := make([]byte, adaptiveValueSize)
+	for k := uint64(0); k < AdaptiveKeys; k++ {
+		copy(value, kvs.EncodeValue(k))
+		e.Put(k, value)
+	}
+	out.adaptive = e.AdaptiveCapable()
+	// Population is setup, not workload: its 16K puts read as a write
+	// storm and demote shards, and they leave a partially filled
+	// write-heavy window behind. Drain that window with reads, then
+	// settle every shard back to the biased start the static-biased
+	// setting also begins from, and baseline the flip counter so the
+	// row reports measurement-time flips only.
+	if out.adaptive {
+		warm := xrand.NewXorShift64(0xADA9)
+		rbuf := make([]byte, 0, adaptiveValueSize)
+		for i := 0; i < 2*AdaptiveShards*4096; i++ {
+			rbuf, _ = e.GetInto(warm.Intn(AdaptiveKeys), rbuf)
+		}
+		for i := 0; i < e.NumShards(); i++ {
+			e.ShardAdaptor(i).ForceMode(bias.ModeBiased)
+		}
+		out.flipsBase = e.Stats().Total().BiasFlips
+	}
+
+	// The write-ratio threshold is shared and atomic so the phaseshift
+	// pacer can flip it mid-interval; steady workloads load the same
+	// atomic (one uncontended load per op, identical across settings).
+	var threshold atomic.Uint64
+	if mix.phases == 0 {
+		threshold.Store(uint64(mix.steadyRatio * writeRatioScale))
+	}
+	var pacerStop chan struct{}
+	var pacerDone sync.WaitGroup
+	if mix.phases > 0 {
+		phaseLen := cfg.Interval / time.Duration(mix.phases)
+		pacerStop = make(chan struct{})
+		pacerDone.Add(1)
+		go func() {
+			defer pacerDone.Done()
+			write := false
+			t := time.NewTicker(phaseLen)
+			defer t.Stop()
+			for {
+				select {
+				case <-pacerStop:
+					return
+				case <-t.C:
+					write = !write
+					next := uint64(0)
+					if write {
+						next = uint64(mix.steadyRatio * writeRatioScale)
+					}
+					threshold.Store(next)
+					out.boundaries = append(out.boundaries,
+						time.Now().UTC().Format(time.RFC3339Nano))
+				}
+			}
+		}()
+	}
+
+	hist := &histogram.Histogram{}
+	var histMu sync.Mutex
+	total := RunWorkers(threads, cfg.Interval, func(id int, stop *atomic.Bool) uint64 {
+		rng := xrand.NewXorShift64(uint64(id)*0x9e3779b97f4a7c15 + 1)
+		local := &histogram.Histogram{}
+		wval := make([]byte, adaptiveValueSize)
+		rbuf := make([]byte, 0, adaptiveValueSize)
+		var ops uint64
+		for !stop.Load() {
+			if rng.Next()&(writeRatioScale-1) < threshold.Load() {
+				k := rng.Intn(AdaptiveKeys)
+				if mix.zipfWrites {
+					k = zipfKey(rng)
+				}
+				copy(wval, kvs.EncodeValue(rng.Next()))
+				e.Put(k, wval)
+			} else {
+				k := rng.Intn(AdaptiveKeys)
+				if ops&latencySampleMask == 0 {
+					start := clock.Nanos()
+					rbuf, _ = e.GetInto(k, rbuf)
+					local.Record(clock.Nanos() - start)
+				} else {
+					rbuf, _ = e.GetInto(k, rbuf)
+				}
+			}
+			ops++
+		}
+		histMu.Lock()
+		hist.Merge(local)
+		histMu.Unlock()
+		return ops
+	})
+	if pacerStop != nil {
+		close(pacerStop)
+		pacerDone.Wait()
+	}
+	out.ops = float64(total)
+	out.hist = hist
+	out.stats = e.Stats()
+	return out, nil
+}
+
+// adaptiveWorkloadRows produces one workload's three setting rows. The
+// settings' runs are interleaved round-robin — run r of every setting
+// executes before run r+1 of any — so slow host-level drift (scheduler
+// mood, thermal state) lands on all three settings alike instead of
+// biasing whichever setting happened to run last. Each row's median is
+// taken across its own runs; histograms and adaptation counters come from
+// the last run.
+func adaptiveWorkloadRows(workload string, threads int, cfg Config) ([]AdaptiveResult, error) {
+	mix, err := adaptiveMixFor(workload)
+	if err != nil {
+		return nil, err
+	}
+	runs := cfg.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	n := len(AdaptiveSettings)
+	rows := make([]AdaptiveResult, n)
+	mks := make([]rwl.Factory, n)
+	samples := make([][]float64, n)
+	lasts := make([]adaptiveRunOut, n)
+	for si, s := range AdaptiveSettings {
+		mk, ok := rwl.Lookup(s.Lock)
+		if !ok {
+			_, err := rwl.New(s.Lock)
+			return nil, err
+		}
+		mks[si] = mk
+		rows[si] = AdaptiveResult{
+			Workload: workload, Setting: s.Setting, Lock: s.Lock,
+			Threads: threads, WriteRatio: mix.steadyRatio, Phases: mix.phases,
+		}
+	}
+	for r := 0; r < runs; r++ {
+		for si := range AdaptiveSettings {
+			if r == 0 {
+				rows[si].Meta = NewRunMeta()
+			}
+			out, err := adaptiveRunOnce(mix, mks[si], threads, cfg)
+			if err != nil {
+				return nil, err
+			}
+			samples[si] = append(samples[si], out.ops)
+			lasts[si] = out
+		}
+	}
+	for si := range rows {
+		rows[si].RunOps = append([]float64(nil), samples[si]...)
+		sort.Float64s(samples[si])
+		rows[si].Ops = samples[si][len(samples[si])/2]
+		rows[si].ThroughputOpsPerSec = rows[si].Ops / cfg.Interval.Seconds()
+		last := lasts[si]
+		if last.hist != nil && last.hist.Count() > 0 {
+			rows[si].ReadP50Nanos = last.hist.Percentile(50)
+			rows[si].ReadP99Nanos = last.hist.Percentile(99)
+		}
+		rows[si].PhaseBoundaries = last.boundaries
+		if last.adaptive {
+			rows[si].BiasFlips = last.stats.Total().BiasFlips - last.flipsBase
+			rows[si].FinalModes = map[string]int{}
+			for _, sh := range last.stats.Shards {
+				rows[si].FinalModes[sh.BiasMode]++
+			}
+		}
+	}
+	return rows, nil
+}
+
+// medianRatio reduces two aligned per-round sample vectors to the median
+// of their pointwise ratios.
+func medianRatio(num, den []float64) float64 {
+	n := len(num)
+	if len(den) < n {
+		n = len(den)
+	}
+	var ratios []float64
+	for i := 0; i < n; i++ {
+		if den[i] > 0 {
+			ratios = append(ratios, num[i]/den[i])
+		}
+	}
+	if len(ratios) == 0 {
+		return 0
+	}
+	sort.Float64s(ratios)
+	return ratios[len(ratios)/2]
+}
+
+// AdaptiveSweep runs every workload under every setting and reduces the
+// rows to per-workload comparisons plus the acceptance verdict.
+func AdaptiveSweep(threads int, cfg Config) ([]AdaptiveResult, []AdaptiveComparison, AdaptiveAcceptance, error) {
+	var results []AdaptiveResult
+	byKey := map[string]AdaptiveResult{}
+	for _, wl := range AdaptiveWorkloads {
+		rows, err := adaptiveWorkloadRows(wl, threads, cfg)
+		if err != nil {
+			return nil, nil, AdaptiveAcceptance{}, err
+		}
+		for _, r := range rows {
+			results = append(results, r)
+			byKey[wl+"/"+r.Setting] = r
+		}
+	}
+	var compare []AdaptiveComparison
+	for _, wl := range AdaptiveWorkloads {
+		ad := byKey[wl+"/adaptive"].RunOps
+		sb := byKey[wl+"/static-biased"].RunOps
+		sf := byKey[wl+"/static-fair"].RunOps
+		c := AdaptiveComparison{
+			Workload:                 wl,
+			AdaptiveOverStaticBiased: medianRatio(ad, sb),
+			AdaptiveOverStaticFair:   medianRatio(ad, sf),
+		}
+		worse := c.AdaptiveOverStaticBiased
+		if c.AdaptiveOverStaticFair < worse {
+			worse = c.AdaptiveOverStaticFair
+		}
+		c.AdaptiveGeBestStatic = worse >= adaptiveSmokeTolerance
+		compare = append(compare, c)
+	}
+	var acc AdaptiveAcceptance
+	for _, c := range compare {
+		switch c.Workload {
+		case "phaseshift":
+			acc.PhaseShiftAdaptiveGeBestStatic = c.AdaptiveGeBestStatic
+		case "readonly":
+			acc.ReadonlyAdaptiveWithin5Pct = c.AdaptiveOverStaticBiased >= 0.95
+		}
+	}
+	return results, compare, acc, nil
+}
+
+// NewAdaptiveReport assembles the BENCH_adaptive.json document.
+func NewAdaptiveReport(cfg Config, results []AdaptiveResult, compare []AdaptiveComparison, acc AdaptiveAcceptance) AdaptiveReport {
+	return AdaptiveReport{
+		Benchmark:  "adaptive",
+		Meta:       NewRunMeta(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		IntervalMS: cfg.Interval.Milliseconds(),
+		Runs:       cfg.Runs,
+		Keys:       AdaptiveKeys,
+		Shards:     AdaptiveShards,
+		Results:    results,
+		Compare:    compare,
+		Acceptance: acc,
+	}
+}
+
+// WriteAdaptiveTable renders the rows and comparisons as the human-readable
+// companion of the JSON report.
+func WriteAdaptiveTable(w io.Writer, results []AdaptiveResult, compare []AdaptiveComparison) {
+	const format = "%-11s %-14s %8s %14s %10s %10s %7s %-24s\n"
+	fmt.Fprintf(w, format, "workload", "setting", "threads", "ops/sec", "p50(ns)", "p99(ns)", "flips", "final modes")
+	for _, r := range results {
+		flips, modes := "-", "-"
+		if r.FinalModes != nil {
+			flips = fmt.Sprintf("%d", r.BiasFlips)
+			keys := make([]string, 0, len(r.FinalModes))
+			for m := range r.FinalModes {
+				keys = append(keys, m)
+			}
+			sort.Strings(keys)
+			modes = ""
+			for _, m := range keys {
+				if modes != "" {
+					modes += " "
+				}
+				modes += fmt.Sprintf("%s:%d", m, r.FinalModes[m])
+			}
+		}
+		fmt.Fprintf(w, format, r.Workload, r.Setting,
+			fmt.Sprintf("%d", r.Threads),
+			fmt.Sprintf("%.0f", r.ThroughputOpsPerSec),
+			fmt.Sprintf("%d", r.ReadP50Nanos), fmt.Sprintf("%d", r.ReadP99Nanos),
+			flips, modes)
+	}
+	fmt.Fprintf(w, "\n%-11s %22s %20s %14s\n", "workload", "adaptive/static-biased", "adaptive/static-fair", "ge-best")
+	for _, c := range compare {
+		fmt.Fprintf(w, "%-11s %22s %20s %14v\n", c.Workload,
+			fmt.Sprintf("%.3f", c.AdaptiveOverStaticBiased),
+			fmt.Sprintf("%.3f", c.AdaptiveOverStaticFair),
+			c.AdaptiveGeBestStatic)
+	}
+}

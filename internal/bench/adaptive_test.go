@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	_ "github.com/bravolock/bravo/internal/locks/all"
+	"github.com/bravolock/bravo/internal/xrand"
+)
+
+// The sweep is exercised at smoke scale: structure, per-row meta, phase
+// boundaries, and report plumbing. Performance claims live in the
+// checked-in BENCH_adaptive.json and the CI smoke, not here.
+func TestAdaptiveSweepStructure(t *testing.T) {
+	cfg := Config{Interval: 30 * time.Millisecond, Runs: 1}
+	results, compare, acc, err := AdaptiveSweep(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(AdaptiveWorkloads) * len(AdaptiveSettings); len(results) != want {
+		t.Fatalf("sweep produced %d rows, want %d", len(results), want)
+	}
+	if len(compare) != len(AdaptiveWorkloads) {
+		t.Fatalf("sweep produced %d comparisons, want %d", len(compare), len(AdaptiveWorkloads))
+	}
+	for _, r := range results {
+		if r.Ops <= 0 || r.ThroughputOpsPerSec <= 0 {
+			t.Fatalf("row %s/%s recorded no operations", r.Workload, r.Setting)
+		}
+		// Satellite: every row carries its own meta stamp.
+		if r.Meta.Timestamp == "" || r.Meta.GoVersion == "" {
+			t.Fatalf("row %s/%s missing per-row meta: %+v", r.Workload, r.Setting, r.Meta)
+		}
+		switch r.Setting {
+		case "adaptive":
+			if r.FinalModes == nil {
+				t.Fatalf("adaptive row %s has no final mode census", r.Workload)
+			}
+			n := 0
+			for _, c := range r.FinalModes {
+				n += c
+			}
+			if n != AdaptiveShards {
+				t.Fatalf("adaptive row %s mode census covers %d shards, want %d",
+					r.Workload, n, AdaptiveShards)
+			}
+		default:
+			if r.FinalModes != nil || r.BiasFlips != 0 {
+				t.Fatalf("static row %s/%s carries adaptation counters", r.Workload, r.Setting)
+			}
+		}
+		if r.Workload == "phaseshift" {
+			if r.Phases != phaseShiftPhases {
+				t.Fatalf("phaseshift row reports %d phases", r.Phases)
+			}
+			if len(r.PhaseBoundaries) == 0 {
+				t.Fatal("phaseshift row recorded no phase boundaries")
+			}
+			for _, b := range r.PhaseBoundaries {
+				if _, err := time.Parse(time.RFC3339Nano, b); err != nil {
+					t.Fatalf("phase boundary %q: %v", b, err)
+				}
+			}
+			// The boundaries belong to the same clock as the row's own
+			// meta stamp: none may precede the row start.
+			rowStart, err := time.Parse(time.RFC3339, r.Meta.Timestamp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, _ := time.Parse(time.RFC3339Nano, r.PhaseBoundaries[0])
+			if first.Before(rowStart.Add(-time.Second)) {
+				t.Fatalf("phase boundary %v predates row start %v", first, rowStart)
+			}
+		} else if len(r.PhaseBoundaries) != 0 {
+			t.Fatalf("steady row %s/%s has phase boundaries", r.Workload, r.Setting)
+		}
+	}
+
+	rep := NewAdaptiveReport(cfg, results, compare, acc)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded AdaptiveReport
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if decoded.Benchmark != "adaptive" || len(decoded.Results) != len(results) {
+		t.Fatalf("decoded report wrong: benchmark %q, %d rows", decoded.Benchmark, len(decoded.Results))
+	}
+	// The acceptance fields CI greps for must serialize under these names.
+	for _, field := range []string{
+		`"phaseshift_adaptive_ge_best_static"`,
+		`"readonly_adaptive_within_5pct_of_biased"`,
+		`"adaptive_ge_best_static"`,
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(field)) {
+			t.Fatalf("report JSON lacks %s:\n%s", field, buf.String())
+		}
+	}
+
+	var tab bytes.Buffer
+	WriteAdaptiveTable(&tab, results, compare)
+	for _, want := range []string{"adaptive", "static-biased", "static-fair", "phaseshift", "ge-best"} {
+		if !strings.Contains(tab.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, tab.String())
+		}
+	}
+}
+
+// The zipf sampler must actually skew: the top handful of ranks should
+// absorb a majority of draws at theta 1.5.
+func TestAdaptiveZipfSkew(t *testing.T) {
+	zipfSetup()
+	rng := xrand.NewXorShift64(7)
+	top8 := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		if zipfKey(rng) < 8 {
+			top8++
+		}
+	}
+	if top8 < draws/2 {
+		t.Fatalf("top-8 ranks got %d/%d draws; zipf skew too weak", top8, draws)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -22,7 +23,10 @@ type RunMeta struct {
 // NewRunMeta captures the current environment. The commit comes from the
 // binary's build info when present (go build stamps vcs.revision) and falls
 // back to asking git, then to "unknown" — reports must stay writable from
-// containers without either.
+// containers without either. Multi-row reports stamp a fresh RunMeta per
+// workload row (the Timestamp marks when that row started), so NewRunMeta
+// must stay cheap on repeat calls: the commit lookup — which may exec git
+// twice — runs once per process and is cached.
 func NewRunMeta() RunMeta {
 	return RunMeta{
 		Commit:     commit(),
@@ -33,7 +37,17 @@ func NewRunMeta() RunMeta {
 	}
 }
 
+var (
+	commitOnce   sync.Once
+	commitCached string
+)
+
 func commit() string {
+	commitOnce.Do(func() { commitCached = lookupCommit() })
+	return commitCached
+}
+
+func lookupCommit() string {
 	rev, dirty := "", false
 	if info, ok := debug.ReadBuildInfo(); ok {
 		for _, s := range info.Settings {

@@ -1,0 +1,195 @@
+package bias
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// feed closes exactly one window with the given read/write deltas by
+// advancing the cumulative totals the adaptor has already seen.
+type feeder struct {
+	a      *Adaptor
+	reads  uint64
+	writes uint64
+}
+
+func (f *feeder) window(dr, dw uint64) {
+	f.reads += dr
+	f.writes += dw
+	f.a.Offer(f.reads, f.writes)
+}
+
+func TestAdaptorHysteresisFlips(t *testing.T) {
+	a := NewAdaptor(Thresholds{})
+	w := a.ThresholdsInUse().Window
+	f := &feeder{a: a}
+
+	if a.Mode() != ModeBiased {
+		t.Fatalf("initial mode = %v, want biased", a.Mode())
+	}
+	// Pure-write window: biased → fair.
+	f.window(0, w)
+	if a.Mode() != ModeFair {
+		t.Fatalf("after write-heavy window: mode = %v, want fair", a.Mode())
+	}
+	// Mid-band window (r ≈ 0.85, between FairExit and BiasEnter): fair →
+	// neutral, one step only.
+	f.window(w-w*15/100, w*15/100)
+	if a.Mode() != ModeNeutral {
+		t.Fatalf("after mid-band window: mode = %v, want neutral", a.Mode())
+	}
+	// Same mix again: the dead zone holds the mode (no ping-pong).
+	f.window(w-w*15/100, w*15/100)
+	if a.Mode() != ModeNeutral {
+		t.Fatalf("dead-zone window flipped the mode to %v", a.Mode())
+	}
+	// Read-dominated window: neutral → biased.
+	f.window(w, 0)
+	if a.Mode() != ModeBiased {
+		t.Fatalf("after read-heavy window: mode = %v, want biased", a.Mode())
+	}
+	if got := a.Flips(); got != 3 {
+		t.Fatalf("flips = %d, want 3", got)
+	}
+}
+
+func TestAdaptorOneFlipPerWindow(t *testing.T) {
+	a := NewAdaptor(Thresholds{})
+	w := a.ThresholdsInUse().Window
+	f := &feeder{a: a}
+
+	// Below-window deltas never evaluate.
+	f.window(w/4, 0)
+	f.window(w/4, 0)
+	if got := a.Snapshot().Windows; got != 0 {
+		t.Fatalf("windows closed below the op threshold: %d", got)
+	}
+	// One Offer carrying many windows' worth of writes still closes exactly
+	// one window and applies at most one flip: biased lands on fair, not on
+	// some double-stepped state, and the flip counter moves by one.
+	f.window(0, 10*w)
+	snap := a.Snapshot()
+	if snap.Windows != 1 || snap.Flips != 1 || snap.Mode != ModeFair {
+		t.Fatalf("bulk window: windows=%d flips=%d mode=%v, want 1/1/fair",
+			snap.Windows, snap.Flips, snap.Mode)
+	}
+}
+
+func TestAdaptorRevocationOverloadDemotes(t *testing.T) {
+	a := NewAdaptor(Thresholds{})
+	w := a.ThresholdsInUse().Window
+	f := &feeder{a: a}
+
+	// A read fraction above BiasEnter would normally keep biased mode, but
+	// revocation time far beyond the window's wall time trips the
+	// generalized inhibit bound and demotes to neutral.
+	a.NoteRevocation(int64(1) << 60)
+	f.window(w, w/100)
+	if a.Mode() != ModeNeutral {
+		t.Fatalf("overloaded window: mode = %v, want neutral", a.Mode())
+	}
+	// And it blocks re-promotion while the overload persists.
+	a.NoteRevocation(int64(1) << 60)
+	f.window(w, 0)
+	if a.Mode() != ModeNeutral {
+		t.Fatalf("re-promoted while revocation-overloaded: mode = %v", a.Mode())
+	}
+	// With the overload gone, a read-heavy window promotes again.
+	f.window(w, 0)
+	if a.Mode() != ModeBiased {
+		t.Fatalf("calm window: mode = %v, want biased", a.Mode())
+	}
+}
+
+func TestAdaptorSetEnabled(t *testing.T) {
+	a := NewAdaptor(Thresholds{})
+	w := a.ThresholdsInUse().Window
+	f := &feeder{a: a}
+
+	f.window(0, w)
+	if a.Mode() != ModeFair {
+		t.Fatalf("setup: mode = %v, want fair", a.Mode())
+	}
+	a.SetEnabled(false)
+	if a.Mode() != ModeBiased || a.Adaptive() {
+		t.Fatalf("disable: mode = %v adaptive = %v, want biased/false", a.Mode(), a.Adaptive())
+	}
+	// Offers are ignored while disabled.
+	f.window(0, w)
+	if a.Mode() != ModeBiased {
+		t.Fatalf("offer flipped a disabled adaptor to %v", a.Mode())
+	}
+	a.SetEnabled(true)
+	f.window(0, w)
+	if a.Mode() != ModeFair {
+		t.Fatalf("re-enable: mode = %v, want fair", a.Mode())
+	}
+}
+
+func TestAdaptorThresholdsSanitize(t *testing.T) {
+	got := Thresholds{}.sanitize()
+	if got != DefaultThresholds() {
+		t.Fatalf("zero thresholds = %+v, want defaults", got)
+	}
+	// Inverted bands are repaired into a consistent ordering.
+	bad := Thresholds{BiasEnter: 0.7, BiasExit: 0.9, FairEnter: 0.95, FairExit: 0.1}.sanitize()
+	if !(bad.FairEnter <= bad.FairExit && bad.FairExit <= bad.BiasExit && bad.BiasExit <= bad.BiasEnter) {
+		t.Fatalf("sanitize left an inconsistent band: %+v", bad)
+	}
+}
+
+// TestAdaptorSnapshotCoherentUnderFlips is the satellite-2 storm: one
+// goroutine closes windows that strictly alternate pure-read and pure-write
+// (so the mode provably flips every window and always matches its window's
+// dominant side), while snapshotters hammer Snapshot. Any torn snapshot —
+// a new mode paired with the previous window's counters, or a flip count
+// from a different bracket than the window count — violates one of the
+// checked equalities.
+func TestAdaptorSnapshotCoherentUnderFlips(t *testing.T) {
+	a := NewAdaptor(Thresholds{})
+	w := a.ThresholdsInUse().Window
+	const windows = 4000
+
+	var stop atomic.Bool
+	var torn atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				s := a.Snapshot()
+				if s.Windows == 0 {
+					continue
+				}
+				// Window k is pure-write for odd k, pure-read for even k,
+				// so the mode after window k is fair iff k is odd — and
+				// every window flips, so flips must equal windows.
+				if s.Flips != s.Windows {
+					torn.Add(1)
+					continue
+				}
+				wantFair := s.Windows%2 == 1
+				if wantFair != (s.Mode == ModeFair) ||
+					wantFair != (s.WindowWrites > s.WindowReads) {
+					torn.Add(1)
+				}
+			}
+		}()
+	}
+
+	f := &feeder{a: a}
+	for k := 1; k <= windows; k++ {
+		if k%2 == 1 {
+			f.window(0, w)
+		} else {
+			f.window(w, 0)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if n := torn.Load(); n != 0 {
+		t.Fatalf("%d torn snapshots observed a mode/counter pairing that never existed", n)
+	}
+}

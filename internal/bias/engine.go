@@ -33,7 +33,11 @@ type Engine struct {
 	stats  *Stats
 	// inhibitN, when set, tunes (not replaces) an InhibitPolicy; it is
 	// remembered so SetInhibitN and SetPolicy compose in either order.
-	inhibitN   int64
+	inhibitN int64
+	// adaptor, when set, gates bias enablement by mode. It is a separate
+	// field consulted alongside the policy — never a policy replacement —
+	// so SetAdaptive composes with SetPolicy/SetInhibitN in any order.
+	adaptor    *Adaptor
 	probe2     bool
 	randomized bool
 }
@@ -78,6 +82,21 @@ func (e *Engine) SetInhibitN(n int64) {
 		ip.N = n
 	}
 }
+
+// SetAdaptive attaches a mode adaptor. Like SetInhibitN, it tunes and never
+// replaces the enable policy: the adaptor is consulted as an additional gate
+// in MaybeEnable and fed revocation costs from Revoke, while the installed
+// Policy (and any remembered inhibit multiplier) stays in force for windows
+// where bias is allowed. SetAdaptive therefore composes with SetPolicy and
+// SetInhibitN in any call order. Configuration-time only.
+func (e *Engine) SetAdaptive(a *Adaptor) {
+	if a != nil {
+		e.adaptor = a
+	}
+}
+
+// AdaptorInUse returns the attached mode adaptor, or nil.
+func (e *Engine) AdaptorInUse() *Adaptor { return e.adaptor }
 
 // SetStats attaches an event counter set. Counting adds shared-memory
 // traffic; leave unset for performance runs. Configuration-time only.
@@ -216,6 +235,9 @@ func (e *Engine) publishAt(idx uint32) (_ uint32, ok, done bool) {
 // (Listing 1 lines 25–26, which excludes writers) — and asks the policy
 // whether to (re-)enable bias.
 func (e *Engine) MaybeEnable() {
+	if e.adaptor != nil && !e.adaptor.AllowBias() {
+		return
+	}
 	if e.rbias.Load() == 0 && e.policy.ShouldEnable() {
 		if e.rbias.CompareAndSwap(0, 1) {
 			e.epoch.Add(1)
@@ -235,6 +257,9 @@ func (e *Engine) Revoke() {
 	// Primum non-nocere: limit and bound the slow-down arising from
 	// revocation overheads.
 	e.policy.RevocationDone(start, now)
+	if e.adaptor != nil {
+		e.adaptor.NoteRevocation(now - start)
+	}
 	if e.stats != nil {
 		e.stats.WriteRevoke.Add(1)
 		e.stats.RevokeNanos.Add(now - start)

@@ -75,6 +75,65 @@ func TestEngineInhibitNAndPolicyComposeInAnyOrder(t *testing.T) {
 	}
 }
 
+// TestEngineAdaptiveSetterOrderConverges extends the "tunes, never replaces"
+// ordering contract to SetAdaptive: every permutation of SetAdaptive,
+// SetPolicy, and SetInhibitN must converge to the same configuration — the
+// installed policy with the tuned multiplier, plus the attached adaptor —
+// and to the same gating behavior.
+func TestEngineAdaptiveSetterOrderConverges(t *testing.T) {
+	build := func(order [3]int) (*Engine, *Adaptor) {
+		e := &Engine{}
+		ad := NewAdaptor(Thresholds{})
+		pol := NewInhibitPolicy(0)
+		for _, step := range order {
+			switch step {
+			case 0:
+				e.SetAdaptive(ad)
+			case 1:
+				e.SetPolicy(pol)
+			case 2:
+				e.SetInhibitN(5)
+			}
+		}
+		e.SetTable(NewTable(DefaultTableSize))
+		e.Init()
+		return e, ad
+	}
+	perms := [][3]int{
+		{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+	}
+	for _, order := range perms {
+		e, ad := build(order)
+		if e.AdaptorInUse() != ad {
+			t.Fatalf("order %v: adaptor not attached", order)
+		}
+		p, ok := e.PolicyInUse().(*InhibitPolicy)
+		if !ok {
+			t.Fatalf("order %v: SetAdaptive replaced the policy: %#v", order, e.PolicyInUse())
+		}
+		if p.N != 5 {
+			t.Fatalf("order %v: inhibit N = %d, want 5 (tuned regardless of order)", order, p.N)
+		}
+		// Behavioral convergence: bias enables in biased mode and is gated
+		// off in fair mode, in every permutation.
+		e.MaybeEnable()
+		if !e.Enabled() {
+			t.Fatalf("order %v: bias did not enable in ModeBiased", order)
+		}
+		e.forceBias(false)
+		ad.ForceMode(ModeFair)
+		e.MaybeEnable()
+		if e.Enabled() {
+			t.Fatalf("order %v: bias enabled while adaptor is in ModeFair", order)
+		}
+		ad.ForceMode(ModeBiased)
+		e.MaybeEnable()
+		if !e.Enabled() {
+			t.Fatalf("order %v: bias did not re-enable after promotion", order)
+		}
+	}
+}
+
 func TestEngineFastPathRoundTrip(t *testing.T) {
 	e, st := newEngine(AlwaysPolicy{})
 	if _, ok := e.TryFast(42); ok {

@@ -1,0 +1,207 @@
+package kvs
+
+// Tests for per-shard adaptive biasing: the feedback loop from the shard op
+// counters through bias.Adaptor into the lock mode, the ShardStats
+// bias_mode/bias_flips surface, and the coherence of those stats under
+// concurrent flips.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/bravolock/bravo/internal/bias"
+	"github.com/bravolock/bravo/internal/xrand"
+)
+
+// smallWindow makes the feedback loop observable in a fast test: windows
+// close every 512 ops instead of 4096.
+func smallWindow() bias.Thresholds {
+	th := bias.DefaultThresholds()
+	th.Window = 512
+	return th
+}
+
+func TestShardedAdaptiveCapability(t *testing.T) {
+	plain, err := NewSharded(4, mkBravo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.AdaptiveCapable() {
+		t.Fatal("plain BRAVO engine claims adaptive capability")
+	}
+	// Setters are safe no-ops, and stats omit the bias fields.
+	plain.SetAdaptive(true)
+	plain.SetAdaptiveThresholds(smallWindow())
+	plain.Put(1, EncodeValue(1))
+	if st := plain.Stats().Shards[0]; st.BiasMode != "" || st.BiasFlips != 0 {
+		t.Fatalf("non-adaptive stats carry bias fields: %q/%d", st.BiasMode, st.BiasFlips)
+	}
+
+	ad, err := NewSharded(4, mkAdaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ad.AdaptiveCapable() {
+		t.Fatal("adaptive engine does not report adaptive capability")
+	}
+	for i := 0; i < ad.NumShards(); i++ {
+		if ad.ShardAdaptor(i) == nil {
+			t.Fatalf("shard %d has no adaptor", i)
+		}
+	}
+	if st := ad.Stats().Shards[0]; st.BiasMode != "biased" {
+		t.Fatalf("initial bias_mode = %q, want biased", st.BiasMode)
+	}
+}
+
+// TestShardedAdaptiveAutoFlips drives the closed loop end to end: a
+// write-heavy phase must demote shards off biased mode purely from the op
+// counters, and a read-heavy phase must promote them back.
+func TestShardedAdaptiveAutoFlips(t *testing.T) {
+	s, err := NewSharded(4, mkAdaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetAdaptiveThresholds(smallWindow())
+	// Reads must reach the shard counters either way; seq reads do (the
+	// counters tick outside the lock), so leave the default read path on.
+	const keys = 256
+	for k := uint64(0); k < keys; k++ {
+		s.Put(k, EncodeValue(k))
+	}
+
+	// Write-heavy storm: every shard's windows are write-dominated.
+	rng := xrand.NewXorShift64(1)
+	for i := 0; i < 20000; i++ {
+		s.Put(rng.Intn(keys), EncodeValue(rng.Next()))
+	}
+	for i := 0; i < s.NumShards(); i++ {
+		if m := s.ShardAdaptor(i).Mode(); m != bias.ModeFair {
+			t.Fatalf("shard %d after write storm: mode = %v, want fair", i, m)
+		}
+	}
+	st := s.Stats().Total()
+	if st.BiasMode != "fair" || st.BiasFlips == 0 {
+		t.Fatalf("stats after write storm: mode %q flips %d", st.BiasMode, st.BiasFlips)
+	}
+
+	// Read-heavy phase: shards promote back to biased.
+	for i := 0; i < 20000; i++ {
+		s.Get(rng.Intn(keys))
+	}
+	for i := 0; i < s.NumShards(); i++ {
+		if m := s.ShardAdaptor(i).Mode(); m != bias.ModeBiased {
+			t.Fatalf("shard %d after read phase: mode = %v, want biased", i, m)
+		}
+	}
+
+	// SetAdaptive(false) pins every shard to biased and freezes the loop.
+	s.SetAdaptive(false)
+	for i := 0; i < 20000; i++ {
+		s.Put(rng.Intn(keys), EncodeValue(rng.Next()))
+	}
+	for i := 0; i < s.NumShards(); i++ {
+		if m := s.ShardAdaptor(i).Mode(); m != bias.ModeBiased {
+			t.Fatalf("shard %d flipped to %v while adaptivity is off", i, m)
+		}
+	}
+}
+
+// TestShardedPerShardDivergence is the case a global policy cannot express:
+// reads everywhere, writes concentrated on one shard — that shard demotes
+// while the others stay biased, and Total reports "mixed".
+func TestShardedPerShardDivergence(t *testing.T) {
+	s, err := NewSharded(4, mkAdaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetAdaptiveThresholds(smallWindow())
+	// Find keys per shard.
+	perShard := make([][]uint64, s.NumShards())
+	for k := uint64(0); len(perShard[0]) < 64 || len(perShard[1]) < 64 ||
+		len(perShard[2]) < 64 || len(perShard[3]) < 64; k++ {
+		sh := s.ShardOf(k)
+		if len(perShard[sh]) < 64 {
+			perShard[sh] = append(perShard[sh], k)
+		}
+	}
+	rng := xrand.NewXorShift64(2)
+	for i := 0; i < 40000; i++ {
+		sh := int(rng.Intn(4))
+		ks := perShard[sh]
+		k := ks[rng.Intn(uint64(len(ks)))]
+		if sh == 0 {
+			s.Put(k, EncodeValue(rng.Next())) // hot write shard
+		} else {
+			s.Get(k)
+		}
+	}
+	if m := s.ShardAdaptor(0).Mode(); m != bias.ModeFair {
+		t.Fatalf("hot write shard: mode = %v, want fair", m)
+	}
+	for i := 1; i < 4; i++ {
+		if m := s.ShardAdaptor(i).Mode(); m != bias.ModeBiased {
+			t.Fatalf("read shard %d demoted to %v", i, m)
+		}
+	}
+	if st := s.Stats().Total(); st.BiasMode != "mixed" {
+		t.Fatalf("total bias_mode = %q, want mixed", st.BiasMode)
+	}
+}
+
+// TestShardedStatsCoherentUnderFlips hammers Stats() while a flipper forces
+// modes and writers/readers run: every reported mode must be a real mode
+// name, and per-shard flip counts must be monotonic across snapshots (a
+// torn mode/flips pairing could violate monotonicity by pairing an old
+// flips value with a new row).
+func TestShardedStatsCoherentUnderFlips(t *testing.T) {
+	s, err := NewSharded(4, mkAdaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[string]bool{"biased": true, "neutral": true, "fair": true}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // flipper
+		defer wg.Done()
+		modes := [...]bias.Mode{bias.ModeFair, bias.ModeNeutral, bias.ModeBiased}
+		for i := 0; !stop.Load(); i++ {
+			s.ShardAdaptor(i % 4).ForceMode(modes[i%len(modes)])
+			runtime.Gosched()
+		}
+	}()
+	wg.Add(1)
+	go func() { // traffic: seq readers and writers crossing flips
+		defer wg.Done()
+		rng := xrand.NewXorShift64(3)
+		for i := 0; !stop.Load(); i++ {
+			k := rng.Intn(512)
+			if i%4 == 0 {
+				s.Put(k, EncodeValue(rng.Next()))
+			} else {
+				s.Get(k)
+			}
+		}
+	}()
+
+	last := make([]uint64, 4)
+	for snap := 0; snap < 2000; snap++ {
+		st := s.Stats()
+		for i, row := range st.Shards {
+			if !valid[row.BiasMode] {
+				t.Fatalf("snapshot %d shard %d: impossible bias_mode %q", snap, i, row.BiasMode)
+			}
+			if row.BiasFlips < last[i] {
+				t.Fatalf("snapshot %d shard %d: flips went backwards %d -> %d",
+					snap, i, last[i], row.BiasFlips)
+			}
+			last[i] = row.BiasFlips
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}

@@ -18,9 +18,11 @@ package kvs
 import (
 	"bytes"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 
+	"github.com/bravolock/bravo/internal/bias"
 	"github.com/bravolock/bravo/internal/rwl"
 	"github.com/bravolock/bravo/internal/xrand"
 )
@@ -136,6 +138,17 @@ func runSequentialModel(t *testing.T, s *Sharded, seed uint64, iters int, h *rwl
 	batch := make([]uint64, 0, 8)
 	bvals := make([][]byte, 0, 8)
 	for i := 0; i < iters; i++ {
+		// Adaptive arm: force a deterministic mid-schedule bias flip every
+		// few hundred ops. The mode must be invisible to semantics — any
+		// divergence from the reference blames the flip machinery. The rng
+		// draw happens only on adaptive engines, so the other arms'
+		// schedules are untouched.
+		if i%400 == 200 && s.AdaptiveCapable() {
+			m := bias.Mode(rng.Intn(3))
+			for sh := 0; sh < s.NumShards(); sh++ {
+				s.ShardAdaptor(sh).ForceMode(m)
+			}
+		}
 		k := rng.Intn(keyspace)
 		switch rng.Intn(20) {
 		case 0, 1, 2:
@@ -246,6 +259,10 @@ func TestModelSequentialEquivalence(t *testing.T) {
 		{"go-rw", mkStd, false},
 		{"bravo-ba", mkBravo, false},
 		{"go-rw-lockonly", mkStd, true},
+		// The adaptive arm runs the same schedule with deterministic forced
+		// mode flips injected mid-schedule (see runSequentialModel).
+		{"adaptive-ba", mkAdaptive, false},
+		{"adaptive-ba-lockonly", mkAdaptive, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			s, err := NewSharded(8, tc.mk)
@@ -347,6 +364,29 @@ func runConcurrentModel(t *testing.T, s *Sharded, workers, iters int) map[uint64
 			}
 		}(uint64(1000 + r))
 	}
+	// Race-storm variant: on adaptive engines a flipper forces shard modes
+	// while the seq readers above and the workers below run. Every reader
+	// crosses flip boundaries mid-flight; the model comparison below is the
+	// oracle that no flip tears a read or loses a write.
+	var flipper sync.WaitGroup
+	if s.AdaptiveCapable() {
+		flipper.Add(1)
+		go func() {
+			defer flipper.Done()
+			modes := [...]bias.Mode{bias.ModeFair, bias.ModeNeutral, bias.ModeBiased}
+			rng := xrand.NewXorShift64(0xF11B)
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				sh := int(rng.Intn(uint64(s.NumShards())))
+				s.ShardAdaptor(sh).ForceMode(modes[i%len(modes)])
+				runtime.Gosched()
+			}
+		}()
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -441,6 +481,7 @@ func runConcurrentModel(t *testing.T, s *Sharded, workers, iters int) map[uint64
 	wg.Wait()
 	close(done)
 	readers.Wait()
+	flipper.Wait()
 	s.Flush()
 	merged := map[uint64][]byte{}
 	for _, m := range models {
@@ -467,6 +508,9 @@ func TestModelConcurrentEquivalence(t *testing.T) {
 	}{
 		{"go-rw", mkStd},
 		{"bravo-ba", mkBravo},
+		// Adaptive race storm: a flipper forces shard modes under the full
+		// concurrent schedule (see runConcurrentModel).
+		{"adaptive-ba", mkAdaptive},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			s, err := NewSharded(8, tc.mk)

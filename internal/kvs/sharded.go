@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/bravolock/bravo/internal/arch"
+	"github.com/bravolock/bravo/internal/bias"
 	"github.com/bravolock/bravo/internal/clock"
 	"github.com/bravolock/bravo/internal/hash"
 	"github.com/bravolock/bravo/internal/locks/seq"
@@ -90,8 +91,40 @@ type kvShard struct {
 	// wal is the shard's write-ahead log, nil on volatile engines. Its
 	// mutex orders before lock: writers append (and fsync) before applying.
 	wal *shardWAL
-	ops shardOps
-	_   arch.SectorPad
+	// ad is the shard lock's bias adaptor, nil unless the factory built an
+	// adaptive lock. The shard feeds it the read/write counters it already
+	// maintains (adaptTick), closing the per-shard bias feedback loop.
+	ad *bias.Adaptor
+	// innerH is the adaptive composite's inner handle read path and fairBit
+	// its fair-gate token tag, set only when ad is set and the inner lock is
+	// handle-capable. Non-fair reads route straight to innerH — skipping the
+	// optimistic wrapper and the composite, both pure forwarders on reads —
+	// so the adaptive read path costs one mode load over a static lock.
+	// Unlock routes by the token, not the mode, so a flip between lock and
+	// unlock cannot strand an acquisition on the wrong path. Writers always
+	// go through the full stack: they need the wrapper's seq bracket and the
+	// composite's gate+inner pairing.
+	innerH  rwl.HandleRWLock
+	fairBit rwl.Token
+	ops     shardOps
+	_       arch.SectorPad
+}
+
+// adaptTickMask samples the adaptor feed: roughly every 256th operation per
+// shard offers the cumulative counts (Adaptor.Offer is a counter compare
+// mid-window, so the feed costs nothing on the per-op path and one window
+// evaluation per few thousand ops).
+const adaptTickMask = 255
+
+// adaptTick offers the shard's cumulative read/write counts to its adaptor
+// on a sampled cadence. n is the op-counter value the caller just produced;
+// callers invoke this outside the shard lock.
+func (sh *kvShard) adaptTick(n uint64) {
+	if sh.ad != nil && n&adaptTickMask == 0 {
+		reads := sh.ops.gets.Load() + sh.ops.batchKeys.Load()
+		writes := sh.ops.puts.Load() + sh.ops.deletes.Load()
+		sh.ad.Offer(reads, writes)
+	}
 }
 
 // putCounted is putLocked plus the shard's fresh-insert accounting.
@@ -102,19 +135,35 @@ func (sh *kvShard) putCounted(key uint64, value []byte, deadline int64) {
 }
 
 // rlock acquires the shard's read lock, through the handle when both the
-// caller supplied one and the lock supports it.
+// caller supplied one and the lock supports it. Adaptive shards route
+// non-fair reads straight to the composite's inner lock (see the innerH
+// field comment for why that is sound).
 func (sh *kvShard) rlock(h *rwl.Reader) rwl.Token {
-	if h != nil && sh.hlock != nil {
-		return sh.hlock.RLockH(h)
+	if h != nil {
+		if sh.innerH != nil && sh.ad.Mode() != bias.ModeFair {
+			return sh.innerH.RLockH(h)
+		}
+		if sh.hlock != nil {
+			return sh.hlock.RLockH(h)
+		}
 	}
 	return sh.lock.RLock()
 }
 
 // runlock releases a read acquisition made by rlock with the same handle.
+// The bypass decision is re-derived from the token, not the current mode:
+// only fair-gate tokens carry fairBit, so an acquisition is always released
+// on the path that made it even if the mode flipped in between.
 func (sh *kvShard) runlock(h *rwl.Reader, tok rwl.Token) {
-	if h != nil && sh.hlock != nil {
-		sh.hlock.RUnlockH(h, tok)
-		return
+	if h != nil {
+		if sh.innerH != nil && tok&sh.fairBit == 0 {
+			sh.innerH.RUnlockH(h, tok)
+			return
+		}
+		if sh.hlock != nil {
+			sh.hlock.RUnlockH(h, tok)
+			return
+		}
 	}
 	sh.lock.RUnlock(tok)
 }
@@ -204,6 +253,14 @@ type ShardStats struct {
 	WALBytes    uint64 `json:"wal_bytes"`
 	WALErrors   uint64 `json:"wal_errors"`
 	Checkpoints uint64 `json:"checkpoints"`
+	// BiasMode is the shard lock's current bias posture ("biased",
+	// "neutral", "fair"), empty when the shard lock carries no adaptor;
+	// Total/Add report "mixed" when shards disagree. BiasFlips counts mode
+	// changes. Both are captured under the adaptor's seq bracket
+	// (bias.Adaptor.Snapshot), so one stats row can never pair a mode with
+	// flip/window counters from a different instant.
+	BiasMode  string `json:"bias_mode,omitempty"`
+	BiasFlips uint64 `json:"bias_flips,omitempty"`
 }
 
 // Add folds o into s: cross-engine aggregation, e.g. a cluster front-end
@@ -237,6 +294,13 @@ func (s *ShardStats) add(o ShardStats) {
 	s.WALBytes += o.WALBytes
 	s.WALErrors += o.WALErrors
 	s.Checkpoints += o.Checkpoints
+	s.BiasFlips += o.BiasFlips
+	switch {
+	case s.BiasMode == "":
+		s.BiasMode = o.BiasMode
+	case o.BiasMode != "" && o.BiasMode != s.BiasMode:
+		s.BiasMode = "mixed"
+	}
 }
 
 // ShardedStats aggregates the per-shard summaries of a Sharded engine.
@@ -270,7 +334,18 @@ func NewSharded(shards int, mkLock rwl.Factory, opts ...Option) (*Sharded, error
 	for i := range s.shards {
 		// Wrap the substrate so every write section is seq-bracketed; the
 		// wrapper preserves the handle read path when the substrate has one.
-		wrapped := rwl.WrapOptimistic(mkLock())
+		raw := mkLock()
+		if al, ok := raw.(interface{ Adaptor() *bias.Adaptor }); ok {
+			s.shards[i].ad = al.Adaptor()
+			if bp, ok := raw.(interface {
+				InnerHandle() rwl.HandleRWLock
+				FairBit() rwl.Token
+			}); ok {
+				s.shards[i].innerH = bp.InnerHandle()
+				s.shards[i].fairBit = bp.FairBit()
+			}
+		}
+		wrapped := rwl.WrapOptimistic(raw)
 		s.shards[i].lock = wrapped
 		s.shards[i].hlock, _ = rwl.RWLock(wrapped).(rwl.HandleRWLock)
 		s.shards[i].seqc = wrapped.Seq()
@@ -360,13 +435,14 @@ func (s *Sharded) getInto(h *rwl.Reader, key uint64, buf []byte) ([]byte, bool) 
 		}
 		sh.runlock(h, tok)
 	}
-	sh.ops.gets.Add(1)
+	n := sh.ops.gets.Add(1)
 	if !ok {
 		sh.ops.getMisses.Add(1)
 	}
 	if expired {
 		sh.ops.expired.Add(1)
 	}
+	sh.adaptTick(n)
 	return out, ok
 }
 
@@ -385,6 +461,37 @@ func (s *Sharded) SetSeqReadAttempts(n int) {
 
 // SeqReadAttempts returns the current optimistic read attempt budget.
 func (s *Sharded) SeqReadAttempts() int { return int(s.seqAttempts.Load()) }
+
+// AdaptiveCapable reports whether the shard locks expose bias adaptors
+// (the factory built adaptive locks — see internal/locks/adaptive).
+func (s *Sharded) AdaptiveCapable() bool { return s.shards[0].ad != nil }
+
+// SetAdaptive turns per-shard adaptive biasing on or off. Off pins every
+// shard back to static biased BRAVO. A no-op when the shard locks carry no
+// adaptor. Safe at any time.
+func (s *Sharded) SetAdaptive(on bool) {
+	for i := range s.shards {
+		if ad := s.shards[i].ad; ad != nil {
+			ad.SetEnabled(on)
+		}
+	}
+}
+
+// SetAdaptiveThresholds installs one hysteresis configuration on every
+// shard's adaptor (zero fields take defaults). A no-op when the shard locks
+// carry no adaptor. Safe at any time; applies from each shard's next
+// window.
+func (s *Sharded) SetAdaptiveThresholds(th bias.Thresholds) {
+	for i := range s.shards {
+		if ad := s.shards[i].ad; ad != nil {
+			ad.SetThresholds(th)
+		}
+	}
+}
+
+// ShardAdaptor returns shard i's bias adaptor, or nil. Diagnostic: tests
+// use it to force modes deterministically.
+func (s *Sharded) ShardAdaptor(i int) *bias.Adaptor { return s.shards[i].ad }
 
 // Put stores a copy of value under key, reusing the existing buffer in
 // place when it fits (Memtable's rocksdb-style in-place update). A plain
@@ -418,10 +525,11 @@ func (s *Sharded) put(key uint64, value []byte, deadline int64) {
 		w.commit(1)
 	}
 	sh.lock.Lock()
-	sh.ops.puts.Add(1) // total before rare: see the Stats load-order note
+	n := sh.ops.puts.Add(1) // total before rare: see the Stats load-order note
 	sh.putCounted(key, value, deadline)
 	sh.lock.Unlock()
 	w.unlock()
+	sh.adaptTick(n)
 }
 
 // Delete removes key, reporting whether it was (visibly) present. Deleting
@@ -437,7 +545,7 @@ func (s *Sharded) Delete(key uint64) bool {
 		w.commit(1)
 	}
 	sh.lock.Lock()
-	sh.ops.deletes.Add(1) // total before rare: see the Stats load-order note
+	n := sh.ops.deletes.Add(1) // total before rare: see the Stats load-order note
 	ok, expired := sh.deleteLocked(key)
 	sh.lock.Unlock()
 	w.unlock()
@@ -447,6 +555,7 @@ func (s *Sharded) Delete(key uint64) bool {
 	if expired {
 		sh.ops.expired.Add(1)
 	}
+	sh.adaptTick(n)
 	return ok
 }
 
@@ -522,10 +631,11 @@ func (s *Sharded) multiGet(h *rwl.Reader, keys []uint64, dst [][]byte) [][]byte 
 			sh.runlock(h, tok)
 		}
 		sh.ops.batches.Add(1)
-		sh.ops.batchKeys.Add(uint64(len(group)))
+		bk := sh.ops.batchKeys.Add(uint64(len(group)))
 		if expired > 0 {
 			sh.ops.expired.Add(uint64(expired))
 		}
+		sh.adaptTick(bk)
 	})
 	return out
 }
@@ -617,7 +727,7 @@ func (s *Sharded) multiPut(keys []uint64, values [][]byte, deadline int64) {
 			w.commit(len(group))
 		}
 		sh.lock.Lock()
-		sh.ops.puts.Add(uint64(len(group))) // total before rare, as in Put
+		np := sh.ops.puts.Add(uint64(len(group))) // total before rare, as in Put
 		for _, p := range group {
 			sh.putCounted(keys[p.pos], values[p.pos], deadline)
 		}
@@ -625,6 +735,7 @@ func (s *Sharded) multiPut(keys []uint64, values [][]byte, deadline int64) {
 		w.unlock()
 		sh.ops.wbatches.Add(1)
 		sh.ops.wbatchKeys.Add(uint64(len(group)))
+		sh.adaptTick(np)
 	})
 }
 
@@ -645,7 +756,7 @@ func (s *Sharded) MultiDelete(keys []uint64) int {
 			w.commit(len(group))
 		}
 		sh.lock.Lock()
-		sh.ops.deletes.Add(uint64(len(group))) // total before rare, as in Delete
+		nd := sh.ops.deletes.Add(uint64(len(group))) // total before rare, as in Delete
 		for _, p := range group {
 			ok, exp := sh.deleteLocked(keys[p.pos])
 			if ok {
@@ -663,6 +774,7 @@ func (s *Sharded) MultiDelete(keys []uint64) int {
 		}
 		sh.ops.wbatches.Add(1)
 		sh.ops.wbatchKeys.Add(uint64(len(group)))
+		sh.adaptTick(nd)
 		removed += hits
 	})
 	return removed
@@ -899,6 +1011,13 @@ func (s *Sharded) Stats() ShardedStats {
 			st.Shards[i].WALSyncs = w.syncs.Load()
 			st.Shards[i].WALBytes = w.bytes.Load()
 			st.Shards[i].WALErrors = w.errs.Load()
+		}
+		if sh.ad != nil {
+			// One coherent bracket for mode + flips: a concurrent flip can
+			// delay this snapshot but never tear it.
+			snap := sh.ad.Snapshot()
+			st.Shards[i].BiasMode = snap.Mode.String()
+			st.Shards[i].BiasFlips = snap.Flips
 		}
 	}
 	return st

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/bravolock/bravo/internal/core"
+	"github.com/bravolock/bravo/internal/locks/adaptive"
 	"github.com/bravolock/bravo/internal/locks/pfq"
 	"github.com/bravolock/bravo/internal/locks/stdrw"
 	"github.com/bravolock/bravo/internal/rwl"
@@ -15,6 +16,9 @@ import (
 
 func mkStd() rwl.RWLock   { return new(stdrw.Lock) }
 func mkBravo() rwl.RWLock { return core.New(new(pfq.Lock)) }
+func mkAdaptive() rwl.RWLock {
+	return adaptive.New(core.New(new(pfq.Lock)))
+}
 
 func TestNewShardedValidatesShardCount(t *testing.T) {
 	for _, n := range []int{0, -1, 3, 6, 12} {

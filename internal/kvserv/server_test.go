@@ -11,8 +11,10 @@ import (
 	"testing"
 	"time"
 
+	"github.com/bravolock/bravo/internal/bias"
 	"github.com/bravolock/bravo/internal/core"
 	"github.com/bravolock/bravo/internal/kvs"
+	"github.com/bravolock/bravo/internal/locks/adaptive"
 	"github.com/bravolock/bravo/internal/locks/stdrw"
 	"github.com/bravolock/bravo/internal/rwl"
 )
@@ -343,6 +345,51 @@ func TestServerCheckpointVolatile(t *testing.T) {
 	}
 	if st.Durable || st.SyncPolicy != "" {
 		t.Fatalf("volatile stats claim durability: %+v", st)
+	}
+}
+
+// TestServerStatsAdaptiveBias: an adaptive engine's per-shard bias mode and
+// flip counts flow through GET /stats untouched (the same rows back the wire
+// STATS verb), and a non-adaptive engine omits the fields entirely.
+func TestServerStatsAdaptiveBias(t *testing.T) {
+	engine, err := kvs.NewSharded(4, func() rwl.RWLock {
+		return adaptive.New(core.New(new(stdrw.Lock)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.ShardAdaptor(2).ForceMode(bias.ModeFair)
+	base := startServerWith(t, engine, Config{ReapInterval: -1})
+
+	_, body := do(t, http.MethodGet, base+"/stats", nil)
+	var st statsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Shards) != 4 {
+		t.Fatalf("stats shards = %d, want 4", len(st.Shards))
+	}
+	for i, row := range st.Shards {
+		want := "biased"
+		if i == 2 {
+			want = "fair"
+		}
+		if row.BiasMode != want {
+			t.Fatalf("shard %d bias_mode = %q, want %q", i, row.BiasMode, want)
+		}
+	}
+	if st.Total.BiasMode != "mixed" || st.Total.BiasFlips != 1 {
+		t.Fatalf("total bias = %q/%d, want mixed/1", st.Total.BiasMode, st.Total.BiasFlips)
+	}
+	if !bytes.Contains(body, []byte(`"bias_mode":"fair"`)) {
+		t.Fatalf("raw /stats body lacks bias_mode field: %s", body)
+	}
+
+	// Non-adaptive engines never emit the fields (omitempty + no adaptor).
+	base2, _ := startServer(t, Config{ReapInterval: -1})
+	_, body2 := do(t, http.MethodGet, base2+"/stats", nil)
+	if bytes.Contains(body2, []byte("bias_mode")) {
+		t.Fatalf("non-adaptive /stats leaked bias_mode: %s", body2)
 	}
 }
 

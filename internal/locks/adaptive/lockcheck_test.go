@@ -1,0 +1,53 @@
+package adaptive_test
+
+import (
+	"testing"
+
+	"github.com/bravolock/bravo/internal/bias"
+	"github.com/bravolock/bravo/internal/core"
+	"github.com/bravolock/bravo/internal/lockcheck"
+	"github.com/bravolock/bravo/internal/locks/adaptive"
+	"github.com/bravolock/bravo/internal/locks/stdrw"
+	"github.com/bravolock/bravo/internal/rwl"
+)
+
+// The shared battery runs once per posture: the composite pinned biased
+// (readers on the inner BRAVO path) and pinned fair (readers through the
+// gate). The flip-while-stormed exclusion test lives in adaptive_test.go.
+
+func mk() rwl.RWLock { return adaptive.New(core.New(new(stdrw.Lock))) }
+
+func mkFair() rwl.RWLock {
+	l := adaptive.New(core.New(new(stdrw.Lock)))
+	l.Adaptor().ForceMode(bias.ModeFair)
+	return l
+}
+
+func TestExclusionBiased(t *testing.T) {
+	lockcheck.Exclusion(t, mk, 4, 2, 2000)
+}
+
+func TestExclusionFair(t *testing.T) {
+	lockcheck.Exclusion(t, mkFair, 4, 2, 2000)
+}
+
+func TestTryExclusion(t *testing.T) {
+	lockcheck.TryExclusion(t, mk, 6, 1500)
+}
+
+func TestHandleExclusion(t *testing.T) {
+	mkH := func() rwl.HandleRWLock { return adaptive.New(core.New(new(stdrw.Lock))) }
+	lockcheck.HandleExclusion(t, mkH, 4, 2, 2000)
+}
+
+func TestReadersConcurrentBiased(t *testing.T) {
+	lockcheck.ReadersConcurrent(t, mk())
+}
+
+func TestReadersConcurrentFair(t *testing.T) {
+	lockcheck.ReadersConcurrent(t, mkFair())
+}
+
+func TestWriterExcludesReaders(t *testing.T) {
+	lockcheck.WriterExcludesReaders(t, mk())
+}

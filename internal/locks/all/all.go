@@ -6,15 +6,17 @@
 //
 // Registered names mirror the paper's figure legends:
 //
-//	ba, pf-t, pthread, per-cpu, cohort-rw, mutex, go-rw,
+//	ba, pf-t, pthread, per-cpu, cohort-rw, mutex, go-rw, fair,
 //	bravo-ba, bravo-pf-t, bravo-pthread, bravo-mutex, bravo-go,
 //	bravo-ba-2d, bravo-ba-private, bravo-ba-probe2, bravo-ba-revmu,
-//	bravo-ba-random
+//	bravo-ba-random, adaptive-go, adaptive-ba
 package all
 
 import (
 	"github.com/bravolock/bravo/internal/core"
+	"github.com/bravolock/bravo/internal/locks/adaptive"
 	"github.com/bravolock/bravo/internal/locks/cohort"
+	"github.com/bravolock/bravo/internal/locks/fairrw"
 	"github.com/bravolock/bravo/internal/locks/mutexrw"
 	"github.com/bravolock/bravo/internal/locks/percpu"
 	"github.com/bravolock/bravo/internal/locks/pfq"
@@ -40,6 +42,7 @@ func init() {
 	rwl.Register("cohort-rw", func() rwl.RWLock { return cohort.New(Topo) })
 	rwl.Register("mutex", func() rwl.RWLock { return new(mutexrw.Lock) })
 	rwl.Register("go-rw", func() rwl.RWLock { return new(stdrw.Lock) })
+	rwl.Register("fair", func() rwl.RWLock { return new(fairrw.Lock) })
 
 	// BRAVO-transformed locks (paper's BRAVO-A naming).
 	rwl.Register("bravo-ba", func() rwl.RWLock { return core.New(new(pfq.Lock)) })
@@ -70,5 +73,15 @@ func init() {
 	})
 	rwl.Register("bravo-ba-random", func() rwl.RWLock {
 		return core.New(new(pfq.Lock), core.WithRandomizedIndex())
+	})
+
+	// Adaptive composites: a per-lock bias.Adaptor flips the lock among
+	// biased BRAVO, neutral, and the fair gate from the observed workload
+	// (the owner feeds the adaptor; see internal/locks/adaptive).
+	rwl.Register("adaptive-go", func() rwl.RWLock {
+		return adaptive.New(core.New(new(stdrw.Lock)))
+	})
+	rwl.Register("adaptive-ba", func() rwl.RWLock {
+		return adaptive.New(core.New(new(pfq.Lock)))
 	})
 }

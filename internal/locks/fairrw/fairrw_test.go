@@ -1,0 +1,167 @@
+package fairrw
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMutualExclusion hammers the lock with mixed readers and writers and
+// checks the invariant directly: writers are alone, readers never overlap a
+// writer.
+func TestMutualExclusion(t *testing.T) {
+	var l Lock
+	var readers, writers atomic.Int32
+	var violations atomic.Int32
+	const goroutines = 8
+	const iters = 2000
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if (g+i)%4 == 0 {
+					l.Lock()
+					if writers.Add(1) != 1 || readers.Load() != 0 {
+						violations.Add(1)
+					}
+					writers.Add(-1)
+					l.Unlock()
+				} else {
+					tok := l.RLock()
+					readers.Add(1)
+					if writers.Load() != 0 {
+						violations.Add(1)
+					}
+					readers.Add(-1)
+					l.RUnlock(tok)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := violations.Load(); n != 0 {
+		t.Fatalf("mutual exclusion violated %d times", n)
+	}
+}
+
+// TestWriterExcludesWriter checks plain writer-writer exclusion over a
+// shared counter.
+func TestWriterExcludesWriter(t *testing.T) {
+	var l Lock
+	var counter int
+	const goroutines = 4
+	const iters = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", counter, goroutines*iters)
+	}
+}
+
+// TestFIFOOrder verifies ticket-order admission: a writer queued behind a
+// held read lock blocks a reader that arrives after the writer, so the
+// late reader cannot overtake (the reader-preference starvation the paper
+// attributes to centralized rwlocks cannot happen here).
+func TestFIFOOrder(t *testing.T) {
+	var l Lock
+	tok := l.RLock() // ticket 0, held
+
+	if l.TryLock() {
+		t.Fatal("TryLock succeeded while a read lock is held")
+	}
+
+	writerIn := make(chan struct{})
+	go func() {
+		l.Lock() // ticket 1, waits for ticket 0 to depart
+		close(writerIn)
+		l.Unlock()
+	}()
+
+	// Wait until the writer has taken its ticket, then check that a new
+	// reader cannot jump the queue.
+	for l.Queued() < 2 {
+		runtime.Gosched()
+	}
+	if _, ok := l.TryRLock(); ok {
+		t.Fatal("TryRLock overtook a queued writer")
+	}
+
+	l.RUnlock(tok)
+	<-writerIn
+	if _, ok := l.TryRLock(); !ok {
+		t.Fatal("TryRLock failed on an idle lock")
+	}
+}
+
+// TestReadersShare verifies that readers adjacent in ticket order hold the
+// lock concurrently.
+func TestReadersShare(t *testing.T) {
+	var l Lock
+	t1 := l.RLock()
+	t2, ok := l.TryRLock()
+	if !ok {
+		t.Fatal("second reader blocked by first")
+	}
+	l.RUnlock(t1)
+	l.RUnlock(t2)
+}
+
+// TestTryPaths exercises the non-blocking acquisitions against a held
+// writer and an idle lock.
+func TestTryPaths(t *testing.T) {
+	var l Lock
+	if !l.TryLock() {
+		t.Fatal("TryLock failed on idle lock")
+	}
+	if _, ok := l.TryRLock(); ok {
+		t.Fatal("TryRLock succeeded under a writer")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock succeeded under a writer")
+	}
+	l.Unlock()
+	if _, ok := l.TryRLock(); !ok {
+		t.Fatal("TryRLock failed after writer departed")
+	}
+	l.RUnlock(0)
+	if l.Queued() != 0 {
+		t.Fatalf("Queued = %d after full drain, want 0", l.Queued())
+	}
+}
+
+// TestWraparound pushes the tickets across the uint32 boundary; equality
+// comparisons must keep admitting correctly.
+func TestWraparound(t *testing.T) {
+	var l Lock
+	start := ^uint32(0) - 3
+	l.next.Store(start)
+	l.read.Store(start)
+	l.write.Store(start)
+	for i := 0; i < 8; i++ {
+		if i%2 == 0 {
+			l.Lock()
+			l.Unlock()
+		} else {
+			tok := l.RLock()
+			l.RUnlock(tok)
+		}
+	}
+	if l.Queued() != 0 {
+		t.Fatalf("Queued = %d after wraparound drain", l.Queued())
+	}
+}
