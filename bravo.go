@@ -231,6 +231,33 @@ func NewShardedKV(shards int, mkLock func() RWLock) (*ShardedKV, error) {
 	return kvs.NewSharded(shards, mkLock)
 }
 
+// Multi-key transactions. ShardedKV.Txn runs a caller-supplied body against
+// an up-to-MaxTxnKeys key set with full atomicity and isolation: every
+// participant shard's write lock (and, on durable engines, WAL) is held in
+// ascending shard order for the duration — two-phase locking over a total
+// lock order, so transactions cannot deadlock each other or the engine's
+// own batched-write paths. Committed cross-shard transactions are logged as
+// witness records carried by every participant shard, so recovery,
+// replication, and failover all preserve atomicity (a torn commit is rolled
+// forward from any surviving copy). CompareAndSwap and Update are the
+// common single-key special cases.
+
+// KVTx is the transaction handle passed to a ShardedKV.Txn body: staged
+// reads and writes over the declared key set.
+type KVTx = kvs.Tx
+
+// MaxTxnKeys bounds the distinct keys one transaction may declare.
+const MaxTxnKeys = kvs.MaxTxnKeys
+
+// Transaction sentinel errors.
+var (
+	// ErrTxnNoKeys is returned by Txn when the key set is empty.
+	ErrTxnNoKeys = kvs.ErrTxnNoKeys
+	// ErrTxnTooManyKeys is returned by Txn when the key set exceeds
+	// MaxTxnKeys distinct keys.
+	ErrTxnTooManyKeys = kvs.ErrTxnTooManyKeys
+)
+
 // SyncPolicy selects when a durable engine's write-ahead log fsyncs:
 // SyncAlways pays one fsync per group-commit batch, SyncNone leaves
 // flushing to the OS.

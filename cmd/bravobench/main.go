@@ -76,6 +76,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -100,6 +101,7 @@ var (
 	workloadFlag   = flag.String("workload", "figures", "figures, shardedkv, readlatency, kvserv, wal, repl, wire, cluster, or adaptive")
 	jsonFlag       = flag.Bool("json", false, "shardedkv/readlatency/kvserv/wal/repl/wire: also write machine-readable results")
 	outFlag        = flag.String("out", "BENCH_shardedkv.json", "shardedkv/readlatency/kvserv/wal/repl/wire: -json output path (workload-specific default)")
+	guardBaseFlag  = flag.String("guardbaseline", "", "readlatency: prior BENCH_readlatency.json from a build without the unlock guard; stamps a guard_overhead comparison into the -json output")
 	shardsFlag     = flag.String("shards", "1,2,4,8", "shardedkv/kvserv/wal/repl: shard counts (powers of two)")
 	writeRatioFlag = flag.Float64("writeratio", 0.01, "shardedkv: fraction of operations that write")
 	valueSizeFlag  = flag.Int("valuesize", bench.ShardedKVDefaultValueSize, "shardedkv/kvserv/wal/repl: value payload bytes (sets critical-section length)")
@@ -672,6 +674,23 @@ func runReadLatency(cfg bench.Config, locks []string) {
 		fatal(err)
 	}
 	rep := bench.NewHandleLatencyReport(cfg, results)
+	if *guardBaseFlag != "" {
+		data, err := os.ReadFile(*guardBaseFlag)
+		if err != nil {
+			fatal(err)
+		}
+		var base bench.HandleLatencyReport
+		if err := json.Unmarshal(data, &base); err != nil {
+			fatal(fmt.Errorf("guardbaseline %s: %w", *guardBaseFlag, err))
+		}
+		g, err := bench.CompareGuardOverhead(base, rep)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Guard = &g
+		fmt.Printf("# guard overhead vs %s: %d rows, handle p50 ratio max %.3f, mean ratio geomean %.3f, within 2%%: %v\n",
+			g.BaselineCommit, g.RowsCompared, g.MaxHandleP50Ratio, g.GeoMeanHandleMeanRatio, g.HandleP50Within2Pct)
+	}
 	if err := rep.WriteJSON(f); err != nil {
 		fatal(err)
 	}

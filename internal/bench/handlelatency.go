@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -74,6 +75,73 @@ type HandleLatencyReport struct {
 	IntervalMS int64                 `json:"interval_ms"`
 	Runs       int                   `json:"runs"`
 	Results    []HandleLatencyResult `json:"results"`
+	// Guard, when present, compares this (guarded) run's handle read path
+	// against a baseline report measured on a build without the
+	// unbalanced-unlock guard.
+	Guard *GuardOverhead `json:"guard_overhead,omitempty"`
+}
+
+// GuardOverhead quantifies the cost of the always-on unbalanced-unlock
+// guard: the generation tag a reader handle carries in its SlotToken and
+// the unlock-side verification it pays for. Rows are matched by (lock,
+// goroutines, write_ratio); the acceptance bit requires every matched
+// row's guarded handle p50 to stay within 2% of the unguarded baseline.
+type GuardOverhead struct {
+	BaselineCommit string `json:"baseline_commit"`
+	RowsCompared   int    `json:"rows_compared"`
+	// MaxHandleP50Ratio is the worst guarded/unguarded handle p50 ratio
+	// across matched rows; the p50s are log2-histogram bucket bounds, so
+	// any regression that crosses a bucket shows as a ratio >= 2.
+	MaxHandleP50Ratio float64 `json:"max_handle_p50_ratio"`
+	// GeoMeanHandleMeanRatio is the geometric mean of the per-row
+	// guarded/unguarded handle mean-latency ratios — the sub-bucket view
+	// of the same comparison, informational rather than gating.
+	GeoMeanHandleMeanRatio float64 `json:"geomean_handle_mean_ratio"`
+	HandleP50Within2Pct    bool    `json:"handle_p50_within_2pct"`
+}
+
+// CompareGuardOverhead matches current's rows against baseline's and
+// distils the guard-cost comparison. It errors when the reports share no
+// (lock, goroutines, write_ratio) rows, so a mismatched baseline file
+// cannot silently produce a vacuous pass.
+func CompareGuardOverhead(baseline, current HandleLatencyReport) (GuardOverhead, error) {
+	type rowKey struct {
+		lock string
+		g    int
+		wr   float64
+	}
+	base := make(map[rowKey]HandleLatencyResult, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[rowKey{r.Lock, r.Goroutines, r.WriteRatio}] = r
+	}
+	g := GuardOverhead{BaselineCommit: baseline.Meta.Commit, HandleP50Within2Pct: true}
+	var logSum float64
+	var means int
+	for _, cur := range current.Results {
+		b, ok := base[rowKey{cur.Lock, cur.Goroutines, cur.WriteRatio}]
+		if !ok || b.HandleP50Ns <= 0 || cur.HandleP50Ns <= 0 {
+			continue
+		}
+		g.RowsCompared++
+		ratio := float64(cur.HandleP50Ns) / float64(b.HandleP50Ns)
+		if ratio > g.MaxHandleP50Ratio {
+			g.MaxHandleP50Ratio = ratio
+		}
+		if float64(cur.HandleP50Ns) > float64(b.HandleP50Ns)*1.02 {
+			g.HandleP50Within2Pct = false
+		}
+		if b.HandleMeanNs > 0 && cur.HandleMeanNs > 0 {
+			logSum += math.Log(cur.HandleMeanNs / b.HandleMeanNs)
+			means++
+		}
+	}
+	if g.RowsCompared == 0 {
+		return g, fmt.Errorf("bench: guard baseline shares no (lock, goroutines, write_ratio) rows with this sweep")
+	}
+	if means > 0 {
+		g.GeoMeanHandleMeanRatio = math.Exp(logSum / float64(means))
+	}
+	return g, nil
 }
 
 // WriteJSON renders the report as indented JSON.

@@ -85,3 +85,55 @@ func TestShardedKVReportCarriesMeta(t *testing.T) {
 		t.Fatalf("readlatency report missing run metadata: %+v", lat)
 	}
 }
+
+// TestCompareGuardOverhead pins the guard-cost comparison: row matching by
+// (lock, goroutines, write_ratio), the 2% p50 gate in both directions, the
+// geometric mean over mean-latency ratios, and the no-shared-rows error.
+func TestCompareGuardOverhead(t *testing.T) {
+	row := func(lock string, g int, wr float64, p50 int64, mean float64) HandleLatencyResult {
+		return HandleLatencyResult{Lock: lock, Goroutines: g, WriteRatio: wr, HandleP50Ns: p50, HandleMeanNs: mean}
+	}
+	base := HandleLatencyReport{
+		Meta: RunMeta{Commit: "abc123"},
+		Results: []HandleLatencyResult{
+			row("bravo-ba", 1, 0, 64, 40),
+			row("bravo-ba", 4, 0, 64, 50),
+			row("bravo-go", 1, 0.1, 128, 90),
+		},
+	}
+	cur := HandleLatencyReport{Results: []HandleLatencyResult{
+		row("bravo-ba", 1, 0, 64, 42),
+		row("bravo-ba", 4, 0, 64, 48),
+		row("bravo-go", 1, 0.1, 128, 90),
+		row("bravo-go", 16, 0.1, 128, 95), // no baseline row: skipped
+	}}
+	g, err := CompareGuardOverhead(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.BaselineCommit != "abc123" || g.RowsCompared != 3 {
+		t.Fatalf("comparison shape wrong: %+v", g)
+	}
+	if g.MaxHandleP50Ratio != 1.0 || !g.HandleP50Within2Pct {
+		t.Fatalf("equal p50 buckets must pass the 2%% gate: %+v", g)
+	}
+	// (42/40 * 48/50 * 90/90)^(1/3) = 1.00265...
+	if g.GeoMeanHandleMeanRatio < 1.002 || g.GeoMeanHandleMeanRatio > 1.003 {
+		t.Fatalf("geomean mean ratio = %v, want ~1.0027", g.GeoMeanHandleMeanRatio)
+	}
+
+	// One row crossing a histogram bucket fails the gate.
+	cur.Results[1].HandleP50Ns = 128
+	g, err = CompareGuardOverhead(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HandleP50Within2Pct || g.MaxHandleP50Ratio != 2.0 {
+		t.Fatalf("bucket regression must fail the gate: %+v", g)
+	}
+
+	// No shared rows is an error, not a vacuous pass.
+	if _, err := CompareGuardOverhead(HandleLatencyReport{}, cur); err == nil {
+		t.Fatal("empty baseline produced a comparison")
+	}
+}

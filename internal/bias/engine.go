@@ -180,7 +180,7 @@ func (e *Engine) noteHandle() {
 // reader identified by selfID: the RBias check, then publication. It is the
 // handle-free Listing 1 lines 10–23; callers that failed must acquire read
 // permission on the substrate and then call MaybeEnable.
-func (e *Engine) TryFast(selfID uint64) (uint32, bool) {
+func (e *Engine) TryFast(selfID uint64) (SlotToken, bool) {
 	if e.rbias.Load() != 1 {
 		e.NoteDisabled()
 		return 0, false
@@ -191,19 +191,19 @@ func (e *Engine) TryFast(selfID uint64) (uint32, bool) {
 // TryPublish runs the publication half of the fast path (Listing 1 lines
 // 11–23) for a reader identified by selfID: hash, CAS, optional second
 // probe, RBias recheck, undo on race. The caller must have observed
-// Enabled(). On success the returned slot index must be passed to the
-// table's Clear at read-unlock time.
-func (e *Engine) TryPublish(selfID uint64) (uint32, bool) {
+// Enabled(). On success the returned token must be passed to ClearFast at
+// read-unlock time.
+func (e *Engine) TryPublish(selfID uint64) (SlotToken, bool) {
 	id := e.ID()
 	if e.randomized {
 		selfID = xrand.NewSplitMix64(uint64(clock.Nanos()) ^ selfID).Next()
 	}
-	if idx, ok, done := e.publishAt(e.table.Index(id, selfID)); done {
-		return idx, ok
+	if tok, ok, done := e.publishAt(e.table.Index(id, selfID)); done {
+		return tok, ok
 	}
 	if e.probe2 {
-		if idx, ok, done := e.publishAt(e.table.Index2(id, selfID)); done {
-			return idx, ok
+		if tok, ok, done := e.publishAt(e.table.Index2(id, selfID)); done {
+			return tok, ok
 		}
 	}
 	e.noteCollision()
@@ -214,20 +214,31 @@ func (e *Engine) TryPublish(selfID uint64) (uint32, bool) {
 // done is false only when the slot was occupied (the caller may probe
 // elsewhere); on a recheck race the publication is undone and the read is
 // committed to the slow path (done true, ok false).
-func (e *Engine) publishAt(idx uint32) (_ uint32, ok, done bool) {
-	if !e.table.TryPublishAt(idx, e.ID()) {
+func (e *Engine) publishAt(idx uint32) (_ SlotToken, ok, done bool) {
+	gen, won := e.table.TryPublishAt(idx, e.ID())
+	if !won {
 		return 0, false, false
 	}
 	// Store-load fence required on TSO — subsumed by the CAS, and in Go by
 	// the sequentially consistent atomics.
 	if e.rbias.Load() == 1 { // recheck (Listing 1 line 16)
 		e.noteFast()
-		return idx, true, true
+		return makeSlotToken(idx, gen), true, true
 	}
-	// Raced: a writer revoked bias after our publication; undo.
-	e.table.Clear(idx)
+	// Raced: a writer revoked bias after our publication; undo. The undo is
+	// an owned clear like any other, keeping the generation invariant.
+	e.table.ClearOwned(idx, gen, e.ID())
 	e.noteRaced()
 	return 0, false, true
+}
+
+// ClearFast releases a fast-path read acquisition made with TryFast or
+// TryPublish. The token's generation is verified against the slot (the
+// always-on unbalanced-unlock guard): a double RUnlock or an unlock of a
+// token belonging to another lock panics deterministically instead of
+// silently corrupting the visible-readers table.
+func (e *Engine) ClearFast(t SlotToken) {
+	e.table.ClearOwned(t.Index(), t.Gen(), e.ID())
 }
 
 // MaybeEnable is called by a slow-path reader while it holds read

@@ -146,14 +146,14 @@ func TestEngineFastPathRoundTrip(t *testing.T) {
 	if !e.Enabled() {
 		t.Fatal("MaybeEnable under AlwaysPolicy did not enable bias")
 	}
-	idx, ok := e.TryFast(42)
+	tok, ok := e.TryFast(42)
 	if !ok {
 		t.Fatal("fast path failed on biased engine")
 	}
-	if e.table.Load(idx) != e.ID() {
+	if e.table.Load(tok.Index()) != e.ID() {
 		t.Fatal("published identity is not the engine identity")
 	}
-	e.table.Clear(idx)
+	e.ClearFast(tok)
 	if st.FastRead.Load() != 1 {
 		t.Fatalf("fast read not counted: %s", st.Snapshot())
 	}
@@ -254,14 +254,14 @@ func TestEngineSecondProbeRescuesCollision(t *testing.T) {
 		}
 	}
 	idx := tab.Index(e.ID(), id)
-	if !tab.TryPublishAt(idx, uintptr(0xF00D0)) {
+	if _, ok := tab.TryPublishAt(idx, uintptr(0xF00D0)); !ok {
 		t.Fatal("setup publish failed")
 	}
 	got, ok := e.TryPublish(id)
-	if !ok || got != tab.Index2(e.ID(), id) {
-		t.Fatalf("second probe did not rescue the collision: ok=%v idx=%d (%s)", ok, got, st.Snapshot())
+	if !ok || got.Index() != tab.Index2(e.ID(), id) {
+		t.Fatalf("second probe did not rescue the collision: ok=%v idx=%d (%s)", ok, got.Index(), st.Snapshot())
 	}
-	tab.Clear(got)
+	e.ClearFast(got)
 	tab.Clear(idx)
 }
 
@@ -270,12 +270,12 @@ func TestEngineRandomizedIndexDisperses(t *testing.T) {
 	e.MaybeEnable()
 	seen := map[uint32]bool{}
 	for i := 0; i < 32; i++ {
-		idx, ok := e.TryFast(7) // same identity every time
+		tok, ok := e.TryFast(7) // same identity every time
 		if !ok {
 			t.Fatal("randomized fast path failed on empty table")
 		}
-		seen[idx] = true
-		e.table.Clear(idx)
+		seen[tok.Index()] = true
+		e.ClearFast(tok)
 	}
 	if len(seen) < 2 {
 		t.Fatal("randomized indices never varied for a fixed identity")

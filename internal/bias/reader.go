@@ -46,9 +46,13 @@ const (
 
 // readerEntry caches one lock's fast-path state on a handle.
 type readerEntry struct {
-	eng      *Engine
-	slot     uint32
-	epoch    uint32
+	eng   *Engine
+	slot  uint32
+	epoch uint32
+	// gen is the slot generation captured by the outstanding fast-path
+	// publication (meaningful while entFastHeld is set); the release hands
+	// it to ClearOwned so an unbalanced unlock is caught at the table too.
+	gen      uint32
 	flags    uint8
 	slowHeld uint8 // outstanding slow-path acquisitions (saturating)
 }
@@ -130,7 +134,7 @@ func (r *Reader) alloc(e *Engine) *readerEntry {
 // steady-state path is one CAS with no identity derivation and no hashing.
 // Callers that failed must acquire read permission on the substrate and
 // then call SlowLockedH followed by MaybeEnable.
-func (e *Engine) TryFastH(r *Reader) (uint32, bool) {
+func (e *Engine) TryFastH(r *Reader) (SlotToken, bool) {
 	if e.rbias.Load() != 1 {
 		e.NoteDisabled()
 		return 0, false
@@ -159,12 +163,13 @@ func (e *Engine) TryFastH(r *Reader) (uint32, bool) {
 	if e.randomized {
 		// Randomized indices change per acquisition by design; take the
 		// hashing path and track only the hold.
-		idx, ok := e.TryPublish(r.id)
+		tok, ok := e.TryPublish(r.id)
 		if ok {
-			ent.slot = idx
+			ent.slot = tok.Index()
+			ent.gen = tok.Gen()
 			ent.flags |= entFastHeld
 		}
-		return idx, ok
+		return tok, ok
 	}
 	if ent.flags&entDiverted != 0 {
 		if ent.epoch == epoch {
@@ -182,11 +187,12 @@ func (e *Engine) TryFastH(r *Reader) (uint32, bool) {
 		ent.flags &^= entDiverted
 		ent.slot = e.table.Index(e.ID(), r.id) // retry the home slot
 	}
-	if idx, ok, done := e.publishAt(ent.slot); done {
+	if tok, ok, done := e.publishAt(ent.slot); done {
 		if ok {
+			ent.gen = tok.Gen()
 			ent.flags |= entFastHeld
 		}
-		return idx, ok
+		return tok, ok
 	}
 	// Cached slot occupied: fall back to the full probe sequence, skipping
 	// the slot already tried. The cached slot may be a second-probe
@@ -196,24 +202,26 @@ func (e *Engine) TryFastH(r *Reader) (uint32, bool) {
 	// state needs to avoid it.
 	home := e.table.Index(e.ID(), r.id)
 	if home != ent.slot {
-		if idx, ok, done := e.publishAt(home); done {
+		if tok, ok, done := e.publishAt(home); done {
 			if ok {
 				ent.slot = home
+				ent.gen = tok.Gen()
 				ent.flags |= entFastHeld
 			}
-			return idx, ok
+			return tok, ok
 		}
 	}
 	if e.probe2 {
 		if alt := e.table.Index2(e.ID(), r.id); alt != ent.slot && alt != home {
-			if idx, ok, done := e.publishAt(alt); done {
+			if tok, ok, done := e.publishAt(alt); done {
 				if ok {
 					// The alternate becomes the cached slot; a steady
 					// diverted-then-rescued reader keeps hitting it.
 					ent.slot = alt
+					ent.gen = tok.Gen()
 					ent.flags |= entFastHeld
 				}
-				return idx, ok
+				return tok, ok
 			}
 		}
 	}
@@ -233,21 +241,23 @@ func (e *Engine) ReleaseFast(r *Reader) bool {
 		return false
 	}
 	ent.flags &^= entFastHeld
-	e.table.Clear(ent.slot)
+	e.table.ClearOwned(ent.slot, ent.gen, e.ID())
 	return true
 }
 
-// ReleaseFastAt releases the fast-path hold recorded on r at slot idx (the
-// token-carrying shape, where the lock hands idx back at unlock). The
-// handle's held-slot record is the arbiter: releasing a slot that is not
-// held is a double unlock or an unlock-without-lock, and panics.
-func (e *Engine) ReleaseFastAt(r *Reader, idx uint32) {
+// ReleaseFastAt releases the fast-path hold recorded on r for token t (the
+// token-carrying shape, where the lock hands the token back at unlock). The
+// handle's held-slot record is the first arbiter: releasing a token that is
+// not held is a double unlock or an unlock-without-lock, and panics. The
+// table's generation check then guards the clear itself, so a token forged
+// or replayed against a different handle's hold is also caught.
+func (e *Engine) ReleaseFastAt(r *Reader, t SlotToken) {
 	ent := r.lookup(e)
-	if ent == nil || ent.flags&entFastHeld == 0 || ent.slot != idx {
+	if ent == nil || ent.flags&entFastHeld == 0 || ent.slot != t.Index() {
 		panic("bias: unbalanced fast-path RUnlock (double unlock or unlock without lock)")
 	}
 	ent.flags &^= entFastHeld
-	e.table.Clear(idx)
+	e.table.ClearOwned(t.Index(), t.Gen(), e.ID())
 }
 
 // SlowLockedH records a slow-path read acquisition on the handle so the

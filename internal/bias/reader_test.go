@@ -24,8 +24,8 @@ func TestReaderSteadyStateUsesCachedSlot(t *testing.T) {
 		if !ok {
 			t.Fatalf("iteration %d: fast path failed", i)
 		}
-		if idx != home {
-			t.Fatalf("iteration %d: slot %d, want cached home %d", i, idx, home)
+		if idx.Index() != home {
+			t.Fatalf("iteration %d: slot %d, want cached home %d", i, idx.Index(), home)
 		}
 		e.ReleaseFastAt(r, idx)
 	}
@@ -45,7 +45,7 @@ func TestReaderCollisionMemorySkipsDoomedCAS(t *testing.T) {
 	r := NewReaderWithID(77)
 	home := e.table.Index(e.ID(), 77)
 	// A foreign occupant camps on the home slot.
-	if !e.table.TryPublishAt(home, uintptr(0xF00D0)) {
+	if _, ok := e.table.TryPublishAt(home, uintptr(0xF00D0)); !ok {
 		t.Fatal("setup publish failed")
 	}
 	if _, ok := e.TryFastH(r); ok {
@@ -72,8 +72,8 @@ func TestReaderCollisionMemorySkipsDoomedCAS(t *testing.T) {
 	e.Revoke()
 	e.MaybeEnable()
 	idx, ok := e.TryFastH(r)
-	if !ok || idx != home {
-		t.Fatalf("reader did not reclaim home slot after bias flip: ok=%v idx=%d", ok, idx)
+	if !ok || idx.Index() != home {
+		t.Fatalf("reader did not reclaim home slot after bias flip: ok=%v idx=%d", ok, idx.Index())
 	}
 	e.ReleaseFastAt(r, idx)
 }
@@ -90,19 +90,19 @@ func TestReaderSecondProbeCachesAlternate(t *testing.T) {
 	r := NewReaderWithID(id)
 	home := e.table.Index(e.ID(), id)
 	alt := e.table.Index2(e.ID(), id)
-	if !e.table.TryPublishAt(home, uintptr(0xF00D0)) {
+	if _, ok := e.table.TryPublishAt(home, uintptr(0xF00D0)); !ok {
 		t.Fatal("setup publish failed")
 	}
 	idx, ok := e.TryFastH(r)
-	if !ok || idx != alt {
-		t.Fatalf("second probe did not rescue: ok=%v idx=%d want %d (%s)", ok, idx, alt, st.Snapshot())
+	if !ok || idx.Index() != alt {
+		t.Fatalf("second probe did not rescue: ok=%v idx=%d want %d (%s)", ok, idx.Index(), alt, st.Snapshot())
 	}
 	e.ReleaseFastAt(r, idx)
 	// The alternate is now the cached slot: with the home still occupied,
 	// the steady state hits it directly.
 	idx, ok = e.TryFastH(r)
-	if !ok || idx != alt {
-		t.Fatalf("alternate slot not cached: ok=%v idx=%d want %d", ok, idx, alt)
+	if !ok || idx.Index() != alt {
+		t.Fatalf("alternate slot not cached: ok=%v idx=%d want %d", ok, idx.Index(), alt)
 	}
 	e.ReleaseFastAt(r, idx)
 	e.table.Clear(home)
@@ -123,21 +123,21 @@ func TestReaderReclaimsHomeWhenCachedAlternateCollides(t *testing.T) {
 	r := NewReaderWithID(id)
 	home := e.table.Index(e.ID(), id)
 	alt := e.table.Index2(e.ID(), id)
-	if !e.table.TryPublishAt(home, uintptr(0xF00D0)) {
+	if _, ok := e.table.TryPublishAt(home, uintptr(0xF00D0)); !ok {
 		t.Fatal("setup publish failed")
 	}
 	idx, ok := e.TryFastH(r) // rescued at the alternate; alt becomes cached
-	if !ok || idx != alt {
-		t.Fatalf("setup rescue failed: ok=%v idx=%d", ok, idx)
+	if !ok || idx.Index() != alt {
+		t.Fatalf("setup rescue failed: ok=%v idx=%d", ok, idx.Index())
 	}
 	e.ReleaseFastAt(r, idx)
 	e.table.Clear(home)
-	if !e.table.TryPublishAt(alt, uintptr(0xBEEF0)) {
+	if _, ok := e.table.TryPublishAt(alt, uintptr(0xBEEF0)); !ok {
 		t.Fatal("setup alt publish failed")
 	}
 	idx, ok = e.TryFastH(r)
-	if !ok || idx != home {
-		t.Fatalf("handle did not reclaim free home slot: ok=%v idx=%d want %d", ok, idx, home)
+	if !ok || idx.Index() != home {
+		t.Fatalf("handle did not reclaim free home slot: ok=%v idx=%d want %d", ok, idx.Index(), home)
 	}
 	e.ReleaseFastAt(r, idx)
 	e.table.Clear(alt)
@@ -211,7 +211,7 @@ func TestReaderEvictionPrefersUnpinned(t *testing.T) {
 		e.ReleaseFastAt(r, idx)
 	}
 	// The pinned entry must have survived every eviction.
-	if slot, _, ok := r.CachedSlot(held); !ok || slot != heldIdx {
+	if slot, _, ok := r.CachedSlot(held); !ok || slot != heldIdx.Index() {
 		t.Fatal("eviction displaced a held entry")
 	}
 	held.ReleaseFastAt(r, heldIdx)

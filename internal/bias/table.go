@@ -40,7 +40,15 @@ const DefaultRowLen = 256
 // is inside that lock's critical section, which implies the lock is live.
 type Table struct {
 	slots []atomic.Uintptr
-	mask  uint32
+	// gens counts, per slot, the number of times the slot has been emptied.
+	// A publication captures the current count; the owned clear verifies it
+	// and bumps it. Because every id→0 transition bumps the count, a token
+	// from an earlier publication can never pass the check again — a double
+	// RUnlock panics deterministically even if another reader of the same
+	// lock has since republished in the slot (the ABA case a bare slot
+	// compare cannot see). See ClearOwned.
+	gens []atomic.Uint32
+	mask uint32
 	// rows/rowLen describe the 2D sectored geometry; rows == 0 means the
 	// flat 1D layout of Listing 1.
 	rows   uint32
@@ -60,7 +68,11 @@ func NewTable(size int) *Table {
 	if size <= 0 || size&(size-1) != 0 {
 		panic(fmt.Sprintf("bias: table size %d is not a positive power of two", size))
 	}
-	return &Table{slots: make([]atomic.Uintptr, size), mask: uint32(size - 1)}
+	return &Table{
+		slots: make([]atomic.Uintptr, size),
+		gens:  make([]atomic.Uint32, size),
+		mask:  uint32(size - 1),
+	}
 }
 
 // NewTable2D returns a BRAVO-2D sectored table with rows rows of rowLen
@@ -73,6 +85,7 @@ func NewTable2D(rows, rowLen int) *Table {
 	}
 	return &Table{
 		slots:  make([]atomic.Uintptr, rows*rowLen),
+		gens:   make([]atomic.Uint32, rows*rowLen),
 		mask:   uint32(rows*rowLen - 1),
 		rows:   uint32(rows),
 		rowLen: uint32(rowLen),
@@ -116,23 +129,70 @@ func (t *Table) column(lockID uintptr) uint32 {
 	return hash.Mix32(uint32(uint64(lockID)>>4)) & (t.rowLen - 1)
 }
 
-// TryPublishAt attempts to install id into slot idx, returning true on
-// success. This is the fast path's single CAS (Listing 1 line 14) — and,
-// with a slot index cached on a reader handle, the entire steady-state
-// fast-path cost.
-func (t *Table) TryPublishAt(idx uint32, id uintptr) bool {
-	return t.slots[idx].CompareAndSwap(0, id)
+// TryPublishAt attempts to install id into slot idx, returning the slot's
+// current generation and whether publication succeeded. The CAS is the fast
+// path's single atomic (Listing 1 line 14) — and, with a slot index cached
+// on a reader handle, the entire steady-state fast-path cost; the
+// generation load that follows it is an uncontended read of the same cache
+// line. The generation must travel with the acquisition and be handed to
+// ClearOwned at unlock.
+//
+// Ordering: the generation is read after the CAS. Generations change only
+// on id→0 slot transitions (ClearOwned/Clear bump before emptying), so no
+// bump can land between a winning CAS and the load — a successful publisher
+// always captures the generation its eventual clear will verify.
+func (t *Table) TryPublishAt(idx uint32, id uintptr) (gen uint32, ok bool) {
+	if !t.slots[idx].CompareAndSwap(0, id) {
+		return 0, false
+	}
+	return t.gens[idx].Load(), true
 }
 
 // TryPublish hashes (id, self) into a slot and attempts to install id,
-// returning the chosen index and whether publication succeeded.
-func (t *Table) TryPublish(id uintptr, self uint64) (uint32, bool) {
-	idx := t.Index(id, self)
-	return idx, t.TryPublishAt(idx, id)
+// returning the chosen index, the captured generation, and whether
+// publication succeeded.
+func (t *Table) TryPublish(id uintptr, self uint64) (idx, gen uint32, ok bool) {
+	idx = t.Index(id, self)
+	gen, ok = t.TryPublishAt(idx, id)
+	return idx, gen, ok
 }
 
-// Clear empties slot idx (fast-path unlock, Listing 1 line 31).
+// ClearOwned empties slot idx on behalf of the reader that published id
+// there and captured gen — the always-on unbalanced-unlock guard (Shahare &
+// Chabbi's owner check, applied to BRAVO's slot-passing unlock). It panics
+// when the release is not the one matching the publication:
+//
+//   - slot no longer holds id: double unlock (a prior release already
+//     emptied it), unlock without lock, or an unlock aimed at the wrong
+//     lock's acquisition;
+//   - generation moved on: the slot holds id again, but from a *newer*
+//     publication — a stale token's second unlock. The holder's own first
+//     ClearOwned bumped the generation, so the second attempt can never
+//     match, no matter what published in between.
+//
+// The bump is ordered before the store that empties the slot, so any
+// publisher whose CAS wins afterwards observes the bumped generation
+// (seq-cst atomics): a fresh token never inherits a stale generation, and
+// the guard has no false positives — only the true owner, exactly once,
+// passes both checks.
+func (t *Table) ClearOwned(idx, gen uint32, id uintptr) {
+	if t.slots[idx].Load() != id {
+		panic("bias: unbalanced fast-path RUnlock (double unlock, unlock without lock, or wrong lock)")
+	}
+	if t.gens[idx].Load()&genMask != gen&genMask {
+		panic("bias: unbalanced fast-path RUnlock (stale read token)")
+	}
+	t.gens[idx].Add(1)
+	t.slots[idx].Store(0)
+}
+
+// Clear empties slot idx unconditionally (Listing 1 line 31, without the
+// ownership check). Test and diagnostic hook; production unlock paths go
+// through ClearOwned. It preserves the generation invariant — every id→0
+// transition bumps — so tokens spanning a forced clear are correctly
+// detected as stale.
 func (t *Table) Clear(idx uint32) {
+	t.gens[idx].Add(1)
 	t.slots[idx].Store(0)
 }
 

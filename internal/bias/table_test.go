@@ -52,14 +52,22 @@ func TestPublishClearRoundTrip(t *testing.T) {
 	tab := NewTable(64)
 	id := uintptr(0xdeadbeef0)
 	idx := tab.Index(id, 42)
-	if !tab.TryPublishAt(idx, id) {
+	gen, ok := tab.TryPublishAt(idx, id)
+	if !ok {
 		t.Fatal("publish into empty slot failed")
 	}
 	if tab.Load(idx) != id {
 		t.Fatal("slot does not hold the published identity")
 	}
-	if tab.TryPublishAt(idx, 0xabc0) {
+	if _, ok := tab.TryPublishAt(idx, 0xabc0); ok {
 		t.Fatal("publish into occupied slot succeeded (collision must fail)")
+	}
+	tab.ClearOwned(idx, gen, id)
+	if tab.Load(idx) != 0 {
+		t.Fatal("slot not cleared by owned clear")
+	}
+	if _, ok := tab.TryPublishAt(idx, id); !ok {
+		t.Fatal("republish after owned clear failed")
 	}
 	tab.Clear(idx)
 	if tab.Load(idx) != 0 {
@@ -130,7 +138,7 @@ func TestWaitEmptyAwaitsConflicts(t *testing.T) {
 	tab := NewTable(64)
 	id := uintptr(0x5550)
 	idx := tab.Index(id, 7)
-	if !tab.TryPublishAt(idx, id) {
+	if _, ok := tab.TryPublishAt(idx, id); !ok {
 		t.Fatal("publish failed")
 	}
 	done := make(chan int)
@@ -154,7 +162,7 @@ func TestWaitEmptyAwaitsConflicts(t *testing.T) {
 func TestWaitEmptyIgnoresOtherLocks(t *testing.T) {
 	tab := NewTable(64)
 	other := uintptr(0x7770)
-	if !tab.TryPublishAt(3, other) {
+	if _, ok := tab.TryPublishAt(3, other); !ok {
 		t.Fatal("publish failed")
 	}
 	scanned, conflicts := tab.WaitEmpty(uintptr(0x5550))

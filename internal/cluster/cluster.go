@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -255,6 +256,58 @@ func (c *Cluster) Delete(key uint64) (bool, ShardLSN, error) {
 		return false, ShardLSN{}, err
 	}
 	return ok, ShardLSN{Shard: c.globalShard(pi, shard), LSN: lsn, Epoch: p.epoch}, nil
+}
+
+// ErrCrossPartitionTxn rejects a transaction whose keys hash to more than
+// one partition. Transactions are shard-ordered two-phase locking inside
+// one engine; partitions are independent failure domains with independent
+// fencing epochs, and a cross-partition commit would need a distributed
+// protocol the cluster deliberately does not have. Callers co-locate
+// transactional keys (the router is stable, so a key set that routes
+// together keeps routing together) or split the work.
+var ErrCrossPartitionTxn = errors.New("cluster: transaction keys span multiple partitions (transactions are single-partition)")
+
+// Cas runs a compare-and-swap on key's partition, returning whether it
+// swapped plus the commit token.
+func (c *Cluster) Cas(key uint64, old, new []byte) (bool, ShardLSN, error) {
+	pi := c.router.Partition(key)
+	p := c.parts[pi]
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	swapped, shard, lsn, err := p.member.Cas(key, old, new)
+	if err != nil {
+		return false, ShardLSN{}, err
+	}
+	return swapped, ShardLSN{Shard: c.globalShard(pi, shard), LSN: lsn, Epoch: p.epoch}, nil
+}
+
+// Txn runs fn as a bounded multi-key transaction on the partition owning
+// every key, returning the declared shards' commit tokens. Key sets that
+// span partitions are rejected with ErrCrossPartitionTxn before any lock
+// is taken.
+func (c *Cluster) Txn(keys []uint64, fn func(*kvs.Tx) error) ([]ShardLSN, error) {
+	if len(keys) == 0 {
+		// Let the engine surface its own typed validation error.
+		return nil, c.parts[0].member.engine.Txn(keys, fn)
+	}
+	pi := c.router.Partition(keys[0])
+	for _, k := range keys[1:] {
+		if other := c.router.Partition(k); other != pi {
+			return nil, fmt.Errorf("%w: key %d routes to partition %d, key %d to %d",
+				ErrCrossPartitionTxn, keys[0], pi, k, other)
+		}
+	}
+	p := c.parts[pi]
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	lsns, err := p.member.Txn(keys, fn, nil)
+	if err != nil {
+		return nil, err
+	}
+	for i := range lsns {
+		lsns[i].Shard = c.globalShard(pi, int(lsns[i].Shard))
+	}
+	return lsns, nil
 }
 
 // MultiPut fans a batch out per partition (one engine call each) and

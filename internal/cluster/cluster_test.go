@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"testing"
@@ -312,5 +313,107 @@ func TestClusterTTLSurvivesFailover(t *testing.T) {
 	}
 	if _, ok := c.Get(nil, 2, nil); ok {
 		t.Fatal("expired key resurrected by failover")
+	}
+}
+
+// partitionKeys scans the keyspace for n keys owned by partition pi.
+func partitionKeys(c *Cluster, pi, n int) []uint64 {
+	keys := make([]uint64, 0, n)
+	for k := uint64(0); len(keys) < n; k++ {
+		if c.Partition(k) == pi {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// TestClusterCasAndTxn drives the transactional surface through the
+// cluster: single-partition batches commit atomically with epoch-stamped
+// tokens, cross-partition batches answer the typed rejection, and after a
+// failover the fenced corpse refuses transactions while the promoted
+// primary carries the committed state and serves new ones at the bumped
+// epoch.
+func TestClusterCasAndTxn(t *testing.T) {
+	c := openCluster(t, 2, 1)
+
+	// CAS through the router: install, stale attempt, delete-on-match.
+	if swapped, tok, err := c.Cas(9, nil, []byte("v1")); err != nil || !swapped || tok.Epoch != 1 {
+		t.Fatalf("Cas install = %v/%+v/%v", swapped, tok, err)
+	}
+	if swapped, _, err := c.Cas(9, []byte("stale"), []byte("v2")); err != nil || swapped {
+		t.Fatalf("stale Cas = %v/%v, want false", swapped, err)
+	}
+
+	// A single-partition transaction commits atomically; its tokens carry
+	// one triple per declared shard at the partition's epoch.
+	keys := partitionKeys(c, 0, 3)
+	lsns, err := c.Txn(keys, func(tx *kvs.Tx) error {
+		for i, k := range keys {
+			tx.Put(k, []byte{byte(i)})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Txn: %v", err)
+	}
+	if len(lsns) == 0 {
+		t.Fatal("committed Txn returned no tokens")
+	}
+	for _, l := range lsns {
+		if l.Epoch != 1 {
+			t.Fatalf("Txn token epoch = %d, want 1", l.Epoch)
+		}
+	}
+	for i, k := range keys {
+		if v, ok := c.Get(nil, k, nil); !ok || !bytes.Equal(v, []byte{byte(i)}) {
+			t.Fatalf("Get(%d) after Txn = %q, %v", k, v, ok)
+		}
+	}
+
+	// Keys spanning partitions are rejected with the typed error before
+	// any lock is taken.
+	cross := []uint64{partitionKeys(c, 0, 1)[0], partitionKeys(c, 1, 1)[0]}
+	if _, err := c.Txn(cross, func(*kvs.Tx) error { return nil }); err == nil || !errors.Is(err, ErrCrossPartitionTxn) {
+		t.Fatalf("cross-partition Txn: %v, want ErrCrossPartitionTxn", err)
+	}
+
+	// Failover: the corpse fences its transactional surface too, and the
+	// promoted primary carries the committed batch.
+	if err := c.WaitCaughtUp(5 * time.Second); err != nil {
+		t.Fatalf("WaitCaughtUp: %v", err)
+	}
+	old := c.Member(0)
+	if _, err := c.Failover(0); err != nil {
+		t.Fatalf("Failover: %v", err)
+	}
+	if _, err := old.Txn(keys[:1], func(*kvs.Tx) error { return nil }, nil); err != ErrFenced {
+		t.Fatalf("corpse Txn: %v, want ErrFenced", err)
+	}
+	if _, _, _, err := old.Cas(keys[0], nil, []byte("x")); err != ErrFenced {
+		t.Fatalf("corpse Cas: %v, want ErrFenced", err)
+	}
+	for i, k := range keys {
+		if v, ok := c.Get(nil, k, nil); !ok || !bytes.Equal(v, []byte{byte(i)}) {
+			t.Fatalf("Get(%d) after failover = %q, %v", k, v, ok)
+		}
+	}
+	lsns, err = c.Txn(keys[:2], func(tx *kvs.Tx) error {
+		tx.Put(keys[0], []byte("post"))
+		tx.Delete(keys[1])
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Txn after failover: %v", err)
+	}
+	for _, l := range lsns {
+		if l.Epoch != 2 {
+			t.Fatalf("post-failover Txn token epoch = %d, want 2", l.Epoch)
+		}
+	}
+	if v, ok := c.Get(nil, keys[0], nil); !ok || string(v) != "post" {
+		t.Fatalf("Get after post-failover Txn = %q, %v", v, ok)
+	}
+	if _, ok := c.Get(nil, keys[1], nil); ok {
+		t.Fatal("post-failover Txn delete did not apply")
 	}
 }

@@ -196,6 +196,40 @@ func (m *Member) MultiDelete(keys []uint64, lsns []ShardLSN) (int, []ShardLSN, e
 	return removed, lsns, err
 }
 
+// Cas runs a single-key compare-and-swap under the fencing gate, returning
+// the commit token's local half (a non-swapping CAS still commits a
+// read-only transaction, so the token is stamped on both outcomes).
+func (m *Member) Cas(key uint64, old, new []byte) (swapped bool, shard int, lsn uint64, err error) {
+	gerr := m.write(func() {
+		swapped, err = m.engine.CompareAndSwap(key, old, new)
+		shard = m.engine.ShardOf(key)
+		lsn = m.engine.ShardLSN(shard)
+	})
+	if gerr != nil {
+		err = gerr
+	}
+	return
+}
+
+// Txn runs a bounded multi-key transaction under the fencing gate and, on
+// commit, appends each declared shard's commit LSN to lsns. Holding the
+// gate across the whole two-phase commit keeps the failover property: a
+// transaction either commits on every participant shard before Fence
+// returns, or not at all.
+func (m *Member) Txn(keys []uint64, fn func(*kvs.Tx) error, lsns []ShardLSN) ([]ShardLSN, error) {
+	var txErr error
+	gerr := m.write(func() {
+		txErr = m.engine.Txn(keys, fn)
+		if txErr == nil {
+			lsns = m.appendCommitLSNs(lsns, keys)
+		}
+	})
+	if gerr != nil {
+		return lsns, gerr
+	}
+	return lsns, txErr
+}
+
 // Flush applies the member's queued async writes. Gated: a fenced member
 // flushing its queue into the engine would be a post-fence commit.
 func (m *Member) Flush() (int, error) {

@@ -9,8 +9,10 @@ import (
 )
 
 // fastBit tags tokens of fast-path read acquisitions; the slot index lives
-// in the low bits. Substrate locks confine their tokens to the low 32 bits
-// (see rwl), so the encodings cannot collide.
+// in the low 32 bits and the slot generation — the always-on
+// unbalanced-unlock guard — in the bits above it (see bias.SlotToken).
+// Substrate locks confine their tokens to the low 32 bits (see rwl), so the
+// encodings cannot collide.
 const fastBit rwl.Token = 1 << 63
 
 // Lock is a BRAVO-transformed reader-writer lock: BRAVO-A where A is the
@@ -128,8 +130,8 @@ func (l *Lock) RLock() rwl.Token {
 // RLockWithID is RLock with an explicit thread identity, for callers that
 // pin identities (benchmark workers, pooled executors).
 func (l *Lock) RLockWithID(selfID uint64) rwl.Token {
-	if idx, ok := l.eng.TryFast(selfID); ok {
-		return fastBit | rwl.Token(idx)
+	if tok, ok := l.eng.TryFast(selfID); ok {
+		return fastBit | rwl.Token(tok)
 	}
 	// Slow path: acquire read permission on the underlying lock.
 	ut := l.under.RLock()
@@ -141,10 +143,13 @@ func (l *Lock) RLockWithID(selfID uint64) rwl.Token {
 
 // RUnlock releases read permission acquired by the RLock call that returned
 // t: fast-path readers clear their slot, slow-path readers release the
-// underlying lock (Listing 1 lines 29–33).
+// underlying lock (Listing 1 lines 29–33). The fast-path clear verifies the
+// token's slot generation — a double RUnlock, an unlock without a lock, or
+// a token handed to the wrong lock panics deterministically, in production
+// builds and not just under lockcheck harnesses.
 func (l *Lock) RUnlock(t rwl.Token) {
 	if t&fastBit != 0 {
-		l.eng.Table().Clear(uint32(t))
+		l.eng.ClearFast(bias.SlotToken(t &^ fastBit))
 		return
 	}
 	l.under.RUnlock(t)
@@ -155,8 +160,8 @@ func (l *Lock) RUnlock(t rwl.Token) {
 // cached slot — one CAS, no hashing. The returned token must be passed to
 // RUnlockH with the same handle.
 func (l *Lock) RLockH(h *rwl.Reader) rwl.Token {
-	if idx, ok := l.eng.TryFastH(h); ok {
-		return fastBit | rwl.Token(idx)
+	if tok, ok := l.eng.TryFastH(h); ok {
+		return fastBit | rwl.Token(tok)
 	}
 	ut := l.under.RLock()
 	l.eng.SlowLockedH(h)
@@ -169,7 +174,7 @@ func (l *Lock) RLockH(h *rwl.Reader) rwl.Token {
 // unlock, unlock without lock) panics before touching lock state.
 func (l *Lock) RUnlockH(h *rwl.Reader, t rwl.Token) {
 	if t&fastBit != 0 {
-		l.eng.ReleaseFastAt(h, uint32(t))
+		l.eng.ReleaseFastAt(h, bias.SlotToken(t&^fastBit))
 		return
 	}
 	l.eng.SlowUnlockedH(h)
@@ -208,8 +213,8 @@ func (l *Lock) Unlock() {
 // success the policy may enable bias, as the paper permits.
 func (l *Lock) TryRLock() (rwl.Token, bool) {
 	if l.eng.Enabled() {
-		if idx, ok := l.eng.TryPublish(self.ID()); ok {
-			return fastBit | rwl.Token(idx), true
+		if tok, ok := l.eng.TryPublish(self.ID()); ok {
+			return fastBit | rwl.Token(tok), true
 		}
 	}
 	tu, ok := l.underTry()

@@ -160,7 +160,7 @@ func TestSecondProbeRescuesCollision(t *testing.T) {
 		}
 	}
 	idx := tab.Index(lockID, id)
-	if !tab.TryPublishAt(idx, uintptr(0xF00D0)) {
+	if _, ok := tab.TryPublishAt(idx, uintptr(0xF00D0)); !ok {
 		t.Fatal("setup publish failed")
 	}
 	t2 := l.RLockWithID(id)

@@ -154,7 +154,7 @@ func TestHandleCollisionMemoryRetriesAfterBiasFlip(t *testing.T) {
 	l.RUnlock(tok)
 	h := rwl.NewReaderWithID(7)
 	home := tab.Index(l.Engine().ID(), 7)
-	if !tab.TryPublishAt(home, uintptr(0xF00D0)) {
+	if _, ok := tab.TryPublishAt(home, uintptr(0xF00D0)); !ok {
 		t.Fatal("setup publish failed")
 	}
 	t1 := l.RLockH(h) // collides, diverts, remembers
@@ -284,6 +284,23 @@ func TestUnbalancedRUnlockDetected(t *testing.T) {
 	t.Run("unbiased", func(t *testing.T) {
 		lockcheck.UnbalancedRUnlock(t, New(new(pfq.Lock),
 			WithTable(NewTable(64)), WithPolicy(NeverPolicy{})))
+	})
+}
+
+func TestUnbalancedAnonymousRUnlockDetected(t *testing.T) {
+	// The always-on table guard must catch fast-path misuse on the
+	// anonymous token-passing paths too — no handle bookkeeping involved.
+	t.Run("shared-table", func(t *testing.T) {
+		tab := NewTable(64)
+		lockcheck.UnbalancedAnonymousRUnlock(t, func() rwl.RWLock {
+			return New(new(pfq.Lock), WithTable(tab), WithPolicy(AlwaysPolicy{}))
+		})
+	})
+	t.Run("2d", func(t *testing.T) {
+		tab := NewTable2D(8, 32)
+		lockcheck.UnbalancedAnonymousRUnlock(t, func() rwl.RWLock {
+			return New(new(pfq.Lock), WithTable(tab), WithPolicy(AlwaysPolicy{}))
+		})
 	})
 }
 

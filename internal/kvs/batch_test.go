@@ -154,3 +154,50 @@ func ExampleSharded_MultiPut() {
 	}
 	// Output: "a" "b" ""
 }
+
+// TestShardedBatchDuplicateKeysPositionalOrder is the adversarial pin on
+// the positional last-write-wins rule: duplicates placed non-adjacently and
+// interleaved with keys from other shards, where an unstable
+// group-by-shard pass could reorder equal keys — and the rule must survive
+// WAL replay, since the log records the batch in apply order.
+func TestShardedBatchDuplicateKeysPositionalOrder(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestKV(t, dir, 4, SyncAlways)
+	// Key 7 appears at positions 0, 2, 4 and key 1 at positions 1, 5;
+	// keys 2 and 3 land between them on other shards.
+	keys := []uint64{7, 1, 7, 2, 7, 1, 3}
+	vals := [][]byte{
+		EncodeValue(100), EncodeValue(200), EncodeValue(101), EncodeValue(300),
+		EncodeValue(102), EncodeValue(201), EncodeValue(400),
+	}
+	s.MultiPut(keys, vals)
+	check := func(label string, e *Sharded, want map[uint64]uint64) {
+		t.Helper()
+		for k, w := range want {
+			v, ok := e.Get(k)
+			if !ok {
+				t.Fatalf("%s: Get(%d) missing", label, k)
+			}
+			if d, _ := DecodeValue(v); d != w {
+				t.Fatalf("%s: Get(%d) = %d, want the last positional write %d", label, k, d, w)
+			}
+		}
+	}
+	check("live", s, map[uint64]uint64{7: 102, 1: 201, 2: 300, 3: 400})
+
+	// MultiDelete with a repeated key scores one hit: the first positional
+	// occurrence removes it, the rest are misses, never a double count.
+	if got := s.MultiDelete([]uint64{2, 2, 2}); got != 1 {
+		t.Fatalf("MultiDelete dup key removed %d, want 1", got)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r := openTestKV(t, dir, 4, SyncAlways)
+	defer r.Close()
+	check("replayed", r, map[uint64]uint64{7: 102, 1: 201, 3: 400})
+	if _, ok := r.Get(2); ok {
+		t.Fatal("replayed: Get(2) found a MultiDeleted key")
+	}
+}

@@ -18,11 +18,13 @@ package kvs
 // with a different count is an error, not silent misrouting.
 
 import (
+	"cmp"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 
 	"github.com/bravolock/bravo/internal/rwl"
 )
@@ -157,6 +159,11 @@ func (s *Sharded) openDurable(dir string, policy SyncPolicy, lsnBase []uint64) e
 		return err
 	}
 	needCkpt := make([]int, 0)
+	// txns gathers multi-shard transaction witness records across every
+	// shard's replay, keyed by the transaction's identity (see
+	// walRecord.txnKey), so a commit torn across shard logs can be rolled
+	// forward once all logs have been read.
+	txns := make(map[walPart]*txnRecovery)
 	for i := range s.shards {
 		sh := &s.shards[i]
 		// A .snap.tmp is an interrupted, unpublished checkpoint: garbage.
@@ -177,7 +184,7 @@ func (s *Sharded) openDurable(dir string, policy SyncPolicy, lsnBase []uint64) e
 			return err
 		}
 		if data, err := os.ReadFile(s.walOldPath(i)); err == nil {
-			_, last = walReplay(data, last, sh.recoverRecord)
+			_, last = walReplay(data, last, func(rec walRecord) { s.recoverShardRecord(i, rec, txns) })
 			needCkpt = append(needCkpt, i)
 		} else if !os.IsNotExist(err) {
 			return err
@@ -185,7 +192,7 @@ func (s *Sharded) openDurable(dir string, policy SyncPolicy, lsnBase []uint64) e
 		walSize := int64(0)
 		if data, err := os.ReadFile(s.walPath(i)); err == nil {
 			var valid int
-			valid, last = walReplay(data, last, sh.recoverRecord)
+			valid, last = walReplay(data, last, func(rec walRecord) { s.recoverShardRecord(i, rec, txns) })
 			walSize = int64(valid)
 		} else if !os.IsNotExist(err) {
 			return err
@@ -206,6 +213,12 @@ func (s *Sharded) openDurable(dir string, policy SyncPolicy, lsnBase []uint64) e
 		}
 		sh.wal = &shardWAL{f: f, policy: policy, size: walSize, lsn: last}
 		sh.wal.applied.Store(last)
+	}
+	// Restore transaction atomicity before anything else appends: any
+	// multi-shard commit witnessed by one surviving shard log but missing
+	// from another participant's is re-applied and re-logged there.
+	if err := s.rollForwardTxns(txns); err != nil {
+		return err
 	}
 	// Make the freshly-created log files' directory entries durable: an
 	// fsynced record is worthless if the file itself vanishes with the
@@ -274,10 +287,116 @@ func (s *Sharded) hasShardFiles() bool {
 	return false
 }
 
-// recoverRecord is recover in walReplay's callback shape; the LSN is
-// tracked by the caller via walReplay's return value.
-func (sh *kvShard) recoverRecord(_ uint64, entries []walEntry) {
-	sh.recover(entries)
+// txnRecovery accumulates one multi-shard transaction's witness copies as
+// recovery replays each shard's log: which participants' copies were found,
+// plus the full entry list (identical in every copy) in case a missing
+// participant must be rolled forward. Entry values alias the replay buffer,
+// which stays live for the duration of openDurable.
+type txnRecovery struct {
+	parts   []walPart
+	entries []walEntry
+	seen    []bool
+}
+
+// recoverShardRecord applies one replayed record to shard. Ordinary records
+// apply wholesale; transaction witness records apply only the entries owned
+// by this shard and register the copy in txns for the post-replay
+// atomicity check.
+func (s *Sharded) recoverShardRecord(shard int, rec walRecord, txns map[walPart]*txnRecovery) {
+	sh := &s.shards[shard]
+	if rec.version != walVersionTxn {
+		sh.recover(rec.entries)
+		return
+	}
+	for _, e := range rec.entries {
+		if s.ShardOf(e.key) == shard {
+			sh.recoverEntry(e)
+		}
+	}
+	t := txns[rec.txnKey()]
+	if t == nil {
+		t = &txnRecovery{parts: rec.parts, entries: rec.entries, seen: make([]bool, len(rec.parts))}
+		txns[rec.txnKey()] = t
+	}
+	for i, p := range t.parts {
+		if int(p.shard) == shard {
+			t.seen[i] = true
+		}
+	}
+}
+
+// rollForwardTxns restores cross-shard commit atomicity after replay: for
+// every transaction some participant's log witnessed but another's did not,
+// the missing participant's own entries are applied to its in-memory state
+// and the witness record is re-appended to its log at whatever LSN the
+// shard actually reached (not the LSN the original commit intended — a
+// lost un-synced tail may have taken unrelated records with it). Re-
+// appending the witness itself, rather than a plain record, is what makes
+// the repair converge: the next recovery sees the copy and marks the
+// participant satisfied, so a roll-forward can never replay over writes
+// that landed after the repair. A participant whose recovered LSN already
+// passed its copy's intended LSN lost nothing — its checkpoint compacted
+// the record away — and is skipped. When one shard misses several
+// transactions, they are replayed in the order that shard originally
+// committed them, which the witness list's per-participant LSNs record.
+func (s *Sharded) rollForwardTxns(txns map[walPart]*txnRecovery) error {
+	type missed struct {
+		lsn uint64
+		t   *txnRecovery
+	}
+	var byShard map[int][]missed
+	for _, t := range txns {
+		for i, p := range t.parts {
+			if t.seen[i] {
+				continue
+			}
+			j := int(p.shard)
+			if j >= len(s.shards) {
+				return fmt.Errorf("kvs: transaction witness names shard %d of %d", j, len(s.shards))
+			}
+			if s.shards[j].wal.lsn >= p.lsn {
+				continue
+			}
+			if byShard == nil {
+				byShard = make(map[int][]missed)
+			}
+			byShard[j] = append(byShard[j], missed{p.lsn, t})
+		}
+	}
+	for j, list := range byShard {
+		slices.SortFunc(list, func(a, b missed) int { return cmp.Compare(a.lsn, b.lsn) })
+		sh := &s.shards[j]
+		w := sh.wal
+		for _, m := range list {
+			var ents []walEntry
+			for _, e := range m.t.entries {
+				if s.ShardOf(e.key) == j {
+					ents = append(ents, e)
+				}
+			}
+			sh.recover(ents)
+			w.beginTxn(m.t.parts, len(m.t.entries))
+			for _, e := range m.t.entries {
+				switch e.op {
+				case walOpPut:
+					w.addPut(e.key, e.val, 0)
+				case walOpPutTTL:
+					w.addPut(e.key, e.val, deadlineFromRemaining(e.rem))
+				case walOpDelete:
+					w.addDelete(e.key)
+				}
+			}
+			w.commit(len(ents))
+			if w.err != nil {
+				return fmt.Errorf("kvs: rolling transaction forward on shard %d: %w", j, w.err)
+			}
+			w.applied.Store(w.lsn)
+		}
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("kvs: syncing rolled-forward shard %d: %w", j, err)
+		}
+	}
+	return nil
 }
 
 // recover applies decoded entries to a shard during single-threaded
@@ -287,14 +406,19 @@ func (sh *kvShard) recoverRecord(_ uint64, entries []walEntry) {
 // engine is not yet shared, so no optimistic reader exists to mislead.
 func (sh *kvShard) recover(entries []walEntry) {
 	for _, e := range entries {
-		switch e.op {
-		case walOpPut:
-			sh.putCounted(e.key, e.val, 0)
-		case walOpPutTTL:
-			sh.putCounted(e.key, e.val, deadlineFromRemaining(e.rem))
-		case walOpDelete:
-			sh.deleteLocked(e.key)
-		}
+		sh.recoverEntry(e)
+	}
+}
+
+// recoverEntry applies one decoded entry during recovery.
+func (sh *kvShard) recoverEntry(e walEntry) {
+	switch e.op {
+	case walOpPut:
+		sh.putCounted(e.key, e.val, 0)
+	case walOpPutTTL:
+		sh.putCounted(e.key, e.val, deadlineFromRemaining(e.rem))
+	case walOpDelete:
+		sh.deleteLocked(e.key)
 	}
 }
 

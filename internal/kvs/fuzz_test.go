@@ -8,6 +8,7 @@ package kvs
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"os"
 	"testing"
 
@@ -45,9 +46,21 @@ func legacyPayload() []byte {
 	return append(p, 'v', '1')
 }
 
+// txnPayload encodes a two-participant transaction witness record via the
+// real writer path.
+func txnPayload() []byte {
+	w := &shardWAL{lsn: 4}
+	w.beginTxn([]walPart{{shard: 0, lsn: 5}, {shard: 3, lsn: 2}}, 2)
+	w.addPut(7, []byte("a"), 0)
+	w.addDelete(9)
+	return append([]byte(nil), w.buf[walHeaderSize:]...)
+}
+
 func FuzzWALReplay(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(buildRecord(validPayload()))
+	f.Add(buildRecord(txnPayload()))
+	f.Add(buildRecord(txnPayload())[:walHeaderSize+20])                     // torn witness record
 	f.Add(buildRecord(validPayload())[:5])                                  // torn header
 	f.Add(append(buildRecord(validPayload()), 0xFF))                        // trailing garbage
 	f.Add(buildRecord(append([]byte{walVersion}, make([]byte, 12)...)))     // empty batch at LSN 0
@@ -59,8 +72,23 @@ func FuzzWALReplay(f *testing.F) {
 	f.Add(bytes.Repeat([]byte{0}, 64))                                      // zero-length records... of garbage CRC
 	f.Fuzz(func(t *testing.T, data []byte) {
 		applied := 0
-		valid, last := walReplay(data, 0, func(lsn uint64, entries []walEntry) {
-			for _, e := range entries {
+		valid, last := walReplay(data, 0, func(rec walRecord) {
+			if rec.version == walVersionTxn {
+				// Witness records must surface a canonical participant
+				// list: at least two shards, strictly ascending, nonzero
+				// LSNs.
+				for i, p := range rec.parts {
+					if p.lsn == 0 || (i > 0 && p.shard <= rec.parts[i-1].shard) {
+						t.Fatalf("decoder surfaced non-canonical participant list %v", rec.parts)
+					}
+				}
+				if len(rec.parts) < 2 {
+					t.Fatalf("decoder surfaced participant list %v for lsn %d", rec.parts, rec.lsn)
+				}
+			} else if rec.parts != nil {
+				t.Fatalf("non-transaction record (v%d) carries participants", rec.version)
+			}
+			for _, e := range rec.entries {
 				// Decoded entries must be internally sane: ops in range,
 				// values inside the input buffer.
 				switch e.op {
@@ -79,10 +107,91 @@ func FuzzWALReplay(f *testing.F) {
 		}
 		// Replay must be deterministic and idempotent on the valid prefix.
 		applied2 := 0
-		valid2, last2 := walReplay(data[:valid], 0, func(uint64, []walEntry) { applied2++ })
+		valid2, last2 := walReplay(data[:valid], 0, func(walRecord) { applied2++ })
 		if valid2 != valid || applied2 != applied || last2 != last {
 			t.Fatalf("replay of the valid prefix gave offset %d records %d lsn %d, want %d/%d/%d",
 				valid2, applied2, last2, valid, applied, last)
+		}
+	})
+}
+
+// FuzzTxnWAL feeds arbitrary bytes to two shards' on-disk logs of a
+// four-shard durable engine and opens it. Whatever the logs claim —
+// truncated witness records, participant lists pointing at LSNs that never
+// happened, cross-references between the two mutilated files — OpenSharded
+// must never panic, and when it does accept the directory, recovery
+// (including transaction roll-forward, which appends repair records) must
+// be deterministic: closing and reopening yields the identical snapshot.
+func FuzzTxnWAL(f *testing.F) {
+	const shards = 4
+	// Harvest seed logs from a real engine that committed cross-shard
+	// transactions, so the fuzzer starts from live witness records.
+	seedDir := f.TempDir()
+	s, err := OpenSharded(seedDir, shards, mkStd, SyncNone)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var ka, kb uint64
+	ka = 1
+	for kb = 2; s.ShardOf(kb) == s.ShardOf(ka); kb++ {
+	}
+	s.Put(ka, []byte("base-a"))
+	s.PutTTL(kb, []byte("base-b"), 1<<40)
+	if err := s.Txn([]uint64{ka, kb}, func(tx *Tx) error {
+		tx.Put(ka, []byte("txn-a"))
+		tx.Delete(kb)
+		return nil
+	}); err != nil {
+		f.Fatal(err)
+	}
+	s.Close()
+	walA, err := os.ReadFile(s.walPath(s.ShardOf(ka)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	walB, err := os.ReadFile(s.walPath(s.ShardOf(kb)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(walA, walB)
+	f.Add(walA, walB[:len(walB)-1])   // torn witness on one participant
+	f.Add(walA[:len(walA)/2], walB)   // torn mid-log
+	f.Add([]byte{}, walB)             // one participant lost wholesale
+	f.Add(walB, walA)                 // witnesses on the wrong shards
+	f.Add(walA, walA)                 // same witness claimed twice
+	f.Add([]byte{0xFF}, []byte{0x00}) // garbage
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		dir := t.TempDir()
+		if err := writeManifest(dir, shards); err != nil {
+			t.Fatal(err)
+		}
+		for i, data := range [][]byte{a, b} {
+			path := fmt.Sprintf("%s/shard-%04d.wal", dir, i)
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s, err := OpenSharded(dir, shards, mkStd, SyncNone)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		snap := s.Snapshot()
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := OpenSharded(dir, shards, mkStd, SyncNone)
+		if err != nil {
+			t.Fatalf("accepted once, rejected on reopen: %v", err)
+		}
+		defer r.Close()
+		snap2 := r.Snapshot()
+		if len(snap2) != len(snap) {
+			t.Fatalf("reopen changed visible keys: %d then %d", len(snap), len(snap2))
+		}
+		for k, v := range snap {
+			if v2, ok := snap2[k]; !ok || !bytes.Equal(v, v2) {
+				t.Fatalf("reopen changed key %d: %x then %x (present=%v)", k, v, v2, ok)
+			}
 		}
 	})
 }

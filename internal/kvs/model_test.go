@@ -17,6 +17,7 @@ package kvs
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"runtime"
 	"sync"
@@ -26,6 +27,9 @@ import (
 	"github.com/bravolock/bravo/internal/rwl"
 	"github.com/bravolock/bravo/internal/xrand"
 )
+
+// errModelAbort is the deliberate abort the transaction arm injects.
+var errModelAbort = errors.New("model: deliberate transaction abort")
 
 // refKV is the reference: one flat map of the *visible* state behind one
 // mutex, plus the not-yet-applied async queue.
@@ -150,7 +154,67 @@ func runSequentialModel(t *testing.T, s *Sharded, seed uint64, iters int, h *rwl
 			}
 		}
 		k := rng.Intn(keyspace)
-		switch rng.Intn(20) {
+		switch rng.Intn(23) {
+		case 20: // multi-key transaction: staged writes commit or abort atomically
+			n := 2 + int(rng.Intn(3))
+			batch = batch[:0]
+			bvals = bvals[:0]
+			for j := 0; j < n; j++ {
+				batch = append(batch, rng.Intn(keyspace))
+				bvals = append(bvals, EncodeValue(rng.Next()))
+			}
+			abort := rng.Intn(4) == 0
+			err := s.Txn(batch, func(tx *Tx) error {
+				for j, bk := range batch {
+					// Reads inside the body must see earlier staged writes.
+					before, _ := tx.Get(bk)
+					tx.Put(bk, bvals[j])
+					if after, ok := tx.Get(bk); !ok || !bytes.Equal(after, bvals[j]) {
+						t.Fatalf("op %d: staged write invisible to Tx.Get (had %x)", i, before)
+					}
+				}
+				if abort {
+					return errModelAbort
+				}
+				return nil
+			})
+			if abort != (err != nil) {
+				t.Fatalf("op %d: Txn abort=%v returned err=%v", i, abort, err)
+			}
+			if !abort {
+				for j, bk := range batch {
+					ref.put(bk, bvals[j]) // duplicate keys: later position wins both sides
+				}
+			}
+		case 21: // CompareAndSwap: the matching arm must swap, the poisoned one must not
+			wv, wok := ref.get(k)
+			var old []byte
+			if wok {
+				old = wv
+			}
+			nv := EncodeValue(rng.Next())
+			if rng.Intn(4) == 0 {
+				if swapped, err := s.CompareAndSwap(k, []byte("never-stored"), nv); err != nil || swapped {
+					t.Fatalf("op %d: mismatched CAS(%d) swapped=%v err=%v", i, k, swapped, err)
+				}
+			} else {
+				if swapped, err := s.CompareAndSwap(k, old, nv); err != nil || !swapped {
+					t.Fatalf("op %d: matching CAS(%d) swapped=%v err=%v", i, k, swapped, err)
+				}
+				ref.put(k, nv)
+			}
+		case 22: // Update: read-modify-write with no interleaving writer
+			nv := EncodeValue(rng.Next())
+			wv, wok := ref.get(k)
+			if err := s.Update(k, func(cur []byte, ok bool) ([]byte, bool) {
+				if ok != wok || (ok && !bytes.Equal(cur, wv)) {
+					t.Fatalf("op %d: Update(%d) observed %x/%v, model %x/%v", i, k, cur, ok, wv, wok)
+				}
+				return nv, true
+			}); err != nil {
+				t.Fatalf("op %d: Update(%d): %v", i, k, err)
+			}
+			ref.put(k, nv)
 		case 0, 1, 2:
 			v := EncodeValue(rng.Next())
 			s.Put(k, v)
@@ -411,7 +475,43 @@ func runConcurrentModel(t *testing.T, s *Sharded, workers, iters int) map[uint64
 			bvals := make([][]byte, 0, 6)
 			for i := 0; i < iters; i++ {
 				k := base + rng.Next()%keysPerWorker
-				switch rng.Intn(16) {
+				switch rng.Intn(19) {
+				case 16: // multi-key transaction inside the worker's own range
+					a := base + rng.Next()%keysPerWorker
+					b := base + rng.Next()%keysPerWorker
+					flushFor(a, b)
+					v1, v2 := EncodeValue(rng.Next()), EncodeValue(rng.Next())
+					if err := s.Txn([]uint64{a, b}, func(tx *Tx) error {
+						tx.Put(a, v1)
+						tx.Put(b, v2)
+						return nil
+					}); err != nil {
+						t.Errorf("worker %d: Txn: %v", w, err)
+					}
+					// Staged-last wins when a == b, same as the model order.
+					model[a] = v1
+					model[b] = v2
+				case 17: // CAS against the worker's model: must always match
+					flushFor(k)
+					wv, wok := model[k]
+					var old []byte
+					if wok {
+						old = wv
+					}
+					nv := EncodeValue(rng.Next())
+					if swapped, err := s.CompareAndSwap(k, old, nv); err != nil || !swapped {
+						t.Errorf("worker %d: CAS(%d) swapped=%v err=%v", w, k, swapped, err)
+					}
+					model[k] = nv
+				case 18: // Update within the worker's range
+					flushFor(k)
+					nv := EncodeValue(rng.Next())
+					if err := s.Update(k, func([]byte, bool) ([]byte, bool) {
+						return nv, true
+					}); err != nil {
+						t.Errorf("worker %d: Update(%d): %v", w, k, err)
+					}
+					model[k] = nv
 				case 0, 1, 2:
 					flushFor(k)
 					v := EncodeValue(rng.Next())

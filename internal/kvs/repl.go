@@ -68,10 +68,14 @@ type ReplEntry struct {
 // ReplRecord is one decoded replication frame: a WAL record (one shard
 // write batch) or, when Snapshot is set, a full-state snapshot of the
 // shard as of LSN — the applier replaces the shard's contents instead of
-// applying incrementally.
+// applying incrementally. Txn marks a multi-shard transaction witness
+// record: Entries then spans every participant shard, and the applier
+// keeps only the entries owned by the shard whose stream carried the frame
+// (each participant's stream carries its own copy).
 type ReplRecord struct {
 	LSN      uint64
 	Snapshot bool
+	Txn      bool
 	Entries  []ReplEntry
 }
 
@@ -126,6 +130,7 @@ func DecodeReplFrame(data []byte) (ReplRecord, int, error) {
 	out := ReplRecord{
 		LSN:      rec.lsn,
 		Snapshot: rec.version == walVersionSnap,
+		Txn:      rec.version == walVersionTxn,
 		Entries:  make([]ReplEntry, len(rec.entries)),
 	}
 	for i, e := range rec.entries {
@@ -390,6 +395,20 @@ func (s *Sharded) ApplyReplRecord(shard int, rec ReplRecord) error {
 	}
 	if shard < 0 || shard >= len(s.shards) {
 		return fmt.Errorf("kvs: shard %d out of range [0,%d)", shard, len(s.shards))
+	}
+	if rec.Txn {
+		// A transaction witness frame carries every participant's entries;
+		// this shard's stream delivers it so this shard applies exactly its
+		// own (the other participants' streams deliver their copies). The
+		// follower shares the primary's shard count — repl targets are built
+		// that way, and the MANIFEST pins it on the durable side.
+		kept := rec.Entries[:0:0]
+		for _, e := range rec.Entries {
+			if s.ShardOf(e.Key) == shard {
+				kept = append(kept, e)
+			}
+		}
+		rec.Entries = kept
 	}
 	puts, dels := 0, 0
 	for _, e := range rec.Entries {

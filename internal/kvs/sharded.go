@@ -197,6 +197,13 @@ type shardOps struct {
 	seqReads     atomic.Uint64
 	seqRetries   atomic.Uint64
 	seqFallbacks atomic.Uint64
+	// txnCommits/txnAborts count transactions that touched the shard (as a
+	// read or write participant) and committed or aborted; txnKeys counts
+	// the staged writes transactions applied to this shard. A transaction
+	// spanning k shards bumps the commit counter on each of the k.
+	txnCommits atomic.Uint64
+	txnAborts  atomic.Uint64
+	txnKeys    atomic.Uint64
 	// expired counts lazy TTL observations: reads (or deletes) that found a
 	// resident entry past its deadline and treated it as a miss. reaped
 	// counts entries Reap physically removed.
@@ -236,6 +243,12 @@ type ShardStats struct {
 	SeqReads     uint64 `json:"seq_reads"`
 	SeqRetries   uint64 `json:"seq_retries"`
 	SeqFallbacks uint64 `json:"seq_fallbacks"`
+	// TxnCommits/TxnAborts count transactions that touched the shard and
+	// committed or aborted (a k-shard transaction counts on each of its k
+	// participants); TxnKeys counts the staged writes they applied here.
+	TxnCommits uint64 `json:"txn_commits"`
+	TxnAborts  uint64 `json:"txn_aborts"`
+	TxnKeys    uint64 `json:"txn_keys"`
 	// Expired counts lazy TTL observations (reads and deletes that found an
 	// entry past its deadline); Reaped counts entries Reap removed.
 	Expired   uint64 `json:"expired"`
@@ -285,6 +298,9 @@ func (s *ShardStats) add(o ShardStats) {
 	s.SeqReads += o.SeqReads
 	s.SeqRetries += o.SeqRetries
 	s.SeqFallbacks += o.SeqFallbacks
+	s.TxnCommits += o.TxnCommits
+	s.TxnAborts += o.TxnAborts
+	s.TxnKeys += o.TxnKeys
 	s.Expired += o.Expired
 	s.Reaped += o.Reaped
 	s.Snapshots += o.Snapshots
@@ -924,6 +940,7 @@ func (s *Sharded) Reap(budget int) int {
 	for visited := 0; visited < len(s.shards) && budget > 0; visited++ {
 		sh := &s.shards[(s.reapCursor.Add(1)-1)&s.mask]
 		removed := 0
+		leftover := false
 		sh.lock.Lock()
 		if len(sh.exp) > 0 {
 			now := clock.Nanos()
@@ -941,12 +958,26 @@ func (s *Sharded) Reap(budget int) int {
 					removed++
 				}
 			}
+			// The budget ran out with TTL entries still unexamined: the
+			// shard's TTL set is larger than what this call could cover.
+			// (Counted under the lock — a concurrent delete can shrink exp
+			// below the cursor's expectations the instant it is released,
+			// which is why this is a point-in-time hint, not a claim.)
+			leftover = examined >= budget && len(sh.exp) > examined-removed
 			budget -= examined
 		}
 		sh.lock.Unlock()
 		if removed > 0 {
 			sh.ops.reaped.Add(uint64(removed))
 			reaped += removed
+		}
+		if leftover && budget <= 0 {
+			// Rewind the cursor so the next call resumes at this shard
+			// rather than skipping its unexamined tail for a full
+			// round-robin cycle. Racing Reap calls make the step a
+			// heuristic either way; randomized map order keeps repeated
+			// visits covering different entries.
+			s.reapCursor.Add(^uint64(0))
 		}
 	}
 	return reaped
@@ -1000,6 +1031,9 @@ func (s *Sharded) Stats() ShardedStats {
 			SeqReads:        sh.ops.seqReads.Load(),
 			SeqRetries:      sh.ops.seqRetries.Load(),
 			SeqFallbacks:    sh.ops.seqFallbacks.Load(),
+			TxnCommits:      sh.ops.txnCommits.Load(),
+			TxnAborts:       sh.ops.txnAborts.Load(),
+			TxnKeys:         sh.ops.txnKeys.Load(),
 			Expired:         sh.ops.expired.Load(),
 			Reaped:          sh.ops.reaped.Load(),
 			Snapshots:       sh.ops.snapshots.Load(),

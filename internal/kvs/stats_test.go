@@ -1,0 +1,109 @@
+package kvs
+
+// Tests for ShardStats aggregation: the Add merge rules for bias_mode
+// (including the "mixed" verdict and its stickiness) and the monotonicity
+// of bias_flips through the Total() fold under concurrent mode flips.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/bravolock/bravo/internal/bias"
+	"github.com/bravolock/bravo/internal/xrand"
+)
+
+// TestShardStatsAddBiasMerge pins Add's bias_mode merge table: empty rows
+// never poison a verdict, agreement keeps the mode, disagreement yields
+// "mixed", and "mixed" is sticky once reached. Counters always sum.
+func TestShardStatsAddBiasMerge(t *testing.T) {
+	row := func(mode string, flips uint64) ShardStats {
+		return ShardStats{BiasMode: mode, BiasFlips: flips}
+	}
+	cases := []struct {
+		name      string
+		rows      []ShardStats
+		wantMode  string
+		wantFlips uint64
+	}{
+		{"all empty", []ShardStats{row("", 0), row("", 0)}, "", 0},
+		{"empty then biased", []ShardStats{row("", 0), row("biased", 2)}, "biased", 2},
+		{"biased then empty", []ShardStats{row("biased", 2), row("", 0)}, "biased", 2},
+		{"agreement", []ShardStats{row("fair", 1), row("fair", 4)}, "fair", 5},
+		{"disagreement", []ShardStats{row("biased", 1), row("fair", 1)}, "mixed", 2},
+		{"mixed is sticky", []ShardStats{row("biased", 0), row("fair", 0), row("fair", 3)}, "mixed", 3},
+		{"mixed input folds in", []ShardStats{row("mixed", 7), row("biased", 1)}, "mixed", 8},
+	}
+	for _, tc := range cases {
+		var total ShardStats
+		for _, r := range tc.rows {
+			total.Add(r)
+		}
+		if total.BiasMode != tc.wantMode {
+			t.Errorf("%s: mode = %q, want %q", tc.name, total.BiasMode, tc.wantMode)
+		}
+		if total.BiasFlips != tc.wantFlips {
+			t.Errorf("%s: flips = %d, want %d", tc.name, total.BiasFlips, tc.wantFlips)
+		}
+	}
+
+	// Add sums the operation counters too — spot-check a pair so a future
+	// field rename cannot silently drop aggregation.
+	a := ShardStats{Keys: 3, Gets: 10, TxnCommits: 2, TxnKeys: 5}
+	a.Add(ShardStats{Keys: 4, Gets: 1, TxnCommits: 1, TxnAborts: 6, TxnKeys: 2})
+	if a.Keys != 7 || a.Gets != 11 || a.TxnCommits != 3 || a.TxnAborts != 6 || a.TxnKeys != 7 {
+		t.Errorf("counter sums wrong: %+v", a)
+	}
+}
+
+// TestShardedTotalFlipsMonotonicUnderFlips reads Total() in a loop while a
+// flipper forces shard modes and traffic runs: the folded bias_flips must
+// never go backwards, and the folded mode must always be a real verdict —
+// a torn per-shard capture would surface here as a dip or a garbage mode.
+func TestShardedTotalFlipsMonotonicUnderFlips(t *testing.T) {
+	s, err := NewSharded(4, mkAdaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[string]bool{"biased": true, "neutral": true, "fair": true, "mixed": true}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // flipper
+		defer wg.Done()
+		modes := [...]bias.Mode{bias.ModeFair, bias.ModeNeutral, bias.ModeBiased}
+		for i := 0; !stop.Load(); i++ {
+			s.ShardAdaptor(i % 4).ForceMode(modes[i%len(modes)])
+			runtime.Gosched()
+		}
+	}()
+	wg.Add(1)
+	go func() { // traffic
+		defer wg.Done()
+		rng := xrand.NewXorShift64(11)
+		for i := 0; !stop.Load(); i++ {
+			k := rng.Intn(256)
+			if i%3 == 0 {
+				s.Put(k, EncodeValue(rng.Next()))
+			} else {
+				s.Get(k)
+			}
+		}
+	}()
+
+	var last uint64
+	for snap := 0; snap < 1500; snap++ {
+		total := s.Stats().Total()
+		if !valid[total.BiasMode] {
+			t.Fatalf("snapshot %d: impossible total bias_mode %q", snap, total.BiasMode)
+		}
+		if total.BiasFlips < last {
+			t.Fatalf("snapshot %d: total flips went backwards %d -> %d", snap, last, total.BiasFlips)
+		}
+		last = total.BiasFlips
+	}
+	stop.Store(true)
+	wg.Wait()
+}

@@ -2,10 +2,13 @@ package kvs
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/bravolock/bravo/internal/clock"
+	"github.com/bravolock/bravo/internal/xrand"
 )
 
 func TestShardedPutTTLVisibleUntilDeadline(t *testing.T) {
@@ -226,5 +229,108 @@ func TestMemtablePutTTL(t *testing.T) {
 		t.Fatal("Memtable.Get missed a plain-Put key that once carried a TTL")
 	} else if d, _ := DecodeValue(v); d != 3 {
 		t.Fatalf("Memtable.Get = %d, want 3", d)
+	}
+}
+
+// shardKeys scans the key space for n keys landing on shard sh.
+func shardKeys(s *Sharded, sh, n int) []uint64 {
+	keys := make([]uint64, 0, n)
+	for k := uint64(0); len(keys) < n; k++ {
+		if s.ShardOf(k) == sh {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// TestShardedReapCursorRewindsOnExhaustedBudget pins the cursor rewind:
+// when the budget runs out with a shard's TTL set only partly examined,
+// the next call must resume at that shard rather than skipping its tail
+// for a full round-robin cycle. Every entry is expired, so examined ==
+// removed and the per-shard Reaped counters make the walk order visible.
+func TestShardedReapCursorRewindsOnExhaustedBudget(t *testing.T) {
+	s, _ := NewSharded(2, mkStd)
+	for _, k := range shardKeys(s, 0, 6) {
+		s.putDeadline(k, EncodeValue(k), clock.Nanos())
+	}
+	for _, k := range shardKeys(s, 1, 6) {
+		s.putDeadline(k, EncodeValue(k), clock.Nanos())
+	}
+
+	// Call 1 starts at shard 0, removes 4, and exhausts the budget with 2
+	// entries left: the cursor must rewind to shard 0.
+	if got := s.Reap(4); got != 4 {
+		t.Fatalf("Reap call 1 removed %d, want 4", got)
+	}
+	// Call 2 therefore finishes shard 0 (2 entries) before spending the
+	// rest on shard 1. Without the rewind it would start at shard 1 and
+	// leave shard 0's tail stranded, and the per-shard split would be 4/4.
+	if got := s.Reap(4); got != 4 {
+		t.Fatalf("Reap call 2 removed %d, want 4", got)
+	}
+	st := s.Stats()
+	if st.Shards[0].Reaped != 6 {
+		t.Fatalf("shard 0 Reaped = %d after call 2, want 6 (cursor did not rewind)", st.Shards[0].Reaped)
+	}
+	if st.Shards[1].Reaped != 2 {
+		t.Fatalf("shard 1 Reaped = %d after call 2, want 2", st.Shards[1].Reaped)
+	}
+	if got := s.Reap(4); got != 4 {
+		t.Fatalf("Reap call 3 removed %d, want 4", got)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after three budgeted calls, want 0", s.Len())
+	}
+}
+
+// TestShardedReapUnderConcurrentShrink storms budgeted Reap calls against
+// writers that delete and rewrite the same TTL keys: the shard's TTL set
+// shrinks underneath a parked cursor. Nothing may panic, every expired key
+// must eventually go, and the Reaped counter can never exceed the number
+// of TTL entries ever written.
+func TestShardedReapUnderConcurrentShrink(t *testing.T) {
+	s, _ := NewSharded(4, mkStd)
+	const keys = 256
+	var written atomic.Uint64
+	for k := uint64(0); k < keys; k++ {
+		s.putDeadline(k, EncodeValue(k), clock.Nanos())
+		written.Add(1)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // shrinker: deletes and re-expires keys under the reaper
+		defer wg.Done()
+		rng := xrand.NewXorShift64(21)
+		for !stop.Load() {
+			k := rng.Intn(keys)
+			if rng.Bernoulli(2) {
+				s.Delete(k)
+			} else {
+				s.putDeadline(k, EncodeValue(k), clock.Nanos())
+				written.Add(1)
+			}
+		}
+	}()
+	for i := 0; i < 400; i++ {
+		s.Reap(16) // budget far below the live TTL set: parks mid-shard
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// Drain: every remaining expired entry must be reachable.
+	for i := 0; i < 200 && s.Len() > 0; i++ {
+		s.Reap(0)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after drain, want 0", s.Len())
+	}
+	total := s.Stats().Total()
+	if total.Reaped > written.Load() {
+		t.Fatalf("Reaped = %d exceeds TTL entries ever written %d", total.Reaped, written.Load())
+	}
+	if total.TTLKeys != 0 {
+		t.Fatalf("TTLKeys = %d after drain, want 0", total.TTLKeys)
 	}
 }

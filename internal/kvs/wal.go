@@ -32,6 +32,14 @@ package kvs
 // sequence. Version 3 is the same layout as v2 but marks a full-state
 // snapshot record; it appears only on the replication wire, never on disk.
 //
+// Version 4 is the multi-shard transaction witness record:
+//
+//	payload := u8 version(=4) | u64 lsn | u32 nparts
+//	         | nparts × (u32 shard | u64 lsn) | u32 count | count × entry
+//
+// appended once per participant shard at that shard's own LSN; appliers
+// keep only the entries whose keys hash to their shard (see walVersionTxn).
+//
 // TTL deadlines are persisted as *remaining* nanoseconds at append time,
 // not absolute deadlines: the process clock (internal/clock) has a
 // per-process epoch, so absolute values are meaningless across restarts.
@@ -104,6 +112,18 @@ const (
 	// replication wire format only: a decoder may see it in a stream, the
 	// appender never writes it to a log file.
 	walVersionSnap = 3
+	// walVersionTxn marks a multi-shard transaction commit record. The same
+	// record — all of the transaction's entries, across every participant
+	// shard — is appended once to EACH participant's log at that shard's own
+	// next LSN, together with the participant list and the LSN each
+	// participant assigned. Appliers (recovery, replication) keep only the
+	// entries whose keys hash to their own shard, so the cross-shard copies
+	// are witnesses, not duplication: if a crash tears the commit so that
+	// only some participants' copies reached disk, any surviving copy lets
+	// recovery roll the missing participants forward and restore atomicity
+	// (see openDurable). v2 logs still load — single-shard transactions
+	// commit as plain v2 records and never pay the witness encoding.
+	walVersionTxn = 4
 
 	// walHeaderSize is the shared frame envelope's header (internal/frame):
 	// u32 payload length + u32 CRC32-C.
@@ -183,6 +203,24 @@ func (w *shardWAL) begin(count int) {
 	w.buf = append(w.buf, make([]byte, walHeaderSize)...)
 	w.buf = append(w.buf, walVersion)
 	w.buf = binary.LittleEndian.AppendUint64(w.buf, w.lsn+1)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(count))
+}
+
+// beginTxn starts a transaction witness record (walVersionTxn) in the
+// scratch buffer, stamped with this shard's next LSN and carrying the full
+// participant list. The caller holds mu on EVERY participant's WAL (the
+// transaction's lock phase), follows with addPut/addDelete for all of the
+// transaction's entries — across all shards — and then commit.
+func (w *shardWAL) beginTxn(parts []walPart, count int) {
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, make([]byte, walHeaderSize)...)
+	w.buf = append(w.buf, walVersionTxn)
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, w.lsn+1)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(parts)))
+	for _, p := range parts {
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, p.shard)
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, p.lsn)
+	}
 	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(count))
 }
 
@@ -346,13 +384,29 @@ type walEntry struct {
 	val []byte
 }
 
+// walPart names one participant of a multi-shard transaction record: the
+// shard and the LSN that shard assigned to its copy of the record.
+type walPart struct {
+	shard uint32
+	lsn   uint64
+}
+
 // walRecord is one decoded record: its payload version (distinguishing
 // snapshot stream records from incremental ones), its LSN (zero for legacy
-// v1 payloads, which carry none), and its entries.
+// v1 payloads, which carry none), and its entries. Transaction records
+// (walVersionTxn) also carry the participant list; parts is nil otherwise.
 type walRecord struct {
 	version byte
 	lsn     uint64
+	parts   []walPart
 	entries []walEntry
+}
+
+// txnKey identifies a transaction across its per-shard witness copies: the
+// first (lowest-shard) participant's (shard, LSN) pair is unique because
+// LSNs are assigned under that shard's WAL mutex.
+func (r *walRecord) txnKey() walPart {
+	return r.parts[0]
 }
 
 // frame-splitting outcomes, aliased from the shared codec so the WAL's
@@ -381,7 +435,7 @@ func splitFrame(data []byte) (payload []byte, n int, status frame.Status) {
 // a pre-LSN log upgrades in place. Snapshot-version records never appear
 // in log files and stop replay like corruption. It never panics, whatever
 // the bytes (FuzzWALReplay).
-func walReplay(data []byte, last uint64, apply func(lsn uint64, entries []walEntry)) (valid int, lastLSN uint64) {
+func walReplay(data []byte, last uint64, apply func(rec walRecord)) (valid int, lastLSN uint64) {
 	off := 0
 	for {
 		payload, n, status := splitFrame(data[off:])
@@ -395,7 +449,7 @@ func walReplay(data []byte, last uint64, apply func(lsn uint64, entries []walEnt
 		if rec.version == walVersion1 {
 			rec.lsn = last + 1
 		}
-		apply(rec.lsn, rec.entries)
+		apply(rec)
 		if rec.lsn > last {
 			last = rec.lsn
 		}
@@ -420,6 +474,36 @@ func walDecodePayload(p []byte) (walRecord, bool) {
 		}
 		rec.lsn = binary.LittleEndian.Uint64(p[1:])
 		off = 9
+	case walVersionTxn:
+		if len(p) < 1+8+4 {
+			return rec, false
+		}
+		rec.lsn = binary.LittleEndian.Uint64(p[1:])
+		nparts := int(binary.LittleEndian.Uint32(p[9:]))
+		off = 13
+		// A witness record exists only for multi-shard commits, each
+		// participant entry is 12 bytes, and the list is canonical: shards
+		// strictly ascending, LSNs nonzero. Anything else is malformed, not
+		// merely unusual — the strictness is what lets the fuzzers prove
+		// the decoder total. The record's own LSN normally equals its
+		// shard's entry in the list, but a recovery roll-forward re-appends
+		// a witness at whatever LSN the repaired shard actually reached, so
+		// that is a convention, not a rule the decoder can enforce.
+		if nparts < 2 || nparts > (len(p)-off)/12 {
+			return rec, false
+		}
+		parts := make([]walPart, nparts)
+		for i := range parts {
+			parts[i] = walPart{
+				shard: binary.LittleEndian.Uint32(p[off:]),
+				lsn:   binary.LittleEndian.Uint64(p[off+4:]),
+			}
+			off += 12
+			if parts[i].lsn == 0 || (i > 0 && parts[i].shard <= parts[i-1].shard) {
+				return rec, false
+			}
+		}
+		rec.parts = parts
 	default:
 		return rec, false
 	}

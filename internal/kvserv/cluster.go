@@ -10,6 +10,7 @@
 package kvserv
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"github.com/bravolock/bravo/internal/cluster"
+	"github.com/bravolock/bravo/internal/kvs"
 )
 
 // registerClusterRoutes is Handler's cluster-mode route table.
@@ -27,6 +29,8 @@ func (s *Server) registerClusterRoutes(mux *http.ServeMux) {
 	mux.HandleFunc("DELETE /kv/{key}", s.handleClusterDelete)
 	mux.HandleFunc("GET /mget", s.handleClusterMGet)
 	mux.HandleFunc("POST /mput", s.handleClusterMPut)
+	mux.HandleFunc("POST /cas", s.handleClusterCas)
+	mux.HandleFunc("POST /txn", s.handleClusterTxn)
 	mux.HandleFunc("POST /flush", s.handleClusterFlush)
 	mux.HandleFunc("POST /checkpoint", s.handleClusterCheckpoint)
 	mux.HandleFunc("POST /failover/{partition}", s.handleClusterFailover)
@@ -139,8 +143,8 @@ func (s *Server) handleClusterPut(w http.ResponseWriter, r *http.Request) {
 	}
 	var ttl time.Duration
 	if ttlStr := q.Get("ttl"); ttlStr != "" {
-		if ttl, err = time.ParseDuration(ttlStr); err != nil {
-			http.Error(w, fmt.Sprintf("bad ttl %q: %v", ttlStr, err), http.StatusBadRequest)
+		if ttl, err = parseTTL(ttlStr); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 	}
@@ -210,6 +214,70 @@ func (s *Server) handleClusterMPut(w http.ResponseWriter, r *http.Request) {
 	resp := clusterMPutResponse{Applied: len(keys), Commits: make([]clusterCommit, len(lsns))}
 	for i, t := range lsns {
 		resp.Commits[i] = clusterCommit{Shard: t.Shard, LSN: t.LSN, Epoch: t.Epoch}
+	}
+	writeJSON(w, resp)
+}
+
+// clusterCasResponse is /cas's cluster reply: the decision plus the token
+// triple.
+type clusterCasResponse struct {
+	Swapped bool `json:"swapped"`
+}
+
+func (s *Server) handleClusterCas(w http.ResponseWriter, r *http.Request) {
+	var req casRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxMPutBodyBytes)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Old) > MaxValueBytes || len(req.New) > MaxValueBytes {
+		http.Error(w, fmt.Sprintf("value exceeds %d bytes", MaxValueBytes), http.StatusRequestEntityTooLarge)
+		return
+	}
+	swapped, tok, err := s.clu.Cas(req.Key, req.Old, req.New)
+	if err != nil {
+		clusterUnavailable(w, err)
+		return
+	}
+	writeClusterCommitHeaders(w, tok)
+	writeJSON(w, clusterCasResponse{Swapped: swapped})
+}
+
+// clusterTxnResponse is /txn's cluster reply: the commit decision and, on
+// commit, the token triple of every declared shard.
+type clusterTxnResponse struct {
+	Committed bool            `json:"committed"`
+	Mismatch  *uint64         `json:"mismatch,omitempty"`
+	Commits   []clusterCommit `json:"commits,omitempty"`
+}
+
+// handleClusterTxn routes a conditional atomic batch to the partition
+// owning its keys. Cross-partition batches answer 400 with the typed
+// rejection: transactions are single-partition by design.
+func (s *Server) handleClusterTxn(w http.ResponseWriter, r *http.Request) {
+	req, ops, ok := readTxnBody(w, r)
+	if !ok {
+		return
+	}
+	ct := &condTxn{conds: req.If, ops: ops}
+	lsns, err := s.clu.Txn(ct.keys(), ct.body)
+	if err != nil {
+		if errors.Is(err, cluster.ErrCrossPartitionTxn) ||
+			errors.Is(err, kvs.ErrTxnNoKeys) || errors.Is(err, kvs.ErrTxnTooManyKeys) {
+			http.Error(w, fmt.Sprintf("txn: %v", err), http.StatusBadRequest)
+			return
+		}
+		clusterUnavailable(w, err)
+		return
+	}
+	resp := clusterTxnResponse{Committed: ct.committed}
+	if !ct.committed {
+		resp.Mismatch = &ct.mismatch
+	} else {
+		resp.Commits = make([]clusterCommit, len(lsns))
+		for i, t := range lsns {
+			resp.Commits[i] = clusterCommit{Shard: t.Shard, LSN: t.LSN, Epoch: t.Epoch}
+		}
 	}
 	writeJSON(w, resp)
 }

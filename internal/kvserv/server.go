@@ -232,7 +232,7 @@ func (s *Server) Handler() http.Handler {
 		// the primary so a misrouted client can fix itself.
 		for _, route := range []string{
 			"PUT /kv/{key}", "DELETE /kv/{key}", "POST /mput",
-			"POST /flush", "POST /checkpoint",
+			"POST /cas", "POST /txn", "POST /flush", "POST /checkpoint",
 		} {
 			mux.HandleFunc(route, s.handleReadOnly)
 		}
@@ -242,6 +242,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("PUT /kv/{key}", s.handlePut)
 	mux.HandleFunc("DELETE /kv/{key}", s.handleDelete)
 	mux.HandleFunc("POST /mput", s.handleMPut)
+	mux.HandleFunc("POST /cas", s.handleCas)
+	mux.HandleFunc("POST /txn", s.handleTxn)
 	mux.HandleFunc("POST /flush", s.handleFlush)
 	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	if s.primary != nil {
@@ -495,9 +497,9 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if ttlStr := q.Get("ttl"); ttlStr != "" {
-		ttl, err := time.ParseDuration(ttlStr)
+		ttl, err := parseTTL(ttlStr)
 		if err != nil {
-			http.Error(w, fmt.Sprintf("bad ttl %q: %v", ttlStr, err), http.StatusBadRequest)
+			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		s.engine.PutTTL(key, body, ttl)
@@ -506,6 +508,22 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	}
 	s.writeCommitHeaders(w, key)
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// parseTTL parses and validates a TTL parameter. Only strictly positive
+// durations make sense as expiries: zero and negatives would store a key
+// already expired (or, in an earlier bug, a non-expiring one), and
+// durations beyond ParseDuration's int64 range already fail the parse.
+// Rejecting them here turns a silent data-shape surprise into a 400.
+func parseTTL(raw string) (time.Duration, error) {
+	ttl, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad ttl %q: %v", raw, err)
+	}
+	if ttl <= 0 {
+		return 0, fmt.Errorf("bad ttl %q: must be positive", raw)
+	}
+	return ttl, nil
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -592,8 +610,8 @@ func readMPutBody(w http.ResponseWriter, r *http.Request) (keys []uint64, vals [
 	}
 	if req.TTL != "" {
 		var err error
-		if ttl, err = time.ParseDuration(req.TTL); err != nil {
-			http.Error(w, fmt.Sprintf("bad ttl %q: %v", req.TTL, err), http.StatusBadRequest)
+		if ttl, err = parseTTL(req.TTL); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
 			return nil, nil, 0, false
 		}
 	}

@@ -1,0 +1,225 @@
+package kvserv
+
+// HTTP faces of the engine's transaction primitives. Txn(keys, fn) is a
+// callback API, which does not cross a network, so the serving layer
+// exposes the remotable form: POST /cas is single-key compare-and-swap,
+// and POST /txn is a conditional atomic batch — a set of preconditions on
+// current values plus a list of writes, applied all-or-nothing under the
+// engine's two-phase locking while every condition holds. Both stamp
+// commit-LSN tokens on durable engines, like every other write.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/bravolock/bravo/internal/kvs"
+)
+
+// casRequest is /cas's body. Old null means "only if absent"; New null
+// means "delete on match". A base64 "" is the empty value, distinct from
+// null.
+type casRequest struct {
+	Key uint64 `json:"key"`
+	Old []byte `json:"old"`
+	New []byte `json:"new"`
+}
+
+// casResponse reports whether the swap applied. A false answer is a
+// successful request (HTTP 200): the precondition did not hold.
+type casResponse struct {
+	Swapped bool `json:"swapped"`
+}
+
+func (s *Server) handleCas(w http.ResponseWriter, r *http.Request) {
+	var req casRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxMPutBodyBytes)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Old) > MaxValueBytes || len(req.New) > MaxValueBytes {
+		http.Error(w, fmt.Sprintf("value exceeds %d bytes", MaxValueBytes), http.StatusRequestEntityTooLarge)
+		return
+	}
+	swapped, err := s.engine.CompareAndSwap(req.Key, req.Old, req.New)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("cas: %v", err), http.StatusInternalServerError)
+		return
+	}
+	s.writeCommitHeaders(w, req.Key)
+	writeJSON(w, casResponse{Swapped: swapped})
+}
+
+// txnRequest is /txn's body: a conditional atomic batch. Every condition
+// must hold (null value = key must be absent) for the ops to apply; the
+// condition keys and op keys together form the transaction's declared key
+// set, bounded by the engine's MaxTxnKeys. Ops apply in positional order,
+// so a repeated key's last op wins — the same rule as /mput.
+type txnRequest struct {
+	If  []txnCond `json:"if,omitempty"`
+	Ops []txnOp   `json:"ops"`
+}
+
+type txnCond struct {
+	Key   uint64 `json:"key"`
+	Value []byte `json:"value"`
+}
+
+type txnOp struct {
+	Op    string `json:"op"` // "put" or "delete"
+	Key   uint64 `json:"key"`
+	Value []byte `json:"value,omitempty"`
+	TTL   string `json:"ttl,omitempty"`
+}
+
+// txnResponse reports the commit decision. Committed false carries the
+// first condition key that failed; true carries the per-shard commit LSNs
+// on durable engines — the batch's read-your-writes tokens.
+type txnResponse struct {
+	Committed bool              `json:"committed"`
+	Mismatch  *uint64           `json:"mismatch,omitempty"`
+	LSNs      map[string]uint64 `json:"lsns,omitempty"`
+}
+
+// txnWireOp is the decoded, transport-independent form of one txn write.
+type txnWireOp struct {
+	del bool
+	key uint64
+	val []byte
+	ttl time.Duration // 0 = no expiry
+}
+
+// condTxn is one conditional batch's execution state: the declared key
+// set is the union of condition and op keys, and body is the transaction
+// body that checks the conditions and stages the ops. The same plan runs
+// against a plain engine (runConditionalTxn) or a cluster partition's
+// fenced Txn method.
+type condTxn struct {
+	conds []txnCond
+	ops   []txnWireOp
+
+	committed bool
+	mismatch  uint64
+}
+
+func (ct *condTxn) keys() []uint64 {
+	keys := make([]uint64, 0, len(ct.conds)+len(ct.ops))
+	for _, c := range ct.conds {
+		keys = append(keys, c.Key)
+	}
+	for _, o := range ct.ops {
+		keys = append(keys, o.key)
+	}
+	return keys
+}
+
+func (ct *condTxn) body(tx *kvs.Tx) error {
+	ct.committed = true
+	for _, c := range ct.conds {
+		cur, ok := tx.Get(c.Key)
+		match := ok && c.Value != nil && bytes.Equal(cur, c.Value)
+		if c.Value == nil {
+			match = !ok
+		}
+		if !match {
+			ct.committed, ct.mismatch = false, c.Key
+			return nil // read-only commit: no writes staged
+		}
+	}
+	for _, o := range ct.ops {
+		switch {
+		case o.del:
+			tx.Delete(o.key)
+		case o.ttl > 0:
+			tx.PutTTL(o.key, o.val, o.ttl)
+		default:
+			tx.Put(o.key, o.val)
+		}
+	}
+	return nil
+}
+
+// runConditionalTxn executes a conditional batch against e atomically:
+// one engine transaction over the union of condition and op keys, the
+// conditions checked and the ops staged inside the locked body. Returns
+// whether it committed and, when it did not, the first failing condition's
+// key. Engine validation errors (no keys, too many keys) pass through.
+func runConditionalTxn(e *kvs.Sharded, conds []txnCond, ops []txnWireOp) (committed bool, mismatch uint64, err error) {
+	ct := &condTxn{conds: conds, ops: ops}
+	if err := e.Txn(ct.keys(), ct.body); err != nil {
+		return false, 0, err
+	}
+	return ct.committed, ct.mismatch, nil
+}
+
+// readTxnBody decodes and validates /txn's JSON body, answering the error
+// response itself.
+func readTxnBody(w http.ResponseWriter, r *http.Request) (req txnRequest, ops []txnWireOp, ok bool) {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxMPutBodyBytes)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("body: %v", err), http.StatusBadRequest)
+		return req, nil, false
+	}
+	ops = make([]txnWireOp, len(req.Ops))
+	for i, o := range req.Ops {
+		if len(o.Value) > MaxValueBytes {
+			http.Error(w, fmt.Sprintf("op %d: value exceeds %d bytes", i, MaxValueBytes), http.StatusRequestEntityTooLarge)
+			return req, nil, false
+		}
+		switch o.Op {
+		case "put":
+			ops[i] = txnWireOp{key: o.Key, val: o.Value}
+			if o.TTL != "" {
+				ttl, err := parseTTL(o.TTL)
+				if err != nil {
+					http.Error(w, fmt.Sprintf("op %d: %v", i, err), http.StatusBadRequest)
+					return req, nil, false
+				}
+				ops[i].ttl = ttl
+			}
+		case "delete":
+			if o.Value != nil || o.TTL != "" {
+				http.Error(w, fmt.Sprintf("op %d: delete takes no value or ttl", i), http.StatusBadRequest)
+				return req, nil, false
+			}
+			ops[i] = txnWireOp{del: true, key: o.Key}
+		default:
+			http.Error(w, fmt.Sprintf("op %d: unknown op %q (want put or delete)", i, o.Op), http.StatusBadRequest)
+			return req, nil, false
+		}
+	}
+	return req, ops, true
+}
+
+func (s *Server) handleTxn(w http.ResponseWriter, r *http.Request) {
+	req, ops, ok := readTxnBody(w, r)
+	if !ok {
+		return
+	}
+	committed, mismatch, err := runConditionalTxn(s.engine, req.If, ops)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, kvs.ErrTxnNoKeys) || errors.Is(err, kvs.ErrTxnTooManyKeys) {
+			code = http.StatusBadRequest
+		}
+		http.Error(w, fmt.Sprintf("txn: %v", err), code)
+		return
+	}
+	resp := txnResponse{Committed: committed}
+	if !committed {
+		resp.Mismatch = &mismatch
+	} else if s.engine.Durable() {
+		resp.LSNs = map[string]uint64{}
+		for _, o := range req.Ops {
+			sh := s.engine.ShardOf(o.Key)
+			shs := strconv.Itoa(sh)
+			if _, done := resp.LSNs[shs]; !done {
+				resp.LSNs[shs] = s.engine.ShardLSN(sh)
+			}
+		}
+	}
+	writeJSON(w, resp)
+}

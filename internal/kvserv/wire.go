@@ -264,6 +264,63 @@ func (s *Server) serveWireRequest(reader *rwl.Reader, req *wire.Request, sc *wir
 		resp.Applied = uint32(s.engine.MultiDelete(req.Keys))
 		resp.LSNs = s.wireCommitLSNs(sc, req.Keys...)
 
+	case wire.OpCas:
+		if !s.wireWritable(&resp) {
+			return resp
+		}
+		if len(req.Old) > MaxValueBytes || len(req.New) > MaxValueBytes {
+			resp.Status = wire.StatusTooLarge
+			resp.Msg = fmt.Sprintf("value exceeds %d bytes", MaxValueBytes)
+			return resp
+		}
+		swapped, err := s.engine.CompareAndSwap(req.Key, req.Old, req.New)
+		if err != nil {
+			resp.Status = wire.StatusBadRequest
+			resp.Msg = err.Error()
+			return resp
+		}
+		resp.Swapped = swapped
+		resp.LSNs = s.wireCommitLSNs(sc, req.Key)
+
+	case wire.OpTxn:
+		if !s.wireWritable(&resp) {
+			return resp
+		}
+		conds := make([]txnCond, len(req.Conds))
+		for i, c := range req.Conds {
+			if len(c.Value) > MaxValueBytes {
+				resp.Status = wire.StatusTooLarge
+				resp.Msg = fmt.Sprintf("condition %d: value exceeds %d bytes", i, MaxValueBytes)
+				return resp
+			}
+			conds[i] = txnCond{Key: c.Key, Value: c.Value}
+		}
+		ops := make([]txnWireOp, len(req.TxnOps))
+		for i, o := range req.TxnOps {
+			if len(o.Value) > MaxValueBytes {
+				resp.Status = wire.StatusTooLarge
+				resp.Msg = fmt.Sprintf("op %d: value exceeds %d bytes", i, MaxValueBytes)
+				return resp
+			}
+			ops[i] = txnWireOp{del: o.Del, key: o.Key, val: o.Value, ttl: o.TTL}
+		}
+		committed, mismatch, err := runConditionalTxn(s.engine, conds, ops)
+		if err != nil {
+			resp.Status = wire.StatusBadRequest
+			resp.Msg = err.Error()
+			return resp
+		}
+		resp.Committed = committed
+		if !committed {
+			resp.Mismatch = mismatch
+			return resp
+		}
+		opKeys := make([]uint64, len(req.TxnOps))
+		for i, o := range req.TxnOps {
+			opKeys[i] = o.Key
+		}
+		resp.LSNs = s.wireCommitLSNs(sc, opKeys...)
+
 	case wire.OpFlush:
 		if !s.wireWritable(&resp) {
 			return resp

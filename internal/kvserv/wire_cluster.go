@@ -107,6 +107,55 @@ func (s *Server) serveClusterWireRequest(reader *rwl.Reader, req *wire.Request, 
 		resp.Applied = uint32(removed)
 		resp.LSNs = stampClusterTokens(sc, toks)
 
+	case wire.OpCas:
+		if len(req.Old) > MaxValueBytes || len(req.New) > MaxValueBytes {
+			resp.Status = wire.StatusTooLarge
+			resp.Msg = fmt.Sprintf("value exceeds %d bytes", MaxValueBytes)
+			return resp
+		}
+		swapped, tok, err := s.clu.Cas(req.Key, req.Old, req.New)
+		if err != nil {
+			wireClusterFailure(&resp, err)
+			return resp
+		}
+		resp.Swapped = swapped
+		resp.LSNs = stampClusterToken(sc, tok)
+
+	case wire.OpTxn:
+		ct := &condTxn{
+			conds: make([]txnCond, len(req.Conds)),
+			ops:   make([]txnWireOp, len(req.TxnOps)),
+		}
+		for i, c := range req.Conds {
+			if len(c.Value) > MaxValueBytes {
+				resp.Status = wire.StatusTooLarge
+				resp.Msg = fmt.Sprintf("cond %d: value exceeds %d bytes", i, MaxValueBytes)
+				return resp
+			}
+			ct.conds[i] = txnCond{Key: c.Key, Value: c.Value}
+		}
+		for i, o := range req.TxnOps {
+			if len(o.Value) > MaxValueBytes {
+				resp.Status = wire.StatusTooLarge
+				resp.Msg = fmt.Sprintf("op %d: value exceeds %d bytes", i, MaxValueBytes)
+				return resp
+			}
+			ct.ops[i] = txnWireOp{del: o.Del, key: o.Key, val: o.Value, ttl: o.TTL}
+		}
+		// Cross-partition rejections ride wireClusterFailure's non-fenced
+		// branch: StatusBadRequest, the binary twin of HTTP's 400.
+		lsns, err := s.clu.Txn(ct.keys(), ct.body)
+		if err != nil {
+			wireClusterFailure(&resp, err)
+			return resp
+		}
+		resp.Committed = ct.committed
+		if !ct.committed {
+			resp.Mismatch = ct.mismatch
+		} else {
+			resp.LSNs = stampClusterTokens(sc, lsns)
+		}
+
 	case wire.OpFlush:
 		resp.Applied = uint32(s.clu.Flush())
 

@@ -212,6 +212,63 @@ func UnbalancedRUnlock(t *testing.T, l rwl.HandleRWLock) {
 	l.Unlock()
 }
 
+// UnbalancedAnonymousRUnlock certifies the always-on fast-path guard on the
+// token-passing anonymous read paths: a double RUnlock of a fast-path
+// token, a stale token replayed after its slot was republished (the ABA
+// case handle bookkeeping cannot see), and a fast token handed to a
+// different lock must all panic deterministically. The check lives in the
+// visible-readers table itself (per-slot publication generations), so it
+// holds in production builds, not only under handle-based test harnesses.
+// mk must build locks whose fast path can engage (bias enables on read).
+func UnbalancedAnonymousRUnlock(t *testing.T, mk func() rwl.RWLock) {
+	t.Helper()
+	// Fast-path tokens are tagged with bit 63 (the rwl.Token convention).
+	const fastBit = rwl.Token(1) << 63
+	fastTok := func(l rwl.RWLock) rwl.Token {
+		t.Helper()
+		for i := 0; i < 1000; i++ {
+			tok := l.RLock()
+			if tok&fastBit != 0 {
+				return tok
+			}
+			l.RUnlock(tok)
+		}
+		t.Fatal("lock never granted a fast-path read (bias not enabling)")
+		return 0
+	}
+	l, l2 := mk(), mk()
+
+	// Double unlock: the first release bumps the slot generation, so the
+	// second can never match.
+	tok := fastTok(l)
+	l.RUnlock(tok)
+	if !panics(func() { l.RUnlock(tok) }) {
+		t.Fatal("double anonymous RUnlock of a fast token did not panic")
+	}
+
+	// Stale replay under republication: a fresh read from the same
+	// goroutine re-occupies the same slot with the same lock identity; only
+	// the generation distinguishes the live token from the stale one.
+	live := fastTok(l)
+	if !panics(func() { l.RUnlock(tok) }) {
+		t.Fatal("stale token unlock did not panic while its slot was republished")
+	}
+	l.RUnlock(live)
+
+	// Cross-lock: a fast token from one lock released on another.
+	tok = fastTok(l)
+	if !panics(func() { l2.RUnlock(tok) }) {
+		t.Fatal("fast token released on the wrong lock did not panic")
+	}
+	l.RUnlock(tok)
+
+	// The lock must remain usable after rejected misuse.
+	tok = l.RLock()
+	l.RUnlock(tok)
+	l.Lock()
+	l.Unlock()
+}
+
 // panics reports whether fn panicked.
 func panics(fn func()) (p bool) {
 	defer func() {

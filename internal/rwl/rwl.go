@@ -17,7 +17,10 @@ package rwl
 //
 // Encoding convention: substrate locks (BA, PF-T, Per-CPU, Cohort, pthread,
 // rwsem) confine themselves to the low 32 bits; the BRAVO wrapper stores its
-// fast-path slot index tagged with bit 63.
+// fast-path slot index in the low 32 bits plus the slot's publication
+// generation above it (the always-on unbalanced-unlock guard, see
+// bias.SlotToken), tagged with bit 63. Composite locks may claim bit 62 as
+// their own discriminator (the adaptive fair gate does).
 type Token uint64
 
 // RWLock is the common reader-writer lock interface.

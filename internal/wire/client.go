@@ -284,9 +284,19 @@ func (c *Client) Acquire() (*Conn, error) {
 	return Dial(c.addr, c.timeout)
 }
 
-// Release returns a connection to the pool (failed ones are dropped).
+// Release returns a connection to the pool. Anything a pipelined holder
+// left buffered is flushed first — an unflushed request would never reach
+// the server, and its Wait would hang forever. Failed connections (broken
+// before Release, or broken by that flush) are Closed, not pooled: Close
+// fails every in-flight Pending, so a Wait racing this Release gets
+// ErrConnClosed immediately instead of waiting out a response that can
+// never arrive.
 func (c *Client) Release(conn *Conn) {
+	if conn.Err() == nil {
+		conn.Flush()
+	}
 	if conn.Err() != nil {
+		conn.Close()
 		return
 	}
 	c.mu.Lock()
@@ -411,6 +421,29 @@ func (c *Client) MDelete(keys []uint64) (removed int, lsns []ShardLSN, err error
 		return 0, nil, err
 	}
 	return int(resp.Applied), resp.LSNs, nil
+}
+
+// Cas compares-and-swaps key atomically server-side: old nil means "only
+// if absent", new nil means "delete on match". swapped reports whether the
+// precondition held and the swap applied.
+func (c *Client) Cas(key uint64, old, new []byte) (swapped bool, lsns []ShardLSN, err error) {
+	resp, err := c.do(&Request{Op: OpCas, Key: key, Old: old, New: new})
+	if err != nil {
+		return false, nil, err
+	}
+	return resp.Swapped, resp.LSNs, nil
+}
+
+// Txn runs a conditional atomic batch: every condition must hold (nil
+// value = key absent) for the ops to apply all-or-nothing. committed
+// reports the decision; when false, mismatch is the first failing
+// condition's key. lsns are the touched shards' commit LSNs on commit.
+func (c *Client) Txn(conds []TxnCond, ops []TxnOp) (committed bool, mismatch uint64, lsns []ShardLSN, err error) {
+	resp, err := c.do(&Request{Op: OpTxn, Conds: conds, TxnOps: ops})
+	if err != nil {
+		return false, 0, nil, err
+	}
+	return resp.Committed, resp.Mismatch, resp.LSNs, nil
 }
 
 // Flush applies the server's queued async writes, returning the count.

@@ -209,3 +209,88 @@ func TestClientPoolDropsFailedConn(t *testing.T) {
 		t.Fatalf("pooled Get after drop: %v", err)
 	}
 }
+
+// TestClientReleaseFlushesBufferedRequests: a holder that Starts a request
+// and Releases the connection without Flushing has handed the pool a conn
+// with bytes still in the write buffer. Release must flush them — else the
+// request never reaches the server and the Pending's Wait hangs forever.
+func TestClientReleaseFlushesBufferedRequests(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			nc, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go echoServer(t, nc)
+		}
+	}()
+
+	cl := NewClient(l.Addr().String(), time.Second)
+	defer cl.Close()
+	conn, err := cl.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := conn.Start(&Request{Op: OpGet, Key: 5})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	cl.Release(conn) // no explicit Flush: Release owes the waiter one
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := p.Wait()
+		if err == nil && string(resp.Value) != "value" {
+			err = errors.New("wrong value")
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Wait after Release: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait hung: Release did not flush the buffered request")
+	}
+}
+
+// TestClientReleaseBrokenConnFailsWaiters: Release of a connection whose
+// peer is gone (the buffered request can never be delivered) must fail the
+// connection and close it, so every outstanding Wait returns ErrConnClosed
+// immediately instead of hanging on a request that was never sent.
+func TestClientReleaseBrokenConnFailsWaiters(t *testing.T) {
+	cNC, sNC := net.Pipe()
+	c := NewConn(cNC)
+	p, err := c.Start(&Request{Op: OpGet, Key: 7}) // parked in the write buffer
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	sNC.Close() // the peer dies before anything was flushed
+
+	cl := NewClient("127.0.0.1:0", time.Second)
+	defer cl.Close()
+	cl.Release(c) // flush fails -> conn fails -> Release closes it
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Wait()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrConnClosed) {
+			t.Fatalf("Wait after broken Release: err = %v, want ErrConnClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait hung on a connection Release should have closed")
+	}
+	if c.Err() == nil {
+		t.Fatal("Err() = nil after Release of a broken connection")
+	}
+}

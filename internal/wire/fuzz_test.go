@@ -29,6 +29,12 @@ func fuzzSeedRequests() []Request {
 		{Op: OpMDelete, ID: 9, Keys: []uint64{5}},
 		{Op: OpFlush, ID: 10},
 		{Op: OpStats, ID: 11},
+		{Op: OpCas, ID: 12, Key: 3, Old: []byte("a"), New: []byte("b")},
+		{Op: OpCas, ID: 13, Key: 3, New: []byte{}},
+		{Op: OpCas, ID: 14, Key: 3, Old: []byte("a")},
+		{Op: OpTxn, ID: 15,
+			Conds:  []TxnCond{{Key: 1, Value: []byte("c")}, {Key: 2}},
+			TxnOps: []TxnOp{{Key: 4, Value: []byte("v")}, {Key: 5, Del: true}, {Key: 6, Value: []byte{}, TTL: 1e9}}},
 	}
 }
 
@@ -58,6 +64,9 @@ func FuzzWireFrame(f *testing.F) {
 		{Op: OpMPut, ID: 5, Applied: 2, LSNs: []ShardLSN{{Shard: 0, LSN: 1}, {Shard: 3, LSN: 4}}},
 		{Op: OpStats, ID: 6, Stats: []byte(`{"n":1}`)},
 		{Op: OpPut, ID: 7, Status: StatusReadOnly, Msg: "follower"},
+		{Op: OpCas, ID: 8, Swapped: true, LSNs: []ShardLSN{{Shard: 1, LSN: 2, Epoch: 3}}},
+		{Op: OpTxn, ID: 9, Committed: true, LSNs: []ShardLSN{{Shard: 0, LSN: 4}}},
+		{Op: OpTxn, ID: 10, Mismatch: 77},
 	} {
 		f.Add(body(AppendResponse(nil, &resp)))
 	}

@@ -21,7 +21,14 @@
 //	            PUT:          u64 key | u32 vlen | vlen bytes
 //	            MGET/MDELETE: u32 count | count × u64 key
 //	            MPUT:         u32 count | count × (u64 key | u32 vlen | vlen bytes)
+//	            CAS:          u64 key | optval old | optval new
+//	            TXN:          u32 ncond | ncond × (u64 key | optval)
+//	                          | u32 nops | nops × txnop
 //	            FLUSH/STATS:  empty
+//	optval   := u8 present(0|1) | present? (u32 vlen | vlen bytes)
+//	txnop    := u8 kind(1=put 2=putttl 3=delete) | u64 key
+//	            | kind=put:    u32 vlen | vlen bytes
+//	            | kind=putttl: u64 ttlNanos(>0) | u32 vlen | vlen bytes
 //
 //	response := u8 version(=1) | u8 op | u8 status | u8 flags | u64 id
 //	            [u32 mlen | mlen bytes]  when status != OK (detail message)
@@ -33,6 +40,8 @@
 //	            MGET:         u32 count | count × (u8 present | present? u32 vlen | vlen bytes)
 //	            MPUT/MDELETE/FLUSH: u32 applied
 //	            STATS:        u32 jlen | jlen bytes (the /stats JSON document)
+//	            CAS:          u8 swapped(0|1)
+//	            TXN:          u8 committed(0|1) | committed=0: u64 mismatchKey
 //	            PUT/DELETE:   empty
 //
 // The trailing shard/LSN pairs are the binary form of the HTTP front-end's
@@ -81,6 +90,12 @@ const (
 	OpMDelete Op = 6
 	OpFlush   Op = 7
 	OpStats   Op = 8
+	// OpCas is single-key compare-and-swap; OpTxn is a conditional atomic
+	// batch (preconditions on current values plus writes, applied
+	// all-or-nothing under the engine's two-phase locking). Both follow the
+	// HTTP front-end's POST /cas and /txn semantics byte for byte.
+	OpCas Op = 9
+	OpTxn Op = 10
 )
 
 // String names op for errors and stats.
@@ -102,6 +117,10 @@ func (o Op) String() string {
 		return "FLUSH"
 	case OpStats:
 		return "STATS"
+	case OpCas:
+		return "CAS"
+	case OpTxn:
+		return "TXN"
 	}
 	return "Op(?)"
 }
@@ -196,11 +215,42 @@ type Request struct {
 	// front-end uses it to adjudicate tokens issued before a failover.
 	Epoch uint64
 
-	Key    uint64   // GET/PUT/DELETE
+	Key    uint64   // GET/PUT/DELETE/CAS
 	Value  []byte   // PUT (aliases the decode buffer)
 	Keys   []uint64 // MGET/MPUT/MDELETE
 	Values [][]byte // MPUT, parallel to Keys (alias the decode buffer)
+
+	// Old and New are CAS's compared and replacement values: a nil Old
+	// means "only if absent", a nil New means "delete on match". Empty
+	// non-nil values are distinct from nil on the wire (a presence byte).
+	Old []byte
+	New []byte
+	// Conds and TxnOps carry TXN's preconditions and writes.
+	Conds  []TxnCond
+	TxnOps []TxnOp
 }
+
+// TxnCond is one TXN precondition: the key's current value must equal
+// Value (nil Value = the key must be absent) for the batch to commit.
+type TxnCond struct {
+	Key   uint64
+	Value []byte // nil = must be absent (aliases the decode buffer)
+}
+
+// TxnOp is one TXN write: a delete, or a put with an optional expiry.
+type TxnOp struct {
+	Del   bool
+	Key   uint64
+	Value []byte        // put payload (aliases the decode buffer)
+	TTL   time.Duration // put expiry; 0 = none, must be positive when set
+}
+
+// TXN op kind bytes on the wire.
+const (
+	txnOpPut    = 1
+	txnOpPutTTL = 2
+	txnOpDelete = 3
+)
 
 // ShardLSN is one shard's commit LSN in a response: the read-your-writes
 // token, binary form of the X-Commit-Shard/X-Commit-Lsn header pair. In
@@ -229,6 +279,11 @@ type Response struct {
 	Applied uint32
 	// Stats is STATS's JSON document (the /stats response body).
 	Stats []byte
+	// Swapped answers CAS; Committed answers TXN, with Mismatch carrying
+	// the first failing precondition's key when Committed is false.
+	Swapped   bool
+	Committed bool
+	Mismatch  uint64
 	// LSNs carries the commit LSN of every shard a write touched.
 	LSNs []ShardLSN
 }
@@ -306,9 +361,72 @@ func AppendRequest(dst []byte, req *Request) []byte {
 			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(req.Values[i])))
 			dst = append(dst, req.Values[i]...)
 		}
+	case OpCas:
+		dst = binary.LittleEndian.AppendUint64(dst, req.Key)
+		dst = appendOptValue(dst, req.Old)
+		dst = appendOptValue(dst, req.New)
+	case OpTxn:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(req.Conds)))
+		for _, c := range req.Conds {
+			dst = binary.LittleEndian.AppendUint64(dst, c.Key)
+			dst = appendOptValue(dst, c.Value)
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(req.TxnOps)))
+		for _, o := range req.TxnOps {
+			switch {
+			case o.Del:
+				dst = append(dst, txnOpDelete)
+				dst = binary.LittleEndian.AppendUint64(dst, o.Key)
+			case o.TTL > 0:
+				dst = append(dst, txnOpPutTTL)
+				dst = binary.LittleEndian.AppendUint64(dst, o.Key)
+				dst = binary.LittleEndian.AppendUint64(dst, uint64(o.TTL))
+				dst = binary.LittleEndian.AppendUint32(dst, uint32(len(o.Value)))
+				dst = append(dst, o.Value...)
+			default:
+				dst = append(dst, txnOpPut)
+				dst = binary.LittleEndian.AppendUint64(dst, o.Key)
+				dst = binary.LittleEndian.AppendUint32(dst, uint32(len(o.Value)))
+				dst = append(dst, o.Value...)
+			}
+		}
 	}
 	frame.Seal(dst[base:])
 	return dst
+}
+
+// appendOptValue encodes a presence-tagged value: nil is absent, anything
+// else (the empty value included) is present with its bytes.
+func appendOptValue(dst, v []byte) []byte {
+	if v == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v)))
+	return append(dst, v...)
+}
+
+// decodeOptValue parses one presence-tagged value at off. Strict: the
+// presence byte must be 0 or 1. An absent value decodes to nil; a present
+// empty one to a non-nil empty slice.
+func decodeOptValue(p []byte, off int) ([]byte, int, bool) {
+	if len(p)-off < 1 {
+		return nil, 0, false
+	}
+	present := p[off]
+	off++
+	if present == 0 {
+		return nil, off, true
+	}
+	if present != 1 || len(p)-off < 4 {
+		return nil, 0, false
+	}
+	vlen := int(binary.LittleEndian.Uint32(p[off:]))
+	off += 4
+	if vlen < 0 || vlen > len(p)-off {
+		return nil, 0, false
+	}
+	return p[off : off+vlen : off+vlen], off + vlen, true
 }
 
 // DecodeRequest parses one request payload (the frame body, after
@@ -428,6 +546,97 @@ func DecodeRequest(p []byte) (Request, bool) {
 		if off != len(p) {
 			return req, false
 		}
+	case OpCas:
+		if len(p)-off < 8 {
+			return req, false
+		}
+		req.Key = binary.LittleEndian.Uint64(p[off:])
+		off += 8
+		var ok bool
+		if req.Old, off, ok = decodeOptValue(p, off); !ok {
+			return req, false
+		}
+		if req.New, off, ok = decodeOptValue(p, off); !ok {
+			return req, false
+		}
+		if off != len(p) {
+			return req, false
+		}
+	case OpTxn:
+		if len(p)-off < 4 {
+			return req, false
+		}
+		ncond := int(binary.LittleEndian.Uint32(p[off:]))
+		off += 4
+		// Each condition is at least 9 bytes (key + presence byte).
+		if ncond < 0 || ncond > (len(p)-off)/9 {
+			return req, false
+		}
+		req.Conds = make([]TxnCond, 0, ncond)
+		for i := 0; i < ncond; i++ {
+			if len(p)-off < 8 {
+				return req, false
+			}
+			c := TxnCond{Key: binary.LittleEndian.Uint64(p[off:])}
+			off += 8
+			var ok bool
+			if c.Value, off, ok = decodeOptValue(p, off); !ok {
+				return req, false
+			}
+			req.Conds = append(req.Conds, c)
+		}
+		if len(p)-off < 4 {
+			return req, false
+		}
+		nops := int(binary.LittleEndian.Uint32(p[off:]))
+		off += 4
+		// Each op is at least 9 bytes (kind + key).
+		if nops < 0 || nops > (len(p)-off)/9 {
+			return req, false
+		}
+		req.TxnOps = make([]TxnOp, 0, nops)
+		for i := 0; i < nops; i++ {
+			if len(p)-off < 9 {
+				return req, false
+			}
+			kind := p[off]
+			o := TxnOp{Key: binary.LittleEndian.Uint64(p[off+1:])}
+			off += 9
+			switch kind {
+			case txnOpDelete:
+				o.Del = true
+			case txnOpPutTTL:
+				if len(p)-off < 8 {
+					return req, false
+				}
+				o.TTL = time.Duration(binary.LittleEndian.Uint64(p[off:]))
+				off += 8
+				if o.TTL <= 0 {
+					// Same rule as the request-level TTL flag: the putttl
+					// kind promises a positive expiry; zero, negative, and
+					// int64-overflowed encodings are not canonical.
+					return req, false
+				}
+				fallthrough
+			case txnOpPut:
+				if len(p)-off < 4 {
+					return req, false
+				}
+				vlen := int(binary.LittleEndian.Uint32(p[off:]))
+				off += 4
+				if vlen < 0 || vlen > len(p)-off {
+					return req, false
+				}
+				o.Value = p[off : off+vlen : off+vlen]
+				off += vlen
+			default:
+				return req, false
+			}
+			req.TxnOps = append(req.TxnOps, o)
+		}
+		if off != len(p) {
+			return req, false
+		}
 	case OpFlush, OpStats:
 		if off != len(p) {
 			return req, false
@@ -480,6 +689,19 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 		case OpStats:
 			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(resp.Stats)))
 			dst = append(dst, resp.Stats...)
+		case OpCas:
+			b := byte(0)
+			if resp.Swapped {
+				b = 1
+			}
+			dst = append(dst, b)
+		case OpTxn:
+			if resp.Committed {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+				dst = binary.LittleEndian.AppendUint64(dst, resp.Mismatch)
+			}
 		}
 	}
 	if flags&respFlagLSNs != 0 {
@@ -585,6 +807,25 @@ func DecodeResponse(p []byte) (Response, bool) {
 			}
 			resp.Stats = p[off : off+jlen]
 			off += jlen
+		case OpCas:
+			if len(p)-off < 1 || p[off] > 1 {
+				return resp, false
+			}
+			resp.Swapped = p[off] == 1
+			off++
+		case OpTxn:
+			if len(p)-off < 1 || p[off] > 1 {
+				return resp, false
+			}
+			resp.Committed = p[off] == 1
+			off++
+			if !resp.Committed {
+				if len(p)-off < 8 {
+					return resp, false
+				}
+				resp.Mismatch = binary.LittleEndian.Uint64(p[off:])
+				off += 8
+			}
 		case OpPut, OpDelete:
 		default:
 			return resp, false

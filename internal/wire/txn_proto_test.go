@@ -1,0 +1,181 @@
+package wire
+
+// Wire coverage for the transaction opcodes: CAS and TXN round-trips
+// (including the presence-tagged distinction between an absent value and
+// a present empty one) and decoder strictness over the new layouts —
+// non-canonical presence bytes, non-positive TTLs, unknown op kinds, and
+// adversarial counts must all be rejected without panicking.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestCasTxnRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{Op: OpCas, ID: 1, Key: 7, Old: []byte("a"), New: []byte("b")},
+		{Op: OpCas, ID: 2, Key: 7, New: []byte("b")},             // only-if-absent
+		{Op: OpCas, ID: 3, Key: 7, Old: []byte("a")},             // delete-on-match
+		{Op: OpCas, ID: 4, Key: 7, Old: []byte{}, New: []byte{}}, // empty, not absent
+		{Op: OpTxn, ID: 5,
+			Conds:  []TxnCond{{Key: 1, Value: []byte("x")}, {Key: 2}},
+			TxnOps: []TxnOp{{Key: 3, Value: []byte("v")}, {Key: 4, Del: true}, {Key: 5, Value: []byte("w"), TTL: time.Minute}}},
+		{Op: OpTxn, ID: 6, TxnOps: []TxnOp{{Key: 1, Value: []byte{}}}},
+	}
+	for _, want := range cases {
+		f := AppendRequest(nil, &want)
+		got, ok := DecodeRequest(splitOne(t, f))
+		if !ok {
+			t.Fatalf("%v id=%d: decode failed", want.Op, want.ID)
+		}
+		norm := func(r *Request) {
+			if len(r.Conds) == 0 {
+				r.Conds = nil
+			}
+			if len(r.TxnOps) == 0 {
+				r.TxnOps = nil
+			}
+		}
+		norm(&want)
+		norm(&got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+		}
+	}
+
+	// nil and []byte{} are different values on the wire, in both directions.
+	fAbsent := AppendRequest(nil, &Request{Op: OpCas, Key: 1})
+	fEmpty := AppendRequest(nil, &Request{Op: OpCas, Key: 1, Old: []byte{}, New: []byte{}})
+	if bytes.Equal(fAbsent, fEmpty) {
+		t.Fatal("absent and empty optional values share an encoding")
+	}
+	gotA, _ := DecodeRequest(splitOne(t, fAbsent))
+	gotE, _ := DecodeRequest(splitOne(t, fEmpty))
+	if gotA.Old != nil || gotA.New != nil {
+		t.Fatalf("absent decoded non-nil: %+v", gotA)
+	}
+	if gotE.Old == nil || gotE.New == nil {
+		t.Fatalf("empty decoded nil: %+v", gotE)
+	}
+}
+
+func TestCasTxnResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{Op: OpCas, ID: 1, Swapped: true, LSNs: []ShardLSN{{Shard: 2, LSN: 9}}},
+		{Op: OpCas, ID: 2},
+		{Op: OpCas, ID: 3, Swapped: true, LSNs: []ShardLSN{{Shard: 2, LSN: 9, Epoch: 4}}},
+		{Op: OpTxn, ID: 4, Committed: true, LSNs: []ShardLSN{{Shard: 0, LSN: 5}, {Shard: 3, LSN: 6}}},
+		{Op: OpTxn, ID: 5, Mismatch: 42},
+		{Op: OpTxn, ID: 6, Status: StatusBadRequest, Msg: "txn: too many keys"},
+	}
+	for _, want := range cases {
+		f := AppendResponse(nil, &want)
+		got, ok := DecodeResponse(splitOne(t, f))
+		if !ok {
+			t.Fatalf("%v id=%d: decode failed", want.Op, want.ID)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+// TestCasTxnDecodeStrict mutates valid CAS/TXN payloads field by field:
+// the decoder must reject every non-canonical byte without panicking.
+func TestCasTxnDecodeStrict(t *testing.T) {
+	// Request header is 11 bytes with no flags; the CAS body is key(8) then
+	// the two presence-tagged values, so Old's presence byte sits at 19.
+	cas := splitOne(t, AppendRequest(nil, &Request{Op: OpCas, Key: 1, Old: []byte("x"), New: []byte("y")}))
+	if _, ok := DecodeRequest(cas); !ok {
+		t.Fatal("control: valid CAS rejected")
+	}
+	for cut := 0; cut < len(cas); cut++ {
+		if _, ok := DecodeRequest(cas[:cut]); ok {
+			t.Fatalf("CAS truncation to %d bytes accepted", cut)
+		}
+	}
+	if _, ok := DecodeRequest(append(append([]byte(nil), cas...), 0)); ok {
+		t.Fatal("CAS trailing byte accepted")
+	}
+	bad := append([]byte(nil), cas...)
+	bad[19] = 2 // presence byte must be 0 or 1
+	if _, ok := DecodeRequest(bad); ok {
+		t.Fatal("CAS presence byte 2 accepted")
+	}
+
+	// TXN body: ncond(4) at 11, then nops(4), then per-op kind(1)+key(8).
+	txn := splitOne(t, AppendRequest(nil, &Request{Op: OpTxn,
+		Conds:  []TxnCond{{Key: 1, Value: []byte("c")}},
+		TxnOps: []TxnOp{{Key: 2, Value: []byte("v"), TTL: time.Second}}}))
+	if _, ok := DecodeRequest(txn); !ok {
+		t.Fatal("control: valid TXN rejected")
+	}
+	for cut := 0; cut < len(txn); cut++ {
+		if _, ok := DecodeRequest(txn[:cut]); ok {
+			t.Fatalf("TXN truncation to %d bytes accepted", cut)
+		}
+	}
+	condEnd := 11 + 4 + 8 + 1 + 4 + 1 // ncond + key + presence + vlen + "c"
+	kindOff := condEnd + 4            // past nops
+	ttlOff := kindOff + 9             // past kind + key
+	if txn[kindOff] != txnOpPutTTL {
+		t.Fatalf("layout drifted: byte %d = %d, want the putttl kind", kindOff, txn[kindOff])
+	}
+	mut := func(f func(p []byte)) []byte {
+		p := append([]byte(nil), txn...)
+		f(p)
+		return p
+	}
+	if _, ok := DecodeRequest(mut(func(p []byte) { p[kindOff] = 0 })); ok {
+		t.Fatal("TXN op kind 0 accepted")
+	}
+	if _, ok := DecodeRequest(mut(func(p []byte) { p[kindOff] = 4 })); ok {
+		t.Fatal("TXN unknown op kind accepted")
+	}
+	if _, ok := DecodeRequest(mut(func(p []byte) {
+		binary.LittleEndian.PutUint64(p[ttlOff:], 0)
+	})); ok {
+		t.Fatal("TXN zero TTL accepted")
+	}
+	if _, ok := DecodeRequest(mut(func(p []byte) {
+		binary.LittleEndian.PutUint64(p[ttlOff:], 1<<63) // int64-negative
+	})); ok {
+		t.Fatal("TXN overflowed-negative TTL accepted")
+	}
+	// Adversarial counts over a short payload: rejected before allocation.
+	if _, ok := DecodeRequest(mut(func(p []byte) {
+		binary.LittleEndian.PutUint32(p[11:], 0x7FFFFFFF)
+	})); ok {
+		t.Fatal("TXN adversarial cond count accepted")
+	}
+	if _, ok := DecodeRequest(mut(func(p []byte) {
+		binary.LittleEndian.PutUint32(p[condEnd:], 0x7FFFFFFF)
+	})); ok {
+		t.Fatal("TXN adversarial op count accepted")
+	}
+
+	// Responses: the decision byte must be 0 or 1 too. Header is 12 bytes.
+	casResp := splitOne(t, AppendResponse(nil, &Response{Op: OpCas, Swapped: true}))
+	badR := append([]byte(nil), casResp...)
+	badR[12] = 2
+	if _, ok := DecodeResponse(badR); ok {
+		t.Fatal("CAS response decision byte 2 accepted")
+	}
+	txnResp := splitOne(t, AppendResponse(nil, &Response{Op: OpTxn, Mismatch: 9}))
+	if _, ok := DecodeResponse(txnResp); !ok {
+		t.Fatal("control: valid TXN response rejected")
+	}
+	for cut := 0; cut < len(txnResp); cut++ {
+		if _, ok := DecodeResponse(txnResp[:cut]); ok {
+			t.Fatalf("TXN response truncation to %d bytes accepted", cut)
+		}
+	}
+	badR = append(badR[:0], txnResp...)
+	badR[12] = 3
+	if _, ok := DecodeResponse(badR); ok {
+		t.Fatal("TXN response decision byte 3 accepted")
+	}
+}
